@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks: solver runtimes (exact is exponential,
+//! the heuristic polynomial — Section 4's headline complexity claim) and
+//! the ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgrid_bench::random_times;
+use hetgrid_core::heuristic::{self, HeuristicOptions, NormalizeMode};
+use hetgrid_core::{alternating, exact, sorted_row_major};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solve_arrangement");
+    for &(p, q) in &[(2usize, 2usize), (3, 3), (4, 4)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let times = random_times(p * q, &mut rng);
+        let arr = sorted_row_major(&times, p, q);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", p, q)),
+            &arr,
+            |b, arr| b.iter(|| exact::solve_arrangement(arr)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solve_global");
+    group.sample_size(10);
+    for &(p, q) in &[(2usize, 2usize), (2, 3), (3, 3)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let times = random_times(p * q, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", p, q)),
+            &times,
+            |b, times| b.iter(|| exact::solve_global(times, p, q)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_solve");
+    for &n in &[3usize, 5, 8, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let times = random_times(n * n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &times, |b, times| {
+            b.iter(|| heuristic::solve_default(times, n, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_normalize(c: &mut Criterion) {
+    // Fixpoint normalization vs the literal single col+row pass.
+    let mut group = c.benchmark_group("ablation_normalize");
+    let mut rng = StdRng::seed_from_u64(4);
+    let times = random_times(36, &mut rng);
+    for (name, mode) in [
+        ("fixpoint", NormalizeMode::Fixpoint),
+        ("single_pass", NormalizeMode::SinglePass),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                heuristic::solve(
+                    &times,
+                    6,
+                    6,
+                    HeuristicOptions {
+                        normalize: mode,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alternating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alternating_fixpoint");
+    for &n in &[4usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let times = random_times(n * n, &mut rng);
+        let arr = sorted_row_major(&times, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arr, |b, arr| {
+            b.iter(|| alternating::optimize(arr, 10_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    use hetgrid_core::search::{local_search, SearchOptions};
+    let mut group = c.benchmark_group("local_search");
+    group.sample_size(10);
+    for &(p, q) in &[(2usize, 2usize), (3, 3), (4, 4)] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let times = random_times(p * q, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", p, q)),
+            &times,
+            |b, times| {
+                b.iter(|| {
+                    local_search(
+                        times,
+                        p,
+                        q,
+                        SearchOptions {
+                            restarts: 1,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_solver,
+    bench_exact_global,
+    bench_heuristic,
+    bench_ablation_normalize,
+    bench_alternating,
+    bench_local_search
+);
+criterion_main!(benches);

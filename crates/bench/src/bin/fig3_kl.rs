@@ -1,0 +1,57 @@
+//! E3 — Figure 3: the Kalinov–Lastovetsky distribution on the grid
+//! `[[1,2],[3,5]]`, with its broken grid pattern and extra west
+//! neighbours.
+
+use hetgrid_bench::print_grid;
+use hetgrid_core::Arrangement;
+use hetgrid_dist::{BlockDist, KlDist};
+
+fn main() {
+    let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+    println!("=== Figure 3: Kalinov-Lastovetsky on [[1,2],[3,5]] ===\n");
+
+    // The paper's small period: 4 rows in column 1 (split 3:1), 7 rows in
+    // column 2 (split 5:2); we use their lcm 28 to draw both, and 61
+    // columns for the 40:21 column split.
+    let d = KlDist::new(&arr, 28, 61);
+    println!(
+        "row split, grid column 1 (t = 1, 3): {} : {} of 28",
+        d.row_pattern(0).iter().filter(|&&r| r == 0).count(),
+        d.row_pattern(0).iter().filter(|&&r| r == 1).count()
+    );
+    println!(
+        "row split, grid column 2 (t = 2, 5): {} : {} of 28",
+        d.row_pattern(1).iter().filter(|&&r| r == 0).count(),
+        d.row_pattern(1).iter().filter(|&&r| r == 1).count()
+    );
+    println!(
+        "column split (equivalent times 3/2 and 20/7): {} : {} of 61",
+        d.col_pattern().iter().filter(|&&c| c == 0).count(),
+        d.col_pattern().iter().filter(|&&c| c == 1).count()
+    );
+
+    // Draw two consecutive matrix columns as in Figure 3: one from each
+    // grid column, first 8 block rows with the paper's small periods.
+    let small = KlDist::new(&arr, 4, 2);
+    // Column of grid column 1 and of grid column 2 (period 4 rows shown
+    // twice, as the figure does).
+    let mut rows = Vec::new();
+    for bi in 0..8 {
+        let (i0, _) = (small.row_pattern(0)[bi % 4], 0);
+        let (i1, _) = (small.row_pattern(1)[bi % 4], 1);
+        rows.push(vec![
+            format!("{}", arr.time(i0, 0)),
+            format!("{}", arr.time(i1, 1)),
+        ]);
+    }
+    print_grid("\ntwo consecutive columns (compare Figure 3)", &rows);
+
+    println!("\nwest-neighbour counts (strict grid would be all 1):");
+    for (i, row) in small.west_neighbour_counts().iter().enumerate() {
+        println!("  grid row {}: {:?}", i + 1, row);
+    }
+    println!(
+        "\nis_cartesian: {} — the extra neighbours mean extra horizontal broadcasts",
+        small.is_cartesian()
+    );
+}

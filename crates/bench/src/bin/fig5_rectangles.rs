@@ -1,0 +1,77 @@
+//! Figure 5 — "Allocating computations to processors on a 3x4 grid":
+//! each processor `(i, j)` computes an `r_i x c_j` rectangle of the
+//! result matrix. This binary draws the rectangles for a random
+//! 12-processor pool solved by the heuristic, scaled to an `N x N`
+//! element grid.
+//!
+//! Usage: `fig5_rectangles [N]` (default 24).
+
+#![allow(clippy::type_complexity, clippy::needless_range_loop)]
+
+use hetgrid_bench::print_table;
+use hetgrid_core::rounding::round_proportional;
+use hetgrid_core::{heuristic, objective};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    // Twelve processors on a 3x4 grid, as drawn in the paper.
+    let times = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0, 6.5];
+    let res = heuristic::solve_default(&times, 3, 4);
+    let best = res.best();
+    println!(
+        "=== Figure 5: r_i x c_j rectangles on a 3x4 grid, N = {} ===\n",
+        n
+    );
+    println!("arrangement:\n{}", best.arrangement);
+
+    // Scale the rational shares to N rows / N columns.
+    let rows = round_proportional(&best.alloc.r, n);
+    let cols = round_proportional(&best.alloc.c, n);
+    println!("row counts r_i = {:?} (sum {})", rows, n);
+    println!("col counts c_j = {:?} (sum {})\n", cols, n);
+
+    // Draw the rectangle map: each element labelled by its owner.
+    let labels = [
+        ['a', 'b', 'c', 'd'],
+        ['e', 'f', 'g', 'h'],
+        ['i', 'j', 'k', 'l'],
+    ];
+    let mut row_of = Vec::with_capacity(n);
+    for (i, &cnt) in rows.iter().enumerate() {
+        row_of.extend(std::iter::repeat_n(i, cnt));
+    }
+    let mut col_of = Vec::with_capacity(n);
+    for (j, &cnt) in cols.iter().enumerate() {
+        col_of.extend(std::iter::repeat_n(j, cnt));
+    }
+    for gi in 0..n {
+        let line: String = (0..n).map(|gj| labels[row_of[gi]][col_of[gj]]).collect();
+        println!("  {}", line);
+    }
+
+    // Per-processor compute times r_i * t_ij * c_j (the quantity whose
+    // maximum T_exe the allocation minimizes, Section 4.1).
+    println!("\nper-processor times r_i * t_ij * c_j:");
+    let mut table = Vec::new();
+    for i in 0..3 {
+        let mut row = Vec::new();
+        for j in 0..4 {
+            row.push(format!(
+                "{:.0}",
+                rows[i] as f64 * best.arrangement.time(i, j) * cols[j] as f64
+            ));
+        }
+        table.push(row);
+    }
+    print_table(&["j=1", "j=2", "j=3", "j=4"], &table);
+    println!(
+        "\nT_exe = {:.0} (max of the table); T_ave = {:.4}; ideal lower bound {:.4}",
+        objective::t_exe(&best.arrangement, &rows, &cols),
+        objective::t_ave(&best.arrangement, &rows, &cols),
+        objective::ideal_obj1_lower_bound(&best.arrangement)
+    );
+}

@@ -1,0 +1,32 @@
+//! E7 — Figure 6: average workload (mean of `B`) of `n^2` processors
+//! with random cycle-times, arranged by the heuristic, after
+//! convergence, as a function of the grid side `n`.
+//!
+//! Usage: `fig6_workload [max_n] [trials]` (defaults: 15, 200).
+
+use hetgrid_bench::{heuristic_sweep, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let trials: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!(
+        "=== Figure 6: average workload after convergence (n x n grids, {} trials/point) ===\n",
+        trials
+    );
+    let ns: Vec<usize> = (2..=max_n).collect();
+    let points = heuristic_sweep(&ns, trials, 0xF166);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                format!("{:.4}", p.average_workload),
+                format!("{:.2}", p.converged_fraction),
+            ]
+        })
+        .collect();
+    print_table(&["n", "avg workload", "converged"], &rows);
+    println!("\n(paper's Figure 6 shows the same quantity decreasing slowly with n)");
+}

@@ -1,0 +1,26 @@
+//! E8 — Figure 7: the refinement gain
+//! `tau = obj2(converged) / obj2(first step) - 1` as a function of the
+//! grid side `n`, for random cycle-times.
+//!
+//! Usage: `fig7_tau [max_n] [trials]` (defaults: 15, 200).
+
+use hetgrid_bench::{heuristic_sweep, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let trials: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!(
+        "=== Figure 7: refinement gain tau (n x n grids, {} trials/point) ===\n",
+        trials
+    );
+    let ns: Vec<usize> = (2..=max_n).collect();
+    let points = heuristic_sweep(&ns, trials, 0xF17);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.n.to_string(), format!("{:.4}", p.tau)])
+        .collect();
+    print_table(&["n", "tau"], &rows);
+    println!("\n(paper's Figure 7 shows tau of a few percent, growing with n)");
+}

@@ -1,0 +1,31 @@
+//! E9 — Figure 8: mean number of refinement steps to convergence as a
+//! function of the grid side `n`, for random cycle-times.
+//!
+//! Usage: `fig8_iters [max_n] [trials]` (defaults: 15, 200).
+
+use hetgrid_bench::{heuristic_sweep, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let trials: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!(
+        "=== Figure 8: refinement steps to convergence (n x n grids, {} trials/point) ===\n",
+        trials
+    );
+    let ns: Vec<usize> = (2..=max_n).collect();
+    let points = heuristic_sweep(&ns, trials, 0xF18);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                format!("{:.2}", p.iterations),
+                format!("{:.2}", p.converged_fraction),
+            ]
+        })
+        .collect();
+    print_table(&["n", "iterations", "converged"], &rows);
+    println!("\n(paper's Figure 8 shows the iteration count growing with n)");
+}

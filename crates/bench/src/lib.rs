@@ -1,0 +1,269 @@
+//! # hetgrid-bench
+//!
+//! Shared harness code for the experiment binaries and Criterion
+//! benches that regenerate every figure and table of the IPPS 2000
+//! paper (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results).
+
+#![warn(missing_docs)]
+// Grid code indexes `owned[i][j]`-style tables with `for i in 0..p`
+// loops and passes several aggregated message maps around; the clippy
+// style suggestions (iterator rewrites, type aliases, argument structs)
+// would obscure the 2D-grid idiom the paper's algorithms are written in.
+#![allow(
+    clippy::needless_range_loop,
+    clippy::type_complexity,
+    clippy::too_many_arguments
+)]
+
+pub mod workloads;
+
+use hetgrid_core::heuristic::{self, HeuristicOptions};
+use hetgrid_core::{exact, Arrangement};
+use hetgrid_dist::{BlockCyclic, BlockDist, KlDist, PanelDist, PanelOrdering};
+use hetgrid_sim::machine::CostModel;
+use hetgrid_sim::{kernels, Broadcast};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Draws `n` cycle-times uniformly from `(0.01, 1.0]` — the paper's
+/// "random cycle times in [0, 1]", excluding a neighbourhood of zero
+/// because a zero cycle-time is an infinitely fast processor and breaks
+/// `T^inv` (documented substitution, see EXPERIMENTS.md).
+pub fn random_times(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(0.01..=1.0)).collect()
+}
+
+/// One point of the Figures 6–8 sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Grid side (the paper arranges `n^2` processors on an `n x n`
+    /// grid).
+    pub n: usize,
+    /// Mean of the workload matrix `B` after convergence (Figure 6).
+    pub average_workload: f64,
+    /// `tau = obj2(converged) / obj2(first step) - 1` (Figure 7).
+    pub tau: f64,
+    /// Mean number of refinement steps to convergence (Figure 8).
+    pub iterations: f64,
+    /// Fraction of trials that converged (rather than cycled / hit the
+    /// cap).
+    pub converged_fraction: f64,
+}
+
+/// Runs the heuristic on `trials` random `n x n` instances and averages
+/// the Figure 6/7/8 quantities.
+pub fn heuristic_sweep_point(n: usize, trials: usize, seed: u64) -> SweepPoint {
+    let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut workload = 0.0;
+    let mut tau = 0.0;
+    let mut iters = 0.0;
+    let mut converged = 0usize;
+    for _ in 0..trials {
+        let times = random_times(n * n, &mut rng);
+        let res = heuristic::solve(&times, n, n, HeuristicOptions::default());
+        workload += res.last().average_workload;
+        tau += res.tau();
+        iters += res.iterations() as f64;
+        if res.converged {
+            converged += 1;
+        }
+    }
+    let t = trials as f64;
+    SweepPoint {
+        n,
+        average_workload: workload / t,
+        tau: tau / t,
+        iterations: iters / t,
+        converged_fraction: converged as f64 / t,
+    }
+}
+
+/// The full sweep over grid sides.
+pub fn heuristic_sweep(ns: &[usize], trials: usize, seed: u64) -> Vec<SweepPoint> {
+    ns.iter()
+        .map(|&n| heuristic_sweep_point(n, trials, seed))
+        .collect()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (k, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", cell, width = widths[k]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|&w| "-".repeat(w))
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Pretty-prints a grid of cycle-times or counts.
+pub fn print_grid<T: std::fmt::Display>(label: &str, rows: &[Vec<T>]) {
+    println!("{}:", label);
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|x| format!("{:>8}", x)).collect();
+        println!("  [{}]", cells.join(" "));
+    }
+}
+
+/// The distributions compared in the simulation tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Strategy {
+    /// Uniform 2D block-cyclic (ScaLAPACK homogeneous baseline).
+    Cyclic,
+    /// The paper's block-panel distribution with shares from the
+    /// polynomial heuristic.
+    HeuristicPanel,
+    /// Block-panel distribution with exact (spanning-tree) shares —
+    /// small grids only.
+    ExactPanel,
+    /// Kalinov–Lastovetsky heterogeneous block-cyclic.
+    KalinovLastovetsky,
+}
+
+impl Strategy {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Cyclic => "cyclic",
+            Strategy::HeuristicPanel => "heur-panel",
+            Strategy::ExactPanel => "exact-panel",
+            Strategy::KalinovLastovetsky => "kalinov-l",
+        }
+    }
+}
+
+/// A prepared instance: arrangement (from the heuristic's converged
+/// placement, shared by all strategies for a fair comparison) plus the
+/// distribution for each strategy.
+pub struct SimInstance {
+    /// The converged arrangement.
+    pub arr: Arrangement,
+    /// Strategy / distribution pairs.
+    pub dists: Vec<(Strategy, Box<dyn BlockDist + Sync>)>,
+}
+
+/// Builds the strategies for an instance. `panel` controls the panel
+/// size (`bp = bq = panel`); the exact strategy is included only for
+/// grids where the spanning-tree solver is cheap.
+pub fn build_instance(times: &[f64], p: usize, q: usize, panel: usize) -> SimInstance {
+    let res = heuristic::solve(times, p, q, HeuristicOptions::default());
+    let best = res.best();
+    let arr = best.arrangement.clone();
+
+    let mut dists: Vec<(Strategy, Box<dyn BlockDist + Sync>)> = Vec::new();
+    dists.push((Strategy::Cyclic, Box::new(BlockCyclic::new(p, q))));
+    dists.push((
+        Strategy::HeuristicPanel,
+        Box::new(PanelDist::from_allocation(
+            &arr,
+            &best.alloc,
+            panel.max(p),
+            panel.max(q),
+            PanelOrdering::Interleaved,
+        )),
+    ));
+    if p <= 4 && q <= 4 {
+        let ex = exact::solve_arrangement(&arr);
+        dists.push((
+            Strategy::ExactPanel,
+            Box::new(PanelDist::from_allocation(
+                &arr,
+                &ex.alloc,
+                panel.max(p),
+                panel.max(q),
+                PanelOrdering::Interleaved,
+            )),
+        ));
+    }
+    dists.push((
+        Strategy::KalinovLastovetsky,
+        Box::new(KlDist::new(&arr, panel.max(p), panel.max(q))),
+    ));
+    SimInstance { arr, dists }
+}
+
+/// Simulated MM makespan for every strategy of an instance.
+pub fn mm_row(inst: &SimInstance, nb: usize, cost: CostModel) -> Vec<(Strategy, f64)> {
+    inst.dists
+        .iter()
+        .map(|(s, d)| {
+            let rep = kernels::simulate_mm(&inst.arr, d.as_ref(), nb, cost, Broadcast::Direct);
+            (*s, rep.makespan)
+        })
+        .collect()
+}
+
+/// Simulated LU makespan for every strategy of an instance.
+pub fn lu_row(inst: &SimInstance, nb: usize, cost: CostModel) -> Vec<(Strategy, f64)> {
+    inst.dists
+        .iter()
+        .map(|(s, d)| {
+            let rep = kernels::simulate_lu(&inst.arr, d.as_ref(), nb, cost);
+            (*s, rep.makespan)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_times_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = random_times(100, &mut rng);
+        assert!(t.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn sweep_point_reasonable() {
+        let pt = heuristic_sweep_point(3, 10, 7);
+        assert!(pt.average_workload > 0.5 && pt.average_workload <= 1.0);
+        assert!(pt.tau >= -1e-9);
+        assert!(pt.iterations >= 1.0);
+        assert!(pt.converged_fraction > 0.5);
+    }
+
+    #[test]
+    fn build_instance_strategies() {
+        let times = [1.0, 2.0, 3.0, 5.0];
+        let inst = build_instance(&times, 2, 2, 8);
+        let names: Vec<&str> = inst.dists.iter().map(|(s, _)| s.name()).collect();
+        assert!(names.contains(&"cyclic"));
+        assert!(names.contains(&"heur-panel"));
+        assert!(names.contains(&"exact-panel"));
+        assert!(names.contains(&"kalinov-l"));
+    }
+
+    #[test]
+    fn mm_row_cyclic_is_worst_on_skewed_grid() {
+        let times = [1.0, 1.0, 1.0, 10.0];
+        let inst = build_instance(&times, 2, 2, 12);
+        let row = mm_row(&inst, 24, CostModel::zero_comm());
+        let cyclic = row.iter().find(|(s, _)| *s == Strategy::Cyclic).unwrap().1;
+        let heur = row
+            .iter()
+            .find(|(s, _)| *s == Strategy::HeuristicPanel)
+            .unwrap()
+            .1;
+        assert!(heur < cyclic, "heur {} !< cyclic {}", heur, cyclic);
+    }
+}

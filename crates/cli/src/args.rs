@@ -1,0 +1,131 @@
+//! Minimal flag parsing for the `hetgrid` CLI (no external parser: the
+//! offline dependency set is deliberately small).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag`
+/// options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut argv = argv.peekable();
+        while let Some(a) = argv.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                // `--key value` when the next token is not a flag;
+                // otherwise a boolean flag.
+                match argv.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = argv.next().expect("peeked");
+                        if out.options.insert(key.to_string(), v).is_some() {
+                            return Err(format!("duplicate option --{}", key));
+                        }
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected argument: {}", a));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{}", key))
+    }
+
+    /// A parsed option with default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{}: {}", key, v)),
+            None => Ok(default),
+        }
+    }
+
+    /// A boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Comma-separated cycle-times from `--times`.
+    pub fn times(&self) -> Result<Vec<f64>, String> {
+        let raw = self.require("times")?;
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid cycle-time: {}", s))
+            })
+            .collect()
+    }
+
+    /// `--grid PxQ`.
+    pub fn grid(&self) -> Result<(usize, usize), String> {
+        let raw = self.require("grid")?;
+        let (p, q) = raw
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("invalid --grid (want PxQ): {}", raw))?;
+        let p = p.parse().map_err(|_| format!("invalid grid rows: {}", p))?;
+        let q = q.parse().map_err(|_| format!("invalid grid cols: {}", q))?;
+        Ok((p, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn basic_parsing() {
+        let a = parse("solve --times 1,2,3 --grid 1x3 --csv");
+        assert_eq!(a.command.as_deref(), Some("solve"));
+        assert_eq!(a.times().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.grid().unwrap(), (1, 3));
+        assert!(a.flag("csv"));
+        assert!(!a.flag("json"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("simulate --nb 32");
+        assert_eq!(a.get_parse("nb", 0usize).unwrap(), 32);
+        assert_eq!(a.get_parse("trials", 7usize).unwrap(), 7);
+        assert!(a.require("times").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_strays() {
+        assert!(Args::parse(["--a", "1", "--a", "2"].iter().map(|s| s.to_string())).is_err());
+        assert!(Args::parse(["cmd", "stray"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn grid_format_errors() {
+        let a = parse("x --grid 2y3");
+        assert!(a.grid().is_err());
+        let a = parse("x --grid 2x3");
+        assert_eq!(a.grid().unwrap(), (2, 3));
+    }
+}

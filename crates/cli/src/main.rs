@@ -1,0 +1,448 @@
+//! `hetgrid` — command-line interface to the heterogeneous 2D grid
+//! load-balancing toolkit (IPPS 2000 reproduction).
+//!
+//! ```text
+//! hetgrid solve      --times 1,2,3,5 --grid 2x2 [--method heuristic|exact|local-search|anneal]
+//! hetgrid distribute --times 1,2,3,5 --grid 2x2 --panel 8x6 [--scheme panel|kl|cyclic]
+//! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
+//!                    [--scheme panel|kl|cyclic] [--network switched|bus]
+//!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
+//! hetgrid sweep      [--max-n 12] [--trials 100] [--csv]
+//! ```
+
+mod args;
+
+use args::Args;
+use hetgrid_core::objective::workload_matrix;
+use hetgrid_core::search::{anneal, local_search, SearchOptions};
+use hetgrid_core::{exact, heuristic, Arrangement};
+use hetgrid_dist::{BlockCyclic, BlockDist, KlDist, PanelDist, PanelOrdering};
+use hetgrid_sim::machine::{CostModel, Network};
+use hetgrid_sim::{kernels, Broadcast};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("solve") => cmd_solve(&args),
+        Some("distribute") => cmd_distribute(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("bounds") => cmd_bounds(&args),
+        Some("rank1") => cmd_rank1(&args),
+        Some("rebalance") => cmd_rebalance(&args),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {}", other)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {}", e);
+        std::process::exit(2);
+    }
+}
+
+fn print_usage() {
+    println!("hetgrid — load balancing for dense linear algebra on heterogeneous 2D grids");
+    println!();
+    println!("commands:");
+    println!(
+        "  solve      --times T1,T2,.. --grid PxQ [--method heuristic|exact|local-search|anneal]"
+    );
+    println!("  distribute --times .. --grid PxQ --panel BPxBQ [--scheme panel|kl|cyclic]");
+    println!("             [--ordering interleaved|contiguous|columns]");
+    println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
+    println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
+    println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
+    println!("  sweep      [--max-n 12] [--trials 100] [--csv]   (Figures 6-8 data)");
+    println!("  bounds     --times .. --grid PxQ                  (objective brackets)");
+    println!("  rank1      --times .. --grid PxQ                  (perfect-balance check)");
+    println!("  rebalance  --times .. --new-times .. --grid PxQ [--nb 32] [--panel BPxBQ]");
+}
+
+/// Quantifies a rebalance: solve for both pools, report the makespan
+/// gain and the fraction of blocks that must move.
+fn cmd_rebalance(args: &Args) -> Result<(), String> {
+    let times = args.times()?;
+    let raw_new = args.require("new-times")?;
+    let new_times: Vec<f64> = raw_new
+        .split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|_| format!("invalid cycle-time: {}", t)))
+        .collect::<Result<_, _>>()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q || new_times.len() != p * q {
+        return Err(format!("need {} cycle-times in both pools", p * q));
+    }
+    let nb: usize = args.get_parse("nb", 32)?;
+    let panel_raw = args.get("panel").unwrap_or("8x8");
+    let (bp, bq) = panel_raw
+        .split_once(['x', 'X'])
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .ok_or_else(|| format!("invalid --panel: {}", panel_raw))?;
+
+    let old = heuristic::solve_default(&times, p, q);
+    let new = heuristic::solve_default(&new_times, p, q);
+    let old_best = old.best();
+    let new_best = new.best();
+    let old_dist = PanelDist::from_allocation(
+        &old_best.arrangement, &old_best.alloc, bp, bq, PanelOrdering::Interleaved);
+    let new_dist = PanelDist::from_allocation(
+        &new_best.arrangement, &new_best.alloc, bp, bq, PanelOrdering::Interleaved);
+
+    let moved = hetgrid_dist::redistribution::moved_fraction(&old_dist, &new_dist, nb);
+    let cost = CostModel::default();
+    // Both evaluated against the NEW speeds (the machine has drifted).
+    let stale = kernels::simulate_mm(&new_best.arrangement, &old_dist, nb, cost, Broadcast::Direct);
+    let fresh = kernels::simulate_mm(&new_best.arrangement, &new_dist, nb, cost, Broadcast::Direct);
+    println!("blocks moved by rebalancing : {:.1}% of the matrix", moved * 100.0);
+    println!("MM makespan with stale plan : {:.1}", stale.makespan);
+    println!("MM makespan with fresh plan : {:.1}", fresh.makespan);
+    println!("gain per run                : {:.2}x", stale.makespan / fresh.makespan);
+    Ok(())
+}
+
+/// Prints the analytic objective brackets for a pool (core::bounds).
+fn cmd_bounds(args: &Args) -> Result<(), String> {
+    use hetgrid_core::bounds;
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let res = heuristic::solve_default(&times, p, q);
+    let best = res.best();
+    let arr = &best.arrangement;
+    println!(
+        "total-rate upper bound (any distribution): {:.4}",
+        bounds::total_rate_upper_bound(arr)
+    );
+    println!(
+        "uniform block-cyclic lower bound          : {:.4}",
+        bounds::cyclic_lower_bound(arr)
+    );
+    println!(
+        "row-harmonic feasible lower bound         : {:.4}",
+        bounds::row_harmonic_lower_bound(arr)
+    );
+    println!(
+        "heuristic achieved                        : {:.4}",
+        best.obj2
+    );
+    println!(
+        "grid price (upper bound / achieved)       : {:.4}",
+        bounds::grid_price(arr, best.obj2)
+    );
+    if p <= 4 && q <= 4 {
+        let ex = exact::solve_arrangement(arr);
+        println!("exact optimum for this arrangement        : {:.4}", ex.obj2);
+    }
+    Ok(())
+}
+
+/// Checks whether a perfectly balancing rank-1 arrangement exists.
+fn cmd_rank1(args: &Args) -> Result<(), String> {
+    use hetgrid_core::rank1;
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    match rank1::try_rank1_arrangement(&times, p, q, 1e-9) {
+        Some(arr) => {
+            println!("a rank-1 arrangement exists — perfect balance is achievable:");
+            println!("{}", arr);
+            let alloc = rank1::rank1_allocation(&arr, 1e-9).expect("rank-1 by construction");
+            println!("shares: r = {:?}", alloc.r);
+            println!("        c = {:?}", alloc.c);
+            println!("every processor is busy 100% of the time (Section 4.3.2).");
+        }
+        None => {
+            println!(
+                "no rank-1 arrangement of these cycle-times exists for {}x{}:",
+                p, q
+            );
+            println!("perfect balance is impossible; use `solve` for the best achievable.");
+        }
+    }
+    Ok(())
+}
+
+/// Solves the placement + allocation problem and prints the result.
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let method = args.get("method").unwrap_or("heuristic");
+    let (arr, alloc, label): (Arrangement, hetgrid_core::Allocation, String) = match method {
+        "heuristic" => {
+            let res = heuristic::solve_default(&times, p, q);
+            let b = res.best();
+            (
+                b.arrangement.clone(),
+                b.alloc.clone(),
+                format!(
+                    "heuristic ({} steps, converged: {})",
+                    res.iterations(),
+                    res.converged
+                ),
+            )
+        }
+        "exact" => {
+            let g = exact::solve_global(&times, p, q);
+            (
+                g.arrangement,
+                g.alloc,
+                format!("exact ({} arrangements examined)", g.arrangements_examined),
+            )
+        }
+        "local-search" => {
+            let r = local_search(&times, p, q, SearchOptions::default());
+            (
+                r.arrangement,
+                r.alloc,
+                format!("local search ({} evaluations)", r.evaluations),
+            )
+        }
+        "anneal" => {
+            let r = anneal(&times, p, q, SearchOptions::default());
+            (
+                r.arrangement,
+                r.alloc,
+                format!("simulated annealing ({} evaluations)", r.evaluations),
+            )
+        }
+        other => return Err(format!("unknown method: {}", other)),
+    };
+    println!("method: {}", label);
+    println!("arrangement:\n{}", arr);
+    println!(
+        "r = [{}]",
+        alloc
+            .r
+            .iter()
+            .map(|x| format!("{:.4}", x))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "c = [{}]",
+        alloc
+            .c
+            .iter()
+            .map(|x| format!("{:.4}", x))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("objective (sum r)(sum c) = {:.4}", alloc.obj2());
+    let b = workload_matrix(&arr, &alloc);
+    println!("average workload = {:.4}", b.mean());
+    let cert = hetgrid_core::certify::certify(&arr, &alloc);
+    println!(
+        "certificate: feasible={} rows-tight={} cols-tight={} spanning={} gap<= {:.2}%",
+        cert.feasible,
+        cert.rows_tight,
+        cert.cols_tight,
+        cert.tight_graph_connected,
+        cert.gap_bound() * 100.0
+    );
+    Ok(())
+}
+
+/// Builds the requested distribution for the solved arrangement.
+fn build_dist(
+    args: &Args,
+    arr: &Arrangement,
+    alloc: &hetgrid_core::Allocation,
+    bp: usize,
+    bq: usize,
+) -> Result<Box<dyn BlockDist + Sync>, String> {
+    let scheme = args.get("scheme").unwrap_or("panel");
+    let ordering = match args.get("ordering").unwrap_or("interleaved") {
+        "interleaved" => PanelOrdering::Interleaved,
+        "contiguous" => PanelOrdering::Contiguous,
+        "columns" => PanelOrdering::ColumnsInterleaved,
+        other => return Err(format!("unknown ordering: {}", other)),
+    };
+    Ok(match scheme {
+        "panel" => Box::new(PanelDist::from_allocation(arr, alloc, bp, bq, ordering)),
+        "kl" => Box::new(KlDist::new(arr, bp.max(arr.p()), bq.max(arr.q()))),
+        "cyclic" => Box::new(BlockCyclic::new(arr.p(), arr.q())),
+        other => return Err(format!("unknown scheme: {}", other)),
+    })
+}
+
+fn cmd_distribute(args: &Args) -> Result<(), String> {
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let panel_raw = args.get("panel").unwrap_or("8x8");
+    let (bp, bq) = panel_raw
+        .split_once(['x', 'X'])
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .ok_or_else(|| format!("invalid --panel (want BPxBQ): {}", panel_raw))?;
+
+    let res = heuristic::solve_default(&times, p, q);
+    let best = res.best();
+    let dist = build_dist(args, &best.arrangement, &best.alloc, bp, bq)?;
+
+    println!("arrangement:\n{}", best.arrangement);
+    println!("owner map over one {}x{} period:", bp, bq);
+    for bi in 0..bp {
+        let row: Vec<String> = (0..bq)
+            .map(|bj| {
+                let (i, j) = dist.owner(bi, bj);
+                format!("({},{})", i + 1, j + 1)
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    let counts = dist.owned_counts(bp, bq);
+    println!("blocks per processor in one period:");
+    for row in &counts {
+        println!("  {:?}", row);
+    }
+    let report = hetgrid_dist::balance_report(dist.as_ref(), &best.arrangement, bp, bq);
+    println!(
+        "per-period makespan {:.3}, average utilization {:.1}%",
+        report.makespan,
+        report.average_utilization * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let nb: usize = args.get_parse("nb", 32)?;
+    let kernel = args.get("kernel").unwrap_or("mm");
+    let network = match args.get("network").unwrap_or("switched") {
+        "switched" => Network::Switched,
+        "bus" | "ethernet" => Network::SharedBus,
+        other => return Err(format!("unknown network: {}", other)),
+    };
+    let broadcast = match args.get("broadcast").unwrap_or("direct") {
+        "direct" => Broadcast::Direct,
+        "ring" => Broadcast::Ring,
+        "tree" => Broadcast::Tree,
+        other => return Err(format!("unknown broadcast: {}", other)),
+    };
+    let cost = CostModel {
+        latency: args.get_parse("latency", 0.2)?,
+        block_transfer: args.get_parse("transfer", 0.02)?,
+        network,
+        ..Default::default()
+    };
+
+    let res = heuristic::solve_default(&times, p, q);
+    let best = res.best();
+    let panel = (2 * p).max(4);
+    let dist = build_dist(args, &best.arrangement, &best.alloc, panel, (2 * q).max(4))?;
+
+    let run = match kernel {
+        "mm" => kernels::simulate_mm_traced(&best.arrangement, dist.as_ref(), nb, cost, broadcast),
+        "lu" => kernels::simulate_factor_traced(
+            &best.arrangement,
+            dist.as_ref(),
+            nb,
+            cost,
+            kernels::FactorKind::Lu,
+            broadcast,
+        ),
+        "qr" => kernels::simulate_factor_traced(
+            &best.arrangement,
+            dist.as_ref(),
+            nb,
+            cost,
+            kernels::FactorKind::Qr,
+            broadcast,
+        ),
+        "cholesky" => kernels::simulate_cholesky_traced(&best.arrangement, dist.as_ref(), nb, cost),
+        other => return Err(format!("unknown kernel: {}", other)),
+    };
+    let report = run.report.clone();
+    println!(
+        "kernel {} on {}x{} blocks, scheme {}, network {:?}, broadcast {:?}",
+        kernel,
+        nb,
+        nb,
+        args.get("scheme").unwrap_or("panel"),
+        network,
+        broadcast
+    );
+    println!("makespan        : {:.1}", report.makespan);
+    println!("comm time (sum) : {:.1}", report.comm_time);
+    println!("compute (sum)   : {:.1}", report.compute_time);
+    println!(
+        "avg utilization : {:.1}%",
+        report.average_utilization() * 100.0
+    );
+    println!("per-processor busy time:");
+    for row in &report.core_busy {
+        let cells: Vec<String> = row.iter().map(|x| format!("{:>10.1}", x)).collect();
+        println!("  {}", cells.join(" "));
+    }
+    if args.flag("gantt") {
+        let labels = hetgrid_sim::trace::grid_labels(p, q, matches!(network, Network::SharedBus));
+        println!("\nschedule (compute = #, communication = ~, idle = .):");
+        print!(
+            "{}",
+            hetgrid_sim::trace::ascii_gantt(&run.engine, &run.schedule, &labels, 100)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let max_n: usize = args.get_parse("max-n", 12)?;
+    let trials: usize = args.get_parse("trials", 100)?;
+    let csv = args.flag("csv");
+    if csv {
+        println!("n,avg_workload,tau,iterations");
+    } else {
+        println!(
+            "{:>3} {:>14} {:>10} {:>12}",
+            "n", "avg workload", "tau", "iterations"
+        );
+    }
+    for n in 2..=max_n {
+        let mut rng = StdRng::seed_from_u64(0xC11 ^ n as u64);
+        let mut workload = 0.0;
+        let mut tau = 0.0;
+        let mut iters = 0.0;
+        for _ in 0..trials {
+            let times: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.01..=1.0)).collect();
+            let res = heuristic::solve_default(&times, n, n);
+            workload += res.last().average_workload;
+            tau += res.tau();
+            iters += res.iterations() as f64;
+        }
+        let t = trials as f64;
+        if csv {
+            println!("{},{:.4},{:.4},{:.2}", n, workload / t, tau / t, iters / t);
+        } else {
+            println!(
+                "{:>3} {:>14.4} {:>10.4} {:>12.2}",
+                n,
+                workload / t,
+                tau / t,
+                iters / t
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `hetgrid` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hetgrid"))
+        .args(args)
+        .output()
+        .expect("failed to launch hetgrid binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["solve", "distribute", "simulate", "sweep"] {
+        assert!(stdout.contains(cmd), "missing {} in help", cmd);
+    }
+}
+
+#[test]
+fn solve_exact_paper_example() {
+    let (ok, stdout, _) = run(&[
+        "solve", "--times", "1,2,3,5", "--grid", "2x2", "--method", "exact",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains("objective (sum r)(sum c) = 2.0000"),
+        "{}",
+        stdout
+    );
+    assert!(stdout.contains("r = [1.0000, 0.3333]"), "{}", stdout);
+}
+
+#[test]
+fn solve_all_methods_run() {
+    for method in ["heuristic", "exact", "local-search", "anneal"] {
+        let (ok, stdout, stderr) = run(&[
+            "solve", "--times", "1,2,3,5", "--grid", "2x2", "--method", method,
+        ]);
+        assert!(ok, "method {} failed: {}", method, stderr);
+        assert!(stdout.contains("objective"), "{}", stdout);
+    }
+}
+
+#[test]
+fn distribute_prints_owner_map() {
+    let (ok, stdout, _) = run(&[
+        "distribute",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--panel",
+        "4x4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("owner map"));
+    assert!(stdout.contains("average utilization"));
+}
+
+#[test]
+fn simulate_kernels_run() {
+    for kernel in ["mm", "lu", "qr", "cholesky"] {
+        let (ok, stdout, stderr) = run(&[
+            "simulate", "--times", "1,2,3,5", "--grid", "2x2", "--nb", "8", "--kernel", kernel,
+        ]);
+        assert!(ok, "kernel {} failed: {}", kernel, stderr);
+        assert!(stdout.contains("makespan"), "{}", stdout);
+    }
+}
+
+#[test]
+fn simulate_gantt_renders() {
+    let (ok, stdout, _) = run(&[
+        "simulate", "--times", "1,2,3,5", "--grid", "2x2", "--nb", "4", "--kernel", "mm", "--gantt",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("P(1,1)"));
+    assert!(stdout.contains('#'));
+}
+
+#[test]
+fn sweep_csv_output() {
+    let (ok, stdout, _) = run(&["sweep", "--max-n", "3", "--trials", "3", "--csv"]);
+    assert!(ok);
+    assert!(stdout.starts_with("n,avg_workload,tau,iterations"));
+    assert!(stdout.lines().count() >= 3);
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    // Wrong number of cycle-times.
+    let (ok, _, stderr) = run(&["solve", "--times", "1,2,3", "--grid", "2x2"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    // Unknown command.
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    // Unknown kernel.
+    let (ok, _, stderr) = run(&[
+        "simulate", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", "fft",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown kernel"));
+}
+
+#[test]
+fn kl_scheme_simulates() {
+    let (ok, stdout, stderr) = run(&[
+        "simulate", "--times", "1,2,3,5", "--grid", "2x2", "--nb", "8", "--kernel", "mm",
+        "--scheme", "kl",
+    ]);
+    assert!(ok, "{}", stderr);
+    assert!(stdout.contains("scheme kl"));
+}
+
+#[test]
+fn bounds_brackets_achieved() {
+    let (ok, stdout, _) = run(&["bounds", "--times", "1,2,3,5", "--grid", "2x2"]);
+    assert!(ok);
+    assert!(stdout.contains("upper bound"));
+    assert!(stdout.contains("grid price"));
+}
+
+#[test]
+fn rank1_detects_both_cases() {
+    let (ok, stdout, _) = run(&["rank1", "--times", "1,2,3,6", "--grid", "2x2"]);
+    assert!(ok);
+    assert!(stdout.contains("perfect balance is achievable"));
+    let (ok, stdout, _) = run(&["rank1", "--times", "1,2,3,5", "--grid", "2x2"]);
+    assert!(ok);
+    assert!(stdout.contains("impossible"));
+}
+
+#[test]
+fn rebalance_quantifies_the_move() {
+    let (ok, stdout, stderr) = run(&[
+        "rebalance", "--times", "1,1,1,1", "--new-times", "1,1,1,4", "--grid", "2x2", "--nb",
+        "16",
+    ]);
+    assert!(ok, "{}", stderr);
+    assert!(stdout.contains("blocks moved"));
+    assert!(stdout.contains("gain per run"));
+}

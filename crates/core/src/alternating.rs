@@ -1,0 +1,172 @@
+//! Alternating (coordinate-ascent) optimization of `Obj2` for a *fixed*
+//! arrangement.
+//!
+//! The manipulation at the end of Section 4.1 shows that for fixed row
+//! shares the optimal column shares are `c_j = 1 / max_i (r_i t_ij)`, and
+//! symmetrically for rows. Alternating the two half-steps is therefore a
+//! coordinate ascent on `(sum r)(sum c)`:
+//!
+//! * after a column step every constraint `r_i t_ij c_j <= 1` holds and
+//!   every *column* has a tight constraint;
+//! * after a row step every constraint holds and every *row* is tight.
+//!
+//! The objective is non-decreasing and bounded, so the iteration
+//! converges; at a fixpoint every row *and* every column carries an
+//! equality — exactly the normalization postcondition the heuristic of
+//! Section 4.4.2 requires after seeding `r`, `c` from the SVD.
+
+use crate::arrangement::Arrangement;
+use crate::objective::Allocation;
+
+/// Outcome of the alternating iteration.
+#[derive(Clone, Debug)]
+pub struct AlternatingResult {
+    /// The fixpoint allocation (feasible; tight in every row and column).
+    pub alloc: Allocation,
+    /// Number of full (column + row) sweeps performed.
+    pub sweeps: usize,
+    /// `true` if the sweep limit was hit before the fixpoint.
+    pub truncated: bool,
+}
+
+/// Runs the alternating iteration to convergence from initial row shares
+/// `r0`.
+///
+/// # Panics
+/// Panics if `r0.len() != arr.p()` or any share is not positive.
+pub fn optimize_from(arr: &Arrangement, r0: &[f64], max_sweeps: usize) -> AlternatingResult {
+    assert_eq!(r0.len(), arr.p(), "optimize_from: r0 length mismatch");
+    assert!(
+        r0.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "optimize_from: r0 must be positive"
+    );
+    let (p, q) = (arr.p(), arr.q());
+    let mut r = r0.to_vec();
+    let mut c = vec![0.0f64; q];
+
+    let mut sweeps = 0;
+    let mut truncated = true;
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        // Column step: c_j = 1 / max_i (r_i t_ij).
+        for (j, cj) in c.iter_mut().enumerate() {
+            let mut m: f64 = 0.0;
+            for (i, &ri) in r.iter().enumerate() {
+                m = m.max(ri * arr.time(i, j));
+            }
+            *cj = 1.0 / m;
+        }
+        // Row step: r_i = 1 / max_j (t_ij c_j); track movement.
+        let mut delta: f64 = 0.0;
+        for (i, ri) in r.iter_mut().enumerate() {
+            let mut m: f64 = 0.0;
+            for (j, &cj) in c.iter().enumerate() {
+                m = m.max(arr.time(i, j) * cj);
+            }
+            let new = 1.0 / m;
+            delta = delta.max((new - *ri).abs() / new.max(*ri));
+            *ri = new;
+        }
+        if delta <= 1e-14 {
+            truncated = false;
+            break;
+        }
+    }
+    // One final column step so the returned pair is consistent (each
+    // column tight for the final r).
+    for (j, cj) in c.iter_mut().enumerate() {
+        let mut m: f64 = 0.0;
+        for (i, &ri) in r.iter().enumerate() {
+            m = m.max(ri * arr.time(i, j));
+        }
+        *cj = 1.0 / m;
+    }
+    let _ = p;
+    AlternatingResult {
+        alloc: Allocation::new(r, c),
+        sweeps,
+        truncated,
+    }
+}
+
+/// Runs the alternating iteration from uniform row shares.
+pub fn optimize(arr: &Arrangement, max_sweeps: usize) -> AlternatingResult {
+    optimize_from(arr, &vec![1.0; arr.p()], max_sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{is_feasible, workload_matrix};
+
+    #[test]
+    fn converges_and_is_feasible() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let res = optimize(&arr, 1000);
+        assert!(!res.truncated);
+        assert!(is_feasible(&arr, &res.alloc, 1e-12));
+    }
+
+    #[test]
+    fn fixpoint_tight_in_every_row_and_column() {
+        let arr = Arrangement::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let res = optimize(&arr, 1000);
+        let b = workload_matrix(&arr, &res.alloc);
+        for i in 0..3 {
+            let row_max = (0..3).map(|j| b[(i, j)]).fold(0.0f64, f64::max);
+            assert!((row_max - 1.0).abs() < 1e-10, "row {} not tight", i);
+        }
+        for j in 0..3 {
+            let col_max = (0..3).map(|i| b[(i, j)]).fold(0.0f64, f64::max);
+            assert!((col_max - 1.0).abs() < 1e-10, "col {} not tight", j);
+        }
+    }
+
+    #[test]
+    fn rank1_grid_reaches_perfect_balance() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let res = optimize(&arr, 1000);
+        let b = workload_matrix(&arr, &res.alloc);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((b[(i, j)] - 1.0).abs() < 1e-10);
+            }
+        }
+        assert!((res.alloc.obj2() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn objective_not_worse_than_uniform_start() {
+        let arr = Arrangement::from_rows(&[vec![0.9, 2.3], vec![1.7, 4.1]]);
+        // Feasible baseline from the uniform start after one column step:
+        let r = vec![1.0, 1.0];
+        let c: Vec<f64> = (0..2)
+            .map(|j| 1.0 / (0..2).map(|i| r[i] * arr.time(i, j)).fold(0.0f64, f64::max))
+            .collect();
+        let baseline = Allocation::new(r, c).obj2();
+        let res = optimize(&arr, 1000);
+        assert!(res.alloc.obj2() >= baseline - 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_grid_uniform_solution() {
+        let arr = Arrangement::from_rows(&[vec![2.0, 2.0], vec![2.0, 2.0]]);
+        let res = optimize(&arr, 100);
+        let b = workload_matrix(&arr, &res.alloc);
+        for v in b.as_slice() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_processor() {
+        let arr = Arrangement::from_rows(&[vec![3.0]]);
+        let res = optimize(&arr, 10);
+        let b = workload_matrix(&arr, &res.alloc);
+        assert!((b[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+}

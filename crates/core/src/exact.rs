@@ -1,0 +1,491 @@
+//! Exact solution of the optimization problem (Section 4.3).
+//!
+//! For a *fixed* arrangement the optimum of `Obj2` is attained with at
+//! least `p + q - 1` tight constraints, and the tight constraints must
+//! connect all rows and columns: they form a spanning tree of the
+//! complete bipartite graph `K_{p,q}` whose vertices are the `r_i` and
+//! `c_j` and whose edge `(r_i, c_j)` carries weight `t_ij`. Walking an
+//! *acceptable* tree (all non-tree products `<= 1`) from `r_1 = 1`
+//! determines every share; the optimum is the acceptable tree of maximal
+//! value `(sum r)(sum c)`.
+//!
+//! The number of spanning trees of `K_{p,q}` is `p^(q-1) * q^(p-1)` —
+//! exponential, but perfectly feasible for the small grids where exact
+//! answers are wanted (81 trees for 3x3, 4096 for 4x4, ~4x10^5 for 5x5).
+//!
+//! The *global* problem additionally searches over arrangements; by the
+//! paper's Theorem 1 only non-decreasing arrangements need to be
+//! considered.
+
+use crate::arrangement::{enumerate_nondecreasing, Arrangement};
+use crate::objective::{workload_matrix, Allocation};
+
+/// Exact optimum for a fixed arrangement.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// Optimal shares (gauge: `r[0] = 1`).
+    pub alloc: Allocation,
+    /// The optimal `Obj2` value `(sum r)(sum c)`.
+    pub obj2: f64,
+    /// Edges `(i, j)` of the optimal acceptable spanning tree (the tight
+    /// constraints `r_i t_ij c_j = 1`).
+    pub tree: Vec<(usize, usize)>,
+    /// Total number of spanning trees examined.
+    pub trees_examined: u64,
+    /// Number of acceptable trees found.
+    pub trees_acceptable: u64,
+}
+
+/// Solves `Obj2` exactly for the given arrangement by enumerating the
+/// spanning trees of `K_{p,q}`.
+///
+/// # Panics
+/// Panics if the grid is larger than 8x8 (the enumeration would be
+/// astronomically large; use the heuristic instead).
+pub fn solve_arrangement(arr: &Arrangement) -> ExactSolution {
+    let (p, q) = (arr.p(), arr.q());
+    assert!(
+        p <= 8 && q <= 8,
+        "solve_arrangement: exact solver limited to grids up to 8x8"
+    );
+    let n_vertices = p + q;
+    let n_edges = p * q;
+    let need = n_vertices - 1;
+
+    // Edge e = i * q + j joins row-vertex i and column-vertex p + j.
+    let mut best: Option<ExactSolution> = None;
+    let mut chosen: Vec<usize> = Vec::with_capacity(need);
+    let mut parent: Vec<usize> = (0..n_vertices).collect();
+    let mut examined = 0u64;
+    let mut acceptable = 0u64;
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    // Depth-first enumeration over edges in index order: at each edge
+    // either include it (if it joins two components) or skip it. Prune
+    // when the remaining edges cannot complete a tree.
+    fn rec(
+        e: usize,
+        n_edges: usize,
+        need: usize,
+        p: usize,
+        q: usize,
+        arr: &Arrangement,
+        chosen: &mut Vec<usize>,
+        parent: &mut Vec<usize>,
+        best: &mut Option<ExactSolution>,
+        examined: &mut u64,
+        acceptable: &mut u64,
+    ) {
+        if chosen.len() == need {
+            *examined += 1;
+            if let Some(sol) = evaluate_tree(arr, chosen) {
+                *acceptable += 1;
+                if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
+                    *best = Some(sol);
+                }
+            }
+            return;
+        }
+        if e == n_edges || n_edges - e < need - chosen.len() {
+            return;
+        }
+        let (i, j) = (e / q, e % q);
+        let u = find(parent, i);
+        let v = find(parent, p + j);
+        if u != v {
+            // Include edge e.
+            let saved = parent.clone();
+            parent[u] = v;
+            chosen.push(e);
+            rec(
+                e + 1,
+                n_edges,
+                need,
+                p,
+                q,
+                arr,
+                chosen,
+                parent,
+                best,
+                examined,
+                acceptable,
+            );
+            chosen.pop();
+            *parent = saved;
+        }
+        // Skip edge e.
+        rec(
+            e + 1,
+            n_edges,
+            need,
+            p,
+            q,
+            arr,
+            chosen,
+            parent,
+            best,
+            examined,
+            acceptable,
+        );
+    }
+
+    rec(
+        0,
+        n_edges,
+        need,
+        p,
+        q,
+        arr,
+        &mut chosen,
+        &mut parent,
+        &mut best,
+        &mut examined,
+        &mut acceptable,
+    );
+
+    let mut sol = best.expect("K_{p,q} always has an acceptable spanning tree");
+    sol.trees_examined = examined;
+    sol.trees_acceptable = acceptable;
+    sol
+}
+
+/// Computes the shares forced by a spanning tree and checks
+/// acceptability. Returns `None` if some non-tree product exceeds 1.
+fn evaluate_tree(arr: &Arrangement, edges: &[usize]) -> Option<ExactSolution> {
+    let (p, q) = (arr.p(), arr.q());
+    let mut r = vec![0.0f64; p];
+    let mut c = vec![0.0f64; q];
+    let mut r_set = vec![false; p];
+    let mut c_set = vec![false; q];
+
+    // Adjacency over tree edges only.
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); p + q]; // (edge idx, _)
+    for &e in edges {
+        let (i, j) = (e / q, e % q);
+        adj[i].push((e, true));
+        adj[p + j].push((e, false));
+    }
+
+    r[0] = 1.0;
+    r_set[0] = true;
+    let mut stack = vec![0usize]; // vertex ids; rows: 0..p, cols: p..p+q
+    while let Some(v) = stack.pop() {
+        for &(e, _) in &adj[v] {
+            let (i, j) = (e / q, e % q);
+            if v < p {
+                // From row i determine column j.
+                if !c_set[j] {
+                    c[j] = 1.0 / (r[i] * arr.time(i, j));
+                    c_set[j] = true;
+                    stack.push(p + j);
+                }
+            } else if !r_set[i] {
+                r[i] = 1.0 / (c[j] * arr.time(i, j));
+                r_set[i] = true;
+                stack.push(i);
+            }
+        }
+    }
+    debug_assert!(
+        r_set.iter().all(|&x| x) && c_set.iter().all(|&x| x),
+        "spanning tree did not reach every vertex"
+    );
+
+    // Acceptability: every product <= 1 (tree edges are exactly 1).
+    for i in 0..p {
+        for j in 0..q {
+            if r[i] * arr.time(i, j) * c[j] > 1.0 + 1e-9 {
+                return None;
+            }
+        }
+    }
+    let alloc = Allocation::new(r, c);
+    let obj2 = alloc.obj2();
+    Some(ExactSolution {
+        alloc,
+        obj2,
+        tree: edges.iter().map(|&e| (e / q, e % q)).collect(),
+        trees_examined: 0,
+        trees_acceptable: 0,
+    })
+}
+
+/// Closed-form exact solution for a 2x2 arrangement (the analytical
+/// solution the paper defers to its extended version).
+///
+/// With the gauge `r_1 = 1`, the four spanning trees of `K_{2,2}`
+/// evaluate in closed form; which pair is acceptable is decided by the
+/// sign of the determinant `t11 t22 - t12 t21`:
+///
+/// * `t11 t22 <= t12 t21`: trees {11,12,21} and {12,21,22};
+/// * `t11 t22 >= t12 t21`: trees {11,12,22} and {11,21,22};
+/// * equality (rank-1): all four coincide with perfect balance.
+///
+/// # Panics
+/// Panics if the arrangement is not 2x2.
+pub fn solve_2x2(arr: &Arrangement) -> ExactSolution {
+    assert_eq!(
+        (arr.p(), arr.q()),
+        (2, 2),
+        "solve_2x2: arrangement must be 2x2"
+    );
+    let (t11, t12, t21, t22) = (
+        arr.time(0, 0),
+        arr.time(0, 1),
+        arr.time(1, 0),
+        arr.time(1, 1),
+    );
+    let det = t11 * t22 - t12 * t21;
+
+    // Candidate allocations (r1 = 1).
+    let mut candidates: Vec<(Vec<(usize, usize)>, Allocation)> = Vec::new();
+    if det <= 0.0 {
+        // Tree {(0,0),(0,1),(1,0)}.
+        candidates.push((
+            vec![(0, 0), (0, 1), (1, 0)],
+            Allocation::new(vec![1.0, t11 / t21], vec![1.0 / t11, 1.0 / t12]),
+        ));
+        // Tree {(0,1),(1,0),(1,1)}.
+        candidates.push((
+            vec![(0, 1), (1, 0), (1, 1)],
+            Allocation::new(vec![1.0, t12 / t22], vec![t22 / (t12 * t21), 1.0 / t12]),
+        ));
+    }
+    if det >= 0.0 {
+        // Tree {(0,0),(0,1),(1,1)}.
+        candidates.push((
+            vec![(0, 0), (0, 1), (1, 1)],
+            Allocation::new(vec![1.0, t12 / t22], vec![1.0 / t11, 1.0 / t12]),
+        ));
+        // Tree {(0,0),(1,0),(1,1)}.
+        candidates.push((
+            vec![(0, 0), (1, 0), (1, 1)],
+            Allocation::new(vec![1.0, t11 / t21], vec![1.0 / t11, t21 / (t11 * t22)]),
+        ));
+    }
+    let trees_examined = candidates.len() as u64;
+    let (tree, alloc) = candidates
+        .into_iter()
+        .max_by(|a, b| a.1.obj2().partial_cmp(&b.1.obj2()).expect("NaN obj2"))
+        .expect("at least two candidates");
+    debug_assert!(crate::objective::is_feasible(arr, &alloc, 1e-9));
+    let obj2 = alloc.obj2();
+    ExactSolution {
+        alloc,
+        obj2,
+        tree,
+        trees_examined,
+        trees_acceptable: trees_examined,
+    }
+}
+
+/// Exact global optimum: best non-decreasing arrangement together with
+/// its exact shares (Sections 4.2 + 4.3 combined). Exponential in both
+/// the arrangement count and the tree count; for small grids only.
+#[derive(Clone, Debug)]
+pub struct GlobalSolution {
+    /// The optimal arrangement.
+    pub arrangement: Arrangement,
+    /// The optimal shares for that arrangement.
+    pub alloc: Allocation,
+    /// The optimal `Obj2` value.
+    pub obj2: f64,
+    /// Number of non-decreasing arrangements examined.
+    pub arrangements_examined: u64,
+}
+
+/// Searches all non-decreasing arrangements of `times` on a `p x q` grid,
+/// solving each exactly.
+///
+/// # Panics
+/// Panics if `times.len() != p * q` or the grid exceeds the exact-solver
+/// limit.
+pub fn solve_global(times: &[f64], p: usize, q: usize) -> GlobalSolution {
+    let mut best: Option<GlobalSolution> = None;
+    let mut count = 0u64;
+    enumerate_nondecreasing(times, p, q, |arr| {
+        count += 1;
+        let sol = solve_arrangement(arr);
+        if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
+            best = Some(GlobalSolution {
+                arrangement: arr.clone(),
+                alloc: sol.alloc,
+                obj2: sol.obj2,
+                arrangements_examined: 0,
+            });
+        }
+    });
+    let mut sol = best.expect("at least one arrangement exists");
+    sol.arrangements_examined = count;
+    sol
+}
+
+/// Perfect-balance check: `true` iff the exact optimum uses every
+/// processor at 100% (possible exactly when the arrangement behaves like
+/// a rank-1 matrix, Section 4.3.2).
+pub fn achieves_perfect_balance(arr: &Arrangement, sol: &ExactSolution) -> bool {
+    let b = workload_matrix(arr, &sol.alloc);
+    b.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::is_feasible;
+
+    #[test]
+    fn rank1_2x2_perfect_balance() {
+        // Figure 1 grid: perfect balance achievable.
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let sol = solve_arrangement(&arr);
+        assert!(achieves_perfect_balance(&arr, &sol));
+        // r = (1, 1/3), c = (1, 1/2): obj2 = (4/3)(3/2) = 2.
+        assert!((sol.obj2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_counterexample_1235_no_perfect_balance() {
+        // Section 3.1.2: with t22 = 5 instead of 6, no allocation balances
+        // perfectly; the exact optimum is obj2 = 2 with P22 partly idle.
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = solve_arrangement(&arr);
+        assert!(!achieves_perfect_balance(&arr, &sol));
+        assert!((sol.obj2 - 2.0).abs() < 1e-9);
+        // The optimal shares: r = (1, 1/3), c = (1, 1/2); P22 load 5/6.
+        let b = workload_matrix(&arr, &sol.alloc);
+        assert!((b[(1, 1)] - 5.0 / 6.0).abs() < 1e-9);
+        assert!(is_feasible(&arr, &sol.alloc, 1e-9));
+    }
+
+    #[test]
+    fn tree_count_matches_cayley_formula() {
+        // K_{2,2} has 2^1 * 2^1 = 4 spanning trees; K_{2,3} has 2^2*3 = 12.
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = solve_arrangement(&arr);
+        assert_eq!(sol.trees_examined, 4);
+
+        let arr23 = Arrangement::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let sol23 = solve_arrangement(&arr23);
+        assert_eq!(sol23.trees_examined, 12);
+
+        let arr33 = Arrangement::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let sol33 = solve_arrangement(&arr33);
+        assert_eq!(sol33.trees_examined, 81);
+    }
+
+    #[test]
+    fn exact_dominates_alternating_fixpoint() {
+        let arrs = [
+            Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]),
+            Arrangement::from_rows(&[vec![0.7, 1.1, 2.0], vec![1.3, 1.9, 3.1]]),
+            Arrangement::from_rows(&[
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![7.0, 8.0, 9.0],
+            ]),
+        ];
+        for arr in &arrs {
+            let exact = solve_arrangement(arr);
+            let alt = crate::alternating::optimize(arr, 10_000);
+            assert!(
+                exact.obj2 >= alt.alloc.obj2() - 1e-9,
+                "exact {} < alternating {}",
+                exact.obj2,
+                alt.alloc.obj2()
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_grid_exact() {
+        // All-equal processors: obj2 = p * q / t... with t = 1:
+        // r_i = c_j = 1 and every product is 1, so obj2 = p * q.
+        let arr = Arrangement::from_rows(&[vec![1.0; 3], vec![1.0; 3]]);
+        let sol = solve_arrangement(&arr);
+        assert!((sol.obj2 - 6.0).abs() < 1e-9);
+        assert!(achieves_perfect_balance(&arr, &sol));
+    }
+
+    #[test]
+    fn global_solution_beats_or_ties_fixed_sorted_arrangement() {
+        let times = [1.0, 2.0, 3.0, 5.0];
+        let sorted = crate::arrangement::sorted_row_major(&times, 2, 2);
+        let fixed = solve_arrangement(&sorted);
+        let global = solve_global(&times, 2, 2);
+        assert!(global.obj2 >= fixed.obj2 - 1e-12);
+        assert_eq!(global.arrangements_examined, 2);
+    }
+
+    #[test]
+    fn theorem1_nondecreasing_suffices_exhaustive_check() {
+        // Cross-check Theorem 1 on random-ish 2x2 instances: the best over
+        // ALL 24 arrangements equals the best over non-decreasing ones.
+        let instances: &[[f64; 4]] = &[
+            [1.0, 2.0, 3.0, 5.0],
+            [0.5, 0.9, 1.7, 3.3],
+            [2.0, 2.0, 4.0, 5.0],
+            [1.0, 1.5, 2.25, 4.0],
+        ];
+        for times in instances {
+            let global = solve_global(times, 2, 2);
+            let mut best_any = 0.0f64;
+            crate::arrangement::enumerate_all(times, 2, 2, |arr| {
+                let s = solve_arrangement(arr);
+                if s.obj2 > best_any {
+                    best_any = s.obj2;
+                }
+            });
+            assert!(
+                (global.obj2 - best_any).abs() < 1e-9,
+                "non-decreasing search missed optimum: {} vs {} for {:?}",
+                global.obj2,
+                best_any,
+                times
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_2x2_matches_tree_enumeration() {
+        let cases: &[[f64; 4]] = &[
+            [1.0, 2.0, 3.0, 6.0], // rank-1
+            [1.0, 2.0, 3.0, 5.0], // det < 0
+            [1.0, 2.0, 3.0, 7.0], // det > 0
+            [0.4, 0.9, 0.6, 1.3],
+            [2.0, 2.0, 2.0, 2.0], // homogeneous
+        ];
+        for c in cases {
+            let arr = Arrangement::from_rows(&[vec![c[0], c[1]], vec![c[2], c[3]]]);
+            let enumerated = solve_arrangement(&arr);
+            let analytic = solve_2x2(&arr);
+            assert!(
+                (enumerated.obj2 - analytic.obj2).abs() < 1e-12,
+                "analytic {} != enumerated {} for {:?}",
+                analytic.obj2,
+                enumerated.obj2,
+                c
+            );
+            assert!(crate::objective::is_feasible(&arr, &analytic.alloc, 1e-9));
+        }
+    }
+
+    #[test]
+    fn single_row_grid_reduces_to_1d() {
+        // On a 1 x q grid the optimum is c_j = 1/t_j (each column tight).
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0, 4.0]]);
+        let sol = solve_arrangement(&arr);
+        assert!((sol.obj2 - (1.0 + 0.5 + 0.25)).abs() < 1e-9);
+        assert!(achieves_perfect_balance(&arr, &sol));
+    }
+}

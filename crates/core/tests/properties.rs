@@ -1,0 +1,225 @@
+//! Property-based tests for the load-balancing solvers.
+
+use hetgrid_core::arrangement::{enumerate_nondecreasing, sorted_row_major, Arrangement};
+use hetgrid_core::objective::{is_feasible, workload_matrix};
+use hetgrid_core::{alternating, certify, exact, heuristic, oned, rounding};
+use proptest::prelude::*;
+
+/// Strategy: `n` cycle-times in (0.05, 1.0].
+fn times_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..1.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_beats_every_alternating_fixpoint(times in times_strategy(4)) {
+        let arr = sorted_row_major(&times, 2, 2);
+        let ex = exact::solve_arrangement(&arr);
+        let alt = alternating::optimize(&arr, 10_000);
+        prop_assert!(ex.obj2 >= alt.alloc.obj2() - 1e-9);
+        prop_assert!(is_feasible(&arr, &ex.alloc, 1e-9));
+    }
+
+    #[test]
+    fn exact_global_beats_heuristic(times in times_strategy(6)) {
+        let g = exact::solve_global(&times, 2, 3);
+        let h = heuristic::solve_default(&times, 2, 3);
+        prop_assert!(g.obj2 >= h.best().obj2 - 1e-9,
+            "heuristic {} beat exact {}", h.best().obj2, g.obj2);
+        // The heuristic is usually within ~15% of optimal (EXPERIMENTS.md
+        // E12); extreme heterogeneity can push the gap further, but it
+        // must never be catastrophic.
+        prop_assert!(h.best().obj2 >= 0.55 * g.obj2,
+            "heuristic too weak: {} vs {}", h.best().obj2, g.obj2);
+    }
+
+    #[test]
+    fn heuristic_always_feasible_and_tight(times in times_strategy(12)) {
+        let res = heuristic::solve_default(&times, 3, 4);
+        for step in &res.steps {
+            prop_assert!(is_feasible(&step.arrangement, &step.alloc, 1e-8));
+            let b = workload_matrix(&step.arrangement, &step.alloc);
+            // Every row and column carries a tight constraint.
+            for i in 0..3 {
+                let m = (0..4).map(|j| b[(i, j)]).fold(0.0f64, f64::max);
+                prop_assert!((m - 1.0).abs() < 1e-7);
+            }
+            for j in 0..4 {
+                let m = (0..3).map(|i| b[(i, j)]).fold(0.0f64, f64::max);
+                prop_assert!((m - 1.0).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_obj_at_least_ideal_over_nmax(times in times_strategy(9)) {
+        // obj2 >= sum of rates of the slowest-row? A universal sanity
+        // bound: obj2 is at least 1 (the single slowest processor can
+        // always take everything: r = c = gauge with products <= 1).
+        let res = heuristic::solve_default(&times, 3, 3);
+        let tmax = times.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(res.best().obj2 * tmax >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn workload_never_exceeds_one(times in times_strategy(9)) {
+        let res = heuristic::solve_default(&times, 3, 3);
+        let b = workload_matrix(&res.best().arrangement, &res.best().alloc);
+        for &v in b.as_slice() {
+            prop_assert!(v <= 1.0 + 1e-9);
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_solutions_always_certify(times in times_strategy(6)) {
+        let arr = sorted_row_major(&times, 2, 3);
+        let sol = exact::solve_arrangement(&arr);
+        let cert = certify::certify(&arr, &sol.alloc);
+        prop_assert!(cert.locally_optimal(),
+            "exact solution failed its own certificate: {:?}", cert);
+        prop_assert!(cert.gap_bound() >= -1e-12);
+    }
+
+    #[test]
+    fn heuristic_results_are_tight_fixpoints(times in times_strategy(6)) {
+        let res = heuristic::solve_default(&times, 2, 3);
+        let best = res.best();
+        let cert = certify::certify(&best.arrangement, &best.alloc);
+        prop_assert!(cert.feasible);
+        prop_assert!(cert.rows_tight);
+        prop_assert!(cert.cols_tight);
+    }
+
+    #[test]
+    fn oned_greedy_sum_and_monotone(times in times_strategy(5), blocks in 0usize..40) {
+        let alloc = oned::allocate_1d(&times, blocks);
+        prop_assert_eq!(alloc.counts.iter().sum::<usize>(), blocks);
+        prop_assert_eq!(alloc.order.len(), blocks);
+        // Faster processors never get fewer blocks than slower ones.
+        for i in 0..5 {
+            for j in 0..5 {
+                if times[i] < times[j] {
+                    prop_assert!(alloc.counts[i] >= alloc.counts[j],
+                        "faster processor got fewer blocks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oned_makespan_lower_bound(times in times_strategy(4), blocks in 1usize..30) {
+        // Makespan >= blocks / total_rate (perfect-sharing bound).
+        let alloc = oned::allocate_1d(&times, blocks);
+        let rate: f64 = times.iter().map(|t| 1.0 / t).sum();
+        prop_assert!(alloc.makespan(&times) >= blocks as f64 / rate - 1e-9);
+    }
+
+    #[test]
+    fn rounding_preserves_total_and_order(weights in prop::collection::vec(0.01f64..1.0, 6), total in 1usize..500) {
+        let counts = rounding::round_proportional(&weights, total);
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        // Counts are within 1 of the exact quota.
+        let sum: f64 = weights.iter().sum();
+        for (w, &c) in weights.iter().zip(&counts) {
+            let quota = w * total as f64 / sum;
+            prop_assert!((c as f64 - quota).abs() < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nondecreasing_enumeration_is_sound(times in times_strategy(4)) {
+        let mut count = 0usize;
+        enumerate_nondecreasing(&times, 2, 2, |a| {
+            count += 1;
+            assert!(a.is_nondecreasing());
+            // The multiset of values must match the input.
+            let mut got: Vec<f64> = a.times().to_vec();
+            let mut want = times.clone();
+            got.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(got, want);
+        });
+        // 2x2 distinct values -> exactly 2 tableaux; duplicates -> fewer.
+        prop_assert!((1..=2).contains(&count));
+    }
+
+    #[test]
+    fn theorem1_on_random_2x2(times in times_strategy(4)) {
+        // Best over all 24 arrangements == best over non-decreasing ones.
+        let g = exact::solve_global(&times, 2, 2);
+        let mut best_any = 0.0f64;
+        hetgrid_core::arrangement::enumerate_all(&times, 2, 2, |arr| {
+            let s = exact::solve_arrangement(arr);
+            if s.obj2 > best_any {
+                best_any = s.obj2;
+            }
+        });
+        prop_assert!((g.obj2 - best_any).abs() < 1e-9,
+            "Theorem 1 violated: {} vs {}", g.obj2, best_any);
+    }
+
+    #[test]
+    fn gauge_invariance_of_exact(times in times_strategy(4), scale in 0.1f64..10.0) {
+        // Scaling all cycle-times by a constant scales obj2 by 1/scale
+        // (both r and c scale by 1/sqrt... actually products r t c <= 1:
+        // t -> s*t allows r*c -> r*c/s, so obj2 -> obj2 / s).
+        let arr = sorted_row_major(&times, 2, 2);
+        let scaled: Vec<f64> = times.iter().map(|t| t * scale).collect();
+        let arr2 = sorted_row_major(&scaled, 2, 2);
+        let o1 = exact::solve_arrangement(&arr).obj2;
+        let o2 = exact::solve_arrangement(&arr2).obj2;
+        prop_assert!((o1 / scale - o2).abs() < 1e-6 * o1.max(o2));
+    }
+
+    #[test]
+    fn integer_allocation_consistency(times in times_strategy(6), bp in 2usize..12, bq in 3usize..12) {
+        let arr = sorted_row_major(&times, 2, 3);
+        let alt = alternating::optimize(&arr, 10_000);
+        let (rows, cols) = rounding::integer_allocation(&arr, &alt.alloc, bp, bq);
+        prop_assert_eq!(rows.iter().sum::<usize>(), bp);
+        prop_assert_eq!(cols.iter().sum::<usize>(), bq);
+        prop_assert!(rows.iter().all(|&x| x >= 1));
+        prop_assert!(cols.iter().all(|&x| x >= 1));
+    }
+}
+
+/// Deterministic regression: Theorem 1 holds on a 2x3 grid too (heavier,
+/// so not a proptest).
+#[test]
+fn theorem1_on_2x3_instance() {
+    let times = [0.21, 0.34, 0.55, 0.89, 0.13, 0.77];
+    let g = exact::solve_global(&times, 2, 3);
+    let mut best_any = 0.0f64;
+    hetgrid_core::arrangement::enumerate_all(&times, 2, 3, |arr| {
+        let s = exact::solve_arrangement(arr);
+        if s.obj2 > best_any {
+            best_any = s.obj2;
+        }
+    });
+    assert!((g.obj2 - best_any).abs() < 1e-9);
+}
+
+/// The heuristic's arrangement stays a permutation of the input multiset
+/// throughout refinement.
+#[test]
+fn heuristic_preserves_multiset() {
+    let times = [0.9, 0.1, 0.4, 0.6, 0.3, 0.8, 0.2, 0.7, 0.5];
+    let res = heuristic::solve_default(&times, 3, 3);
+    let mut want: Vec<f64> = times.to_vec();
+    want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for step in &res.steps {
+        let mut got: Vec<f64> = step.arrangement.times().to_vec();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+        // Proc ids stay a permutation pointing at matching times.
+        let arr: &Arrangement = &step.arrangement;
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(times[arr.proc(i, j)], arr.time(i, j));
+            }
+        }
+    }
+}

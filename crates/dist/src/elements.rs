@@ -1,0 +1,128 @@
+//! Element-level indexing on top of a block distribution — the
+//! ScaLAPACK-descriptor view: map a global matrix element `(i, j)` to
+//! its owner and its position in the owner's local storage, given the
+//! block size `r` of the `CYCLIC(r)`-style layout.
+
+use crate::traits::BlockDist;
+
+/// Element-level view of a block distribution with `r x r` blocks.
+///
+/// Local storage is assumed packed: local block `(li, lj)` (as computed
+/// by [`BlockDist::local_index`]) starts at local element
+/// `(li * r, lj * r)`.
+pub struct ElementMap<'a> {
+    dist: &'a dyn BlockDist,
+    r: usize,
+}
+
+impl<'a> ElementMap<'a> {
+    /// Creates the view.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`.
+    pub fn new(dist: &'a dyn BlockDist, r: usize) -> Self {
+        assert!(r > 0, "ElementMap: block size must be positive");
+        ElementMap { dist, r }
+    }
+
+    /// Block size `r`.
+    pub fn block_size(&self) -> usize {
+        self.r
+    }
+
+    /// Owner grid position of global element `(i, j)`.
+    pub fn owner(&self, i: usize, j: usize) -> (usize, usize) {
+        self.dist.owner(i / self.r, j / self.r)
+    }
+
+    /// Owner and local element coordinates of global element `(i, j)`.
+    pub fn locate(&self, i: usize, j: usize) -> ((usize, usize), (usize, usize)) {
+        let (bi, bj) = (i / self.r, j / self.r);
+        let owner = self.dist.owner(bi, bj);
+        let (li, lj) = self.dist.local_index(bi, bj);
+        (owner, (li * self.r + i % self.r, lj * self.r + j % self.r))
+    }
+
+    /// Number of elements owned by each processor in an `n x n` matrix
+    /// (`n` must be a multiple of `r`).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a multiple of the block size.
+    pub fn owned_elements(&self, n: usize) -> Vec<Vec<usize>> {
+        assert_eq!(n % self.r, 0, "owned_elements: n must be a multiple of r");
+        let nb = n / self.r;
+        self.dist
+            .owned_counts(nb, nb)
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| c * self.r * self.r).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclic::BlockCyclic;
+    use crate::panel::{PanelDist, PanelOrdering};
+    use hetgrid_core::{exact, Arrangement};
+
+    #[test]
+    fn cyclic_element_owner() {
+        let d = BlockCyclic::new(2, 2);
+        let m = ElementMap::new(&d, 3);
+        // Element (4, 7) is in block (1, 2) -> owner (1, 0).
+        assert_eq!(m.owner(4, 7), (1, 0));
+        // Element (0, 0) -> owner (0, 0), local (0, 0).
+        assert_eq!(m.locate(0, 0), ((0, 0), (0, 0)));
+    }
+
+    #[test]
+    fn locate_is_consistent_with_block_index() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let d = PanelDist::from_allocation(&arr, &sol.alloc, 4, 3, PanelOrdering::Contiguous);
+        let m = ElementMap::new(&d, 2);
+        // Within one block, all elements share the owner and tile a
+        // contiguous 2x2 local region.
+        let (owner, (li0, lj0)) = m.locate(6, 4);
+        for di in 0..2 {
+            for dj in 0..2 {
+                let (o, (li, lj)) = m.locate(6 + di, 4 + dj);
+                assert_eq!(o, owner);
+                assert_eq!((li, lj), (li0 + di, lj0 + dj));
+            }
+        }
+    }
+
+    #[test]
+    fn local_coordinates_are_unique_per_owner() {
+        let d = BlockCyclic::new(2, 3);
+        let m = ElementMap::new(&d, 2);
+        let n = 12;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in 0..n {
+                let (owner, local) = m.locate(i, j);
+                assert!(seen.insert((owner, local)), "collision at ({}, {})", i, j);
+            }
+        }
+        assert_eq!(seen.len(), n * n);
+    }
+
+    #[test]
+    fn owned_elements_scale_with_block_area() {
+        let d = BlockCyclic::new(2, 2);
+        let m = ElementMap::new(&d, 4);
+        let counts = m.owned_elements(16);
+        let total: usize = counts.iter().flatten().sum();
+        assert_eq!(total, 256);
+        assert_eq!(counts[0][0], 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_multiple_matrix_rejected() {
+        let d = BlockCyclic::new(2, 2);
+        ElementMap::new(&d, 3).owned_elements(10);
+    }
+}

@@ -1,0 +1,114 @@
+//! Redistribution analysis: what does it cost to move a matrix from one
+//! distribution to another?
+//!
+//! The paper targets *static* allocations precisely to avoid paying
+//! redistribution at run time (Section 2.1); on a multi-user machine the
+//! effective speeds drift, so the library-level question is whether the
+//! rebalancing gain outweighs the one-off move. These helpers quantify
+//! the move.
+
+use crate::traits::BlockDist;
+use std::collections::BTreeMap;
+
+/// Number of blocks of an `nb x nb` block matrix whose owner changes
+/// between the two distributions.
+///
+/// # Panics
+/// Panics if the grids differ.
+pub fn blocks_moved(from: &dyn BlockDist, to: &dyn BlockDist, nb: usize) -> usize {
+    assert_eq!(from.grid(), to.grid(), "blocks_moved: grid mismatch");
+    let mut moved = 0;
+    for bi in 0..nb {
+        for bj in 0..nb {
+            if from.owner(bi, bj) != to.owner(bi, bj) {
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+/// Per (source, destination) transfer counts for the redistribution —
+/// the message plan a real library would execute.
+pub fn transfer_plan(
+    from: &dyn BlockDist,
+    to: &dyn BlockDist,
+    nb: usize,
+) -> BTreeMap<((usize, usize), (usize, usize)), usize> {
+    assert_eq!(from.grid(), to.grid(), "transfer_plan: grid mismatch");
+    let mut plan = BTreeMap::new();
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let src = from.owner(bi, bj);
+            let dst = to.owner(bi, bj);
+            if src != dst {
+                *plan.entry((src, dst)).or_insert(0) += 1;
+            }
+        }
+    }
+    plan
+}
+
+/// Fraction of blocks that move, in `[0, 1]`.
+pub fn moved_fraction(from: &dyn BlockDist, to: &dyn BlockDist, nb: usize) -> f64 {
+    blocks_moved(from, to, nb) as f64 / (nb * nb) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyclic::BlockCyclic;
+    use crate::panel::{PanelDist, PanelOrdering};
+    use hetgrid_core::{exact, Arrangement};
+
+    #[test]
+    fn identical_distributions_move_nothing() {
+        let d = BlockCyclic::new(2, 2);
+        assert_eq!(blocks_moved(&d, &d, 16), 0);
+        assert!(transfer_plan(&d, &d, 16).is_empty());
+    }
+
+    #[test]
+    fn plan_accounts_for_every_moved_block() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let cyc = BlockCyclic::new(2, 2);
+        let panel = PanelDist::from_allocation(&arr, &sol.alloc, 4, 3, PanelOrdering::Contiguous);
+        let nb = 12;
+        let moved = blocks_moved(&cyc, &panel, nb);
+        let planned: usize = transfer_plan(&cyc, &panel, nb).values().sum();
+        assert_eq!(moved, planned);
+        assert!(moved > 0);
+        assert!(moved < nb * nb, "not everything should move");
+        assert!((moved_fraction(&cyc, &panel, nb) - moved as f64 / 144.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similar_panels_move_less_than_dissimilar() {
+        // Rebalancing between two close allocations moves fewer blocks
+        // than switching from uniform cyclic.
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let p1 = PanelDist::from_counts(&arr, &[3, 1], &[2, 1], PanelOrdering::Contiguous);
+        let p2 = PanelDist::from_counts(&arr, &[2, 1], &[2, 1], PanelOrdering::Contiguous);
+        let cyc = BlockCyclic::new(2, 2);
+        let nb = 24;
+        let close = blocks_moved(&p1, &p2, nb);
+        let far = blocks_moved(&cyc, &p1, nb);
+        assert!(
+            close < far,
+            "close rebalance {} !< cyclic switch {}",
+            close,
+            far
+        );
+        let _ = sol;
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn mismatched_grids_rejected() {
+        let a = BlockCyclic::new(2, 2);
+        let b = BlockCyclic::new(2, 3);
+        blocks_moved(&a, &b, 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Threaded distributed right-looking Cholesky factorization
+//! (`A = L L^T`, lower triangle), completing the ScaLAPACK kernel triple
+//! (LU, QR, Cholesky — the paper's reference \[8]) in the executor.
+//!
+//! Step `k`: the owner of the diagonal block factors it and broadcasts
+//! the factor down the panel; panel owners right-solve their blocks and
+//! broadcast them to the trailing lower-triangle owners (each block
+//! `L(bi, k)` serves both as the left factor for row `bi` and,
+//! transposed, as the right factor for column `bi`); the trailing
+//! lower-triangle blocks are then updated.
+
+use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetgrid_dist::BlockDist;
+use hetgrid_linalg::cholesky::cholesky;
+use hetgrid_linalg::gemm::gemm;
+use hetgrid_linalg::tri::solve_lower;
+use hetgrid_linalg::Matrix;
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Cholesky factor of the diagonal block of step `k`.
+    Diag { step: usize, data: Matrix },
+    /// Solved panel block `(bi, k)` of step `k`.
+    L {
+        step: usize,
+        bi: usize,
+        data: Matrix,
+    },
+}
+
+/// Factors the SPD matrix `a` over the distribution; returns the
+/// gathered lower factor `L` (upper triangle zero) and the execution
+/// report. Only the lower triangle of `a` participates; the strict
+/// upper-triangle blocks of the result are zeroed.
+///
+/// # Panics
+/// Panics on size mismatch or if a diagonal block is not positive
+/// definite.
+pub fn run_cholesky(
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
+    let (p, q) = dist.grid();
+    assert_eq!(weights.len(), p, "run_cholesky: weights rows mismatch");
+    assert!(
+        weights.iter().all(|row| row.len() == q),
+        "run_cholesky: weights cols mismatch"
+    );
+    let da = DistributedMatrix::scatter(a, dist, nb, r);
+
+    let n_procs = p * q;
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+        (0..n_procs).map(|_| unbounded()).unzip();
+    let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
+
+    let wall_start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for i in 0..p {
+            for j in 0..q {
+                let me = i * q + j;
+                let my_blocks = da.stores[me].clone();
+                let txs = txs.clone();
+                let rx = rxs[me].clone();
+                let done = done_tx.clone();
+                let w = weights[i][j];
+                scope.spawn(move |_| {
+                    worker(dist, nb, r, (i, j), my_blocks, w, txs, rx, done);
+                });
+            }
+        }
+    })
+    .expect("worker thread panicked");
+    drop(done_tx);
+
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let mut l = Matrix::zeros(nb * r, nb * r);
+    let mut busy = vec![vec![0.0f64; q]; p];
+    let mut work = vec![vec![0u64; q]; p];
+    let mut msgs = vec![vec![0u64; q]; p];
+    let mut blocks_seen = 0usize;
+    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
+        let (i, j) = (me / q, me % q);
+        busy[i][j] = busy_s;
+        work[i][j] = units;
+        msgs[i][j] = sent;
+        for ((bi, bj), block) in store {
+            // Keep only the lower block triangle.
+            if bj <= bi {
+                l.set_block(bi * r, bj * r, &block);
+            }
+            blocks_seen += 1;
+        }
+    }
+    assert_eq!(blocks_seen, nb * nb, "run_cholesky: missing result blocks");
+    // Zero the strict upper triangle of the diagonal blocks.
+    let n = nb * r;
+    for i in 0..n {
+        for j in i + 1..n {
+            l[(i, j)] = 0.0;
+        }
+    }
+    (
+        l,
+        ExecReport {
+            wall_seconds,
+            busy_seconds: busy,
+            work_units: work,
+            messages_sent: msgs,
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    dist: &dyn BlockDist,
+    nb: usize,
+    r: usize,
+    (i, j): (usize, usize),
+    mut blocks: BlockStore,
+    weight: u64,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    done: Sender<(usize, BlockStore, f64, u64, u64)>,
+) {
+    let (_, q) = dist.grid();
+    let me = i * q + j;
+    let owner_id = |bi: usize, bj: usize| {
+        let (oi, oj) = dist.owner(bi, bj);
+        oi * q + oj
+    };
+
+    let mut diag_pending: HashMap<usize, Matrix> = HashMap::new();
+    let mut l_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
+    let mut busy = 0.0f64;
+    let mut units = 0u64;
+    let mut sent = 0u64;
+
+    for k in 0..nb {
+        let diag_owner = owner_id(k, k);
+
+        // --- 1. Diagonal factorization and broadcast to panel owners.
+        if diag_owner == me {
+            let lkk = {
+                let blk = blocks.get(&(k, k)).expect("diag block missing");
+                let t0 = Instant::now();
+                let mut lkk = cholesky(blk).expect("diagonal block not SPD");
+                for _ in 1..weight {
+                    lkk = cholesky(blk).expect("diagonal block not SPD");
+                }
+                busy += t0.elapsed().as_secs_f64();
+                units += weight;
+                lkk
+            };
+            blocks.insert((k, k), lkk.clone());
+            let mut dests: Vec<usize> = Vec::new();
+            for bi in k + 1..nb {
+                let d = owner_id(bi, k);
+                if d != me && !dests.contains(&d) {
+                    dests.push(d);
+                }
+            }
+            for d in dests {
+                txs[d]
+                    .send(Msg::Diag {
+                        step: k,
+                        data: lkk.clone(),
+                    })
+                    .expect("receiver hung up");
+                sent += 1;
+            }
+        }
+        if k + 1 == nb {
+            continue;
+        }
+
+        // --- 2. Panel right-solves: A_ik := A_ik * L_kk^{-T}.
+        let i_own_panel = (k + 1..nb).any(|bi| owner_id(bi, k) == me);
+        if i_own_panel {
+            let lkk = if diag_owner == me {
+                blocks[&(k, k)].clone()
+            } else {
+                if !diag_pending.contains_key(&k) {
+                    pump(&rx, &mut diag_pending, &mut l_pending, |d, _| {
+                        d.contains_key(&k)
+                    });
+                }
+                diag_pending[&k].clone()
+            };
+            for bi in k + 1..nb {
+                if owner_id(bi, k) != me {
+                    continue;
+                }
+                // X * L^T = A  <=>  L * X^T = A^T.
+                let solved = {
+                    let blk = blocks.get(&(bi, k)).expect("panel block missing");
+                    let t0 = Instant::now();
+                    let mut s = solve_lower(&lkk, &blk.transpose(), false).transpose();
+                    for _ in 1..weight {
+                        s = solve_lower(&lkk, &blk.transpose(), false).transpose();
+                    }
+                    busy += t0.elapsed().as_secs_f64();
+                    units += weight;
+                    s
+                };
+                blocks.insert((bi, k), solved.clone());
+                // Broadcast to the trailing lower-triangle owners that
+                // need this block: row bi (left factor) and column bi
+                // (right factor).
+                let mut dests: Vec<usize> = Vec::new();
+                for bj in k + 1..=bi {
+                    let d = owner_id(bi, bj);
+                    if d != me && !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+                for bi2 in bi..nb {
+                    let d = owner_id(bi2, bi);
+                    if d != me && !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+                for d in dests {
+                    txs[d]
+                        .send(Msg::L {
+                            step: k,
+                            bi,
+                            data: solved.clone(),
+                        })
+                        .expect("receiver hung up");
+                    sent += 1;
+                }
+            }
+        }
+
+        // --- 3. Trailing symmetric update of my lower-triangle blocks.
+        let trailing: Vec<(usize, usize)> = (k + 1..nb)
+            .flat_map(|bi| (k + 1..=bi).map(move |bj| (bi, bj)))
+            .filter(|&(bi, bj)| owner_id(bi, bj) == me)
+            .collect();
+        if !trailing.is_empty() {
+            let mut need: Vec<usize> = Vec::new();
+            for &(bi, bj) in &trailing {
+                for b in [bi, bj] {
+                    if owner_id(b, k) != me && !need.contains(&b) {
+                        need.push(b);
+                    }
+                }
+            }
+            need.retain(|&b| !l_pending.contains_key(&(k, b)));
+            if !need.is_empty() {
+                pump(&rx, &mut diag_pending, &mut l_pending, |_, l| {
+                    need.iter().all(|&b| l.contains_key(&(k, b)))
+                });
+            }
+            let mut scratch = Matrix::zeros(r, r);
+            for &(bi, bj) in &trailing {
+                let left = if owner_id(bi, k) == me {
+                    blocks[&(bi, k)].clone()
+                } else {
+                    l_pending[&(k, bi)].clone()
+                };
+                let right = if owner_id(bj, k) == me {
+                    blocks[&(bj, k)].clone()
+                } else {
+                    l_pending[&(k, bj)].clone()
+                };
+                let rt = right.transpose();
+                let t0 = Instant::now();
+                {
+                    let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
+                    gemm(-1.0, &left, &rt, 1.0, c);
+                }
+                for _ in 1..weight {
+                    gemm(-1.0, &left, &rt, 0.0, &mut scratch);
+                }
+                busy += t0.elapsed().as_secs_f64();
+                units += weight;
+            }
+        }
+        diag_pending.remove(&k);
+        l_pending.retain(|&(s, _), _| s > k);
+    }
+
+    done.send((me, blocks, busy, units, sent))
+        .expect("main hung up");
+}
+
+fn pump(
+    rx: &Receiver<Msg>,
+    diag: &mut HashMap<usize, Matrix>,
+    l: &mut HashMap<(usize, usize), Matrix>,
+    ready: impl Fn(&HashMap<usize, Matrix>, &HashMap<(usize, usize), Matrix>) -> bool,
+) {
+    while !ready(diag, l) {
+        match rx.recv().expect("sender hung up") {
+            Msg::Diag { step, data } => {
+                diag.insert(step, data);
+            }
+            Msg::L { step, bi, data } => {
+                l.insert((step, bi), data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_core::{exact, Arrangement};
+    use hetgrid_dist::{BlockCyclic, PanelDist, PanelOrdering};
+    use hetgrid_linalg::gemm::matmul;
+
+    fn spd_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut a = matmul(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn check(a: &Matrix, l: &Matrix, tol: f64) {
+        let llt = matmul(l, &l.transpose());
+        assert!(
+            llt.approx_eq(a, tol),
+            "A != L L^T, max err {}",
+            llt.sub(a).max_abs()
+        );
+    }
+
+    #[test]
+    fn cholesky_cyclic_reconstructs() {
+        let nb = 4;
+        let r = 3;
+        let a = spd_matrix(nb * r, 0xC0);
+        let dist = BlockCyclic::new(2, 2);
+        let (l, _) = run_cholesky(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        check(&a, &l, 1e-8);
+    }
+
+    #[test]
+    fn cholesky_panel_with_weights() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = spd_matrix(nb * r, 0xC1);
+        let w = crate::store::slowdown_weights(&arr);
+        let (l, report) = run_cholesky(&a, &dist, nb, r, &w);
+        check(&a, &l, 1e-8);
+        assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn cholesky_matches_sequential() {
+        let nb = 3;
+        let r = 4;
+        let a = spd_matrix(nb * r, 0xC2);
+        let dist = BlockCyclic::new(1, 2);
+        let (l, _) = run_cholesky(&a, &dist, nb, r, &[vec![1; 2]]);
+        let seq = hetgrid_linalg::cholesky::cholesky_blocked(&a, r).unwrap();
+        assert!(l.approx_eq(&seq, 1e-8));
+    }
+
+    #[test]
+    fn single_processor_cholesky() {
+        let a = spd_matrix(8, 0xC3);
+        let dist = BlockCyclic::new(1, 1);
+        let (l, _) = run_cholesky(&a, &dist, 4, 2, &[vec![1]]);
+        check(&a, &l, 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! # hetgrid-exec
+//!
+//! A threaded shared-memory executor for the distributed dense kernels:
+//! one OS thread per virtual processor of the 2D grid, crossbeam
+//! channels carrying exactly the blocks the distribution's communication
+//! pattern prescribes, and integer *slowdown weights* emulating the
+//! heterogeneous cycle-times on homogeneous hardware.
+//!
+//! This is the workspace's stand-in for the paper's MPI experiments
+//! (reported in the companion paper): it exercises the full code path —
+//! scatter by distribution, per-step broadcasts, local block kernels,
+//! gather — on real data, and verifies the numerical result against the
+//! sequential kernels.
+//!
+//! * [`mm::run_mm`] — outer-product `C = A * B`;
+//! * [`lu::run_lu`] — right-looking LU (no pivoting; use diagonally
+//!   dominant inputs);
+//! * [`cholesky::run_cholesky`] — right-looking Cholesky of SPD
+//!   matrices (lower triangle);
+//! * [`store`] — scatter/gather and the [`store::ExecReport`]
+//!   measurements (busy time, weighted work, imbalance).
+
+#![warn(missing_docs)]
+// Grid code indexes `owned[i][j]`-style tables with `for i in 0..p`
+// loops and passes several aggregated message maps around; the clippy
+// style suggestions (iterator rewrites, type aliases, argument structs)
+// would obscure the 2D-grid idiom the paper's algorithms are written in.
+#![allow(
+    clippy::needless_range_loop,
+    clippy::type_complexity,
+    clippy::too_many_arguments
+)]
+
+pub mod cholesky;
+pub mod lu;
+pub mod mm;
+pub mod solve;
+pub mod store;
+
+pub use cholesky::run_cholesky;
+pub use lu::run_lu;
+pub use mm::{run_mm, run_mm_rect};
+pub use solve::{run_solve, SolveKind};
+pub use store::{slowdown_weights, DistributedMatrix, ExecReport};

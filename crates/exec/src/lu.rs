@@ -1,0 +1,480 @@
+//! Threaded distributed right-looking LU factorization (without
+//! pivoting), following the ScaLAPACK structure of Section 3.2.1: factor
+//! the diagonal block, solve the pivot block column and row, broadcast
+//! them, rank-`r` update the trailing submatrix.
+//!
+//! Pivoting is omitted (the executor demonstrates distribution
+//! correctness and load balance; feed it diagonally dominant matrices).
+//! The invariant checked by the tests is the factorization itself:
+//! gathering the in-place result and splitting it into unit-lower `L`
+//! and upper `U` must reproduce the input, `A = L * U`.
+
+use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetgrid_dist::BlockDist;
+use hetgrid_linalg::gemm::gemm;
+use hetgrid_linalg::tri::{
+    solve_lower, solve_right_upper, unit_lower_from_packed, upper_from_packed,
+};
+use hetgrid_linalg::Matrix;
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Clone, Debug)]
+enum Msg {
+    /// Packed LU of the diagonal block of step `k`.
+    Diag { step: usize, data: Matrix },
+    /// Solved L block `(bi, k)` of step `k`.
+    L {
+        step: usize,
+        bi: usize,
+        data: Matrix,
+    },
+    /// Solved U block `(k, bj)` of step `k`.
+    U {
+        step: usize,
+        bj: usize,
+        data: Matrix,
+    },
+}
+
+/// Factors `a` in place (no pivoting) over the distribution; returns the
+/// gathered packed factors (strictly lower = `L` with unit diagonal,
+/// upper = `U`) and the execution report.
+///
+/// # Panics
+/// Panics if sizes mismatch; numerical breakdown (a zero diagonal block
+/// pivot) panics inside the block factorization.
+pub fn run_lu(
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
+    let (p, q) = dist.grid();
+    assert_eq!(weights.len(), p, "run_lu: weights rows mismatch");
+    assert!(
+        weights.iter().all(|row| row.len() == q),
+        "run_lu: weights cols mismatch"
+    );
+    let da = DistributedMatrix::scatter(a, dist, nb, r);
+
+    let n_procs = p * q;
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+        (0..n_procs).map(|_| unbounded()).unzip();
+    let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
+
+    let wall_start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for i in 0..p {
+            for j in 0..q {
+                let me = i * q + j;
+                let my_blocks = da.stores[me].clone();
+                let txs = txs.clone();
+                let rx = rxs[me].clone();
+                let done = done_tx.clone();
+                let w = weights[i][j];
+                scope.spawn(move |_| {
+                    worker(dist, nb, r, (i, j), my_blocks, w, txs, rx, done);
+                });
+            }
+        }
+    })
+    .expect("worker thread panicked");
+    drop(done_tx);
+
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let mut f = Matrix::zeros(nb * r, nb * r);
+    let mut busy = vec![vec![0.0f64; q]; p];
+    let mut work = vec![vec![0u64; q]; p];
+    let mut msgs = vec![vec![0u64; q]; p];
+    let mut blocks_seen = 0usize;
+    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
+        let (i, j) = (me / q, me % q);
+        busy[i][j] = busy_s;
+        work[i][j] = units;
+        msgs[i][j] = sent;
+        for ((bi, bj), block) in store {
+            f.set_block(bi * r, bj * r, &block);
+            blocks_seen += 1;
+        }
+    }
+    assert_eq!(blocks_seen, nb * nb, "run_lu: missing result blocks");
+    (
+        f,
+        ExecReport {
+            wall_seconds,
+            busy_seconds: busy,
+            work_units: work,
+            messages_sent: msgs,
+        },
+    )
+}
+
+/// Unblocked LU without pivoting of a single block, in place, packed.
+fn lu_block_nopivot(a: &mut Matrix) {
+    let n = a.rows();
+    for k in 0..n {
+        let pivot = a[(k, k)];
+        assert!(
+            pivot.abs() > 1e-300,
+            "run_lu: zero pivot (matrix needs pivoting; use a diagonally dominant input)"
+        );
+        for i in k + 1..n {
+            let m = a[(i, k)] / pivot;
+            a[(i, k)] = m;
+            for j in k + 1..n {
+                let v = a[(k, j)];
+                a[(i, j)] -= m * v;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    dist: &dyn BlockDist,
+    nb: usize,
+    r: usize,
+    (i, j): (usize, usize),
+    mut blocks: BlockStore,
+    weight: u64,
+    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    done: Sender<(usize, BlockStore, f64, u64, u64)>,
+) {
+    let (_, q) = dist.grid();
+    let me = i * q + j;
+    let owner_id = |bi: usize, bj: usize| {
+        let (oi, oj) = dist.owner(bi, bj);
+        oi * q + oj
+    };
+
+    let mut diag_pending: HashMap<usize, Matrix> = HashMap::new();
+    let mut l_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
+    let mut u_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
+
+    let mut busy = 0.0f64;
+    let mut units = 0u64;
+    let mut sent = 0u64;
+    let mut scratch = Matrix::zeros(r, r);
+
+    // Repeats a block kernel for the slowdown weight, timing it.
+    macro_rules! weighted {
+        ($units:expr, $body:expr) => {{
+            let t0 = Instant::now();
+            let result = $body;
+            for _ in 1..weight {
+                let _ = $body;
+            }
+            busy += t0.elapsed().as_secs_f64();
+            units += weight * $units;
+            result
+        }};
+    }
+
+    for k in 0..nb {
+        let diag_owner = owner_id(k, k);
+
+        // --- 1. Diagonal block factorization.
+        if diag_owner == me {
+            {
+                let blk = blocks.get_mut(&(k, k)).expect("diag block missing");
+                let original = blk.clone();
+                let t0 = Instant::now();
+                lu_block_nopivot(blk);
+                for _ in 1..weight {
+                    let mut copy = original.clone();
+                    lu_block_nopivot(&mut copy);
+                }
+                busy += t0.elapsed().as_secs_f64();
+                units += weight;
+            }
+            let packed = blocks[&(k, k)].clone();
+            // Send to everyone who owns a block in column k below or row
+            // k right of the diagonal.
+            let mut dests: Vec<usize> = Vec::new();
+            for bi in k + 1..nb {
+                let d = owner_id(bi, k);
+                if d != me && !dests.contains(&d) {
+                    dests.push(d);
+                }
+            }
+            for bj in k + 1..nb {
+                let d = owner_id(k, bj);
+                if d != me && !dests.contains(&d) {
+                    dests.push(d);
+                }
+            }
+            for d in dests {
+                txs[d]
+                    .send(Msg::Diag {
+                        step: k,
+                        data: packed.clone(),
+                    })
+                    .expect("receiver hung up");
+                sent += 1;
+            }
+        }
+
+        // --- 2. Get the diagonal factors if I need them this step.
+        let i_own_col = (k + 1..nb).any(|bi| owner_id(bi, k) == me);
+        let i_own_row = (k + 1..nb).any(|bj| owner_id(k, bj) == me);
+        let packed_diag: Option<Matrix> = if diag_owner == me {
+            Some(blocks[&(k, k)].clone())
+        } else if i_own_col || i_own_row {
+            if !diag_pending.contains_key(&k) {
+                pump(
+                    &rx,
+                    &mut diag_pending,
+                    &mut l_pending,
+                    &mut u_pending,
+                    |d, _, _| d.contains_key(&k),
+                );
+            }
+            Some(diag_pending[&k].clone())
+        } else {
+            None
+        };
+
+        // --- 3. Solve and broadcast my L blocks of column k.
+        if i_own_col {
+            let u11 = upper_from_packed(packed_diag.as_ref().expect("diag needed"));
+            for bi in k + 1..nb {
+                if owner_id(bi, k) != me {
+                    continue;
+                }
+                let solved = weighted!(1, {
+                    let blk = blocks.get(&(bi, k)).expect("L block missing");
+                    solve_right_upper(&u11, blk)
+                });
+                blocks.insert((bi, k), solved.clone());
+                // Broadcast along the block row to trailing owners.
+                let mut dests: Vec<usize> = Vec::new();
+                for bj in k + 1..nb {
+                    let d = owner_id(bi, bj);
+                    if d != me && !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+                for d in dests {
+                    txs[d]
+                        .send(Msg::L {
+                            step: k,
+                            bi,
+                            data: solved.clone(),
+                        })
+                        .expect("receiver hung up");
+                    sent += 1;
+                }
+            }
+        }
+
+        // --- 4. Solve and broadcast my U blocks of row k.
+        if i_own_row {
+            let l11 = unit_lower_from_packed(packed_diag.as_ref().expect("diag needed"));
+            for bj in k + 1..nb {
+                if owner_id(k, bj) != me {
+                    continue;
+                }
+                let solved = weighted!(1, {
+                    let blk = blocks.get(&(k, bj)).expect("U block missing");
+                    solve_lower(&l11, blk, true)
+                });
+                blocks.insert((k, bj), solved.clone());
+                let mut dests: Vec<usize> = Vec::new();
+                for bi in k + 1..nb {
+                    let d = owner_id(bi, bj);
+                    if d != me && !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+                for d in dests {
+                    txs[d]
+                        .send(Msg::U {
+                            step: k,
+                            bj,
+                            data: solved.clone(),
+                        })
+                        .expect("receiver hung up");
+                    sent += 1;
+                }
+            }
+        }
+
+        // --- 5. Trailing update of my blocks.
+        let trailing: Vec<(usize, usize)> = (k + 1..nb)
+            .flat_map(|bi| (k + 1..nb).map(move |bj| (bi, bj)))
+            .filter(|&(bi, bj)| owner_id(bi, bj) == me)
+            .collect();
+        if !trailing.is_empty() {
+            // Wait for the L and U blocks I need but do not own.
+            let mut need_l: Vec<usize> = trailing
+                .iter()
+                .map(|&(bi, _)| bi)
+                .filter(|&bi| owner_id(bi, k) != me)
+                .collect();
+            need_l.sort_unstable();
+            need_l.dedup();
+            need_l.retain(|&bi| !l_pending.contains_key(&(k, bi)));
+            let mut need_u: Vec<usize> = trailing
+                .iter()
+                .map(|&(_, bj)| bj)
+                .filter(|&bj| owner_id(k, bj) != me)
+                .collect();
+            need_u.sort_unstable();
+            need_u.dedup();
+            need_u.retain(|&bj| !u_pending.contains_key(&(k, bj)));
+            if !(need_l.is_empty() && need_u.is_empty()) {
+                pump(
+                    &rx,
+                    &mut diag_pending,
+                    &mut l_pending,
+                    &mut u_pending,
+                    |_, l, u| {
+                        need_l.iter().all(|&bi| l.contains_key(&(k, bi)))
+                            && need_u.iter().all(|&bj| u.contains_key(&(k, bj)))
+                    },
+                );
+            }
+            for &(bi, bj) in &trailing {
+                let lblk = if owner_id(bi, k) == me {
+                    blocks[&(bi, k)].clone()
+                } else {
+                    l_pending[&(k, bi)].clone()
+                };
+                let ublk = if owner_id(k, bj) == me {
+                    blocks[&(k, bj)].clone()
+                } else {
+                    u_pending[&(k, bj)].clone()
+                };
+                let t0 = Instant::now();
+                {
+                    let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
+                    gemm(-1.0, &lblk, &ublk, 1.0, c);
+                }
+                for _ in 1..weight {
+                    gemm(-1.0, &lblk, &ublk, 0.0, &mut scratch);
+                }
+                busy += t0.elapsed().as_secs_f64();
+                units += weight;
+            }
+        }
+        // Drop messages of this step.
+        diag_pending.remove(&k);
+        l_pending.retain(|&(s, _), _| s > k);
+        u_pending.retain(|&(s, _), _| s > k);
+    }
+
+    done.send((me, blocks, busy, units, sent))
+        .expect("main hung up");
+}
+
+/// Receives messages into the pending buffers until `ready` is
+/// satisfied.
+fn pump(
+    rx: &Receiver<Msg>,
+    diag: &mut HashMap<usize, Matrix>,
+    l: &mut HashMap<(usize, usize), Matrix>,
+    u: &mut HashMap<(usize, usize), Matrix>,
+    ready: impl Fn(
+        &HashMap<usize, Matrix>,
+        &HashMap<(usize, usize), Matrix>,
+        &HashMap<(usize, usize), Matrix>,
+    ) -> bool,
+) {
+    while !ready(diag, l, u) {
+        match rx.recv().expect("sender hung up") {
+            Msg::Diag { step, data } => {
+                diag.insert(step, data);
+            }
+            Msg::L { step, bi, data } => {
+                l.insert((step, bi), data);
+            }
+            Msg::U { step, bj, data } => {
+                u.insert((step, bj), data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_core::{exact, Arrangement};
+    use hetgrid_dist::{BlockCyclic, PanelDist, PanelOrdering};
+    use hetgrid_linalg::gemm::matmul;
+
+    fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        Matrix::from_fn(n, n, |i, j| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            if i == j {
+                v + 2.0 * n as f64
+            } else {
+                v
+            }
+        })
+    }
+
+    fn check_lu(a: &Matrix, f: &Matrix, tol: f64) {
+        let l = unit_lower_from_packed(f);
+        let u = upper_from_packed(f);
+        let lu = matmul(&l, &u);
+        assert!(
+            lu.approx_eq(a, tol),
+            "A != L*U, max err {}",
+            lu.sub(a).max_abs()
+        );
+    }
+
+    #[test]
+    fn lu_cyclic_reconstructs() {
+        let nb = 4;
+        let r = 3;
+        let a = dominant_matrix(nb * r, 1);
+        let dist = BlockCyclic::new(2, 2);
+        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        check_lu(&a, &f, 1e-8);
+    }
+
+    #[test]
+    fn lu_panel_reconstructs() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = dominant_matrix(nb * r, 2);
+        let w = crate::store::slowdown_weights(&arr);
+        let (f, report) = run_lu(&a, &dist, nb, r, &w);
+        check_lu(&a, &f, 1e-8);
+        assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn lu_matches_sequential_factors() {
+        // Against the library's blocked LU (which pivots, but a strongly
+        // dominant diagonal makes pivoting a no-op).
+        let nb = 3;
+        let r = 4;
+        let a = dominant_matrix(nb * r, 3);
+        let dist = BlockCyclic::new(1, 2);
+        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 1]);
+        let seq = hetgrid_linalg::lu::lu_factor(&a).unwrap();
+        assert_eq!(seq.swaps, 0, "test premise: no pivoting happened");
+        assert!(f.approx_eq(&seq.lu, 1e-8));
+    }
+
+    #[test]
+    fn single_processor_lu() {
+        let a = dominant_matrix(8, 4);
+        let dist = BlockCyclic::new(1, 1);
+        let (f, _) = run_lu(&a, &dist, 4, 2, &[vec![1]]);
+        check_lu(&a, &f, 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Distributed block storage: scattering a global matrix over a
+//! [`BlockDist`] and gathering it back — the executor-side equivalent of
+//! ScaLAPACK's local array layout.
+
+use hetgrid_dist::BlockDist;
+use hetgrid_linalg::Matrix;
+use std::collections::HashMap;
+
+/// The blocks of one processor, keyed by global block coordinates.
+pub type BlockStore = HashMap<(usize, usize), Matrix>;
+
+/// A matrix partitioned into `r x r` blocks and scattered over a grid.
+#[derive(Clone, Debug)]
+pub struct DistributedMatrix {
+    /// Block size `r`.
+    pub r: usize,
+    /// Number of block rows.
+    pub nb_rows: usize,
+    /// Number of block columns.
+    pub nb_cols: usize,
+    /// Per-processor stores, row-major over the grid.
+    pub stores: Vec<BlockStore>,
+    /// Grid shape.
+    pub grid: (usize, usize),
+}
+
+impl DistributedMatrix {
+    /// Scatters the square matrix `m` (side `nb * r`) over `dist`.
+    ///
+    /// # Panics
+    /// Panics if `m` is not square with side `nb * r`.
+    pub fn scatter(m: &Matrix, dist: &dyn BlockDist, nb: usize, r: usize) -> Self {
+        Self::scatter_rect(m, dist, nb, nb, r)
+    }
+
+    /// Scatters a rectangular `nb_rows*r x nb_cols*r` matrix over `dist`.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn scatter_rect(
+        m: &Matrix,
+        dist: &dyn BlockDist,
+        nb_rows: usize,
+        nb_cols: usize,
+        r: usize,
+    ) -> Self {
+        assert_eq!(
+            m.shape(),
+            (nb_rows * r, nb_cols * r),
+            "scatter: size mismatch"
+        );
+        let (p, q) = dist.grid();
+        let mut stores: Vec<BlockStore> = vec![HashMap::new(); p * q];
+        for bi in 0..nb_rows {
+            for bj in 0..nb_cols {
+                let (i, j) = dist.owner(bi, bj);
+                stores[i * q + j].insert((bi, bj), m.block(bi * r, bj * r, r, r));
+            }
+        }
+        DistributedMatrix {
+            r,
+            nb_rows,
+            nb_cols,
+            stores,
+            grid: (p, q),
+        }
+    }
+
+    /// Creates an all-zero square distributed matrix.
+    pub fn zeros(dist: &dyn BlockDist, nb: usize, r: usize) -> Self {
+        let z = Matrix::zeros(nb * r, nb * r);
+        Self::scatter(&z, dist, nb, r)
+    }
+
+    /// Gathers the blocks back into a global matrix.
+    ///
+    /// # Panics
+    /// Panics if any block is missing (stores were tampered with).
+    pub fn gather(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nb_rows * self.r, self.nb_cols * self.r);
+        let mut seen = 0usize;
+        for store in &self.stores {
+            for (&(bi, bj), block) in store {
+                m.set_block(bi * self.r, bj * self.r, block);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, self.nb_rows * self.nb_cols, "gather: missing blocks");
+        m
+    }
+
+    /// The store of processor `(i, j)`.
+    pub fn store(&self, i: usize, j: usize) -> &BlockStore {
+        &self.stores[i * self.grid.1 + j]
+    }
+}
+
+/// Per-processor execution measurements from a distributed run.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Wall-clock seconds of the whole run.
+    pub wall_seconds: f64,
+    /// Seconds each processor spent in compute (row-major grid table).
+    pub busy_seconds: Vec<Vec<f64>>,
+    /// Number of block-update-equivalents each processor performed
+    /// (weighted work units).
+    pub work_units: Vec<Vec<u64>>,
+    /// Number of messages each processor sent (one message per block
+    /// per destination).
+    pub messages_sent: Vec<Vec<u64>>,
+}
+
+impl ExecReport {
+    /// Ratio of the busiest processor's compute time to the mean — 1.0
+    /// means perfectly balanced compute.
+    pub fn imbalance(&self) -> f64 {
+        let flat: Vec<f64> = self.busy_seconds.iter().flatten().cloned().collect();
+        let max = flat.iter().cloned().fold(0.0f64, f64::max);
+        let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Ratio of the largest weighted work to the mean, a hardware-clock
+    /// independent balance measure.
+    pub fn work_imbalance(&self) -> f64 {
+        let flat: Vec<u64> = self.work_units.iter().flatten().cloned().collect();
+        let max = *flat.iter().max().expect("non-empty") as f64;
+        let mean = flat.iter().sum::<u64>() as f64 / flat.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Total number of messages sent across all processors.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent.iter().flatten().sum()
+    }
+}
+
+/// Integer slowdown weights from an arrangement: each processor repeats
+/// every block kernel `w_ij = round(t_ij / min t)` times, emulating the
+/// heterogeneous cycle-times on homogeneous hardware threads.
+pub fn slowdown_weights(arr: &hetgrid_core::Arrangement) -> Vec<Vec<u64>> {
+    let tmin = arr.times().iter().cloned().fold(f64::INFINITY, f64::min);
+    (0..arr.p())
+        .map(|i| {
+            (0..arr.q())
+                .map(|j| ((arr.time(i, j) / tmin).round() as u64).max(1))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_dist::BlockCyclic;
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let m = Matrix::from_fn(12, 12, |i, j| (i * 12 + j) as f64);
+        let dist = BlockCyclic::new(2, 2);
+        let d = DistributedMatrix::scatter(&m, &dist, 4, 3);
+        assert!(d.gather().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn blocks_live_with_their_owner() {
+        let m = Matrix::from_fn(8, 8, |i, j| (i + j) as f64);
+        let dist = BlockCyclic::new(2, 2);
+        let d = DistributedMatrix::scatter(&m, &dist, 4, 2);
+        // Block (1, 3) belongs to (1, 1).
+        assert!(d.store(1, 1).contains_key(&(1, 3)));
+        assert!(!d.store(0, 0).contains_key(&(1, 3)));
+        // Each store holds nb^2 / (p*q) blocks here.
+        assert_eq!(d.store(0, 0).len(), 4);
+    }
+
+    #[test]
+    fn slowdown_weights_are_normalized() {
+        let arr = hetgrid_core::Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        assert_eq!(slowdown_weights(&arr), vec![vec![1, 2], vec![3, 6]]);
+        let arr2 = hetgrid_core::Arrangement::from_rows(&[vec![0.5, 1.0]]);
+        assert_eq!(slowdown_weights(&arr2), vec![vec![1, 2]]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Triangular solves (the `trsm`-style kernels used by the right-looking
+//! LU factorization of Section 3.2).
+
+use crate::Matrix;
+
+/// Solves `L * X = B` where `L` is lower triangular (only the lower part
+/// of `l` is read). If `unit_diagonal` is set, the diagonal is taken as 1
+/// and not read.
+///
+/// # Panics
+/// Panics if `l` is not square or the shapes do not match.
+pub fn solve_lower(l: &Matrix, b: &Matrix, unit_diagonal: bool) -> Matrix {
+    let n = l.rows();
+    assert!(l.is_square(), "solve_lower: L must be square");
+    assert_eq!(b.rows(), n, "solve_lower: B row mismatch");
+    let mut x = b.clone();
+    for i in 0..n {
+        for k in 0..i {
+            let lik = l[(i, k)];
+            if lik != 0.0 {
+                // x.row(i) -= lik * x.row(k); split borrow via index math.
+                for j in 0..x.cols() {
+                    let v = x[(k, j)];
+                    x[(i, j)] -= lik * v;
+                }
+            }
+        }
+        if !unit_diagonal {
+            let d = l[(i, i)];
+            assert!(d != 0.0, "solve_lower: zero diagonal at {}", i);
+            for j in 0..x.cols() {
+                x[(i, j)] /= d;
+            }
+        }
+    }
+    x
+}
+
+/// Solves `U * X = B` where `U` is upper triangular (only the upper part
+/// of `u` is read).
+///
+/// # Panics
+/// Panics if `u` is not square, shapes mismatch, or a diagonal entry is 0.
+pub fn solve_upper(u: &Matrix, b: &Matrix) -> Matrix {
+    let n = u.rows();
+    assert!(u.is_square(), "solve_upper: U must be square");
+    assert_eq!(b.rows(), n, "solve_upper: B row mismatch");
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            let uik = u[(i, k)];
+            if uik != 0.0 {
+                for j in 0..x.cols() {
+                    let v = x[(k, j)];
+                    x[(i, j)] -= uik * v;
+                }
+            }
+        }
+        let d = u[(i, i)];
+        assert!(d != 0.0, "solve_upper: zero diagonal at {}", i);
+        for j in 0..x.cols() {
+            x[(i, j)] /= d;
+        }
+    }
+    x
+}
+
+/// Solves `X * U = B` for `X` where `U` is upper triangular — the
+/// "right-side trsm" used to update the `U` panel in right-looking LU.
+///
+/// # Panics
+/// Panics if `u` is not square, shapes mismatch, or a diagonal entry is 0.
+pub fn solve_right_upper(u: &Matrix, b: &Matrix) -> Matrix {
+    // X * U = B  <=>  U^T * X^T = B^T, with U^T lower triangular.
+    let xt = solve_lower(&u.transpose(), &b.transpose(), false);
+    xt.transpose()
+}
+
+/// Extracts the lower-triangular factor with unit diagonal from a packed
+/// LU matrix.
+pub fn unit_lower_from_packed(lu: &Matrix) -> Matrix {
+    let n = lu.rows();
+    Matrix::from_fn(n, n, |i, j| {
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Greater => lu[(i, j)],
+            Equal => 1.0,
+            Less => 0.0,
+        }
+    })
+}
+
+/// Extracts the upper-triangular factor from a packed LU matrix.
+pub fn upper_from_packed(lu: &Matrix) -> Matrix {
+    let n = lu.rows();
+    Matrix::from_fn(n, n, |i, j| if i <= j { lu[(i, j)] } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn lower(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                (i + 2 * j) as f64 * 0.25 - 0.5
+            } else if i == j {
+                2.0 + i as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn solve_lower_roundtrip() {
+        let l = lower(6);
+        let x0 = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f64 - 4.0);
+        let b = matmul(&l, &x0);
+        let x = solve_lower(&l, &b, false);
+        assert!(x.approx_eq(&x0, 1e-9));
+    }
+
+    #[test]
+    fn solve_lower_unit_ignores_diagonal() {
+        let mut l = lower(4);
+        let x0 = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        // Build B with the *unit* diagonal semantics.
+        let lunit = Matrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                l[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let b = matmul(&lunit, &x0);
+        // Poison the stored diagonal; unit solve must not read it.
+        for i in 0..4 {
+            l[(i, i)] = f64::NAN;
+        }
+        let x = solve_lower(&l, &b, true);
+        assert!(x.approx_eq(&x0, 1e-10));
+    }
+
+    #[test]
+    fn solve_upper_roundtrip() {
+        let u = lower(5).transpose();
+        let x0 = Matrix::from_fn(5, 2, |i, j| 1.0 + (i * 2 + j) as f64);
+        let b = matmul(&u, &x0);
+        let x = solve_upper(&u, &b);
+        assert!(x.approx_eq(&x0, 1e-9));
+    }
+
+    #[test]
+    fn solve_right_upper_roundtrip() {
+        let u = lower(4).transpose();
+        let x0 = Matrix::from_fn(3, 4, |i, j| (i + 4 * j) as f64 * 0.5 - 1.0);
+        let b = matmul(&x0, &u);
+        let x = solve_right_upper(&u, &b);
+        assert!(x.approx_eq(&x0, 1e-9));
+    }
+
+    #[test]
+    fn packed_extraction() {
+        let lu = Matrix::from_rows(&[vec![2.0, 3.0], vec![4.0, 5.0]]);
+        let l = unit_lower_from_packed(&lu);
+        let u = upper_from_packed(&lu);
+        assert_eq!(l.as_slice(), &[1.0, 0.0, 4.0, 1.0]);
+        assert_eq!(u.as_slice(), &[2.0, 3.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero diagonal")]
+    fn singular_upper_panics() {
+        let mut u = lower(3).transpose();
+        u[(1, 1)] = 0.0;
+        solve_upper(&u, &Matrix::zeros(3, 1));
+    }
+}

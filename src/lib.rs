@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the `hetgrid` workspace: load balancing
+//! for dense linear algebra kernels on heterogeneous 2D processor grids
+//! (Beaumont, Boudet, Rastello, Robert — IPPS 2000).
+//!
+//! * [`core`] — the optimization problem and its solvers;
+//! * [`dist`] — block-to-processor distributions;
+//! * [`sim`] — the discrete-event HNOW simulator;
+//! * [`exec`] — the threaded executor running real kernels;
+//! * [`linalg`] — the dense linear algebra substrate;
+//! * [`pipeline`] — one-call plan/simulate/rebalance helpers.
+
+pub mod pipeline;
+
+pub use hetgrid_core as core;
+pub use hetgrid_dist as dist;
+pub use hetgrid_exec as exec;
+pub use hetgrid_linalg as linalg;
+pub use hetgrid_sim as sim;

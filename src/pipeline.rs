@@ -1,0 +1,141 @@
+//! End-to-end pipeline helpers: one call from machine pool to a ready
+//! data distribution, plus rebalancing when the pool's effective speeds
+//! drift (the multi-user scenario of Section 2.2).
+
+use hetgrid_core::problem::{Method, Problem, Solution};
+use hetgrid_dist::redistribution::moved_fraction;
+use hetgrid_dist::{PanelDist, PanelOrdering};
+use hetgrid_sim::machine::CostModel;
+use hetgrid_sim::{kernels, Broadcast, SimReport};
+
+/// A solved placement plus its realized block-panel distribution.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The solver output (arrangement + shares).
+    pub solution: Solution,
+    /// The block-panel-cyclic distribution realizing the shares.
+    pub dist: PanelDist,
+    /// Panel height used.
+    pub bp: usize,
+    /// Panel width used.
+    pub bq: usize,
+}
+
+impl Plan {
+    /// Builds a plan with the default (heuristic) solver and LU-ready
+    /// interleaved panels.
+    ///
+    /// # Panics
+    /// Panics if `times.len() != p * q` or the panel is smaller than the
+    /// grid.
+    pub fn new(times: &[f64], p: usize, q: usize, bp: usize, bq: usize) -> Self {
+        Self::with_method(times, p, q, bp, bq, Method::Heuristic)
+    }
+
+    /// Builds a plan with an explicit solver.
+    pub fn with_method(
+        times: &[f64],
+        p: usize,
+        q: usize,
+        bp: usize,
+        bq: usize,
+        method: Method,
+    ) -> Self {
+        let solution = Problem::new(times.to_vec())
+            .grid(p, q)
+            .method(method)
+            .solve();
+        let dist = PanelDist::from_allocation(
+            &solution.arrangement,
+            &solution.alloc,
+            bp,
+            bq,
+            PanelOrdering::Interleaved,
+        );
+        Plan {
+            solution,
+            dist,
+            bp,
+            bq,
+        }
+    }
+
+    /// Simulates the outer-product MM under this plan.
+    pub fn simulate_mm(&self, nb: usize, cost: CostModel) -> SimReport {
+        kernels::simulate_mm(
+            &self.solution.arrangement,
+            &self.dist,
+            nb,
+            cost,
+            Broadcast::Direct,
+        )
+    }
+
+    /// Simulates right-looking LU under this plan.
+    pub fn simulate_lu(&self, nb: usize, cost: CostModel) -> SimReport {
+        kernels::simulate_lu(&self.solution.arrangement, &self.dist, nb, cost)
+    }
+
+    /// Re-solves for drifted cycle-times (same grid and panel sizes) and
+    /// reports the fraction of an `nb x nb` block matrix that would have
+    /// to move to adopt the new plan.
+    ///
+    /// The caller can weigh `moved` against the per-run gain to decide
+    /// whether rebalancing pays off (the paper's static-allocation
+    /// stance, quantified).
+    pub fn rebalance(&self, new_times: &[f64], nb: usize) -> (Plan, f64) {
+        let (p, q) = (self.solution.arrangement.p(), self.solution.arrangement.q());
+        let next = Plan::with_method(new_times, p, q, self.bp, self.bq, self.solution.method);
+        let moved = moved_fraction(&self.dist, &next.dist, nb);
+        (next, moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builds_and_simulates() {
+        let plan = Plan::new(&[1.0, 2.0, 3.0, 5.0], 2, 2, 8, 6);
+        assert!(plan.solution.obj2 > 1.8);
+        let rep = plan.simulate_mm(12, CostModel::default());
+        assert!(rep.makespan > 0.0);
+        let lu = plan.simulate_lu(12, CostModel::default());
+        assert!(lu.makespan > 0.0);
+    }
+
+    #[test]
+    fn rebalance_on_identical_times_moves_nothing() {
+        let times = [1.0, 2.0, 3.0, 5.0];
+        let plan = Plan::new(&times, 2, 2, 8, 6);
+        let (next, moved) = plan.rebalance(&times, 24);
+        assert_eq!(moved, 0.0);
+        assert!((next.solution.obj2 - plan.solution.obj2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebalance_on_drifted_times_moves_something_and_helps() {
+        // Night: homogeneous. Afternoon: one machine heavily loaded.
+        let night = [1.0, 1.0, 1.0, 1.0];
+        let afternoon = [1.0, 1.0, 1.0, 4.0];
+        let plan = Plan::new(&night, 2, 2, 8, 8);
+        let (fresh, moved) = plan.rebalance(&afternoon, 24);
+        assert!(moved > 0.0 && moved < 1.0, "moved = {}", moved);
+        // Evaluate both distributions against the afternoon speeds.
+        let stale_rep = kernels::simulate_mm(
+            &fresh.solution.arrangement,
+            &plan.dist,
+            24,
+            CostModel::zero_comm(),
+            Broadcast::Direct,
+        );
+        let fresh_rep = fresh.simulate_mm(24, CostModel::zero_comm());
+        assert!(
+            fresh_rep.makespan < stale_rep.makespan,
+            "rebalance did not help: {} vs {}",
+            fresh_rep.makespan,
+            stale_rep.makespan
+        );
+    }
+}
