@@ -1,0 +1,267 @@
+//! The closed-loop controller: observe → estimate → decide.
+//!
+//! The [`Controller`] owns the active plan and the loop state. Each
+//! kernel iteration feeds it one [`IterationSample`]; it folds the
+//! sample into the EWMA estimates, runs the drift detector against the
+//! plan's reference times, and — only when drift is confirmed — invokes
+//! the cost/benefit policy. A positive decision swaps the plan and hands
+//! the caller the old distribution, so the caller can actuate the data
+//! migration (see [`crate::actuator`]).
+
+use crate::detector::{DriftDetector, DriftDetectorConfig};
+use crate::estimator::EwmaEstimator;
+use crate::plan::ActivePlan;
+use crate::policy::{self, Decision, PolicyConfig};
+use crate::telemetry::{IterationSample, TelemetryLog};
+use hetgrid_dist::PanelDist;
+
+/// All tuning knobs of the adaptive loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControllerConfig {
+    /// EWMA half-life of the cycle-time estimator, in iterations.
+    /// `None` uses 3 iterations.
+    pub half_life: Option<f64>,
+    /// Drift-detector hysteresis parameters.
+    pub detector: DriftDetectorConfig,
+    /// Rebalancing decision parameters.
+    pub policy: PolicyConfig,
+}
+
+impl ControllerConfig {
+    fn half_life(&self) -> f64 {
+        self.half_life.unwrap_or(3.0)
+    }
+}
+
+/// What the controller did with one iteration's sample.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// No confirmed drift; the plan stands.
+    Continue,
+    /// Drift was confirmed but the policy declined to rebalance (the
+    /// decision explains why); the plan stands.
+    Evaluated(Decision),
+    /// The plan was swapped. `old_dist` is the distribution the live
+    /// data still follows — actuate a redistribution from it to the
+    /// controller's new [`Controller::dist`].
+    Rebalanced {
+        /// The priced decision that justified the swap.
+        decision: Decision,
+        /// The superseded distribution.
+        old_dist: PanelDist,
+    },
+}
+
+/// Closed-loop adaptive rebalancing controller.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    plan: ActivePlan,
+    nb: usize,
+    estimator: EwmaEstimator,
+    detector: DriftDetector,
+    log: TelemetryLog,
+    rebalances: usize,
+}
+
+impl Controller {
+    /// Solves the initial plan for `times` (indexed by processor id) on
+    /// a `p x q` grid with `bp x bq` panels, for kernels over `nb x nb`
+    /// block matrices, and seeds the estimator with the same times.
+    pub fn new(
+        times: &[f64],
+        p: usize,
+        q: usize,
+        bp: usize,
+        bq: usize,
+        nb: usize,
+        cfg: ControllerConfig,
+    ) -> Self {
+        let plan = ActivePlan::solve(times, p, q, bp, bq, cfg.policy.method);
+        Controller {
+            plan,
+            nb,
+            estimator: EwmaEstimator::seeded(times, cfg.half_life()),
+            detector: DriftDetector::new(cfg.detector),
+            log: TelemetryLog::new(),
+            rebalances: 0,
+            cfg,
+        }
+    }
+
+    /// The plan currently in force.
+    pub fn plan(&self) -> &ActivePlan {
+        &self.plan
+    }
+
+    /// The distribution currently in force.
+    pub fn dist(&self) -> &PanelDist {
+        &self.plan.dist
+    }
+
+    /// Number of rebalances performed so far.
+    pub fn rebalances(&self) -> usize {
+        self.rebalances
+    }
+
+    /// Current cycle-time estimates by processor id (planned times where
+    /// never observed).
+    pub fn estimates(&self) -> Vec<f64> {
+        self.estimator.estimates_or(&self.plan.planned_times())
+    }
+
+    /// Deviation seen by the detector at the last observation.
+    pub fn last_deviation(&self) -> f64 {
+        self.detector.last_deviation()
+    }
+
+    /// The telemetry recorded so far.
+    pub fn telemetry(&self) -> &TelemetryLog {
+        &self.log
+    }
+
+    /// Block-matrix order `nb` the controller prices iterations for.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Feeds one iteration's telemetry. `remaining_iters` is the number
+    /// of kernel iterations still ahead — the amortization horizon of
+    /// any rebalancing decision.
+    pub fn observe(&mut self, sample: &IterationSample, remaining_iters: usize) -> Action {
+        let by_proc = sample.by_proc(&self.plan.solution.arrangement);
+        self.estimator.observe_all(&by_proc);
+        self.log.push(sample.clone());
+
+        let reference = self.plan.planned_times();
+        let estimates = self.estimator.estimates_or(&reference);
+        if !self.detector.observe(&reference, &estimates) {
+            return Action::Continue;
+        }
+
+        let (decision, candidate) = policy::evaluate(
+            &self.plan,
+            &estimates,
+            self.nb,
+            remaining_iters,
+            &self.cfg.policy,
+        );
+        self.detector.arm_cooldown();
+        if !decision.rebalance {
+            return Action::Evaluated(decision);
+        }
+        let old = std::mem::replace(&mut self.plan, candidate);
+        self.rebalances += 1;
+        Action::Rebalanced {
+            decision,
+            old_dist: old.dist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(times: &[f64]) -> Controller {
+        Controller::new(times, 2, 2, 4, 4, 16, ControllerConfig::default())
+    }
+
+    fn feed(c: &mut Controller, truth: &[f64], iters: usize, remaining: usize) -> Vec<Action> {
+        (0..iters)
+            .map(|k| {
+                let sample =
+                    IterationSample::from_true_times(k, &c.plan().solution.arrangement, truth);
+                c.observe(&sample, remaining)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stationary_telemetry_never_triggers() {
+        let times = [1.0, 2.0, 3.0, 4.0];
+        let mut c = controller(&times);
+        let actions = feed(&mut c, &times, 50, 100);
+        assert!(actions.iter().all(|a| matches!(a, Action::Continue)));
+        assert_eq!(c.rebalances(), 0);
+        assert_eq!(c.telemetry().len(), 50);
+    }
+
+    #[test]
+    fn sustained_drift_rebalances_and_settles() {
+        let mut c = controller(&[1.0; 4]);
+        let drifted = [6.0, 1.0, 1.0, 1.0];
+        let actions = feed(&mut c, &drifted, 40, 100);
+        // The first re-solve may use under-converged estimates; one or
+        // two follow-up corrections are legitimate, endless churn is not.
+        assert!(
+            (1..=3).contains(&c.rebalances()),
+            "rebalances = {}",
+            c.rebalances()
+        );
+        let when = actions
+            .iter()
+            .position(|a| matches!(a, Action::Rebalanced { .. }))
+            .expect("no rebalance happened");
+        // EWMA warm-up plus detector patience delay the confirmation past
+        // the first few iterations.
+        assert!(when >= 2, "rebalanced already at iteration {}", when);
+        // Once the estimates have converged the loop settles: no
+        // rebalance in the last stretch of the run.
+        assert!(
+            actions[30..]
+                .iter()
+                .all(|a| matches!(a, Action::Continue | Action::Evaluated(_))),
+            "still rebalancing after convergence"
+        );
+        // Estimates track the true post-step cycle-times.
+        assert!((c.estimates()[0] - 6.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn short_horizon_declines_rebalance() {
+        let mut c = Controller::new(
+            &[1.0; 4],
+            2,
+            2,
+            4,
+            4,
+            16,
+            ControllerConfig {
+                policy: PolicyConfig {
+                    block_move_cost: 50.0,
+                    ..PolicyConfig::default()
+                },
+                ..ControllerConfig::default()
+            },
+        );
+        let drifted = [6.0, 1.0, 1.0, 1.0];
+        let actions = feed(&mut c, &drifted, 20, 0);
+        assert_eq!(c.rebalances(), 0);
+        assert!(actions.iter().any(|a| matches!(a, Action::Evaluated(_))));
+    }
+
+    #[test]
+    fn rebalanced_action_carries_the_old_dist() {
+        let mut c = controller(&[1.0; 4]);
+        let before = c.dist().clone();
+        let drifted = [6.0, 1.0, 1.0, 1.0];
+        for k in 0..20 {
+            let sample =
+                IterationSample::from_true_times(k, &c.plan().solution.arrangement, &drifted);
+            if let Action::Rebalanced { old_dist, decision } = c.observe(&sample, 100) {
+                assert_eq!(
+                    hetgrid_dist::redistribution::blocks_moved(&before, &old_dist, 16),
+                    0,
+                    "old_dist is not the superseded distribution"
+                );
+                assert_eq!(
+                    hetgrid_dist::redistribution::blocks_moved(&old_dist, c.dist(), 16),
+                    decision.blocks_moved
+                );
+                return;
+            }
+        }
+        panic!("no rebalance happened");
+    }
+}

@@ -1,0 +1,220 @@
+//! Drift detection with hysteresis.
+//!
+//! The detector compares the current cycle-time estimates against the
+//! *reference* times the active plan was solved for. Both vectors are
+//! normalized to mean 1.0 first, so a uniform slowdown of the whole pool
+//! (which changes the makespan but not the optimal distribution) never
+//! looks like drift — only changes in the *relative* speeds do.
+//!
+//! Hysteresis keeps the loop from thrashing: drift must persist above
+//! the trigger threshold for `patience` consecutive iterations to be
+//! confirmed, the streak only resets once the deviation falls below a
+//! lower `release` level, and after a confirmation (whether or not the
+//! policy then rebalanced) a `cooldown` suppresses re-evaluation.
+
+/// Hysteresis parameters of the [`DriftDetector`].
+#[derive(Clone, Copy, Debug)]
+pub struct DriftDetectorConfig {
+    /// Relative deviation at which an iteration counts toward drift
+    /// (e.g. 0.2 = a processor is 20% off its planned relative speed).
+    pub threshold: f64,
+    /// Fraction of `threshold` below which the streak resets; deviations
+    /// between `release * threshold` and `threshold` neither extend nor
+    /// reset the streak.
+    pub release: f64,
+    /// Number of consecutive above-threshold iterations required to
+    /// confirm drift.
+    pub patience: usize,
+    /// Number of iterations after a confirmation during which no new
+    /// drift is reported.
+    pub cooldown: usize,
+}
+
+impl Default for DriftDetectorConfig {
+    fn default() -> Self {
+        DriftDetectorConfig {
+            threshold: 0.2,
+            release: 0.5,
+            patience: 3,
+            cooldown: 5,
+        }
+    }
+}
+
+/// Sustained-drift detector over normalized cycle-time vectors.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    cfg: DriftDetectorConfig,
+    streak: usize,
+    cooldown_left: usize,
+    last_deviation: f64,
+}
+
+impl DriftDetector {
+    /// A detector in the quiescent state.
+    ///
+    /// # Panics
+    /// Panics on a non-positive threshold, a release factor outside
+    /// `[0, 1]`, or zero patience.
+    pub fn new(cfg: DriftDetectorConfig) -> Self {
+        assert!(
+            cfg.threshold > 0.0 && cfg.threshold.is_finite(),
+            "DriftDetector: threshold must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.release),
+            "DriftDetector: release must lie in [0, 1]"
+        );
+        assert!(cfg.patience > 0, "DriftDetector: patience must be positive");
+        DriftDetector {
+            cfg,
+            streak: 0,
+            cooldown_left: 0,
+            last_deviation: 0.0,
+        }
+    }
+
+    /// Scale-free deviation between two cycle-time vectors: both are
+    /// normalized to mean 1.0 and the maximum relative difference
+    /// `|est - ref| / ref` over processors is returned.
+    ///
+    /// # Panics
+    /// Panics on empty, mismatched, or non-positive inputs.
+    pub fn relative_deviation(reference: &[f64], estimates: &[f64]) -> f64 {
+        assert_eq!(
+            reference.len(),
+            estimates.len(),
+            "DriftDetector: length mismatch"
+        );
+        assert!(!reference.is_empty(), "DriftDetector: empty input");
+        let norm = |v: &[f64]| -> Vec<f64> {
+            assert!(
+                v.iter().all(|&t| t > 0.0 && t.is_finite()),
+                "DriftDetector: cycle-times must be positive"
+            );
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|&t| t / mean).collect()
+        };
+        let r = norm(reference);
+        let e = norm(estimates);
+        r.iter()
+            .zip(&e)
+            .map(|(&rk, &ek)| (ek - rk).abs() / rk)
+            .fold(0.0, f64::max)
+    }
+
+    /// Feeds one iteration's estimates; returns `true` when sustained
+    /// drift is confirmed this iteration.
+    pub fn observe(&mut self, reference: &[f64], estimates: &[f64]) -> bool {
+        let dev = Self::relative_deviation(reference, estimates);
+        self.last_deviation = dev;
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            self.streak = 0;
+            return false;
+        }
+        if dev >= self.cfg.threshold {
+            self.streak += 1;
+        } else if dev < self.cfg.threshold * self.cfg.release {
+            self.streak = 0;
+        }
+        self.streak >= self.cfg.patience
+    }
+
+    /// Arms the post-confirmation cooldown and resets the streak. The
+    /// controller calls this after every policy evaluation, whether or
+    /// not it rebalanced, so a declined rebalance is not re-litigated
+    /// every iteration.
+    pub fn arm_cooldown(&mut self) {
+        self.cooldown_left = self.cfg.cooldown;
+        self.streak = 0;
+    }
+
+    /// Deviation computed by the most recent [`DriftDetector::observe`].
+    pub fn last_deviation(&self) -> f64 {
+        self.last_deviation
+    }
+
+    /// Current above-threshold streak length.
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(patience: usize, cooldown: usize) -> DriftDetector {
+        DriftDetector::new(DriftDetectorConfig {
+            threshold: 0.2,
+            release: 0.5,
+            patience,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn uniform_slowdown_is_not_drift() {
+        let reference = [1.0, 2.0, 3.0, 4.0];
+        let doubled: Vec<f64> = reference.iter().map(|t| t * 2.0).collect();
+        assert_eq!(DriftDetector::relative_deviation(&reference, &doubled), 0.0);
+    }
+
+    #[test]
+    fn relative_change_is_drift() {
+        let dev = DriftDetector::relative_deviation(&[1.0, 1.0], &[2.0, 1.0]);
+        // Normalized estimates are [4/3, 2/3]: 33% deviation.
+        assert!((dev - 1.0 / 3.0).abs() < 1e-12, "dev = {}", dev);
+    }
+
+    #[test]
+    fn patience_delays_confirmation() {
+        let mut d = detector(3, 0);
+        let reference = [1.0, 1.0];
+        let drifted = [3.0, 1.0];
+        assert!(!d.observe(&reference, &drifted));
+        assert!(!d.observe(&reference, &drifted));
+        assert!(d.observe(&reference, &drifted));
+    }
+
+    #[test]
+    fn release_band_freezes_but_does_not_reset_streak() {
+        let mut d = detector(2, 0);
+        let reference = [1.0, 1.0];
+        let strong = [2.0, 1.0]; // dev 1/3, above threshold
+        let weak = [1.3, 1.0]; // dev ~0.13, inside [release*thr, thr)
+        let calm = [1.02, 1.0]; // dev ~0.01, below release
+        assert!(!d.observe(&reference, &strong));
+        assert!(!d.observe(&reference, &weak)); // streak frozen at 1
+        assert!(d.observe(&reference, &strong)); // streak reaches 2
+        d.arm_cooldown(); // streak back to 0
+        assert!(!d.observe(&reference, &strong)); // streak 1 of 2
+        assert!(!d.observe(&reference, &calm)); // below release: reset
+        assert_eq!(d.streak(), 0);
+    }
+
+    #[test]
+    fn cooldown_suppresses_redetection() {
+        let mut d = detector(1, 3);
+        let reference = [1.0, 1.0];
+        let drifted = [3.0, 1.0];
+        assert!(d.observe(&reference, &drifted));
+        d.arm_cooldown();
+        for _ in 0..3 {
+            assert!(!d.observe(&reference, &drifted));
+        }
+        // Cooldown elapsed: the persisting drift is re-confirmed.
+        assert!(d.observe(&reference, &drifted));
+    }
+
+    #[test]
+    fn quiescent_on_matching_estimates() {
+        let mut d = detector(1, 0);
+        let reference = [1.0, 2.0, 4.0];
+        for _ in 0..10 {
+            assert!(!d.observe(&reference, &reference));
+        }
+        assert_eq!(d.last_deviation(), 0.0);
+    }
+}

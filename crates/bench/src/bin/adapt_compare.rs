@@ -1,0 +1,133 @@
+//! Static vs adaptive execution under cycle-time drift.
+//!
+//! Runs the deterministic closed-loop scenario of `hetgrid-adapt` over a
+//! battery of drift profiles and pool shapes, reporting the makespan of
+//! the static (one-shot) plan, the adaptive controller's makespan
+//! including its redistribution bills, and the resulting speedup —
+//! the quantitative case for closing the loop on a non-dedicated NOW.
+//!
+//! ```text
+//! cargo run --release -p hetgrid-bench --bin adapt_compare
+//! ```
+
+use hetgrid_adapt::{run_scenario, ControllerConfig, Scenario};
+use hetgrid_bench::print_table;
+use hetgrid_sim::DriftProfile;
+
+fn scenario(base: Vec<f64>, p: usize, q: usize, profile: DriftProfile) -> Scenario {
+    Scenario {
+        base_times: base,
+        p,
+        q,
+        bp: 2 * p,
+        bq: 2 * q,
+        nb: 32,
+        iters: 80,
+        profile,
+        config: ControllerConfig::default(),
+    }
+}
+
+fn main() {
+    let homogeneous = vec![1.0; 4];
+    let heterogeneous = vec![1.0, 1.5, 2.0, 3.0];
+    let six = vec![1.0, 1.0, 1.5, 1.5, 2.0, 2.0];
+
+    let cases: Vec<(&str, Scenario)> = vec![
+        (
+            "stationary 2x2",
+            scenario(heterogeneous.clone(), 2, 2, DriftProfile::Stationary),
+        ),
+        (
+            "step 6x on one proc",
+            scenario(
+                homogeneous.clone(),
+                2,
+                2,
+                DriftProfile::Step {
+                    at: 10,
+                    factors: vec![6.0, 1.0, 1.0, 1.0],
+                },
+            ),
+        ),
+        (
+            "step 3x on two procs",
+            scenario(
+                heterogeneous.clone(),
+                2,
+                2,
+                DriftProfile::Step {
+                    at: 10,
+                    factors: vec![3.0, 1.0, 3.0, 1.0],
+                },
+            ),
+        ),
+        (
+            "ramp 5x over 30 iters",
+            scenario(
+                homogeneous.clone(),
+                2,
+                2,
+                DriftProfile::Ramp {
+                    from: 10,
+                    to: 40,
+                    factors: vec![5.0, 1.0, 1.0, 1.0],
+                },
+            ),
+        ),
+        (
+            "brief periodic spikes",
+            scenario(
+                heterogeneous.clone(),
+                2,
+                2,
+                DriftProfile::PeriodicSpike {
+                    period: 8,
+                    width: 1,
+                    factors: vec![2.0, 1.0, 1.0, 1.0],
+                },
+            ),
+        ),
+        (
+            "step 4x on 2x3 grid",
+            scenario(
+                six,
+                2,
+                3,
+                DriftProfile::Step {
+                    at: 10,
+                    factors: vec![4.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+                },
+            ),
+        ),
+    ];
+
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(name, sc)| {
+            let out = run_scenario(sc);
+            vec![
+                name.to_string(),
+                format!("{:.0}", out.static_makespan),
+                format!("{:.0}", out.adaptive_makespan),
+                format!("{:.0}", out.redistribution_cost),
+                format!("{}", out.rebalances),
+                format!("{:.2}x", out.speedup()),
+            ]
+        })
+        .collect();
+
+    println!("static vs adaptive makespan per drift profile");
+    println!("(nb = 32 blocks, 80 iterations, default controller)\n");
+    print_table(
+        &[
+            "scenario",
+            "static",
+            "adaptive",
+            "redistribution",
+            "rebalances",
+            "speedup",
+        ],
+        &rows,
+    );
+}

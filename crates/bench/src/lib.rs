@@ -25,7 +25,6 @@ use hetgrid_sim::machine::CostModel;
 use hetgrid_sim::{kernels, Broadcast};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 
 /// Draws `n` cycle-times uniformly from `(0.01, 1.0]` — the paper's
 /// "random cycle times in [0, 1]", excluding a neighbourhood of zero
@@ -36,7 +35,7 @@ pub fn random_times(n: usize, rng: &mut StdRng) -> Vec<f64> {
 }
 
 /// One point of the Figures 6–8 sweep.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SweepPoint {
     /// Grid side (the paper arranges `n^2` processors on an `n x n`
     /// grid).
@@ -124,7 +123,7 @@ pub fn print_grid<T: std::fmt::Display>(label: &str, rows: &[Vec<T>]) {
 }
 
 /// The distributions compared in the simulation tables.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// Uniform 2D block-cyclic (ScaLAPACK homogeneous baseline).
     Cyclic,

@@ -68,7 +68,7 @@ impl Heterogeneity {
                         4.0
                     }
                 }
-                Heterogeneity::ThreeGenerations => [1.0, 2.0, 4.0][rng.gen_range(0..3)],
+                Heterogeneity::ThreeGenerations => [1.0, 2.0, 4.0][rng.gen_range(0..3usize)],
                 Heterogeneity::MultiUser => {
                     // Geometric-ish job count: P(j) ~ 0.5^(j+1), capped.
                     let mut jobs = 0u32;

@@ -8,6 +8,8 @@
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
 //! hetgrid sweep      [--max-n 12] [--trials 100] [--csv]
+//! hetgrid adapt      --times 1,1,1,1 --new-times 6,1,1,1 --grid 2x2 [--iters 60]
+//!                    [--drift step|ramp|spike] [--nb 32] [--panel 8x8] [--csv]
 //! ```
 
 mod args;
@@ -36,6 +38,7 @@ fn main() {
         Some("bounds") => cmd_bounds(&args),
         Some("rank1") => cmd_rank1(&args),
         Some("rebalance") => cmd_rebalance(&args),
+        Some("adapt") => cmd_adapt(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -64,6 +67,124 @@ fn print_usage() {
     println!("  bounds     --times .. --grid PxQ                  (objective brackets)");
     println!("  rank1      --times .. --grid PxQ                  (perfect-balance check)");
     println!("  rebalance  --times .. --new-times .. --grid PxQ [--nb 32] [--panel BPxBQ]");
+    println!("  adapt      --times .. --new-times .. --grid PxQ [--nb 32] [--panel BPxBQ]");
+    println!("             [--iters 60] [--drift step|ramp|spike] [--at 5] [--until 25]");
+    println!("             [--period 10] [--width 2] [--half-life 3] [--threshold 0.2]");
+    println!("             [--patience 3] [--cooldown 5] [--safety 1.5] [--move-cost 1]");
+    println!("             [--csv]       (closed-loop static vs adaptive comparison)");
+}
+
+/// Runs the deterministic closed-loop scenario: static plan vs adaptive
+/// controller over a drifting pool, reporting both makespans.
+fn cmd_adapt(args: &Args) -> Result<(), String> {
+    use hetgrid_adapt::{
+        run_scenario, ControllerConfig, DriftDetectorConfig, PolicyConfig, Scenario,
+    };
+    use hetgrid_sim::DriftProfile;
+
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let raw_new = args.require("new-times")?;
+    let new_times: Vec<f64> = raw_new
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("invalid cycle-time: {}", t))
+        })
+        .collect::<Result<_, _>>()?;
+    if new_times.len() != p * q {
+        return Err(format!("need {} drifted cycle-times", p * q));
+    }
+    let factors: Vec<f64> = times
+        .iter()
+        .zip(&new_times)
+        .map(|(&base, &new)| {
+            if base <= 0.0 {
+                return Err("cycle-times must be positive".to_string());
+            }
+            Ok(new / base)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let nb: usize = args.get_parse("nb", 32)?;
+    let iters: usize = args.get_parse("iters", 60)?;
+    let panel_raw = args.get("panel").unwrap_or("8x8");
+    let (bp, bq) = panel_raw
+        .split_once(['x', 'X'])
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .ok_or_else(|| format!("invalid --panel: {}", panel_raw))?;
+
+    let at: usize = args.get_parse("at", 5)?;
+    let profile = match args.get("drift").unwrap_or("step") {
+        "step" => DriftProfile::Step { at, factors },
+        "ramp" => DriftProfile::Ramp {
+            from: at,
+            to: args.get_parse("until", at + 20)?,
+            factors,
+        },
+        "spike" => DriftProfile::PeriodicSpike {
+            period: args.get_parse("period", 10)?,
+            width: args.get_parse("width", 2)?,
+            factors,
+        },
+        other => return Err(format!("unknown drift profile: {}", other)),
+    };
+
+    let config = ControllerConfig {
+        half_life: Some(args.get_parse("half-life", 3.0)?),
+        detector: DriftDetectorConfig {
+            threshold: args.get_parse("threshold", 0.2)?,
+            patience: args.get_parse("patience", 3)?,
+            cooldown: args.get_parse("cooldown", 5)?,
+            ..DriftDetectorConfig::default()
+        },
+        policy: PolicyConfig {
+            safety_factor: args.get_parse("safety", 1.5)?,
+            block_move_cost: args.get_parse("move-cost", 1.0)?,
+            ..PolicyConfig::default()
+        },
+    };
+
+    let scenario = Scenario {
+        base_times: times,
+        p,
+        q,
+        bp,
+        bq,
+        nb,
+        iters,
+        profile,
+        config,
+    };
+    let out = run_scenario(&scenario);
+
+    if args.flag("csv") {
+        println!("iter,static_cost,adaptive_cost,rebalanced");
+        for h in &out.history {
+            println!(
+                "{},{:.4},{:.4},{}",
+                h.iter, h.static_cost, h.adaptive_cost, h.rebalanced as u8
+            );
+        }
+        return Ok(());
+    }
+    println!(
+        "closed loop over {} iterations of {}x{} blocks:",
+        iters, nb, nb
+    );
+    println!("static makespan     : {:.1}", out.static_makespan);
+    println!(
+        "adaptive makespan   : {:.1}  (incl. redistribution cost {:.1})",
+        out.adaptive_makespan, out.redistribution_cost
+    );
+    println!("rebalances          : {}", out.rebalances);
+    println!("blocks moved        : {}", out.blocks_moved);
+    println!("adaptive speedup    : {:.2}x", out.speedup());
+    Ok(())
 }
 
 /// Quantifies a rebalance: solve for both pools, report the makespan
@@ -73,7 +194,11 @@ fn cmd_rebalance(args: &Args) -> Result<(), String> {
     let raw_new = args.require("new-times")?;
     let new_times: Vec<f64> = raw_new
         .split(',')
-        .map(|t| t.trim().parse::<f64>().map_err(|_| format!("invalid cycle-time: {}", t)))
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("invalid cycle-time: {}", t))
+        })
         .collect::<Result<_, _>>()?;
     let (p, q) = args.grid()?;
     if times.len() != p * q || new_times.len() != p * q {
@@ -91,19 +216,47 @@ fn cmd_rebalance(args: &Args) -> Result<(), String> {
     let old_best = old.best();
     let new_best = new.best();
     let old_dist = PanelDist::from_allocation(
-        &old_best.arrangement, &old_best.alloc, bp, bq, PanelOrdering::Interleaved);
+        &old_best.arrangement,
+        &old_best.alloc,
+        bp,
+        bq,
+        PanelOrdering::Interleaved,
+    );
     let new_dist = PanelDist::from_allocation(
-        &new_best.arrangement, &new_best.alloc, bp, bq, PanelOrdering::Interleaved);
+        &new_best.arrangement,
+        &new_best.alloc,
+        bp,
+        bq,
+        PanelOrdering::Interleaved,
+    );
 
     let moved = hetgrid_dist::redistribution::moved_fraction(&old_dist, &new_dist, nb);
     let cost = CostModel::default();
     // Both evaluated against the NEW speeds (the machine has drifted).
-    let stale = kernels::simulate_mm(&new_best.arrangement, &old_dist, nb, cost, Broadcast::Direct);
-    let fresh = kernels::simulate_mm(&new_best.arrangement, &new_dist, nb, cost, Broadcast::Direct);
-    println!("blocks moved by rebalancing : {:.1}% of the matrix", moved * 100.0);
+    let stale = kernels::simulate_mm(
+        &new_best.arrangement,
+        &old_dist,
+        nb,
+        cost,
+        Broadcast::Direct,
+    );
+    let fresh = kernels::simulate_mm(
+        &new_best.arrangement,
+        &new_dist,
+        nb,
+        cost,
+        Broadcast::Direct,
+    );
+    println!(
+        "blocks moved by rebalancing : {:.1}% of the matrix",
+        moved * 100.0
+    );
     println!("MM makespan with stale plan : {:.1}", stale.makespan);
     println!("MM makespan with fresh plan : {:.1}", fresh.makespan);
-    println!("gain per run                : {:.2}x", stale.makespan / fresh.makespan);
+    println!(
+        "gain per run                : {:.2}x",
+        stale.makespan / fresh.makespan
+    );
     Ok(())
 }
 

@@ -142,7 +142,14 @@ fn rank1_detects_both_cases() {
 #[test]
 fn rebalance_quantifies_the_move() {
     let (ok, stdout, stderr) = run(&[
-        "rebalance", "--times", "1,1,1,1", "--new-times", "1,1,1,4", "--grid", "2x2", "--nb",
+        "rebalance",
+        "--times",
+        "1,1,1,1",
+        "--new-times",
+        "1,1,1,4",
+        "--grid",
+        "2x2",
+        "--nb",
         "16",
     ]);
     assert!(ok, "{}", stderr);

@@ -1,0 +1,228 @@
+//! A minimal unbounded MPMC channel with clonable senders *and*
+//! receivers — the subset of `crossbeam::channel` the executor needs,
+//! implemented on `std` primitives because the build environment is
+//! offline.
+//!
+//! Semantics match crossbeam where the executor relies on them:
+//!
+//! * [`Sender::send`] fails only when every receiver is gone;
+//! * [`Receiver::recv`] blocks until a message arrives and fails only
+//!   when the channel is empty and every sender is gone;
+//! * dropping the last sender wakes all blocked receivers so shutdown
+//!   cannot deadlock.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cv: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+/// Sending half; clonable.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// Receiving half; clonable (all clones drain the same queue).
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// The message could not be delivered: all receivers are gone. Carries
+/// the undelivered message back, like crossbeam's error.
+pub struct SendError<T>(pub T);
+
+/// The channel is empty and all senders are gone.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, failing only if every receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next message; fails when the channel is drained
+    /// and every sender was dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.0.cv.wait(st).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().expect("channel poisoned").senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake every blocked receiver so it can observe shutdown.
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.state.lock().expect("channel poisoned").receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+impl fmt::Debug for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RecvError")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let n = 1000u64;
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..n {
+                    tx.send(i).unwrap();
+                }
+            })
+        };
+        drop(tx);
+        let mut sum = 0u64;
+        while let Ok(v) = rx.recv() {
+            sum += v;
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn cloned_receivers_partition_messages() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        let h1 = thread::spawn(move || {
+            let mut got = 0usize;
+            while rx1.recv().is_ok() {
+                got += 1;
+            }
+            got
+        });
+        let h2 = thread::spawn(move || {
+            let mut got = 0usize;
+            while rx2.recv().is_ok() {
+                got += 1;
+            }
+            got
+        });
+        for i in 0..500 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = h1.join().unwrap() + h2.join().unwrap();
+        assert_eq!(total, 500);
+    }
+}

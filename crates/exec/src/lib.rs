@@ -1,7 +1,7 @@
 //! # hetgrid-exec
 //!
 //! A threaded shared-memory executor for the distributed dense kernels:
-//! one OS thread per virtual processor of the 2D grid, crossbeam
+//! one OS thread per virtual processor of the 2D grid, [`channel`]
 //! channels carrying exactly the blocks the distribution's communication
 //! pattern prescribes, and integer *slowdown weights* emulating the
 //! heterogeneous cycle-times on homogeneous hardware.
@@ -31,6 +31,7 @@
     clippy::too_many_arguments
 )]
 
+pub mod channel;
 pub mod cholesky;
 pub mod lu;
 pub mod mm;

@@ -9,8 +9,8 @@
 //! gathering the in-place result and splitting it into unit-lower `L`
 //! and upper `U` must reproduce the input, `A = L * U`.
 
+use crate::channel::{unbounded, Receiver, Sender};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::tri::{
@@ -66,7 +66,7 @@ pub fn run_lu(
     let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
 
     let wall_start = Instant::now();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for i in 0..p {
             for j in 0..q {
                 let me = i * q + j;
@@ -75,13 +75,12 @@ pub fn run_lu(
                 let rx = rxs[me].clone();
                 let done = done_tx.clone();
                 let w = weights[i][j];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     worker(dist, nb, r, (i, j), my_blocks, w, txs, rx, done);
                 });
             }
         }
-    })
-    .expect("worker thread panicked");
+    });
     drop(done_tx);
 
     let wall_seconds = wall_start.elapsed().as_secs_f64();

@@ -1,14 +1,14 @@
 //! Threaded distributed outer-product matrix multiplication.
 //!
 //! One OS thread per virtual processor; blocks travel through
-//! crossbeam channels exactly along the distribution's communication
+//! [`crate::channel`] channels exactly along the distribution's communication
 //! pattern (horizontal broadcasts of the pivot block column of `A`,
 //! vertical broadcasts of the pivot block row of `B`, Section 3.1.1).
 //! Heterogeneity is emulated by integer *slowdown weights*: processor
 //! `(i, j)` repeats every block kernel `w_ij` times.
 
+use crate::channel::{unbounded, Receiver, Sender};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::Matrix;
@@ -80,7 +80,7 @@ pub fn run_mm_rect(
     let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
 
     let wall_start = Instant::now();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for i in 0..p {
             for j in 0..q {
                 let me = i * q + j;
@@ -90,13 +90,12 @@ pub fn run_mm_rect(
                 let rx = rxs[me].clone();
                 let done = done_tx.clone();
                 let w = weights[i][j];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     worker(dist, (mb, nb, kb), r, (i, j), my_a, my_b, w, txs, rx, done);
                 });
             }
         }
-    })
-    .expect("worker thread panicked");
+    });
     drop(done_tx);
 
     let wall_seconds = wall_start.elapsed().as_secs_f64();

@@ -112,9 +112,13 @@ pub struct ExecReport {
 
 impl ExecReport {
     /// Ratio of the busiest processor's compute time to the mean — 1.0
-    /// means perfectly balanced compute.
+    /// means perfectly balanced compute. An empty or fully idle grid is
+    /// reported as balanced (1.0) rather than NaN.
     pub fn imbalance(&self) -> f64 {
         let flat: Vec<f64> = self.busy_seconds.iter().flatten().cloned().collect();
+        if flat.is_empty() {
+            return 1.0;
+        }
         let max = flat.iter().cloned().fold(0.0f64, f64::max);
         let mean = flat.iter().sum::<f64>() / flat.len() as f64;
         if mean > 0.0 {
@@ -125,16 +129,46 @@ impl ExecReport {
     }
 
     /// Ratio of the largest weighted work to the mean, a hardware-clock
-    /// independent balance measure.
+    /// independent balance measure. An empty or zero-work grid is
+    /// reported as balanced (1.0).
     pub fn work_imbalance(&self) -> f64 {
         let flat: Vec<u64> = self.work_units.iter().flatten().cloned().collect();
-        let max = *flat.iter().max().expect("non-empty") as f64;
+        let max = match flat.iter().max() {
+            Some(&m) => m as f64,
+            None => return 1.0,
+        };
         let mean = flat.iter().sum::<u64>() as f64 / flat.len() as f64;
         if mean > 0.0 {
             max / mean
         } else {
             1.0
         }
+    }
+
+    /// Observed per-unit cycle-times: `busy_seconds / work_units` per
+    /// processor, `None` where a processor performed no work this run.
+    ///
+    /// This is the telemetry signal the adaptive runtime consumes: on
+    /// drifting machines the per-unit time of a processor rises with the
+    /// competing load, independent of how many blocks it owned.
+    pub fn observed_times(&self) -> Vec<Vec<Option<f64>>> {
+        self.busy_seconds
+            .iter()
+            .zip(&self.work_units)
+            .map(|(busy_row, unit_row)| {
+                busy_row
+                    .iter()
+                    .zip(unit_row)
+                    .map(|(&busy, &units)| {
+                        if units > 0 {
+                            Some(busy / units as f64)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Total number of messages sent across all processors.

@@ -42,11 +42,13 @@
 pub mod analysis;
 pub mod bsp;
 pub mod collectives;
+pub mod drift;
 pub mod engine;
 pub mod kernels;
 pub mod machine;
 pub mod trace;
 
+pub use drift::DriftProfile;
 pub use kernels::{
     simulate_cholesky, simulate_cholesky_traced, simulate_factor_bcast, simulate_factor_traced,
     simulate_lu, simulate_mm, simulate_mm_rect, simulate_mm_traced, simulate_qr, simulate_trsv,

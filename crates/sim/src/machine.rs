@@ -202,11 +202,13 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Mean core utilization: `mean(busy) / makespan`.
+    /// Mean core utilization: `mean(busy) / makespan`. An empty grid or
+    /// a zero makespan is reported as fully utilized (1.0) rather than
+    /// NaN.
     pub fn average_utilization(&self) -> f64 {
         let total: f64 = self.core_busy.iter().flatten().sum();
         let n = self.core_busy.iter().map(|r| r.len()).sum::<usize>();
-        if self.makespan > 0.0 {
+        if n > 0 && self.makespan > 0.0 {
             total / (n as f64 * self.makespan)
         } else {
             1.0

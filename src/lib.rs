@@ -6,11 +6,14 @@
 //! * [`dist`] — block-to-processor distributions;
 //! * [`sim`] — the discrete-event HNOW simulator;
 //! * [`exec`] — the threaded executor running real kernels;
+//! * [`adapt`] — the closed-loop adaptive rebalancing runtime;
 //! * [`linalg`] — the dense linear algebra substrate;
-//! * [`pipeline`] — one-call plan/simulate/rebalance helpers.
+//! * [`pipeline`] — one-call plan/simulate/rebalance helpers and the
+//!   adaptive execution [`pipeline::Session`].
 
 pub mod pipeline;
 
+pub use hetgrid_adapt as adapt;
 pub use hetgrid_core as core;
 pub use hetgrid_dist as dist;
 pub use hetgrid_exec as exec;
