@@ -1,0 +1,371 @@
+//! Scaling benchmark for the branch-and-bound exact solver and the
+//! packed GEMM kernel, against the pre-PR baselines vendored below.
+//!
+//! Measures three things and writes `BENCH_solver.json` at the repo
+//! root:
+//!
+//! 1. `solve_global` on a 3x3 grid (all 42 non-decreasing arrangements
+//!    of distinct times) — branch-and-bound vs the pre-PR serial
+//!    enumerator (clone-based union-find, per-tree allocations),
+//!    reproduced verbatim in [`baseline`];
+//! 2. `solve_arrangement` scaling on a mildly heterogeneous
+//!    distinct-times family up to 9x9 (the pre-PR solver was hard-capped
+//!    at 8x8 and needed ~44 s for a 6x6);
+//! 3. 512^3 GEMM — the packed/micro-kernel [`gemm`] and [`par_gemm`]
+//!    vs the pre-PR blocked `ikj` kernel ([`gemm_blocked`]).
+//!
+//! Usage: `solver_scaling [--smoke]`. `--smoke` shrinks every problem so
+//! CI can exercise the whole path in a few seconds; the JSON records
+//! which mode produced it.
+
+use hetgrid_core::exact;
+use hetgrid_core::sorted_row_major;
+use hetgrid_linalg::gemm::{gemm, gemm_blocked, par_gemm};
+use hetgrid_linalg::Matrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The pre-PR exact solver, vendored so the comparison survives the
+/// rewrite of `hetgrid_core::exact`. This is the seed-commit algorithm:
+/// depth-first spanning-tree enumeration with a `parent.clone()` per
+/// included edge, and a per-tree `evaluate_tree` that allocates an
+/// adjacency list, walks the shares, and rescans all `p*q` constraints.
+mod baseline {
+    use hetgrid_core::arrangement::{enumerate_nondecreasing, Arrangement};
+
+    pub struct BaselineSolution {
+        pub obj2: f64,
+        pub trees_examined: u64,
+    }
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        e: usize,
+        n_edges: usize,
+        need: usize,
+        p: usize,
+        q: usize,
+        arr: &Arrangement,
+        chosen: &mut Vec<usize>,
+        parent: &mut Vec<usize>,
+        best: &mut f64,
+        examined: &mut u64,
+    ) {
+        if chosen.len() == need {
+            *examined += 1;
+            if let Some(obj2) = evaluate_tree(arr, chosen) {
+                if obj2 > *best {
+                    *best = obj2;
+                }
+            }
+            return;
+        }
+        if e == n_edges || n_edges - e < need - chosen.len() {
+            return;
+        }
+        let (i, j) = (e / q, e % q);
+        let u = find(parent, i);
+        let v = find(parent, p + j);
+        if u != v {
+            let saved = parent.clone();
+            parent[u] = v;
+            chosen.push(e);
+            rec(
+                e + 1,
+                n_edges,
+                need,
+                p,
+                q,
+                arr,
+                chosen,
+                parent,
+                best,
+                examined,
+            );
+            chosen.pop();
+            *parent = saved;
+        }
+        rec(
+            e + 1,
+            n_edges,
+            need,
+            p,
+            q,
+            arr,
+            chosen,
+            parent,
+            best,
+            examined,
+        );
+    }
+
+    // The index-based rescan is part of the vendored pre-PR code shape.
+    #[allow(clippy::needless_range_loop)]
+    fn evaluate_tree(arr: &Arrangement, edges: &[usize]) -> Option<f64> {
+        let (p, q) = (arr.p(), arr.q());
+        let mut r = vec![0.0f64; p];
+        let mut c = vec![0.0f64; q];
+        let mut r_set = vec![false; p];
+        let mut c_set = vec![false; q];
+
+        let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); p + q];
+        for &e in edges {
+            let (i, j) = (e / q, e % q);
+            adj[i].push((e, true));
+            adj[p + j].push((e, false));
+        }
+
+        r[0] = 1.0;
+        r_set[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            for &(e, _) in &adj[v] {
+                let (i, j) = (e / q, e % q);
+                if v < p {
+                    if !c_set[j] {
+                        c[j] = 1.0 / (r[i] * arr.time(i, j));
+                        c_set[j] = true;
+                        stack.push(p + j);
+                    }
+                } else if !r_set[i] {
+                    r[i] = 1.0 / (c[j] * arr.time(i, j));
+                    r_set[i] = true;
+                    stack.push(i);
+                }
+            }
+        }
+        for i in 0..p {
+            for j in 0..q {
+                if r[i] * arr.time(i, j) * c[j] > 1.0 + 1e-9 {
+                    return None;
+                }
+            }
+        }
+        Some(r.iter().sum::<f64>() * c.iter().sum::<f64>())
+    }
+
+    /// Pre-PR `solve_arrangement`, reduced to the objective and counter.
+    pub fn solve_arrangement(arr: &Arrangement) -> BaselineSolution {
+        let (p, q) = (arr.p(), arr.q());
+        let n_edges = p * q;
+        let need = p + q - 1;
+        let mut chosen: Vec<usize> = Vec::with_capacity(need);
+        let mut parent: Vec<usize> = (0..p + q).collect();
+        let mut best = f64::NEG_INFINITY;
+        let mut examined = 0u64;
+        rec(
+            0,
+            n_edges,
+            need,
+            p,
+            q,
+            arr,
+            &mut chosen,
+            &mut parent,
+            &mut best,
+            &mut examined,
+        );
+        BaselineSolution {
+            obj2: best,
+            trees_examined: examined,
+        }
+    }
+
+    /// Pre-PR `solve_global`: serial full enumeration, every arrangement
+    /// solved from scratch with no shared incumbent.
+    pub fn solve_global(times: &[f64], p: usize, q: usize) -> BaselineSolution {
+        let mut best = f64::NEG_INFINITY;
+        let mut examined = 0u64;
+        enumerate_nondecreasing(times, p, q, |arr| {
+            let s = solve_arrangement(arr);
+            examined += s.trees_examined;
+            if s.obj2 > best {
+                best = s.obj2;
+            }
+        });
+        BaselineSolution {
+            obj2: best,
+            trees_examined: examined,
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrix (same generator as the gemm
+/// tests).
+fn arb(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(m, n, |_, _| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+/// Mildly heterogeneous distinct-times family used for the
+/// `solve_arrangement` scaling rows (same instances as DESIGN.md).
+fn spread_times(p: usize, q: usize) -> Vec<f64> {
+    (0..p * q)
+        .map(|k| {
+            let x = ((k * 37 + 11) % 97) as f64 / 97.0;
+            1.0 + 3.0 * x * x
+        })
+        .collect()
+}
+
+/// Minimum wall-clock of `f` over `reps` runs after one warmup. The
+/// minimum is the standard microbenchmark statistic: scheduler and cache
+/// noise only ever add time, so the fastest observed run is the closest
+/// to the true cost of the code.
+fn time_avg<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"smoke\": {},", smoke);
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        hetgrid_par::global().threads()
+    );
+
+    // --- 1. solve_global 3x3: branch-and-bound vs pre-PR enumerator ---
+    let times: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+    let reps = if smoke { 5 } else { 50 };
+
+    let base_s = time_avg(reps, || {
+        std::hint::black_box(baseline::solve_global(&times, 3, 3));
+    });
+    let bnb_s = time_avg(reps, || {
+        std::hint::black_box(exact::solve_global(&times, 3, 3));
+    });
+    let check_base = baseline::solve_global(&times, 3, 3);
+    let check_bnb = exact::solve_global(&times, 3, 3);
+    assert!(
+        (check_base.obj2 - check_bnb.obj2).abs() <= 1e-9 * check_base.obj2,
+        "solver mismatch: baseline {} vs bnb {}",
+        check_base.obj2,
+        check_bnb.obj2
+    );
+    let speedup = base_s / bnb_s;
+    println!(
+        "solve_global 3x3: baseline {:.3} ms, bnb {:.3} ms  ({:.2}x, obj2 {:.6})",
+        base_s * 1e3,
+        bnb_s * 1e3,
+        speedup,
+        check_bnb.obj2
+    );
+    let _ = writeln!(
+        json,
+        "  \"solve_global_3x3\": {{ \"baseline_ms\": {:.4}, \"bnb_ms\": {:.4}, \"speedup\": {:.2}, \"obj2\": {:.6} }},",
+        base_s * 1e3,
+        bnb_s * 1e3,
+        speedup,
+        check_bnb.obj2
+    );
+
+    // --- 2. solve_arrangement scaling (spread family) ---
+    let grids: &[(usize, usize)] = if smoke {
+        &[(4, 4), (5, 5)]
+    } else {
+        &[(4, 4), (5, 5), (6, 6), (7, 7), (8, 8), (9, 9)]
+    };
+    let _ = writeln!(json, "  \"solve_arrangement\": [");
+    for (idx, &(p, q)) in grids.iter().enumerate() {
+        let times = spread_times(p, q);
+        let arr = sorted_row_major(&times, p, q);
+        let t0 = Instant::now();
+        let s = exact::solve_arrangement(&arr);
+        let dt = t0.elapsed().as_secs_f64();
+        // The pre-PR solver is only run where it finishes in reasonable
+        // time (its 6x6 already takes ~44 s).
+        let base_ms = if p <= 5 {
+            let t0 = Instant::now();
+            let b = baseline::solve_arrangement(&arr);
+            assert!(
+                (b.obj2 - s.obj2).abs() <= 1e-9 * b.obj2,
+                "arrangement mismatch"
+            );
+            format!("{:.3}", t0.elapsed().as_secs_f64() * 1e3)
+        } else {
+            "null".to_string()
+        };
+        println!(
+            "solve_arrangement {}x{}: {:.3} ms (examined {}, pruned {}), baseline {} ms",
+            p,
+            q,
+            dt * 1e3,
+            s.trees_examined,
+            s.trees_pruned,
+            base_ms
+        );
+        let _ = writeln!(
+            json,
+            "    {{ \"grid\": \"{}x{}\", \"ms\": {:.3}, \"trees_examined\": {}, \"trees_pruned\": {}, \"baseline_ms\": {} }}{}",
+            p,
+            q,
+            dt * 1e3,
+            s.trees_examined,
+            s.trees_pruned,
+            base_ms,
+            if idx + 1 == grids.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // --- 3. GEMM: packed + parallel vs pre-PR blocked kernel ---
+    let n = if smoke { 192 } else { 512 };
+    let gemm_reps = if smoke { 3 } else { 5 };
+    let a = arb(n, n, 1);
+    let b = arb(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    let flops = 2.0 * (n as f64).powi(3);
+
+    let blocked_s = time_avg(gemm_reps, || gemm_blocked(1.0, &a, &b, 0.0, &mut c));
+    let packed_s = time_avg(gemm_reps, || gemm(1.0, &a, &b, 0.0, &mut c));
+    let par_s = time_avg(gemm_reps, || par_gemm(1.0, &a, &b, 0.0, &mut c));
+    let gemm_speedup = blocked_s / par_s;
+    println!(
+        "gemm {0}^3: blocked {1:.2} ms, packed {2:.2} ms, par {3:.2} ms  (par {4:.2}x blocked, {5:.2} GFLOP/s)",
+        n,
+        blocked_s * 1e3,
+        packed_s * 1e3,
+        par_s * 1e3,
+        gemm_speedup,
+        flops / par_s / 1e9
+    );
+    let _ = writeln!(
+        json,
+        "  \"gemm\": {{ \"n\": {}, \"blocked_ms\": {:.3}, \"packed_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup_par_vs_blocked\": {:.2}, \"gflops_par\": {:.2} }}",
+        n,
+        blocked_s * 1e3,
+        packed_s * 1e3,
+        par_s * 1e3,
+        gemm_speedup,
+        flops / par_s / 1e9
+    );
+    json.push_str("}\n");
+
+    // BENCH_solver.json lives at the repo root, two levels above this
+    // crate's manifest.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, &json).expect("write BENCH_solver.json");
+    println!("wrote {}", path);
+}

@@ -349,11 +349,19 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             )
         }
         "exact" => {
-            let g = exact::solve_global(&times, p, q);
+            let opts = if args.flag("no-prune") {
+                exact::ExactOptions::exhaustive()
+            } else {
+                exact::ExactOptions::default()
+            };
+            let g = exact::solve_global_with(&times, p, q, &opts);
             (
                 g.arrangement,
                 g.alloc,
-                format!("exact ({} arrangements examined)", g.arrangements_examined),
+                format!(
+                    "exact ({} arrangements, {} trees examined, {} subtrees pruned)",
+                    g.arrangements_examined, g.trees_examined, g.trees_pruned
+                ),
             )
         }
         "local-search" => {

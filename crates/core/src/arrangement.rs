@@ -223,70 +223,98 @@ pub fn enumerate_nondecreasing(
     q: usize,
     mut visit: impl FnMut(&Arrangement),
 ) {
+    enumerate_nondecreasing_grids(times, p, q, |grid_times, grid_procs| {
+        let a = Arrangement::with_procs(p, q, grid_times.to_vec(), grid_procs.to_vec());
+        visit(&a);
+    });
+}
+
+/// Raw variant of [`enumerate_nondecreasing`]: invokes `visit` with the
+/// row-major cycle-time grid and the matching processor-id grid instead
+/// of a constructed [`Arrangement`]. The slices are reused between
+/// callbacks — clone them if a candidate must outlive its visit. Used by
+/// the exact solver's fused enumeration loop, where building (and
+/// validating) an `Arrangement` per candidate would rival the
+/// per-arrangement solve cost.
+///
+/// # Panics
+/// Panics if `times.len() != p * q`.
+pub fn enumerate_nondecreasing_grids(
+    times: &[f64],
+    p: usize,
+    q: usize,
+    visit: impl FnMut(&[f64], &[ProcId]),
+) {
     assert_eq!(times.len(), p * q, "enumerate_nondecreasing: size mismatch");
     let mut idx: Vec<usize> = (0..times.len()).collect();
     idx.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).expect("NaN cycle-time"));
-    let sorted: Vec<(f64, ProcId)> = idx.iter().map(|&k| (times[k], k)).collect();
+    let sorted_t: Vec<f64> = idx.iter().map(|&k| times[k]).collect();
 
-    let mut grid_times = vec![0.0f64; p * q];
-    let mut grid_procs = vec![0usize; p * q];
-    let mut used = vec![false; sorted.len()];
+    struct Ctx<'a, F> {
+        p: usize,
+        q: usize,
+        /// Candidate cycle-times, ascending.
+        sorted_t: &'a [f64],
+        /// Processor id of each candidate.
+        sorted_id: &'a [ProcId],
+        used: Vec<bool>,
+        grid_times: Vec<f64>,
+        grid_procs: Vec<ProcId>,
+        visit: F,
+    }
 
     // Fill positions row-major; at each cell the value must be >= the cell
     // above and to the left. Skip equal candidate values (only take the
     // first unused index of a run of equals) to avoid duplicates.
-    fn rec(
-        pos: usize,
-        p: usize,
-        q: usize,
-        sorted: &[(f64, ProcId)],
-        used: &mut [bool],
-        grid_times: &mut [f64],
-        grid_procs: &mut [usize],
-        visit: &mut impl FnMut(&Arrangement),
-    ) {
-        if pos == p * q {
-            let a = Arrangement::with_procs(p, q, grid_times.to_vec(), grid_procs.to_vec());
-            visit(&a);
+    fn rec<F: FnMut(&[f64], &[ProcId])>(ctx: &mut Ctx<'_, F>, pos: usize) {
+        if pos == ctx.p * ctx.q {
+            (ctx.visit)(&ctx.grid_times, &ctx.grid_procs);
             return;
         }
-        let (i, j) = (pos / q, pos % q);
-        let min_left = if j > 0 { grid_times[pos - 1] } else { 0.0 };
-        let min_up = if i > 0 { grid_times[pos - q] } else { 0.0 };
+        let (i, j) = (pos / ctx.q, pos % ctx.q);
+        let min_left = if j > 0 { ctx.grid_times[pos - 1] } else { 0.0 };
+        let min_up = if i > 0 {
+            ctx.grid_times[pos - ctx.q]
+        } else {
+            0.0
+        };
         let lower = min_left.max(min_up);
 
+        // Candidates are sorted, so everything below `lower` is one
+        // contiguous prefix — skip it wholesale.
+        let start = ctx.sorted_t.partition_point(|&t| t < lower);
         let mut last_val = f64::NEG_INFINITY;
-        for k in 0..sorted.len() {
-            if used[k] {
+        for k in start..ctx.sorted_t.len() {
+            if ctx.used[k] {
                 continue;
             }
-            let (t, id) = sorted[k];
-            if t < lower {
-                continue;
-            }
+            let t = ctx.sorted_t[k];
             if t == last_val {
                 // An equal value was already tried at this cell; taking a
                 // different copy yields the same cycle-time matrix.
                 continue;
             }
             last_val = t;
-            used[k] = true;
-            grid_times[pos] = t;
-            grid_procs[pos] = id;
-            rec(pos + 1, p, q, sorted, used, grid_times, grid_procs, visit);
-            used[k] = false;
+            ctx.used[k] = true;
+            ctx.grid_times[pos] = t;
+            ctx.grid_procs[pos] = ctx.sorted_id[k];
+            rec(ctx, pos + 1);
+            ctx.used[k] = false;
         }
     }
-    rec(
-        0,
+
+    let n = times.len();
+    let mut ctx = Ctx {
         p,
         q,
-        &sorted,
-        &mut used,
-        &mut grid_times,
-        &mut grid_procs,
-        &mut visit,
-    );
+        sorted_t: &sorted_t,
+        sorted_id: &idx,
+        used: vec![false; n],
+        grid_times: vec![0.0f64; n],
+        grid_procs: vec![0usize; n],
+        visit,
+    };
+    rec(&mut ctx, 0);
 }
 
 /// Enumerates *all* arrangements (every permutation of `times` on the

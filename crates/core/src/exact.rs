@@ -1,4 +1,5 @@
-//! Exact solution of the optimization problem (Section 4.3).
+//! Exact solution of the optimization problem (Section 4.3), as a
+//! branch-and-bound search over spanning trees.
 //!
 //! For a *fixed* arrangement the optimum of `Obj2` is attained with at
 //! least `p + q - 1` tight constraints, and the tight constraints must
@@ -10,15 +11,94 @@
 //! value `(sum r)(sum c)`.
 //!
 //! The number of spanning trees of `K_{p,q}` is `p^(q-1) * q^(p-1)` —
-//! exponential, but perfectly feasible for the small grids where exact
-//! answers are wanted (81 trees for 3x3, 4096 for 4x4, ~4x10^5 for 5x5).
+//! `81` for 3x3, `~6x10^7` for 6x6, `~1.8x10^15` for 9x9 — so plain
+//! enumeration stops being viable around 6x6. The solver therefore runs
+//! a branch-and-bound (bound derivation in DESIGN.md):
+//!
+//! * **Incremental share propagation.** Edges are added one by one to a
+//!   rollback union-find. Inside a connected component all shares are
+//!   determined up to the component's scale `s` (`r_i = s * rho_i`,
+//!   `c_j = gamma_j / s`), so every *product* `r_i c_j = rho_i gamma_j`
+//!   of a row and a column in the same component is already absolute.
+//!   Each merge checks the newly-determined pairs: a forced
+//!   `r_i t_ij c_j > 1` kills the whole subtree, because every
+//!   completion of the partial tree forces the same violation.
+//! * **Admissible bound.** `Obj2 = (sum r)(sum c) = sum_ij r_i c_j`.
+//!   Pairs inside one component contribute their exact, already-forced
+//!   products. For two components `A`, `B` the only remaining freedom
+//!   is the single scale ratio `x = s_A / s_B`: their cross pairs
+//!   contribute `x * S_AB + S_BA / x` with `S_AB = sum(rho_i gamma_j)`
+//!   over A-rows x B-cols (`S_BA` symmetric), and every cross constraint
+//!   `r_i t_ij c_j <= 1` narrows `x` to the window
+//!   `[1 / m_BA, m_AB]`, `m_AB = min 1/(t_ij rho_i gamma_j)`. The
+//!   contribution is convex in `x`, so its maximum over the window sits
+//!   at an endpoint — and an *empty* window (`m_AB * m_BA < 1`) proves
+//!   the two components can never coexist in an acceptable tree,
+//!   pruning the subtree outright. Summing intra-component exact terms
+//!   and per-component-pair endpoint maxima (capped by the trivial
+//!   `sum 1/t_ij`) yields an admissible bound that tightens as edges
+//!   are added; a subtree whose bound cannot beat the incumbent is cut.
+//!   The incumbent is seeded with the alternating fixpoint of
+//!   [`crate::alternating`] (feasible, hence a true lower bound), so
+//!   pruning has teeth from the very first branch.
+//! * **No allocation in the hot loop.** The rollback journal, component
+//!   member lists and share values live in preallocated buffers;
+//!   including an edge pushes undo records, backtracking pops them (the
+//!   old enumerator cloned the whole union-find per included edge and
+//!   rebuilt a `Vec<Vec<_>>` adjacency per examined tree).
 //!
 //! The *global* problem additionally searches over arrangements; by the
 //! paper's Theorem 1 only non-decreasing arrangements need to be
-//! considered.
+//! considered. [`solve_global`] fans the arrangements out over the
+//! `hetgrid-par` work-stealing pool and shares the incumbent across
+//! them through an atomic, so a good arrangement solved early prunes
+//! the rest.
 
 use crate::arrangement::{enumerate_nondecreasing, Arrangement};
 use crate::objective::{workload_matrix, Allocation};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Feasibility slack on `r_i t_ij c_j <= 1`, matching the tolerance the
+/// rest of the crate uses for acceptability checks.
+const ACCEPT_TOL: f64 = 1e-9;
+
+/// Hard grid limit for the exact solver. Beyond this even the pruned
+/// search is astronomical; use the heuristic instead.
+const MAX_DIM: usize = 10;
+
+/// Options for [`solve_arrangement_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Cut subtrees on forced constraint violations and on the
+    /// admissible `(sum r)(sum c)` bound. Disabling reproduces the plain
+    /// spanning-tree enumerator (every tree is examined) — used by tests
+    /// that check the Cayley counts and that pruning never changes the
+    /// optimum.
+    pub prune: bool,
+    /// Seed the incumbent with the alternating-fixpoint objective before
+    /// the search starts. Only meaningful with `prune`.
+    pub seed_incumbent: bool,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            prune: true,
+            seed_incumbent: true,
+        }
+    }
+}
+
+impl ExactOptions {
+    /// The plain exhaustive enumerator (no pruning, no seeding) — every
+    /// spanning tree is examined, like the pre-branch-and-bound solver.
+    pub fn exhaustive() -> Self {
+        ExactOptions {
+            prune: false,
+            seed_incumbent: false,
+        }
+    }
+}
 
 /// Exact optimum for a fixed arrangement.
 #[derive(Clone, Debug)]
@@ -30,191 +110,705 @@ pub struct ExactSolution {
     /// Edges `(i, j)` of the optimal acceptable spanning tree (the tight
     /// constraints `r_i t_ij c_j = 1`).
     pub tree: Vec<(usize, usize)>,
-    /// Total number of spanning trees examined.
+    /// Number of complete spanning trees examined (leaves reached). With
+    /// pruning disabled this equals the Cayley count `p^(q-1) q^(p-1)`.
     pub trees_examined: u64,
-    /// Number of acceptable trees found.
+    /// Number of acceptable trees found among those examined.
     pub trees_acceptable: u64,
+    /// Number of branch-and-bound cuts (subtrees abandoned because of a
+    /// forced violation or a hopeless bound). Zero when pruning is off.
+    pub trees_pruned: u64,
 }
 
-/// Solves `Obj2` exactly for the given arrangement by enumerating the
-/// spanning trees of `K_{p,q}`.
+/// Solves `Obj2` exactly for the given arrangement with the default
+/// branch-and-bound options.
 ///
 /// # Panics
-/// Panics if the grid is larger than 8x8 (the enumeration would be
+/// Panics if the grid is larger than 10x10 (the search would be
 /// astronomically large; use the heuristic instead).
 pub fn solve_arrangement(arr: &Arrangement) -> ExactSolution {
-    let (p, q) = (arr.p(), arr.q());
-    assert!(
-        p <= 8 && q <= 8,
-        "solve_arrangement: exact solver limited to grids up to 8x8"
-    );
-    let n_vertices = p + q;
-    let n_edges = p * q;
-    let need = n_vertices - 1;
-
-    // Edge e = i * q + j joins row-vertex i and column-vertex p + j.
-    let mut best: Option<ExactSolution> = None;
-    let mut chosen: Vec<usize> = Vec::with_capacity(need);
-    let mut parent: Vec<usize> = (0..n_vertices).collect();
-    let mut examined = 0u64;
-    let mut acceptable = 0u64;
-
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
-
-    // Depth-first enumeration over edges in index order: at each edge
-    // either include it (if it joins two components) or skip it. Prune
-    // when the remaining edges cannot complete a tree.
-    fn rec(
-        e: usize,
-        n_edges: usize,
-        need: usize,
-        p: usize,
-        q: usize,
-        arr: &Arrangement,
-        chosen: &mut Vec<usize>,
-        parent: &mut Vec<usize>,
-        best: &mut Option<ExactSolution>,
-        examined: &mut u64,
-        acceptable: &mut u64,
-    ) {
-        if chosen.len() == need {
-            *examined += 1;
-            if let Some(sol) = evaluate_tree(arr, chosen) {
-                *acceptable += 1;
-                if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
-                    *best = Some(sol);
-                }
-            }
-            return;
-        }
-        if e == n_edges || n_edges - e < need - chosen.len() {
-            return;
-        }
-        let (i, j) = (e / q, e % q);
-        let u = find(parent, i);
-        let v = find(parent, p + j);
-        if u != v {
-            // Include edge e.
-            let saved = parent.clone();
-            parent[u] = v;
-            chosen.push(e);
-            rec(
-                e + 1,
-                n_edges,
-                need,
-                p,
-                q,
-                arr,
-                chosen,
-                parent,
-                best,
-                examined,
-                acceptable,
-            );
-            chosen.pop();
-            *parent = saved;
-        }
-        // Skip edge e.
-        rec(
-            e + 1,
-            n_edges,
-            need,
-            p,
-            q,
-            arr,
-            chosen,
-            parent,
-            best,
-            examined,
-            acceptable,
-        );
-    }
-
-    rec(
-        0,
-        n_edges,
-        need,
-        p,
-        q,
-        arr,
-        &mut chosen,
-        &mut parent,
-        &mut best,
-        &mut examined,
-        &mut acceptable,
-    );
-
-    let mut sol = best.expect("K_{p,q} always has an acceptable spanning tree");
-    sol.trees_examined = examined;
-    sol.trees_acceptable = acceptable;
-    sol
+    solve_arrangement_with(arr, &ExactOptions::default())
 }
 
-/// Computes the shares forced by a spanning tree and checks
-/// acceptability. Returns `None` if some non-tree product exceeds 1.
-fn evaluate_tree(arr: &Arrangement, edges: &[usize]) -> Option<ExactSolution> {
+/// Solves `Obj2` exactly with explicit [`ExactOptions`].
+///
+/// # Panics
+/// Panics if the grid is larger than 10x10.
+pub fn solve_arrangement_with(arr: &Arrangement, opts: &ExactOptions) -> ExactSolution {
+    solve_arrangement_seeded(arr, opts, f64::NEG_INFINITY)
+        .expect("K_{p,q} always has an acceptable spanning tree")
+}
+
+/// Internal entry point allowing an externally-known lower bound (used
+/// by [`solve_global`] to share the incumbent across arrangements). The
+/// external bound may exceed this arrangement's optimum — then the
+/// search returns `None` and the caller discards this arrangement.
+fn solve_arrangement_seeded(
+    arr: &Arrangement,
+    opts: &ExactOptions,
+    external_lb: f64,
+) -> Option<ExactSolution> {
+    solve_arrangement_counted(arr, opts, external_lb).0
+}
+
+/// Like [`solve_arrangement_seeded`], but also reports the search-effort
+/// counters `(solution, trees_examined, trees_pruned)` even when the
+/// arrangement is disproved (`None`), so [`solve_global_with`] can
+/// aggregate effort across arrangements.
+fn solve_arrangement_counted(
+    arr: &Arrangement,
+    opts: &ExactOptions,
+    external_lb: f64,
+) -> (Option<ExactSolution>, u64, u64) {
     let (p, q) = (arr.p(), arr.q());
+    let mut lb = external_lb;
+    if opts.prune && opts.seed_incumbent {
+        // The alternating fixpoint is feasible, so its objective is a
+        // true lower bound. Shave a relative epsilon so a tree *equal*
+        // to the seed (the common case: the fixpoint often is optimal)
+        // is still found rather than pruned.
+        let alt = crate::alternating::optimize(arr, 1_000).alloc.obj2();
+        lb = lb.max(alt * (1.0 - 1e-9));
+    }
+
+    let (sol, ex, pr) = solve_slice_counted(p, q, arr.times(), opts.prune, lb);
+    match sol {
+        Some(sol) => (Some(sol), ex, pr),
+        None if external_lb == f64::NEG_INFINITY && !opts.seed_incumbent => (None, ex, pr),
+        None => {
+            // Everything was pruned by the external/seeded bound. For a
+            // lone arrangement that means the seed was too tight
+            // (defensive; should not happen) — rerun unseeded so the
+            // always-existing acceptable tree is found. With an external
+            // bound the caller interprets `None` as "cannot beat the
+            // incumbent", but only after this unseeded check confirms the
+            // arrangement's own optimum does not beat it either.
+            if external_lb == f64::NEG_INFINITY {
+                let (sol2, ex2, pr2) =
+                    solve_slice_counted(p, q, arr.times(), opts.prune, f64::NEG_INFINITY);
+                (sol2, ex + ex2, pr + pr2)
+            } else {
+                (None, ex, pr)
+            }
+        }
+    }
+}
+
+/// Lowest-level solver entry: branch-and-bound over the row-major
+/// cycle-time grid `times` with an optional externally-known lower
+/// bound. Returns `None` iff every branch was cut by that bound (i.e.
+/// this arrangement cannot beat it). Taking a plain slice (rather than
+/// an [`Arrangement`]) lets [`solve_global_with`]'s fused enumeration
+/// loop skip per-candidate arrangement construction entirely. The extra
+/// `(trees_examined, trees_pruned)` counters survive a disproof so
+/// global aggregation stays accurate.
+fn solve_slice_counted(
+    p: usize,
+    q: usize,
+    times: &[f64],
+    prune: bool,
+    lower_bound: f64,
+) -> (Option<ExactSolution>, u64, u64) {
+    assert!(
+        p <= MAX_DIM && q <= MAX_DIM,
+        "solve_arrangement: exact solver limited to grids up to {MAX_DIM}x{MAX_DIM}"
+    );
+    let mut bnb = Bnb::new(p, q, times, prune);
+    if prune {
+        bnb.best_lb = lower_bound;
+    }
+    bnb.search();
+    let (ex, pr) = (bnb.examined, bnb.pruned);
+    (bnb.finish(times), ex, pr)
+}
+
+/// Undo journal frame for one edge inclusion.
+struct Undo {
+    /// Component that got absorbed.
+    victim: usize,
+    /// Component it was absorbed into.
+    winner: usize,
+    /// Lengths of the winner's member lists before the merge.
+    rows_len: usize,
+    cols_len: usize,
+    /// Value-journal watermark: entries above it are `(vertex, old_val)`.
+    vals_mark: usize,
+    /// Bound-state journal watermark.
+    mat_mark: usize,
+    /// Bound and violation counter before the merge.
+    total: f64,
+    viol: u32,
+}
+
+/// Branch-and-bound state. Rows are vertices `0..p`, columns `p..p+q`.
+struct Bnb {
+    p: usize,
+    q: usize,
+    n: usize,
+    need: usize,
+    n_edges: usize,
+    /// Edges sorted by cycle-time ascending: `(i, j)`. Cheap edges are
+    /// likely tight in the optimum, so trying them first finds strong
+    /// incumbents early.
+    edges: Vec<(u32, u32)>,
+    /// `(t_ij, 1/t_ij)` in grid order, indexed `i * q + j`.
+    time_table: Vec<(f64, f64)>,
+    prune: bool,
+
+    /// Component id per vertex (component ids are vertex ids).
+    comp_of: Vec<u32>,
+    /// Relative share per vertex: `rho_i` for rows, `gamma_j` for cols.
+    val: Vec<f64>,
+    /// Member rows / columns per component id.
+    comp_rows: Vec<Vec<u32>>,
+    comp_cols: Vec<Vec<u32>>,
+    /// Value journal for rollback: `(vertex, previous value)`.
+    val_journal: Vec<(u32, f64)>,
+
+    /// Incrementally-maintained bound state, one flat array (see the
+    /// `M0`/`S0`/`C0`/`P0`/`SR0`/`SC0` offsets): per ordered component
+    /// pair `(a, b)` the scale-window limit `m = min 1/(t rho gamma)`,
+    /// product sum `S = sum rho gamma` and trivial cap `sum 1/t` over
+    /// rows of `a` x cols of `b`; per unordered pair its bound term; per
+    /// component its row-share and col-share sums.
+    mat: Vec<f64>,
+    /// Bound-state journal for rollback: `(flat index, previous value)`.
+    mat_journal: Vec<(u32, f64)>,
+    /// Current admissible bound: `sum_a sr_a * sc_a + sum_{a<b} pt_ab`.
+    total: f64,
+
+    /// Number of determined pairs violating `r_i t_ij c_j <= 1`.
+    viol: u32,
+    /// Edge indices (into `edges`) of the current partial tree.
+    chosen: Vec<u32>,
+
+    /// Incumbent lower bound (seeded and/or best tree found so far).
+    best_lb: f64,
+    /// Best acceptable tree: objective and its `chosen` snapshot.
+    best: Option<(f64, Vec<u32>)>,
+
+    examined: u64,
+    acceptable: u64,
+    pruned: u64,
+}
+
+impl Bnb {
+    /// `times` is the row-major `p x q` cycle-time grid.
+    fn new(p: usize, q: usize, times: &[f64], prune: bool) -> Self {
+        debug_assert_eq!(times.len(), p * q);
+        let n = p + q;
+        let mut bnb = Bnb {
+            p,
+            q,
+            n,
+            need: n - 1,
+            n_edges: p * q,
+            edges: Vec::with_capacity(p * q),
+            time_table: vec![(0.0, 0.0); p * q],
+            prune,
+            comp_of: vec![0; n],
+            val: vec![1.0; n],
+            comp_rows: vec![Vec::new(); n],
+            comp_cols: vec![Vec::new(); n],
+            val_journal: Vec::with_capacity(n * n),
+            mat: vec![0.0f64; 4 * n * n + 2 * n],
+            mat_journal: Vec::with_capacity(8 * n * n),
+            total: 0.0,
+            viol: 0,
+            chosen: Vec::with_capacity(n - 1),
+            best_lb: f64::NEG_INFINITY,
+            best: None,
+            examined: 0,
+            acceptable: 0,
+            pruned: 0,
+        };
+        bnb.reset(times);
+        bnb
+    }
+
+    /// Reinitializes the solver for a new cycle-time grid of the *same*
+    /// `p x q` shape without reallocating any buffer. Lets
+    /// [`solve_global_with`]'s fused serial loop amortize the ~2n inner
+    /// allocations of [`Bnb::new`] across all arrangements.
+    fn reset(&mut self, times: &[f64]) {
+        debug_assert_eq!(times.len(), self.n_edges);
+        let (p, q, n) = (self.p, self.q, self.n);
+        for (slot, &t) in self.time_table.iter_mut().zip(times) {
+            *slot = (t, 1.0 / t);
+        }
+        self.edges.clear();
+        self.edges
+            .extend((0..p * q).map(|e| ((e / q) as u32, (e % q) as u32)));
+        let tt = &self.time_table;
+        self.edges.sort_by(|a, b| {
+            let ta = tt[a.0 as usize * q + a.1 as usize].0;
+            let tb = tt[b.0 as usize * q + b.1 as usize].0;
+            tb.partial_cmp(&ta).expect("NaN cycle-time")
+        });
+        for (v, c) in self.comp_of.iter_mut().enumerate() {
+            *c = v as u32;
+        }
+        self.val.fill(1.0);
+        for (v, rows) in self.comp_rows.iter_mut().enumerate() {
+            rows.clear();
+            if v < p {
+                rows.push(v as u32);
+            }
+        }
+        for (v, cols) in self.comp_cols.iter_mut().enumerate() {
+            cols.clear();
+            if v >= p {
+                cols.push(v as u32);
+            }
+        }
+        self.val_journal.clear();
+        self.mat_journal.clear();
+        self.chosen.clear();
+
+        // Bound state for all-singleton components: the only non-empty
+        // directional pairs are (row a, col b) with m = cap = 1/t and
+        // S = 1; every pair term is then 1/t and the starting bound is
+        // sum 1/t_ij — exactly the total-rate bound of `crate::bounds`.
+        self.mat.fill(0.0);
+        for cell in &mut self.mat[..n * n] {
+            *cell = f64::INFINITY; // m segment
+        }
+        let mut total = 0.0;
+        for a in 0..p {
+            self.mat[4 * n * n + a] = 1.0; // sr: singleton row share
+            for b in p..n {
+                let inv_t = self.time_table[a * q + (b - p)].1;
+                self.mat[a * n + b] = inv_t; // m
+                self.mat[n * n + a * n + b] = 1.0; // S
+                self.mat[2 * n * n + a * n + b] = inv_t; // cap
+                self.mat[3 * n * n + a * n + b] = inv_t; // pair term (a < b)
+                total += inv_t;
+            }
+        }
+        for b in p..n {
+            self.mat[4 * n * n + n + b] = 1.0; // sc: singleton col share
+        }
+        self.total = total;
+        self.viol = 0;
+        self.best_lb = f64::NEG_INFINITY;
+        self.best = None;
+        self.examined = 0;
+        self.acceptable = 0;
+        self.pruned = 0;
+    }
+
+    // Flat offsets into `mat`.
+    #[inline]
+    fn m_idx(&self, a: usize, b: usize) -> usize {
+        a * self.n + b
+    }
+    #[inline]
+    fn s_idx(&self, a: usize, b: usize) -> usize {
+        self.n * self.n + a * self.n + b
+    }
+    #[inline]
+    fn cap_idx(&self, a: usize, b: usize) -> usize {
+        2 * self.n * self.n + a * self.n + b
+    }
+    /// Pair-term slot for the unordered pair `{a, b}`.
+    #[inline]
+    fn pt_idx(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        3 * self.n * self.n + lo * self.n + hi
+    }
+    #[inline]
+    fn sr_idx(&self, a: usize) -> usize {
+        4 * self.n * self.n + a
+    }
+    #[inline]
+    fn sc_idx(&self, a: usize) -> usize {
+        4 * self.n * self.n + self.n + a
+    }
+
+    /// Journaled write into the bound state.
+    #[inline]
+    fn jset(&mut self, idx: usize, new: f64) {
+        self.mat_journal.push((idx as u32, self.mat[idx]));
+        self.mat[idx] = new;
+    }
+
+    /// Admissible bound term for a component pair from its directional
+    /// aggregates: the cross contribution `x S_ab + S_ba / x` is convex
+    /// in the scale ratio `x`, so its maximum over the feasibility
+    /// window `[1/m_ba, m_ab]` sits at an endpoint; the per-pair cap
+    /// `sum 1/t` bounds it too. `S > 0` implies the matching `m` is
+    /// finite, and `S = 0` means that direction has no pairs.
+    #[inline]
+    fn pair_term(m_ab: f64, s_ab: f64, m_ba: f64, s_ba: f64, cap: f64) -> f64 {
+        let v = if s_ab == 0.0 && s_ba == 0.0 {
+            0.0
+        } else if s_ab == 0.0 {
+            s_ba * m_ba // f(x) decreasing: max at x = 1/m_ba
+        } else if s_ba == 0.0 {
+            s_ab * m_ab // f(x) increasing: max at x = m_ab
+        } else {
+            let hi = m_ab * s_ab + s_ba / m_ab;
+            let lo = s_ab / m_ba + s_ba * m_ba;
+            hi.max(lo)
+        };
+        v.min(cap)
+    }
+
+    fn search(&mut self) {
+        self.rec(0);
+    }
+
+    /// `true` when a subtree with admissible bound `bound` cannot beat
+    /// the incumbent by more than a hair. Ties prune: a completion
+    /// merely equal to the incumbent adds nothing, and in
+    /// perfect-balance instances the bound equals the optimum in most of
+    /// the tree — keeping ties alive there would degenerate to
+    /// exhaustive search. The relative `TIE_TOL` absorbs the few-ulp
+    /// jitter between equal objectives computed through different merge
+    /// orders (instances with repeated cycle-times produce vast plateaus
+    /// of floating-point-almost-equal optima); it concedes at most
+    /// 1e-12 relative optimality, three orders below `ACCEPT_TOL`, and
+    /// is dominated by the 1e-9 incumbent-seed slack so the true optimum
+    /// itself is never cut.
+    #[inline]
+    fn cut(&self, bound: f64) -> bool {
+        const TIE_TOL: f64 = 1e-12;
+        bound <= self.best_lb * (1.0 + TIE_TOL)
+    }
+
+    fn rec(&mut self, e: usize) {
+        if self.chosen.len() == self.need {
+            self.leaf();
+            return;
+        }
+        if e == self.n_edges || self.n_edges - e < self.need - self.chosen.len() {
+            return;
+        }
+        // The incumbent may have improved since this subtree's bound was
+        // computed (a sibling found a better tree), so re-check. Skipping
+        // an edge leaves `total` untouched, so skip chains re-use it.
+        if self.prune && self.cut(self.total) {
+            self.pruned += 1;
+            return;
+        }
+        let (i, j) = self.edges[e];
+        let u = self.comp_of[i as usize];
+        let v = self.comp_of[self.p + j as usize];
+        if u != v {
+            // Include edge e: merge the two components.
+            let (undo, window_dead) = self.merge(e, u as usize, v as usize);
+            let dead = self.prune && (window_dead || self.viol > 0 || self.cut(self.total));
+            if dead {
+                self.pruned += 1;
+            } else {
+                self.chosen.push(e as u32);
+                self.rec(e + 1);
+                self.chosen.pop();
+            }
+            self.rollback(undo);
+        }
+        // Skip edge e.
+        self.rec(e + 1);
+    }
+
+    /// Merges the components of edge `e`'s endpoints, rescaling the
+    /// smaller one so the edge constraint `r_i t_ij c_j = 1` holds,
+    /// checks every newly-determined pair for a forced violation, and
+    /// folds the merge into the incremental bound state. Returns the
+    /// undo frame and whether some surviving component pair now has an
+    /// empty scale window (no completion can be acceptable).
+    fn merge(&mut self, e: usize, cu: usize, cv: usize) -> (Undo, bool) {
+        let (ei, ej) = self.edges[e];
+        let (ri, cj) = (ei as usize, self.p + ej as usize);
+        let t = self.time_table[ri * self.q + ej as usize].0;
+
+        // Absorb the smaller component (fewer members) into the larger.
+        let size = |c: usize| self.comp_rows[c].len() + self.comp_cols[c].len();
+        let (winner, victim) = if size(cu) >= size(cv) {
+            (cu, cv)
+        } else {
+            (cv, cu)
+        };
+        let undo = Undo {
+            victim,
+            winner,
+            rows_len: self.comp_rows[winner].len(),
+            cols_len: self.comp_cols[winner].len(),
+            vals_mark: self.val_journal.len(),
+            mat_mark: self.mat_journal.len(),
+            total: self.total,
+            viol: self.viol,
+        };
+
+        // Rescale factor for the victim: its rows multiply by f, its
+        // columns divide by f, chosen so rho_i * gamma_j = 1 / t_ij
+        // holds for the merge edge afterwards.
+        let f = if self.comp_of[ri] as usize == winner {
+            // Row endpoint keeps its value; solve for the column side:
+            // rho_i * (gamma_j / f) = 1/t  =>  f = rho_i * t * gamma_j.
+            self.val[ri] * t * self.val[cj]
+        } else {
+            // Column endpoint keeps its value; solve for the row side:
+            // (rho_i * f) * gamma_j = 1/t  =>  f = 1 / (rho_i * t * gamma_j).
+            1.0 / (self.val[ri] * t * self.val[cj])
+        };
+
+        // Move the victim's members over, journaling previous values.
+        let mut vrows = std::mem::take(&mut self.comp_rows[victim]);
+        for &r in &vrows {
+            self.val_journal.push((r, self.val[r as usize]));
+            self.val[r as usize] *= f;
+            self.comp_of[r as usize] = winner as u32;
+        }
+        let mut vcols = std::mem::take(&mut self.comp_cols[victim]);
+        for &c in &vcols {
+            self.val_journal.push((c, self.val[c as usize]));
+            self.val[c as usize] /= f;
+            self.comp_of[c as usize] = winner as u32;
+        }
+
+        // Newly-determined pairs: winner-rows x victim-cols, victim-rows
+        // x winner-cols and victim-rows x victim-cols (the victim's own
+        // cross pairs were already determined *relative to its own
+        // scale* — but they were accounted when the victim was built, so
+        // only cross pairs between the two components are new).
+        for wi in 0..undo.rows_len {
+            let r = self.comp_rows[winner][wi] as usize;
+            let rho = self.val[r];
+            for &c in &vcols {
+                self.account_pair(r, c as usize - self.p, rho * self.val[c as usize]);
+            }
+        }
+        for &r in &vrows {
+            let rho = self.val[r as usize];
+            for wi in 0..undo.cols_len {
+                let c = self.comp_cols[winner][wi] as usize;
+                self.account_pair(r as usize, c - self.p, rho * self.val[c]);
+            }
+        }
+
+        self.comp_rows[winner].append(&mut vrows);
+        self.comp_cols[winner].append(&mut vcols);
+        // Park the victim's (now empty) buffers back for reuse.
+        self.comp_rows[victim] = vrows;
+        self.comp_cols[victim] = vcols;
+
+        // The bound state is only consulted when pruning; the exhaustive
+        // enumerator skips its upkeep to stay a lean baseline.
+        let window_dead = if self.prune {
+            self.fold_bound_state(winner, victim, f)
+        } else {
+            false
+        };
+        (undo, window_dead)
+    }
+
+    /// Folds a completed `victim -> winner` merge (victim rows scaled by
+    /// `f`, victim cols by `1/f`) into the incremental bound state.
+    ///
+    /// The winner absorbs the victim's directional aggregates against
+    /// every other live component `x`: scaling the victim's rows by `f`
+    /// scales its row-direction product sums by `f` and window limits by
+    /// `1/f` (and symmetrically for columns), so aggregates combine in
+    /// O(1) per component. The victim's cross pairs against the winner
+    /// become intra-component (their exact contribution is covered by
+    /// the updated `sr * sc` term), and the victim drops out of the live
+    /// set. Returns `true` if some updated window is empty.
+    fn fold_bound_state(&mut self, winner: usize, victim: usize, f: f64) -> bool {
+        // Intra term: replace winner's and victim's own terms and the
+        // winner-victim pair term by the merged component's exact term.
+        // The victim's `sr * sc` is invariant under its rescale.
+        let sr_w = self.mat[self.sr_idx(winner)];
+        let sc_w = self.mat[self.sc_idx(winner)];
+        let sr_v = self.mat[self.sr_idx(victim)];
+        let sc_v = self.mat[self.sc_idx(victim)];
+        let (sr_new, sc_new) = (sr_w + f * sr_v, sc_w + sc_v / f);
+        let pt_wv = self.mat[self.pt_idx(winner, victim)];
+        let mut total = self.total + sr_new * sc_new - sr_w * sc_w - sr_v * sc_v - pt_wv;
+        self.jset(self.sr_idx(winner), sr_new);
+        self.jset(self.sc_idx(winner), sc_new);
+
+        let mut window_dead = false;
+        for x in 0..self.n {
+            if x == winner
+                || x == victim
+                || (self.comp_rows[x].is_empty() && self.comp_cols[x].is_empty())
+            {
+                continue;
+            }
+            // If the victim never interacted with x (no row-col pair in
+            // either direction: S = 0 and m = infinity), folding it in
+            // changes nothing for the winner-x pair — and the victim's
+            // own pair term is 0 — so the whole update is a no-op. This
+            // skips roughly the same-side components (row comps vs row
+            // comps, col vs col) at shallow depths.
+            if self.mat[self.s_idx(victim, x)] == 0.0
+                && self.mat[self.s_idx(x, victim)] == 0.0
+                && self.mat[self.m_idx(victim, x)].is_infinite()
+                && self.mat[self.m_idx(x, victim)].is_infinite()
+            {
+                continue;
+            }
+            // Winner rows x component-x cols.
+            let m_wx = self.mat[self.m_idx(winner, x)].min(self.mat[self.m_idx(victim, x)] / f);
+            let s_wx = self.mat[self.s_idx(winner, x)] + f * self.mat[self.s_idx(victim, x)];
+            let c_wx = self.mat[self.cap_idx(winner, x)] + self.mat[self.cap_idx(victim, x)];
+            // Component-x rows x winner cols.
+            let m_xw = self.mat[self.m_idx(x, winner)].min(self.mat[self.m_idx(x, victim)] * f);
+            let s_xw = self.mat[self.s_idx(x, winner)] + self.mat[self.s_idx(x, victim)] / f;
+            let c_xw = self.mat[self.cap_idx(x, winner)] + self.mat[self.cap_idx(x, victim)];
+            self.jset(self.m_idx(winner, x), m_wx);
+            self.jset(self.s_idx(winner, x), s_wx);
+            self.jset(self.cap_idx(winner, x), c_wx);
+            self.jset(self.m_idx(x, winner), m_xw);
+            self.jset(self.s_idx(x, winner), s_xw);
+            self.jset(self.cap_idx(x, winner), c_xw);
+            // Empty window: winner and x can never coexist acceptably.
+            // (m is infinite when a direction has no pairs; infinity
+            // times a finite positive value stays above 1.)
+            if m_wx * m_xw < 1.0 - 2.0 * ACCEPT_TOL {
+                window_dead = true;
+            }
+            let pt = Self::pair_term(m_wx, s_wx, m_xw, s_xw, c_wx + c_xw);
+            let pt_slot = self.pt_idx(winner, x);
+            total += pt - self.mat[pt_slot] - self.mat[self.pt_idx(victim, x)];
+            self.jset(pt_slot, pt);
+        }
+        self.total = total;
+        window_dead
+    }
+
+    /// Checks the newly-determined product `r_i * c_j` for grid pair
+    /// `(i, j)` against its constraint.
+    #[inline]
+    fn account_pair(&mut self, i: usize, j: usize, prod: f64) {
+        let t = self.time_table[i * self.q + j].0;
+        if prod * t > 1.0 + ACCEPT_TOL {
+            self.viol += 1;
+        }
+    }
+
+    fn rollback(&mut self, undo: Undo) {
+        let Undo {
+            victim,
+            winner,
+            rows_len,
+            cols_len,
+            vals_mark,
+            mat_mark,
+            total,
+            viol,
+        } = undo;
+        // Give the moved members back to the victim.
+        let mut vrows = std::mem::take(&mut self.comp_rows[victim]);
+        vrows.extend_from_slice(&self.comp_rows[winner][rows_len..]);
+        self.comp_rows[winner].truncate(rows_len);
+        let mut vcols = std::mem::take(&mut self.comp_cols[victim]);
+        vcols.extend_from_slice(&self.comp_cols[winner][cols_len..]);
+        self.comp_cols[winner].truncate(cols_len);
+        for &r in &vrows {
+            self.comp_of[r as usize] = victim as u32;
+        }
+        for &c in &vcols {
+            self.comp_of[c as usize] = victim as u32;
+        }
+        self.comp_rows[victim] = vrows;
+        self.comp_cols[victim] = vcols;
+        // Restore exact values from the journal (no floating drift).
+        while self.val_journal.len() > vals_mark {
+            let (v, old) = self.val_journal.pop().expect("journal underflow");
+            self.val[v as usize] = old;
+        }
+        while self.mat_journal.len() > mat_mark {
+            let (idx, old) = self.mat_journal.pop().expect("journal underflow");
+            self.mat[idx as usize] = old;
+        }
+        self.total = total;
+        self.viol = viol;
+    }
+
+    fn leaf(&mut self) {
+        self.examined += 1;
+        if self.viol != 0 {
+            return;
+        }
+        self.acceptable += 1;
+        // All p + q vertices are one component: every pair is determined
+        // and Obj2 = (sum rho)(sum gamma), gauge-invariant.
+        let sr: f64 = self.val[..self.p].iter().sum();
+        let sc: f64 = self.val[self.p..].iter().sum();
+        let obj2 = sr * sc;
+        if self.best.as_ref().is_none_or(|b| obj2 > b.0) {
+            self.best = Some((obj2, self.chosen.clone()));
+            if self.prune && obj2 > self.best_lb {
+                self.best_lb = obj2;
+            }
+        }
+    }
+
+    /// Builds the [`ExactSolution`] from the best tree found, or `None`
+    /// when every branch was pruned by an external bound.
+    fn finish(&mut self, times: &[f64]) -> Option<ExactSolution> {
+        let (obj2, chosen) = self.best.take()?;
+        let tree: Vec<(usize, usize)> = chosen
+            .iter()
+            .map(|&e| {
+                let (i, j) = self.edges[e as usize];
+                (i as usize, j as usize)
+            })
+            .collect();
+        let alloc = alloc_from_tree(self.p, self.q, times, &tree);
+        debug_assert!((alloc.obj2() - obj2).abs() <= 1e-9 * obj2.abs().max(1.0));
+        Some(ExactSolution {
+            alloc,
+            obj2,
+            tree,
+            trees_examined: self.examined,
+            trees_acceptable: self.acceptable,
+            trees_pruned: self.pruned,
+        })
+    }
+}
+
+/// Shares forced by a spanning tree, gauge `r[0] = 1`. The tree is
+/// already known acceptable, so no feasibility re-check happens here.
+/// `times` is the row-major `p x q` cycle-time grid.
+fn alloc_from_tree(p: usize, q: usize, times: &[f64], tree: &[(usize, usize)]) -> Allocation {
     let mut r = vec![0.0f64; p];
     let mut c = vec![0.0f64; q];
     let mut r_set = vec![false; p];
     let mut c_set = vec![false; q];
-
-    // Adjacency over tree edges only.
-    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); p + q]; // (edge idx, _)
-    for &e in edges {
-        let (i, j) = (e / q, e % q);
-        adj[i].push((e, true));
-        adj[p + j].push((e, false));
-    }
-
     r[0] = 1.0;
     r_set[0] = true;
-    let mut stack = vec![0usize]; // vertex ids; rows: 0..p, cols: p..p+q
-    while let Some(v) = stack.pop() {
-        for &(e, _) in &adj[v] {
-            let (i, j) = (e / q, e % q);
-            if v < p {
-                // From row i determine column j.
-                if !c_set[j] {
-                    c[j] = 1.0 / (r[i] * arr.time(i, j));
+    // Fixed-point propagation over the p+q-1 tree edges; terminates in
+    // at most p+q sweeps (tree diameter). Called once per solve, so the
+    // quadratic worst case is irrelevant.
+    loop {
+        let mut progressed = false;
+        for &(i, j) in tree {
+            match (r_set[i], c_set[j]) {
+                (true, false) => {
+                    c[j] = 1.0 / (r[i] * times[i * q + j]);
                     c_set[j] = true;
-                    stack.push(p + j);
+                    progressed = true;
                 }
-            } else if !r_set[i] {
-                r[i] = 1.0 / (c[j] * arr.time(i, j));
-                r_set[i] = true;
-                stack.push(i);
+                (false, true) => {
+                    r[i] = 1.0 / (c[j] * times[i * q + j]);
+                    r_set[i] = true;
+                    progressed = true;
+                }
+                _ => {}
             }
+        }
+        if !progressed {
+            break;
         }
     }
     debug_assert!(
         r_set.iter().all(|&x| x) && c_set.iter().all(|&x| x),
         "spanning tree did not reach every vertex"
     );
-
-    // Acceptability: every product <= 1 (tree edges are exactly 1).
-    for i in 0..p {
-        for j in 0..q {
-            if r[i] * arr.time(i, j) * c[j] > 1.0 + 1e-9 {
-                return None;
-            }
-        }
-    }
-    let alloc = Allocation::new(r, c);
-    let obj2 = alloc.obj2();
-    Some(ExactSolution {
-        alloc,
-        obj2,
-        tree: edges.iter().map(|&e| (e / q, e % q)).collect(),
-        trees_examined: 0,
-        trees_acceptable: 0,
-    })
+    Allocation::new(r, c)
 }
 
 /// Closed-form exact solution for a 2x2 arrangement (the analytical
@@ -283,6 +877,7 @@ pub fn solve_2x2(arr: &Arrangement) -> ExactSolution {
         tree,
         trees_examined,
         trees_acceptable: trees_examined,
+        trees_pruned: 0,
     }
 }
 
@@ -299,31 +894,161 @@ pub struct GlobalSolution {
     pub obj2: f64,
     /// Number of non-decreasing arrangements examined.
     pub arrangements_examined: u64,
+    /// Total spanning-tree leaves reached across all arrangements.
+    pub trees_examined: u64,
+    /// Total branch-and-bound cuts across all arrangements (zero with
+    /// pruning disabled).
+    pub trees_pruned: u64,
 }
 
-/// Searches all non-decreasing arrangements of `times` on a `p x q` grid,
-/// solving each exactly.
+/// Searches all non-decreasing arrangements of `times` on a `p x q`
+/// grid, solving each exactly with branch-and-bound. The arrangements
+/// are fanned out over the `hetgrid-par` pool, and the best objective
+/// found so far is shared across workers, seeding each arrangement's
+/// incumbent so later arrangements mostly prune immediately.
 ///
 /// # Panics
 /// Panics if `times.len() != p * q` or the grid exceeds the exact-solver
 /// limit.
 pub fn solve_global(times: &[f64], p: usize, q: usize) -> GlobalSolution {
+    solve_global_with(times, p, q, &ExactOptions::default())
+}
+
+/// [`solve_global`] with explicit per-arrangement [`ExactOptions`].
+/// With `ExactOptions::exhaustive()` every arrangement is solved by
+/// plain enumeration serially — the pre-branch-and-bound reference used
+/// by the `solver_scaling` bench as a speedup baseline.
+///
+/// # Panics
+/// Panics if `times.len() != p * q` or the grid exceeds the exact-solver
+/// limit.
+pub fn solve_global_with(times: &[f64], p: usize, q: usize, opts: &ExactOptions) -> GlobalSolution {
+    // Shared incumbent as f64 bits. Obj2 is positive, so the IEEE bit
+    // pattern order matches numeric order and fetch_max works; 0 means
+    // "no objective found yet".
+    let shared_lb = AtomicU64::new(0);
+    let solve_one = |arr: &Arrangement| -> (Option<ExactSolution>, u64, u64) {
+        if !opts.prune {
+            return solve_arrangement_counted(arr, opts, f64::NEG_INFINITY);
+        }
+        let lb = f64::from_bits(shared_lb.load(Ordering::Relaxed));
+        // Once some arrangement has produced an incumbent, reuse it
+        // (slacked like the local seed so ties survive) and skip the
+        // per-arrangement alternating fixpoint — the shared bound is
+        // almost always at least as strong, and for small grids the
+        // fixpoint iteration would dominate the solve time.
+        let (external, eff) = if lb > 0.0 {
+            (
+                lb * (1.0 - 1e-9),
+                ExactOptions {
+                    seed_incumbent: false,
+                    ..*opts
+                },
+            )
+        } else {
+            (f64::NEG_INFINITY, *opts)
+        };
+        let (sol, ex, pr) = solve_arrangement_counted(arr, &eff, external);
+        if let Some(s) = &sol {
+            shared_lb.fetch_max(s.obj2.to_bits(), Ordering::Relaxed);
+        }
+        (sol, ex, pr)
+    };
+
     let mut best: Option<GlobalSolution> = None;
     let mut count = 0u64;
-    enumerate_nondecreasing(times, p, q, |arr| {
-        count += 1;
-        let sol = solve_arrangement(arr);
-        if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
-            best = Some(GlobalSolution {
-                arrangement: arr.clone(),
-                alloc: sol.alloc,
-                obj2: sol.obj2,
-                arrangements_examined: 0,
-            });
+    let mut trees_ex = 0u64;
+    let mut trees_pr = 0u64;
+
+    let pool = hetgrid_par::global();
+    if !opts.prune || pool.threads() == 1 {
+        // Serial: solve inside the raw enumeration callback — no
+        // per-candidate Arrangement construction, no queue round-trips;
+        // an Arrangement is materialized only when a candidate improves
+        // the incumbent (or, once, to compute the alternating seed).
+        let mut scratch: Option<Bnb> = None;
+        crate::arrangement::enumerate_nondecreasing_grids(times, p, q, |grid_times, grid_procs| {
+            count += 1;
+            let lb = f64::from_bits(shared_lb.load(Ordering::Relaxed));
+            let sol = if opts.prune && lb > 0.0 {
+                // Disprove-or-improve with the shared incumbent, reusing
+                // one solver's buffers across all arrangements.
+                let bnb = match &mut scratch {
+                    Some(b) => {
+                        b.reset(grid_times);
+                        b
+                    }
+                    None => scratch.insert(Bnb::new(p, q, grid_times, true)),
+                };
+                bnb.best_lb = lb * (1.0 - 1e-9);
+                bnb.search();
+                trees_ex += bnb.examined;
+                trees_pr += bnb.pruned;
+                bnb.finish(grid_times)
+            } else if !opts.prune {
+                let (sol, ex, pr) = solve_slice_counted(p, q, grid_times, false, f64::NEG_INFINITY);
+                trees_ex += ex;
+                trees_pr += pr;
+                sol
+            } else {
+                let arr = Arrangement::with_procs(p, q, grid_times.to_vec(), grid_procs.to_vec());
+                let (sol, ex, pr) = solve_arrangement_counted(&arr, opts, f64::NEG_INFINITY);
+                trees_ex += ex;
+                trees_pr += pr;
+                sol
+            };
+            let Some(sol) = sol else { return };
+            shared_lb.fetch_max(sol.obj2.to_bits(), Ordering::Relaxed);
+            if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
+                best = Some(GlobalSolution {
+                    arrangement: Arrangement::with_procs(
+                        p,
+                        q,
+                        grid_times.to_vec(),
+                        grid_procs.to_vec(),
+                    ),
+                    alloc: sol.alloc,
+                    obj2: sol.obj2,
+                    arrangements_examined: 0,
+                    trees_examined: 0,
+                    trees_pruned: 0,
+                });
+            }
+        });
+    } else {
+        let mut consider = |arr: &Arrangement, sol: Option<ExactSolution>| {
+            let Some(sol) = sol else { return };
+            if best.as_ref().is_none_or(|b| sol.obj2 > b.obj2) {
+                best = Some(GlobalSolution {
+                    arrangement: arr.clone(),
+                    alloc: sol.alloc,
+                    obj2: sol.obj2,
+                    arrangements_examined: 0,
+                    trees_examined: 0,
+                    trees_pruned: 0,
+                });
+            }
+        };
+        let mut arrangements: Vec<Arrangement> = Vec::new();
+        enumerate_nondecreasing(times, p, q, |arr| arrangements.push(arr.clone()));
+        count = arrangements.len() as u64;
+        let indices: Vec<usize> = (0..arrangements.len()).collect();
+        let results = {
+            let arrs = &arrangements;
+            let solve_one = &solve_one;
+            pool.parallel_map(indices, move |i| solve_one(&arrs[i]))
+        };
+        for (arr, (sol, ex, pr)) in arrangements.iter().zip(results) {
+            trees_ex += ex;
+            trees_pr += pr;
+            consider(arr, sol);
         }
-    });
+    }
+
     let mut sol = best.expect("at least one arrangement exists");
     sol.arrangements_examined = count;
+    sol.trees_examined = trees_ex;
+    sol.trees_pruned = trees_pr;
     sol
 }
 
@@ -365,14 +1090,19 @@ mod tests {
     }
 
     #[test]
-    fn tree_count_matches_cayley_formula() {
-        // K_{2,2} has 2^1 * 2^1 = 4 spanning trees; K_{2,3} has 2^2*3 = 12.
+    fn tree_count_matches_cayley_formula_without_pruning() {
+        // With pruning disabled the solver walks every spanning tree:
+        // K_{2,2} has 2^1 * 2^1 = 4; K_{2,3} has 2^2 * 3 = 12; K_{3,3}
+        // has 3^2 * 3^2 = 81 — the counts of the pre-branch-and-bound
+        // enumerator.
+        let opts = ExactOptions::exhaustive();
         let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
-        let sol = solve_arrangement(&arr);
+        let sol = solve_arrangement_with(&arr, &opts);
         assert_eq!(sol.trees_examined, 4);
+        assert_eq!(sol.trees_pruned, 0);
 
         let arr23 = Arrangement::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
-        let sol23 = solve_arrangement(&arr23);
+        let sol23 = solve_arrangement_with(&arr23, &opts);
         assert_eq!(sol23.trees_examined, 12);
 
         let arr33 = Arrangement::from_rows(&[
@@ -380,8 +1110,31 @@ mod tests {
             vec![4.0, 5.0, 6.0],
             vec![7.0, 8.0, 9.0],
         ]);
-        let sol33 = solve_arrangement(&arr33);
+        let sol33 = solve_arrangement_with(&arr33, &opts);
         assert_eq!(sol33.trees_examined, 81);
+    }
+
+    #[test]
+    fn pruning_cuts_trees_but_not_the_optimum() {
+        let arr = Arrangement::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let pruned = solve_arrangement(&arr);
+        let full = solve_arrangement_with(&arr, &ExactOptions::exhaustive());
+        assert!(
+            (pruned.obj2 - full.obj2).abs() < 1e-9,
+            "pruning changed the optimum: {} vs {}",
+            pruned.obj2,
+            full.obj2
+        );
+        assert!(pruned.trees_pruned > 0, "3x3 search should prune branches");
+        assert!(
+            pruned.trees_examined < full.trees_examined,
+            "pruning should examine fewer full trees"
+        );
+        assert!(is_feasible(&arr, &pruned.alloc, 1e-9));
     }
 
     #[test]
@@ -487,5 +1240,53 @@ mod tests {
         let sol = solve_arrangement(&arr);
         assert!((sol.obj2 - (1.0 + 0.5 + 0.25)).abs() < 1e-9);
         assert!(achieves_perfect_balance(&arr, &sol));
+    }
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn timing_probe() {
+        use std::time::Instant;
+        let times: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let mut arrs = Vec::new();
+        crate::arrangement::enumerate_nondecreasing(&times, 3, 3, |a| arrs.push(a.clone()));
+        let opts = ExactOptions::default();
+        let noseed = ExactOptions {
+            seed_incumbent: false,
+            prune: true,
+        };
+        // Incumbent = global optimum.
+        let g = solve_global(&times, 3, 3);
+        let ext = g.obj2 * (1.0 - 1e-9);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for a in &arrs {
+                std::hint::black_box(solve_arrangement_seeded(a, &noseed, ext));
+            }
+            println!("42 x seeded-with-external: {:?}", t0.elapsed());
+        }
+        let t0 = Instant::now();
+        for a in &arrs {
+            std::hint::black_box(Bnb::new(a.p(), a.q(), a.times(), true));
+        }
+        println!("42 x Bnb::new: {:?}", t0.elapsed());
+        let t0 = Instant::now();
+        for a in &arrs {
+            std::hint::black_box(solve_arrangement_with(a, &opts));
+        }
+        println!("42 x full solo seeded: {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn larger_grid_is_tractable_with_pruning() {
+        // 6x6 takes ~44 s by plain enumeration (6^5 * 6^5 trees); the
+        // branch-and-bound must solve it instantly and agree with the
+        // alternating lower bound it was seeded with.
+        let times: Vec<f64> = (0..36).map(|k| 1.0 + 0.11 * (k + 1) as f64).collect();
+        let arr = crate::arrangement::sorted_row_major(&times, 6, 6);
+        let sol = solve_arrangement(&arr);
+        assert!(sol.trees_pruned > 0);
+        assert!(is_feasible(&arr, &sol.alloc, 1e-9));
+        let alt = crate::alternating::optimize(&arr, 10_000);
+        assert!(sol.obj2 >= alt.alloc.obj2() - 1e-9);
     }
 }

@@ -87,67 +87,93 @@ fn swap_positions(arr: &Arrangement, a: usize, b: usize) -> Arrangement {
     Arrangement::with_procs(p, q, times, procs)
 }
 
+/// Derives an independent per-restart seed so restarts can run in any
+/// order (or concurrently) and still be reproducible.
+fn restart_seed(seed: u64, restart: usize) -> u64 {
+    seed ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One hill-climbing descent from a fixed start; returns the local
+/// optimum and how many arrangements it evaluated.
+fn climb(mut current: Arrangement, opts: &SearchOptions) -> (SearchResult, u64) {
+    let n = current.p() * current.q();
+    let (mut cur_alloc, mut cur_obj) = evaluate(&current, opts);
+    let mut evaluations = 1u64;
+    loop {
+        let mut improved: Option<(Arrangement, Allocation, f64)> = None;
+        for a in 0..n {
+            for b in a + 1..n {
+                if current.times()[a] == current.times()[b] {
+                    continue; // identical processors: no-op swap
+                }
+                let cand = swap_positions(&current, a, b);
+                let (alloc, obj) = evaluate(&cand, opts);
+                evaluations += 1;
+                if obj > cur_obj + 1e-12 && improved.as_ref().is_none_or(|(_, _, o)| obj > *o) {
+                    improved = Some((cand, alloc, obj));
+                }
+            }
+        }
+        match improved {
+            Some((cand, alloc, obj)) => {
+                current = cand;
+                cur_alloc = alloc;
+                cur_obj = obj;
+            }
+            None => break,
+        }
+    }
+    (
+        SearchResult {
+            arrangement: current,
+            alloc: cur_alloc,
+            obj2: cur_obj,
+            evaluations: 0,
+        },
+        evaluations,
+    )
+}
+
 /// Hill-climbing over pairwise swaps of grid positions, with random
 /// restarts. Each restart shuffles the placement, then applies
-/// best-improvement swaps until no swap helps.
+/// best-improvement swaps until no swap helps. Restarts are independent
+/// (each has its own derived RNG seed) and run concurrently on the
+/// shared [`hetgrid_par`] pool; results are reduced deterministically in
+/// restart order, so the answer does not depend on the thread count.
 ///
 /// # Panics
 /// Panics if `times.len() != p * q`.
 pub fn local_search(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchResult {
     assert_eq!(times.len(), p * q, "local_search: size mismatch");
     let n = p * q;
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Build every restart's starting arrangement up front: restart 0 is
+    // the canonical sorted arrangement, later ones random shuffles.
+    let starts: Vec<Arrangement> = (0..=opts.restarts)
+        .map(|restart| {
+            if restart == 0 {
+                sorted_row_major(times, p, q)
+            } else {
+                let mut rng = StdRng::seed_from_u64(restart_seed(opts.seed, restart));
+                let mut idx: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..=i);
+                    idx.swap(i, j);
+                }
+                let t: Vec<f64> = idx.iter().map(|&k| times[k]).collect();
+                Arrangement::with_procs(p, q, t, idx)
+            }
+        })
+        .collect();
+
+    let outcomes = hetgrid_par::global().parallel_map(starts, |start| climb(start, &opts));
+
     let mut evaluations = 0u64;
-
     let mut best: Option<SearchResult> = None;
-    for restart in 0..=opts.restarts {
-        // Restart 0 starts from the canonical sorted arrangement; later
-        // ones from random shuffles.
-        let mut current = if restart == 0 {
-            sorted_row_major(times, p, q)
-        } else {
-            let mut idx: Vec<usize> = (0..n).collect();
-            for i in (1..n).rev() {
-                let j = rng.gen_range(0..=i);
-                idx.swap(i, j);
-            }
-            let t: Vec<f64> = idx.iter().map(|&k| times[k]).collect();
-            Arrangement::with_procs(p, q, t, idx)
-        };
-        let (mut cur_alloc, mut cur_obj) = evaluate(&current, &opts);
-        evaluations += 1;
-
-        loop {
-            let mut improved: Option<(Arrangement, Allocation, f64)> = None;
-            for a in 0..n {
-                for b in a + 1..n {
-                    if current.times()[a] == current.times()[b] {
-                        continue; // identical processors: no-op swap
-                    }
-                    let cand = swap_positions(&current, a, b);
-                    let (alloc, obj) = evaluate(&cand, &opts);
-                    evaluations += 1;
-                    if obj > cur_obj + 1e-12 && improved.as_ref().is_none_or(|(_, _, o)| obj > *o) {
-                        improved = Some((cand, alloc, obj));
-                    }
-                }
-            }
-            match improved {
-                Some((cand, alloc, obj)) => {
-                    current = cand;
-                    cur_alloc = alloc;
-                    cur_obj = obj;
-                }
-                None => break,
-            }
-        }
-        if best.as_ref().is_none_or(|b| cur_obj > b.obj2) {
-            best = Some(SearchResult {
-                arrangement: current,
-                alloc: cur_alloc,
-                obj2: cur_obj,
-                evaluations: 0,
-            });
+    for (result, evals) in outcomes {
+        evaluations += evals;
+        if best.as_ref().is_none_or(|b| result.obj2 > b.obj2) {
+            best = Some(result);
         }
     }
     let mut out = best.expect("at least one restart ran");
@@ -155,18 +181,19 @@ pub fn local_search(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> S
     out
 }
 
-/// Simulated annealing over random swaps with geometric cooling. Accepts
-/// worse moves with probability `exp(delta / T)`; `T` cools from the
-/// observed objective scale to near zero over `restarts * n^2` steps.
-///
-/// # Panics
-/// Panics if `times.len() != p * q`.
-pub fn anneal(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchResult {
-    assert_eq!(times.len(), p * q, "anneal: size mismatch");
+/// One annealing chain of `n^2 * 4` steps from the sorted arrangement
+/// with the given seed.
+fn anneal_chain(
+    times: &[f64],
+    p: usize,
+    q: usize,
+    opts: &SearchOptions,
+    seed: u64,
+) -> (SearchResult, u64) {
     let n = p * q;
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xA44EA1);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut current = sorted_row_major(times, p, q);
-    let (mut cur_alloc, mut cur_obj) = evaluate(&current, &opts);
+    let (mut cur_alloc, mut cur_obj) = evaluate(&current, opts);
     let mut evaluations = 1u64;
 
     let mut best = SearchResult {
@@ -176,7 +203,7 @@ pub fn anneal(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchR
         evaluations: 0,
     };
 
-    let steps = (opts.restarts.max(1)) * n * n * 4;
+    let steps = n * n * 4;
     let t0 = (cur_obj * 0.05).max(1e-6);
     for step in 0..steps {
         let temp = t0 * (1.0 - step as f64 / steps as f64).max(1e-9);
@@ -189,7 +216,7 @@ pub fn anneal(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchR
             continue;
         }
         let cand = swap_positions(&current, a, b);
-        let (alloc, obj) = evaluate(&cand, &opts);
+        let (alloc, obj) = evaluate(&cand, opts);
         evaluations += 1;
         let delta = obj - cur_obj;
         if delta >= 0.0 || rng.gen::<f64>() < (delta / temp).exp() {
@@ -207,8 +234,39 @@ pub fn anneal(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchR
         }
     }
     let _ = cur_alloc;
-    best.evaluations = evaluations;
-    best
+    (best, evaluations)
+}
+
+/// Simulated annealing over random swaps with geometric cooling. Accepts
+/// worse moves with probability `exp(delta / T)`; each chain cools from
+/// the observed objective scale to near zero over `n^2 * 4` steps.
+/// `opts.restarts.max(1)` independent chains (distinct derived seeds)
+/// run concurrently on the shared [`hetgrid_par`] pool and the best
+/// chain wins; the reduction is in chain order, so the result does not
+/// depend on the thread count.
+///
+/// # Panics
+/// Panics if `times.len() != p * q`.
+pub fn anneal(times: &[f64], p: usize, q: usize, opts: SearchOptions) -> SearchResult {
+    assert_eq!(times.len(), p * q, "anneal: size mismatch");
+    let chains = opts.restarts.max(1);
+    let seeds: Vec<u64> = (0..chains)
+        .map(|c| restart_seed(opts.seed ^ 0xA44EA1, c))
+        .collect();
+    let outcomes =
+        hetgrid_par::global().parallel_map(seeds, |seed| anneal_chain(times, p, q, &opts, seed));
+
+    let mut evaluations = 0u64;
+    let mut best: Option<SearchResult> = None;
+    for (result, evals) in outcomes {
+        evaluations += evals;
+        if best.as_ref().is_none_or(|b| result.obj2 > b.obj2) {
+            best = Some(result);
+        }
+    }
+    let mut out = best.expect("at least one chain ran");
+    out.evaluations = evaluations;
+    out
 }
 
 #[cfg(test)]

@@ -186,6 +186,51 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bnb_optimum_matches_exhaustive_3x4(times in times_strategy(12)) {
+        // The branch-and-bound search must return the same optimum as the
+        // plain spanning-tree enumerator (3^3 * 4^2 = 432 trees).
+        let arr = sorted_row_major(&times, 3, 4);
+        let bnb = exact::solve_arrangement(&arr);
+        let full = exact::solve_arrangement_with(&arr, &exact::ExactOptions::exhaustive());
+        prop_assert_eq!(full.trees_examined, 432);
+        prop_assert_eq!(full.trees_pruned, 0);
+        prop_assert!((bnb.obj2 - full.obj2).abs() < 1e-9 * full.obj2,
+            "bnb {} vs exhaustive {}", bnb.obj2, full.obj2);
+    }
+
+    #[test]
+    fn pruning_never_changes_global_optimum(times in times_strategy(6)) {
+        // solve_global with the default pruned search vs the exhaustive
+        // enumerator over the same non-decreasing arrangements.
+        let pruned = exact::solve_global(&times, 2, 3);
+        let full = exact::solve_global_with(&times, 2, 3, &exact::ExactOptions::exhaustive());
+        prop_assert_eq!(pruned.arrangements_examined, full.arrangements_examined);
+        prop_assert!((pruned.obj2 - full.obj2).abs() < 1e-9 * full.obj2,
+            "pruned {} vs exhaustive {}", pruned.obj2, full.obj2);
+    }
+}
+
+proptest! {
+    // 4^4 * 5^3 = 32,000 trees per exhaustive run — keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn bnb_optimum_matches_exhaustive_4x5(times in times_strategy(20)) {
+        let arr = sorted_row_major(&times, 4, 5);
+        let bnb = exact::solve_arrangement(&arr);
+        let full = exact::solve_arrangement_with(&arr, &exact::ExactOptions::exhaustive());
+        prop_assert_eq!(full.trees_examined, 32_000);
+        prop_assert!(bnb.trees_examined + bnb.trees_pruned < full.trees_examined,
+            "pruning should cut the 4x5 search");
+        prop_assert!((bnb.obj2 - full.obj2).abs() < 1e-9 * full.obj2,
+            "bnb {} vs exhaustive {}", bnb.obj2, full.obj2);
+    }
+}
+
 /// Deterministic regression: Theorem 1 holds on a 2x3 grid too (heavier,
 /// so not a proptest).
 #[test]

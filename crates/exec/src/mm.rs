@@ -13,20 +13,25 @@ use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::Matrix;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// A message carrying one block of `A` or `B` for a given step.
+/// A message carrying one block of `A` or `B` for a given step. Payloads
+/// are `Arc`-shared: a broadcast clones the block once per hop and each
+/// recipient only bumps the refcount, so fanning a pivot block out to a
+/// whole row or column of the grid costs one deep copy, not one per
+/// destination.
 #[derive(Clone, Debug)]
 enum Msg {
     A {
         step: usize,
         bi: usize,
-        data: Matrix,
+        data: Arc<Matrix>,
     },
     B {
         step: usize,
         bj: usize,
-        data: Matrix,
+        data: Arc<Matrix>,
     },
 }
 
@@ -188,8 +193,8 @@ fn worker(
         .collect();
 
     // Buffers for messages that arrive ahead of their step.
-    let mut a_pending: HashMap<(usize, usize), Matrix> = HashMap::new(); // (step, bi)
-    let mut b_pending: HashMap<(usize, usize), Matrix> = HashMap::new(); // (step, bj)
+    let mut a_pending: HashMap<(usize, usize), Arc<Matrix>> = HashMap::new(); // (step, bi)
+    let mut b_pending: HashMap<(usize, usize), Arc<Matrix>> = HashMap::new(); // (step, bj)
 
     let mut busy = 0.0f64;
     let mut units = 0u64;
@@ -200,12 +205,18 @@ fn worker(
         // --- Send phase: my A blocks of column k, my B blocks of row k.
         for bi in 0..mb {
             if let Some(data) = my_a.get(&(bi, k)) {
-                for dest in row_owner_ids(dist, bi, nb, me) {
+                let dests = row_owner_ids(dist, bi, nb, me);
+                if dests.is_empty() {
+                    continue;
+                }
+                // One deep copy per hop; recipients share it via the Arc.
+                let payload = Arc::new(data.clone());
+                for dest in dests {
                     txs[dest]
                         .send(Msg::A {
                             step: k,
                             bi,
-                            data: data.clone(),
+                            data: Arc::clone(&payload),
                         })
                         .expect("receiver hung up");
                     sent += 1;
@@ -214,12 +225,17 @@ fn worker(
         }
         for bj in 0..nb {
             if let Some(data) = my_b.get(&(k, bj)) {
-                for dest in col_owner_ids(dist, bj, mb, me) {
+                let dests = col_owner_ids(dist, bj, mb, me);
+                if dests.is_empty() {
+                    continue;
+                }
+                let payload = Arc::new(data.clone());
+                for dest in dests {
                     txs[dest]
                         .send(Msg::B {
                             step: k,
                             bj,
-                            data: data.clone(),
+                            data: Arc::clone(&payload),
                         })
                         .expect("receiver hung up");
                     sent += 1;
@@ -261,14 +277,14 @@ fn worker(
         // the slowdown weight).
         let t0 = Instant::now();
         for &(bi, bj) in &owned {
-            let ablk = my_a
-                .get(&(bi, k))
-                .or_else(|| a_pending.get(&(k, bi)))
-                .expect("A block missing");
-            let bblk = my_b
-                .get(&(k, bj))
-                .or_else(|| b_pending.get(&(k, bj)))
-                .expect("B block missing");
+            let ablk: &Matrix = match my_a.get(&(bi, k)) {
+                Some(m) => m,
+                None => a_pending.get(&(k, bi)).expect("A block missing"),
+            };
+            let bblk: &Matrix = match my_b.get(&(k, bj)) {
+                Some(m) => m,
+                None => b_pending.get(&(k, bj)).expect("B block missing"),
+            };
             let c = c_blocks.get_mut(&(bi, bj)).expect("C block missing");
             gemm(1.0, ablk, bblk, 1.0, c);
             for _ in 1..weight {

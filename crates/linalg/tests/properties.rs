@@ -1,7 +1,7 @@
 //! Property-based tests for the linear algebra substrate.
 
 use hetgrid_linalg::cholesky::{cholesky, cholesky_blocked, cholesky_solve};
-use hetgrid_linalg::gemm::{matmul, matmul_naive, matvec};
+use hetgrid_linalg::gemm::{gemm, matmul, matmul_naive, matvec, par_gemm};
 use hetgrid_linalg::lu::{lu_factor, lu_factor_blocked};
 use hetgrid_linalg::qr::{qr, qr_blocked};
 use hetgrid_linalg::{svd, top_singular_triple, Matrix};
@@ -32,6 +32,45 @@ proptest! {
         let fast = matmul(&a, &b);
         let slow = matmul_naive(&a, &b);
         prop_assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_on_ragged_shapes(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        // Ragged dimensions exercise every edge path of the packed
+        // micro-kernel (partial MR strips, partial nr tiles, k tails).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect());
+        let c0 = Matrix::from_vec(m, n, (0..m * n).map(|_| next()).collect());
+
+        let mut fast = c0.clone();
+        gemm(alpha, &a, &b, beta, &mut fast);
+        let mut par = c0.clone();
+        par_gemm(alpha, &a, &b, beta, &mut par);
+
+        let want = matmul_naive(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let w = alpha * want[(i, j)] + beta * c0[(i, j)];
+                prop_assert!((fast[(i, j)] - w).abs() < 1e-9,
+                    "gemm mismatch at ({}, {}): {} vs {}", i, j, fast[(i, j)], w);
+                prop_assert!((par[(i, j)] - w).abs() < 1e-9,
+                    "par_gemm mismatch at ({}, {}): {} vs {}", i, j, par[(i, j)], w);
+            }
+        }
     }
 
     #[test]
@@ -171,5 +210,42 @@ proptest! {
         let err = a.sub(&d.rank_k(1)).frobenius_norm().powi(2);
         let tail: f64 = d.s.iter().skip(1).map(|s| s * s).sum();
         prop_assert!((err - tail).abs() < 1e-7 * tail.max(1.0));
+    }
+}
+
+/// Deterministic regression for the parallel row-split path: 130x70x129
+/// has a row count that is not a multiple of the 4-row micro-kernel strip
+/// and hits every cache-blocking edge case at once.
+#[test]
+fn par_gemm_matches_naive_130x70x129() {
+    let (m, k, n) = (130, 70, 129);
+    let mk = |len: usize, seed: u64| -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    };
+    let a = Matrix::from_vec(m, k, mk(m * k, 0xDEAD));
+    let b = Matrix::from_vec(k, n, mk(k * n, 0xBEEF));
+    let c0 = Matrix::from_vec(m, n, mk(m * n, 0xF00D));
+
+    let mut got = c0.clone();
+    par_gemm(1.5, &a, &b, -0.5, &mut got);
+
+    let want = matmul_naive(&a, &b);
+    for i in 0..m {
+        for j in 0..n {
+            let w = 1.5 * want[(i, j)] - 0.5 * c0[(i, j)];
+            assert!(
+                (got[(i, j)] - w).abs() < 1e-9,
+                "mismatch at ({i}, {j}): {} vs {w}",
+                got[(i, j)]
+            );
+        }
     }
 }
