@@ -9,6 +9,7 @@ use hetgrid_adapt::{
 use hetgrid_exec::DistributedMatrix;
 use hetgrid_linalg::Matrix;
 use hetgrid_sim::DriftProfile;
+use rand::prelude::*;
 
 fn scenario(profile: DriftProfile) -> Scenario {
     Scenario {
@@ -71,6 +72,108 @@ fn brief_periodic_spikes_do_not_cause_churn() {
         factors: vec![2.0, 1.0, 1.0, 1.0],
     }));
     assert_eq!(out.rebalances, 0, "smoothing failed to absorb transients");
+}
+
+/// A random but fully seeded scenario: grid shape, base cycle-times and
+/// drift profile all drawn from `seed`.
+fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grids = [(2, 2), (2, 3)];
+    let (p, q) = grids[rng.gen_range(0..grids.len())];
+    let base_times: Vec<f64> = (0..p * q).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let factors: Vec<f64> = (0..p * q)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                1.0
+            } else {
+                rng.gen_range(1.5..6.0)
+            }
+        })
+        .collect();
+    let profile = match rng.gen_range(0..4u32) {
+        0 => DriftProfile::Stationary,
+        1 => DriftProfile::Step {
+            at: rng.gen_range(2..10),
+            factors,
+        },
+        2 => {
+            let from = rng.gen_range(2..6usize);
+            DriftProfile::Ramp {
+                from,
+                to: from + rng.gen_range(4..12usize),
+                factors,
+            }
+        }
+        _ => {
+            let period = rng.gen_range(6..12);
+            DriftProfile::PeriodicSpike {
+                period,
+                width: rng.gen_range(1..=period / 2),
+                factors,
+            }
+        }
+    };
+    Scenario {
+        base_times,
+        p,
+        q,
+        bp: 4,
+        bq: 4,
+        nb: 16,
+        iters: 40,
+        profile,
+        config: ControllerConfig::default(),
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_decisions_and_plan() {
+    // The whole closed loop — estimator, drift detector, amortized
+    // decision, plan re-solve — must be a pure function of the scenario.
+    // Bitwise equality, not approximate: any hidden nondeterminism
+    // (iteration order over a hash map, time-dependent tuning) would
+    // break exact replay of harness failures.
+    for seed in 0..24u64 {
+        let sc = random_scenario(seed);
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.rebalances, b.rebalances, "seed {seed}");
+        assert_eq!(a.blocks_moved, b.blocks_moved, "seed {seed}");
+        assert_eq!(a.static_makespan.to_bits(), b.static_makespan.to_bits());
+        assert_eq!(a.adaptive_makespan.to_bits(), b.adaptive_makespan.to_bits());
+        assert_eq!(
+            a.redistribution_cost.to_bits(),
+            b.redistribution_cost.to_bits()
+        );
+        assert_eq!(a.history.len(), b.history.len());
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.rebalanced, hb.rebalanced, "seed {seed} iter {}", ha.iter);
+            assert_eq!(ha.adaptive_cost.to_bits(), hb.adaptive_cost.to_bits());
+            assert_eq!(ha.true_times, hb.true_times);
+        }
+
+        // Same check at the plan level: two controllers fed the same
+        // trace end with identical block ownership.
+        let drive = |sc: &Scenario| {
+            let mut c = Controller::new(&sc.base_times, sc.p, sc.q, sc.bp, sc.bq, sc.nb, sc.config);
+            for iter in 0..sc.iters {
+                let truth = sc.profile.times_at(&sc.base_times, iter);
+                let sample =
+                    IterationSample::from_true_times(iter, &c.plan().solution.arrangement, &truth);
+                c.observe(&sample, sc.iters - iter - 1);
+            }
+            let owners: Vec<(usize, usize)> = (0..sc.nb)
+                .flat_map(|bi| (0..sc.nb).map(move |bj| (bi, bj)).collect::<Vec<_>>())
+                .map(|(bi, bj)| hetgrid_dist::BlockDist::owner(c.dist(), bi, bj))
+                .collect();
+            (c.rebalances(), owners)
+        };
+        assert_eq!(
+            drive(&sc),
+            drive(&sc),
+            "final plan diverged for seed {seed}"
+        );
+    }
 }
 
 #[test]

@@ -9,8 +9,9 @@
 //! transposed, as the right factor for column `bi`); the trailing
 //! lower-triangle blocks are then updated.
 
-use crate::channel::{unbounded, Receiver, Sender};
+use crate::channel::{unbounded, Sender};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::cholesky::cholesky;
 use hetgrid_linalg::gemm::gemm;
@@ -46,6 +47,22 @@ pub fn run_cholesky(
     r: usize,
     weights: &[Vec<u64>],
 ) -> (Matrix, ExecReport) {
+    run_cholesky_on(&ChannelTransport, a, dist, nb, r, weights)
+}
+
+/// [`run_cholesky`] over an explicit [`Transport`] (the harness injects
+/// its fault-injecting virtual transport here).
+///
+/// # Panics
+/// Panics like [`run_cholesky`].
+pub fn run_cholesky_on(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
     let (p, q) = dist.grid();
     assert_eq!(weights.len(), p, "run_cholesky: weights rows mismatch");
     assert!(
@@ -55,24 +72,19 @@ pub fn run_cholesky(
     let da = DistributedMatrix::scatter(a, dist, nb, r);
 
     let n_procs = p * q;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..n_procs).map(|_| unbounded()).unzip();
+    let endpoints = transport.connect::<Msg>(n_procs);
     let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
 
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
-        for i in 0..p {
-            for j in 0..q {
-                let me = i * q + j;
-                let my_blocks = da.stores[me].clone();
-                let txs = txs.clone();
-                let rx = rxs[me].clone();
-                let done = done_tx.clone();
-                let w = weights[i][j];
-                scope.spawn(move || {
-                    worker(dist, nb, r, (i, j), my_blocks, w, txs, rx, done);
-                });
-            }
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let (i, j) = (me / q, me % q);
+            let my_blocks = da.stores[me].clone();
+            let done = done_tx.clone();
+            let w = weights[i][j];
+            scope.spawn(move || {
+                worker(dist, nb, r, (i, j), my_blocks, w, ep, done);
+            });
         }
     });
     drop(done_tx);
@@ -123,8 +135,7 @@ fn worker(
     (i, j): (usize, usize),
     mut blocks: BlockStore,
     weight: u64,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
+    ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
     let (_, q) = dist.grid();
@@ -165,12 +176,14 @@ fn worker(
                 }
             }
             for d in dests {
-                txs[d]
-                    .send(Msg::Diag {
+                ep.send(
+                    d,
+                    Msg::Diag {
                         step: k,
                         data: lkk.clone(),
-                    })
-                    .expect("receiver hung up");
+                    },
+                )
+                .expect("receiver hung up");
                 sent += 1;
             }
         }
@@ -185,7 +198,7 @@ fn worker(
                 blocks[&(k, k)].clone()
             } else {
                 if !diag_pending.contains_key(&k) {
-                    pump(&rx, &mut diag_pending, &mut l_pending, |d, _| {
+                    pump(ep.as_ref(), &mut diag_pending, &mut l_pending, |d, _| {
                         d.contains_key(&k)
                     });
                 }
@@ -225,13 +238,15 @@ fn worker(
                     }
                 }
                 for d in dests {
-                    txs[d]
-                        .send(Msg::L {
+                    ep.send(
+                        d,
+                        Msg::L {
                             step: k,
                             bi,
                             data: solved.clone(),
-                        })
-                        .expect("receiver hung up");
+                        },
+                    )
+                    .expect("receiver hung up");
                     sent += 1;
                 }
             }
@@ -253,7 +268,7 @@ fn worker(
             }
             need.retain(|&b| !l_pending.contains_key(&(k, b)));
             if !need.is_empty() {
-                pump(&rx, &mut diag_pending, &mut l_pending, |_, l| {
+                pump(ep.as_ref(), &mut diag_pending, &mut l_pending, |_, l| {
                     need.iter().all(|&b| l.contains_key(&(k, b)))
                 });
             }
@@ -291,13 +306,13 @@ fn worker(
 }
 
 fn pump(
-    rx: &Receiver<Msg>,
+    ep: &dyn Endpoint<Msg>,
     diag: &mut HashMap<usize, Matrix>,
     l: &mut HashMap<(usize, usize), Matrix>,
     ready: impl Fn(&HashMap<usize, Matrix>, &HashMap<(usize, usize), Matrix>) -> bool,
 ) {
     while !ready(diag, l) {
-        match rx.recv().expect("sender hung up") {
+        match ep.recv().expect("sender hung up") {
             Msg::Diag { step, data } => {
                 diag.insert(step, data);
             }

@@ -18,7 +18,12 @@
 //! * [`cholesky::run_cholesky`] — right-looking Cholesky of SPD
 //!   matrices (lower triangle);
 //! * [`store`] — scatter/gather and the [`store::ExecReport`]
-//!   measurements (busy time, weighted work, imbalance).
+//!   measurements (busy time, weighted work, imbalance);
+//! * [`transport`] — the pluggable message-transport trait. Every
+//!   kernel has a `run_*_on(&impl Transport, ...)` variant; the plain
+//!   `run_*` entry points use the production [`transport::ChannelTransport`],
+//!   while `hetgrid-harness` swaps in a seeded fault-injecting virtual
+//!   transport for deterministic simulation testing.
 
 #![warn(missing_docs)]
 // Grid code indexes `owned[i][j]`-style tables with `for i in 0..p`
@@ -37,9 +42,11 @@ pub mod lu;
 pub mod mm;
 pub mod solve;
 pub mod store;
+pub mod transport;
 
-pub use cholesky::run_cholesky;
-pub use lu::run_lu;
-pub use mm::{run_mm, run_mm_rect};
-pub use solve::{run_solve, SolveKind};
+pub use cholesky::{run_cholesky, run_cholesky_on};
+pub use lu::{run_lu, run_lu_on};
+pub use mm::{run_mm, run_mm_on, run_mm_rect, run_mm_rect_on};
+pub use solve::{run_solve, run_solve_on, SolveKind};
 pub use store::{slowdown_weights, DistributedMatrix, ExecReport};
+pub use transport::{ChannelTransport, Endpoint, Transport};

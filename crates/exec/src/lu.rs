@@ -9,8 +9,9 @@
 //! gathering the in-place result and splitting it into unit-lower `L`
 //! and upper `U` must reproduce the input, `A = L * U`.
 
-use crate::channel::{unbounded, Receiver, Sender};
+use crate::channel::{unbounded, Sender};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::tri::{
@@ -52,6 +53,22 @@ pub fn run_lu(
     r: usize,
     weights: &[Vec<u64>],
 ) -> (Matrix, ExecReport) {
+    run_lu_on(&ChannelTransport, a, dist, nb, r, weights)
+}
+
+/// [`run_lu`] over an explicit [`Transport`] (the harness injects its
+/// fault-injecting virtual transport here).
+///
+/// # Panics
+/// Panics like [`run_lu`].
+pub fn run_lu_on(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
     let (p, q) = dist.grid();
     assert_eq!(weights.len(), p, "run_lu: weights rows mismatch");
     assert!(
@@ -61,24 +78,19 @@ pub fn run_lu(
     let da = DistributedMatrix::scatter(a, dist, nb, r);
 
     let n_procs = p * q;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..n_procs).map(|_| unbounded()).unzip();
+    let endpoints = transport.connect::<Msg>(n_procs);
     let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
 
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
-        for i in 0..p {
-            for j in 0..q {
-                let me = i * q + j;
-                let my_blocks = da.stores[me].clone();
-                let txs = txs.clone();
-                let rx = rxs[me].clone();
-                let done = done_tx.clone();
-                let w = weights[i][j];
-                scope.spawn(move || {
-                    worker(dist, nb, r, (i, j), my_blocks, w, txs, rx, done);
-                });
-            }
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let (i, j) = (me / q, me % q);
+            let my_blocks = da.stores[me].clone();
+            let done = done_tx.clone();
+            let w = weights[i][j];
+            scope.spawn(move || {
+                worker(dist, nb, r, (i, j), my_blocks, w, ep, done);
+            });
         }
     });
     drop(done_tx);
@@ -139,8 +151,7 @@ fn worker(
     (i, j): (usize, usize),
     mut blocks: BlockStore,
     weight: u64,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
+    ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
     let (_, q) = dist.grid();
@@ -207,12 +218,14 @@ fn worker(
                 }
             }
             for d in dests {
-                txs[d]
-                    .send(Msg::Diag {
+                ep.send(
+                    d,
+                    Msg::Diag {
                         step: k,
                         data: packed.clone(),
-                    })
-                    .expect("receiver hung up");
+                    },
+                )
+                .expect("receiver hung up");
                 sent += 1;
             }
         }
@@ -225,7 +238,7 @@ fn worker(
         } else if i_own_col || i_own_row {
             if !diag_pending.contains_key(&k) {
                 pump(
-                    &rx,
+                    ep.as_ref(),
                     &mut diag_pending,
                     &mut l_pending,
                     &mut u_pending,
@@ -258,13 +271,15 @@ fn worker(
                     }
                 }
                 for d in dests {
-                    txs[d]
-                        .send(Msg::L {
+                    ep.send(
+                        d,
+                        Msg::L {
                             step: k,
                             bi,
                             data: solved.clone(),
-                        })
-                        .expect("receiver hung up");
+                        },
+                    )
+                    .expect("receiver hung up");
                     sent += 1;
                 }
             }
@@ -290,13 +305,15 @@ fn worker(
                     }
                 }
                 for d in dests {
-                    txs[d]
-                        .send(Msg::U {
+                    ep.send(
+                        d,
+                        Msg::U {
                             step: k,
                             bj,
                             data: solved.clone(),
-                        })
-                        .expect("receiver hung up");
+                        },
+                    )
+                    .expect("receiver hung up");
                     sent += 1;
                 }
             }
@@ -327,7 +344,7 @@ fn worker(
             need_u.retain(|&bj| !u_pending.contains_key(&(k, bj)));
             if !(need_l.is_empty() && need_u.is_empty()) {
                 pump(
-                    &rx,
+                    ep.as_ref(),
                     &mut diag_pending,
                     &mut l_pending,
                     &mut u_pending,
@@ -373,7 +390,7 @@ fn worker(
 /// Receives messages into the pending buffers until `ready` is
 /// satisfied.
 fn pump(
-    rx: &Receiver<Msg>,
+    ep: &dyn Endpoint<Msg>,
     diag: &mut HashMap<usize, Matrix>,
     l: &mut HashMap<(usize, usize), Matrix>,
     u: &mut HashMap<(usize, usize), Matrix>,
@@ -384,7 +401,7 @@ fn pump(
     ) -> bool,
 ) {
     while !ready(diag, l, u) {
-        match rx.recv().expect("sender hung up") {
+        match ep.recv().expect("sender hung up") {
             Msg::Diag { step, data } => {
                 diag.insert(step, data);
             }

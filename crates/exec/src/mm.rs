@@ -7,8 +7,9 @@
 //! Heterogeneity is emulated by integer *slowdown weights*: processor
 //! `(i, j)` repeats every block kernel `w_ij` times.
 
-use crate::channel::{unbounded, Receiver, Sender};
+use crate::channel::{unbounded, Sender};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::Matrix;
@@ -55,12 +56,45 @@ pub fn run_mm(
     run_mm_rect(a, b, dist, (nb, nb, nb), r, weights)
 }
 
+/// [`run_mm`] over an explicit [`Transport`] (the harness injects its
+/// fault-injecting virtual transport here).
+///
+/// # Panics
+/// Panics on size mismatches, like [`run_mm`].
+pub fn run_mm_on(
+    transport: &impl Transport,
+    a: &Matrix,
+    b: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
+    run_mm_rect_on(transport, a, b, dist, (nb, nb, nb), r, weights)
+}
+
 /// Rectangular variant: `C(mb x nb) = A(mb x kb) * B(kb x nb)` in `r`-sized
 /// blocks, all three matrices laid out by the same distribution.
 ///
 /// # Panics
 /// Panics on size mismatches, like [`run_mm`].
 pub fn run_mm_rect(
+    a: &Matrix,
+    b: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    dims: (usize, usize, usize),
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, ExecReport) {
+    run_mm_rect_on(&ChannelTransport, a, b, dist, dims, r, weights)
+}
+
+/// [`run_mm_rect`] over an explicit [`Transport`].
+///
+/// # Panics
+/// Panics on size mismatches, like [`run_mm`].
+pub fn run_mm_rect_on(
+    transport: &impl Transport,
     a: &Matrix,
     b: &Matrix,
     dist: &(dyn BlockDist + Sync),
@@ -80,25 +114,20 @@ pub fn run_mm_rect(
     let db = DistributedMatrix::scatter_rect(b, dist, kb, nb, r);
 
     let n_procs = p * q;
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..n_procs).map(|_| unbounded()).unzip();
+    let endpoints = transport.connect::<Msg>(n_procs);
     let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
 
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
-        for i in 0..p {
-            for j in 0..q {
-                let me = i * q + j;
-                let my_a = da.stores[me].clone();
-                let my_b = db.stores[me].clone();
-                let txs = txs.clone();
-                let rx = rxs[me].clone();
-                let done = done_tx.clone();
-                let w = weights[i][j];
-                scope.spawn(move || {
-                    worker(dist, (mb, nb, kb), r, (i, j), my_a, my_b, w, txs, rx, done);
-                });
-            }
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let (i, j) = (me / q, me % q);
+            let my_a = da.stores[me].clone();
+            let my_b = db.stores[me].clone();
+            let done = done_tx.clone();
+            let w = weights[i][j];
+            scope.spawn(move || {
+                worker(dist, (mb, nb, kb), r, (i, j), my_a, my_b, w, ep, done);
+            });
         }
     });
     drop(done_tx);
@@ -168,8 +197,7 @@ fn worker(
     my_a: BlockStore,
     my_b: BlockStore,
     weight: u64,
-    txs: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
+    ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
     let (_, q) = dist.grid();
@@ -212,13 +240,15 @@ fn worker(
                 // One deep copy per hop; recipients share it via the Arc.
                 let payload = Arc::new(data.clone());
                 for dest in dests {
-                    txs[dest]
-                        .send(Msg::A {
+                    ep.send(
+                        dest,
+                        Msg::A {
                             step: k,
                             bi,
                             data: Arc::clone(&payload),
-                        })
-                        .expect("receiver hung up");
+                        },
+                    )
+                    .expect("receiver hung up");
                     sent += 1;
                 }
             }
@@ -231,13 +261,15 @@ fn worker(
                 }
                 let payload = Arc::new(data.clone());
                 for dest in dests {
-                    txs[dest]
-                        .send(Msg::B {
+                    ep.send(
+                        dest,
+                        Msg::B {
                             step: k,
                             bj,
                             data: Arc::clone(&payload),
-                        })
-                        .expect("receiver hung up");
+                        },
+                    )
+                    .expect("receiver hung up");
                     sent += 1;
                 }
             }
@@ -257,7 +289,7 @@ fn worker(
         need_a.retain(|&bi| !a_pending.contains_key(&(k, bi)));
         need_b.retain(|&bj| !b_pending.contains_key(&(k, bj)));
         while !(need_a.is_empty() && need_b.is_empty()) {
-            match rx.recv().expect("sender hung up") {
+            match ep.recv().expect("sender hung up") {
                 Msg::A { step, bi, data } => {
                     if step == k {
                         need_a.remove(&bi);

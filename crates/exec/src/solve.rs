@@ -5,6 +5,7 @@
 //! library whose expensive phase is the factorization.
 
 use crate::store::ExecReport;
+use crate::transport::{ChannelTransport, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::tri::{solve_lower, solve_upper};
 use hetgrid_linalg::Matrix;
@@ -34,19 +35,37 @@ pub fn run_solve(
     weights: &[Vec<u64>],
     kind: SolveKind,
 ) -> (Vec<f64>, ExecReport) {
+    run_solve_on(&ChannelTransport, a, b, dist, nb, r, weights, kind)
+}
+
+/// [`run_solve`] over an explicit [`Transport`]: the distributed
+/// factorization phase communicates through it.
+///
+/// # Panics
+/// Panics like [`run_solve`].
+pub fn run_solve_on(
+    transport: &impl Transport,
+    a: &Matrix,
+    b: &[f64],
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    kind: SolveKind,
+) -> (Vec<f64>, ExecReport) {
     let n = nb * r;
     assert_eq!(a.shape(), (n, n), "run_solve: matrix size mismatch");
     assert_eq!(b.len(), n, "run_solve: rhs length mismatch");
     let bm = Matrix::from_fn(n, 1, |i, _| b[i]);
     match kind {
         SolveKind::Lu => {
-            let (f, report) = crate::run_lu(a, dist, nb, r, weights);
+            let (f, report) = crate::lu::run_lu_on(transport, a, dist, nb, r, weights);
             let y = solve_lower(&f, &bm, true);
             let x = solve_upper(&f, &y);
             ((0..n).map(|i| x[(i, 0)]).collect(), report)
         }
         SolveKind::Cholesky => {
-            let (l, report) = crate::run_cholesky(a, dist, nb, r, weights);
+            let (l, report) = crate::cholesky::run_cholesky_on(transport, a, dist, nb, r, weights);
             let y = solve_lower(&l, &bm, false);
             let x = solve_upper(&l.transpose(), &y);
             ((0..n).map(|i| x[(i, 0)]).collect(), report)

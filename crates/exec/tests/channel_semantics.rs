@@ -1,0 +1,163 @@
+//! Edge-semantics tests for `hetgrid_exec::channel` — the contracts the
+//! executor's shutdown path and the harness's virtual transport both
+//! depend on:
+//!
+//! * dropping the *last* sender wakes every blocked receiver (shutdown
+//!   cannot deadlock, no matter how many receivers are parked);
+//! * `send` fails only when *every* receiver is gone, and hands the
+//!   undelivered message back;
+//! * clonable receivers partition the stream — each message is consumed
+//!   exactly once even under heavy contention.
+
+use hetgrid_exec::channel::unbounded;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn dropping_last_sender_wakes_all_blocked_receivers() {
+    let (tx, rx) = unbounded::<u32>();
+    let parked = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let rx = rx.clone();
+            let parked = Arc::clone(&parked);
+            thread::spawn(move || {
+                parked.fetch_add(1, Ordering::SeqCst);
+                // Blocks on the empty channel until shutdown.
+                rx.recv().is_err()
+            })
+        })
+        .collect();
+    drop(rx);
+    // Let every receiver actually park before shutting down.
+    while parked.load(Ordering::SeqCst) < 6 {
+        thread::yield_now();
+    }
+    thread::sleep(Duration::from_millis(20));
+    let tx2 = tx.clone();
+    drop(tx);
+    drop(tx2); // the *last* sender drop triggers the wake-all
+    for h in handles {
+        assert!(
+            h.join().unwrap(),
+            "a blocked receiver woke with a message on an empty closed channel"
+        );
+    }
+}
+
+#[test]
+fn intermediate_sender_drops_do_not_wake_receivers() {
+    let (tx, rx) = unbounded::<u32>();
+    let keep = tx.clone();
+    let h = thread::spawn(move || rx.recv());
+    thread::sleep(Duration::from_millis(20));
+    drop(tx); // one sender remains — receiver must stay parked
+    thread::sleep(Duration::from_millis(20));
+    keep.send(42).unwrap();
+    assert_eq!(h.join().unwrap().unwrap(), 42);
+}
+
+#[test]
+fn send_succeeds_while_any_receiver_lives() {
+    let (tx, rx1) = unbounded::<u32>();
+    let rx2 = rx1.clone();
+    let rx3 = rx2.clone();
+    drop(rx1);
+    drop(rx3);
+    // One receiver clone still alive: sends must succeed.
+    tx.send(7).unwrap();
+    assert_eq!(rx2.recv().unwrap(), 7);
+    drop(rx2);
+    // Now every receiver is gone: the send fails and returns the value.
+    let err = tx.send(9).unwrap_err();
+    assert_eq!(err.0, 9, "SendError must carry the undelivered message");
+}
+
+#[test]
+fn queued_messages_are_lost_when_receivers_vanish() {
+    // Documented consequence of "send fails only when every receiver is
+    // gone": a message queued while receivers existed is dropped with
+    // the state when the last receiver goes — later sends fail, earlier
+    // ones do not retroactively error.
+    let (tx, rx) = unbounded::<u32>();
+    tx.send(1).unwrap();
+    drop(rx);
+    assert!(tx.send(2).is_err());
+}
+
+#[test]
+fn cloned_receivers_consume_each_message_exactly_once_under_contention() {
+    const MESSAGES: u64 = 20_000;
+    const RECEIVERS: usize = 8;
+    let (tx, rx) = unbounded::<u64>();
+    let handles: Vec<_> = (0..RECEIVERS)
+        .map(|_| {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    let producer = thread::spawn(move || {
+        for v in 0..MESSAGES {
+            tx.send(v).unwrap();
+        }
+    });
+    producer.join().unwrap();
+
+    let mut seen = BTreeSet::new();
+    let mut total = 0usize;
+    for h in handles {
+        for v in h.join().unwrap() {
+            assert!(seen.insert(v), "message {v} delivered twice");
+            total += 1;
+        }
+    }
+    assert_eq!(total as u64, MESSAGES, "some messages were never delivered");
+    assert_eq!(seen.len() as u64, MESSAGES);
+}
+
+#[test]
+fn contended_receivers_all_make_progress() {
+    // Fairness in the weak sense the executor needs: with a sustained
+    // stream and several blocked receivers, no receiver starves
+    // forever. (The channel wakes one receiver per send, so every
+    // parked receiver is eventually the one notified.)
+    const MESSAGES: u64 = 50_000;
+    const RECEIVERS: usize = 4;
+    let (tx, rx) = unbounded::<u64>();
+    let handles: Vec<_> = (0..RECEIVERS)
+        .map(|_| {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut got = 0u64;
+                while rx.recv().is_ok() {
+                    got += 1;
+                    // Hold the message briefly so the queue backs up and
+                    // other receivers get woken too.
+                    std::hint::spin_loop();
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+    for v in 0..MESSAGES {
+        tx.send(v).unwrap();
+    }
+    drop(tx);
+    let counts: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(counts.iter().sum::<u64>(), MESSAGES);
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "a receiver starved completely: {counts:?}"
+    );
+}

@@ -1,0 +1,154 @@
+//! Fault profiles and the deterministic decision function behind them.
+//!
+//! Every fault decision the virtual transport makes — hold this message
+//! or deliver it, how long to hold it, which ready message to hand to a
+//! receiver — is a *pure function* of the run seed and per-endpoint
+//! event counters ([`roll`]). Each worker thread sends and receives in
+//! its own program order, so those counters do not depend on how the OS
+//! interleaves the threads: replaying a seed replays exactly the same
+//! per-message decisions, which is what makes a harness failure
+//! reproducible.
+
+/// `splitmix64`-style finalizer: avalanches one word.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-event random word: hashes the run seed with an
+/// event coordinate triple (e.g. source, destination, per-edge message
+/// number).
+pub fn roll(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix(seed ^ mix(a.wrapping_add(0x9e3779b97f4a7c15) ^ mix(b ^ mix(c))))
+}
+
+/// What the virtual transport is allowed to do to traffic.
+///
+/// All faults stay within the semantics the kernels are specified
+/// against (messages are keyed by step and block coordinates and
+/// buffered when early): delivery may be delayed and reordered, never
+/// lost or duplicated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Display name, reported on failure.
+    pub name: &'static str,
+    /// Per-message probability (in 1/1000) that the message is held
+    /// back instead of delivered immediately.
+    pub delay_permille: u32,
+    /// Upper bound on how many later arrivals at the same mailbox a
+    /// held message waits for before it is released (at least 1).
+    pub max_hold: u32,
+    /// Receivers take a seeded pick from the ready queue instead of the
+    /// oldest message (non-FIFO delivery).
+    pub shuffle_recv: bool,
+}
+
+impl FaultProfile {
+    /// Faithful FIFO delivery, no faults — the control profile; the
+    /// harness over this profile is equivalent to the production
+    /// channel transport.
+    pub const FIFO: FaultProfile = FaultProfile {
+        name: "fifo",
+        delay_permille: 0,
+        max_hold: 1,
+        shuffle_recv: false,
+    };
+
+    /// Messages arrive in seeded arbitrary order, but promptly.
+    pub const REORDER: FaultProfile = FaultProfile {
+        name: "reorder",
+        delay_permille: 0,
+        max_hold: 1,
+        shuffle_recv: true,
+    };
+
+    /// A quarter of all messages are held back several arrivals.
+    pub const DELAY: FaultProfile = FaultProfile {
+        name: "delay",
+        delay_permille: 250,
+        max_hold: 6,
+        shuffle_recv: false,
+    };
+
+    /// Heavy delay plus reordering — the adversarial profile.
+    pub const CHAOS: FaultProfile = FaultProfile {
+        name: "chaos",
+        delay_permille: 500,
+        max_hold: 10,
+        shuffle_recv: true,
+    };
+
+    /// Every built-in profile, mildest first.
+    pub const ALL: [FaultProfile; 4] = [Self::FIFO, Self::REORDER, Self::DELAY, Self::CHAOS];
+
+    /// Whether a message — the `n`-th on edge `src -> dest` of the run
+    /// seeded with `seed` — is held back, and for how many subsequent
+    /// arrivals.
+    pub fn hold_for(&self, seed: u64, src: usize, dest: usize, n: u64) -> Option<u32> {
+        if self.delay_permille == 0 {
+            return None;
+        }
+        let r = roll(seed, src as u64, dest as u64, n);
+        if (r % 1000) as u32 >= self.delay_permille {
+            return None;
+        }
+        Some(1 + (r >> 32) as u32 % self.max_hold)
+    }
+
+    /// Which of `len` ready messages the `n`-th receive on mailbox `me`
+    /// takes.
+    pub fn pick(&self, seed: u64, me: usize, n: u64, len: usize) -> usize {
+        if !self.shuffle_recv || len <= 1 {
+            0
+        } else {
+            (roll(seed, !0, me as u64, n) % len as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let p = FaultProfile::CHAOS;
+        for n in 0..100 {
+            assert_eq!(p.hold_for(42, 1, 2, n), p.hold_for(42, 1, 2, n));
+            assert_eq!(p.pick(42, 3, n, 5), p.pick(42, 3, n, 5));
+        }
+    }
+
+    #[test]
+    fn fifo_never_holds_and_picks_front() {
+        let p = FaultProfile::FIFO;
+        for n in 0..100 {
+            assert_eq!(p.hold_for(7, 0, 1, n), None);
+            assert_eq!(p.pick(7, 0, n, 9), 0);
+        }
+    }
+
+    #[test]
+    fn delay_profile_holds_roughly_its_share() {
+        let p = FaultProfile::DELAY;
+        let held = (0..4000)
+            .filter(|&n| p.hold_for(0xA5, 0, 1, n).is_some())
+            .count();
+        // 25% nominal; allow a wide deterministic band.
+        assert!((600..1400).contains(&held), "held {held} of 4000");
+        for n in 0..4000 {
+            if let Some(h) = p.hold_for(0xA5, 0, 1, n) {
+                assert!((1..=p.max_hold).contains(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = FaultProfile::CHAOS;
+        let a: Vec<_> = (0..64).map(|n| p.hold_for(1, 0, 1, n)).collect();
+        let b: Vec<_> = (0..64).map(|n| p.hold_for(2, 0, 1, n)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Differential oracles: every harness run is judged against an
+//! independent source of truth.
+//!
+//! * **Numerical** — the distributed result must match the single-node
+//!   `hetgrid-linalg` reference (product, reconstructed factorization,
+//!   or solve residual) element-wise within a tolerance;
+//! * **Counting** — the executor's per-processor message and work-unit
+//!   tables must *exactly* equal the closed-form predictions of
+//!   [`hetgrid_sim::counts`]. A transport that loses, duplicates, or
+//!   misroutes a message cannot pass this even when the numbers happen
+//!   to come out right;
+//! * **Conservation** — redistribution moves every block it planned to
+//!   move, exactly once, and preserves the matrix content.
+//!
+//! Oracles return `Err(String)` with a self-contained explanation; the
+//! runner attaches the seed and fault profile so any failure is
+//! replayable.
+
+use hetgrid_dist::{redistribution, BlockDist};
+use hetgrid_exec::{DistributedMatrix, ExecReport};
+use hetgrid_linalg::gemm::matmul;
+use hetgrid_linalg::tri::{unit_lower_from_packed, upper_from_packed};
+use hetgrid_linalg::Matrix;
+use hetgrid_sim::counts::KernelCounts;
+
+/// Checks `c` against the reference product `a * b`.
+pub fn check_mm(a: &Matrix, b: &Matrix, c: &Matrix, tol: f64) -> Result<(), String> {
+    let reference = matmul(a, b);
+    if c.approx_eq(&reference, tol) {
+        Ok(())
+    } else {
+        Err(format!(
+            "MM mismatch vs linalg reference: max err {:.3e} (tol {:.1e})",
+            c.sub(&reference).max_abs(),
+            tol
+        ))
+    }
+}
+
+/// Checks the packed LU factors: `L * U` must reproduce `a`.
+pub fn check_lu(a: &Matrix, packed: &Matrix, tol: f64) -> Result<(), String> {
+    let lu = matmul(&unit_lower_from_packed(packed), &upper_from_packed(packed));
+    if lu.approx_eq(a, tol) {
+        Ok(())
+    } else {
+        Err(format!(
+            "LU mismatch: |L*U - A| max err {:.3e} (tol {:.1e})",
+            lu.sub(a).max_abs(),
+            tol
+        ))
+    }
+}
+
+/// Checks the Cholesky factor: `L * L^T` must reproduce `a`.
+pub fn check_cholesky(a: &Matrix, l: &Matrix, tol: f64) -> Result<(), String> {
+    let llt = matmul(l, &l.transpose());
+    if llt.approx_eq(a, tol) {
+        Ok(())
+    } else {
+        Err(format!(
+            "Cholesky mismatch: |L*L^T - A| max err {:.3e} (tol {:.1e})",
+            llt.sub(a).max_abs(),
+            tol
+        ))
+    }
+}
+
+/// Checks a solve: the max-norm residual `|A x - b|` must be below
+/// `tol`.
+pub fn check_solve(a: &Matrix, x: &[f64], b: &[f64], tol: f64) -> Result<(), String> {
+    let res = hetgrid_exec::solve::residual(a, x, b);
+    if res < tol {
+        Ok(())
+    } else {
+        Err(format!("solve residual {res:.3e} above tol {tol:.1e}"))
+    }
+}
+
+/// Checks the executor's observed per-processor message and work-unit
+/// tables against the [`hetgrid_sim::counts`] prediction, exactly.
+pub fn check_counts(report: &ExecReport, predicted: &KernelCounts) -> Result<(), String> {
+    if report.messages_sent != predicted.messages {
+        return Err(format!(
+            "message counts diverge from sim prediction:\n observed {:?}\npredicted {:?}",
+            report.messages_sent, predicted.messages
+        ));
+    }
+    if report.work_units != predicted.work_units {
+        return Err(format!(
+            "work units diverge from sim prediction:\n observed {:?}\npredicted {:?}",
+            report.work_units, predicted.work_units
+        ));
+    }
+    Ok(())
+}
+
+/// Conservation oracle for redistribution: the analytic move count, the
+/// per-edge transfer plan, the live move count reported by
+/// [`hetgrid_adapt::redistribute`], and the gathered matrix content
+/// must all agree.
+pub fn check_redistribution(
+    m: &Matrix,
+    from: &dyn BlockDist,
+    to: &dyn BlockDist,
+    nb: usize,
+    r: usize,
+) -> Result<(), String> {
+    let planned = redistribution::blocks_moved(from, to, nb);
+    let by_edge: usize = redistribution::transfer_plan(from, to, nb).values().sum();
+    if planned != by_edge {
+        return Err(format!(
+            "transfer plan covers {by_edge} blocks but {planned} change owner"
+        ));
+    }
+
+    let mut dm = DistributedMatrix::scatter(m, from, nb, r);
+    let moved = hetgrid_adapt::redistribute(&mut dm, from, to);
+    if moved != planned {
+        return Err(format!(
+            "redistribute moved {moved} blocks, analysis says {planned}"
+        ));
+    }
+    // After the move, every block must live exactly where `to` says...
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let (oi, oj) = to.owner(bi, bj);
+            let (_, q) = to.grid();
+            if !dm.stores[oi * q + oj].contains_key(&(bi, bj)) {
+                return Err(format!(
+                    "block ({bi}, {bj}) missing from its new owner ({oi}, {oj})"
+                ));
+            }
+        }
+    }
+    // ...and the matrix content must be untouched.
+    let gathered = dm.gather();
+    if !gathered.approx_eq(m, 0.0) {
+        return Err(format!(
+            "redistribution corrupted data: max err {:.3e}",
+            gathered.sub(m).max_abs()
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! Case runners: draw a scenario from a seed, execute the real kernel
+//! over the fault-injecting transport, and judge the run with the
+//! differential oracles. Every failure message carries the seed, the
+//! fault profile, and the scenario description, so any red run is a
+//! one-command deterministic replay.
+
+use crate::faults::FaultProfile;
+use crate::oracles;
+use crate::scenario::{
+    dominant_matrix, exec_scenario, general_matrix, random_arrangement, random_dist, spd_matrix,
+};
+use crate::vtransport::VirtualTransport;
+use hetgrid_adapt::{ControllerConfig, Outcome, Scenario};
+use hetgrid_exec::{run_cholesky_on, run_lu_on, run_mm_on, run_solve_on, ExecReport, SolveKind};
+use hetgrid_linalg::gemm::matvec;
+use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts};
+use hetgrid_sim::DriftProfile;
+use rand::prelude::*;
+
+/// Which executor kernel a harness case drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Outer-product matrix multiplication.
+    Mm,
+    /// Right-looking LU without pivoting.
+    Lu,
+    /// Right-looking Cholesky.
+    Cholesky,
+    /// Full linear solve (LU- or Cholesky-backed, by seed).
+    Solve,
+}
+
+impl Kernel {
+    /// The three factorization/multiplication kernels plus the solve.
+    pub const ALL: [Kernel; 4] = [Kernel::Mm, Kernel::Lu, Kernel::Cholesky, Kernel::Solve];
+}
+
+/// Runs one executor case and validates it with every applicable
+/// oracle.
+///
+/// # Panics
+/// Panics — with the seed, profile, and scenario in the message — when
+/// any oracle rejects the run.
+pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
+    let sc = exec_scenario(seed);
+    let ctx = format!(
+        "{kernel:?} under '{}' on {} — replay: HARNESS_SEED={seed} cargo test -p hetgrid-harness",
+        profile.name,
+        sc.describe()
+    );
+    let transport = VirtualTransport::new(seed, profile);
+    // Independent stream for matrix entries, so the scenario draw stays
+    // stable if matrix generation ever changes.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_5EA5_E000_0000);
+    let n = sc.nb * sc.r;
+    let dist = sc.dist.as_ref();
+
+    let check = |result: Result<(), String>| {
+        if let Err(msg) = result {
+            panic!("harness oracle failed: {msg}\n  case: {ctx}");
+        }
+    };
+
+    let report: ExecReport = match kernel {
+        Kernel::Mm => {
+            let a = general_matrix(&mut rng, n, n);
+            let b = general_matrix(&mut rng, n, n);
+            let (c, report) = run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights);
+            check(oracles::check_mm(&a, &b, &c, 1e-9));
+            check(oracles::check_counts(
+                &report,
+                &mm_counts(dist, (sc.nb, sc.nb, sc.nb), &sc.weights),
+            ));
+            report
+        }
+        Kernel::Lu => {
+            let a = dominant_matrix(&mut rng, n);
+            let (f, report) = run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            check(oracles::check_lu(&a, &f, 1e-8));
+            check(oracles::check_counts(
+                &report,
+                &lu_counts(dist, sc.nb, &sc.weights),
+            ));
+            report
+        }
+        Kernel::Cholesky => {
+            let a = spd_matrix(&mut rng, n);
+            let (l, report) = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            check(oracles::check_cholesky(&a, &l, 1e-8));
+            check(oracles::check_counts(
+                &report,
+                &cholesky_counts(dist, sc.nb, &sc.weights),
+            ));
+            report
+        }
+        Kernel::Solve => {
+            let (a, kind) = if seed.is_multiple_of(2) {
+                (dominant_matrix(&mut rng, n), SolveKind::Lu)
+            } else {
+                (spd_matrix(&mut rng, n), SolveKind::Cholesky)
+            };
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = matvec(&a, &x0);
+            let (x, report) =
+                run_solve_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, kind);
+            check(oracles::check_solve(&a, &x, &b, 1e-6));
+            let predicted = match kind {
+                SolveKind::Lu => lu_counts(dist, sc.nb, &sc.weights),
+                SolveKind::Cholesky => cholesky_counts(dist, sc.nb, &sc.weights),
+            };
+            check(oracles::check_counts(&report, &predicted));
+            report
+        }
+    };
+
+    // Sanity floor: a multi-processor grid must actually communicate.
+    let (p, q) = sc.grid();
+    if p * q > 1 && report.total_messages() == 0 {
+        panic!("harness oracle failed: no messages on a {p}x{q} grid\n  case: {ctx}");
+    }
+}
+
+/// Runs one redistribution case: scatter a matrix, move it between two
+/// seeded distributions on the same grid, and apply the conservation
+/// oracle.
+///
+/// # Panics
+/// Panics with the seed in the message when conservation fails.
+pub fn run_redistribution_case(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (p, q) = [(2, 2), (2, 3), (3, 2), (3, 3)][rng.gen_range(0..4usize)];
+    let arr_from = random_arrangement(&mut rng, p, q);
+    let arr_to = random_arrangement(&mut rng, p, q);
+    let (from, from_name) = random_dist(&mut rng, &arr_from);
+    let (to, to_name) = random_dist(&mut rng, &arr_to);
+    let nb = rng.gen_range(4..=8usize);
+    let r = rng.gen_range(2..=3usize);
+    let m = general_matrix(&mut rng, nb * r, nb * r);
+    if let Err(msg) = oracles::check_redistribution(&m, from.as_ref(), to.as_ref(), nb, r) {
+        panic!(
+            "harness oracle failed: {msg}\n  case: redistribution {from_name} -> {to_name} \
+             on {p}x{q}, nb={nb}, r={r} — replay: HARNESS_SEED={seed} cargo test -p hetgrid-harness"
+        );
+    }
+}
+
+/// Draws a seeded closed-loop scenario for `hetgrid-adapt`: a random
+/// pool, a random drift profile (the injected cycle-time drift), and
+/// the default controller.
+pub fn adapt_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (p, q) = [(2, 2), (2, 3)][rng.gen_range(0..2usize)];
+    let n = p * q;
+    let base_times: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let factors: Vec<f64> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(1.5..6.0)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let profile = match rng.gen_range(0..4u32) {
+        0 => DriftProfile::Stationary,
+        1 => DriftProfile::Step {
+            at: rng.gen_range(2..10usize),
+            factors,
+        },
+        2 => {
+            let from = rng.gen_range(2..6usize);
+            DriftProfile::Ramp {
+                from,
+                to: from + rng.gen_range(4..12usize),
+                factors,
+            }
+        }
+        _ => {
+            let period = rng.gen_range(6..12usize);
+            DriftProfile::PeriodicSpike {
+                period,
+                width: rng.gen_range(1..=period / 2),
+                factors,
+            }
+        }
+    };
+    Scenario {
+        base_times,
+        p,
+        q,
+        bp: 4,
+        bq: 4,
+        nb: 16,
+        iters: 40,
+        profile,
+        config: ControllerConfig::default(),
+    }
+}
+
+/// Runs a seeded adapt scenario twice and checks the closed loop is
+/// deterministic: identical rebalance decisions, identical makespans,
+/// identical move counts. Returns the outcome for further inspection.
+///
+/// # Panics
+/// Panics with the seed in the message when the two runs diverge.
+pub fn run_adapt_case(seed: u64) -> Outcome {
+    let sc = adapt_scenario(seed);
+    let a = hetgrid_adapt::run_scenario(&sc);
+    let b = hetgrid_adapt::run_scenario(&sc);
+    let same = a.rebalances == b.rebalances
+        && a.blocks_moved == b.blocks_moved
+        && a.static_makespan == b.static_makespan
+        && a.adaptive_makespan == b.adaptive_makespan
+        && a.redistribution_cost == b.redistribution_cost
+        && a.history.len() == b.history.len()
+        && a.history
+            .iter()
+            .zip(&b.history)
+            .all(|(x, y)| x.rebalanced == y.rebalanced && x.adaptive_cost == y.adaptive_cost);
+    assert!(
+        same,
+        "harness oracle failed: adapt closed loop not deterministic \
+         (runs diverged)\n  case: profile {:?} — replay: HARNESS_SEED={seed} \
+         cargo test -p hetgrid-harness",
+        sc.profile
+    );
+    a
+}

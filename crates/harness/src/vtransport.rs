@@ -1,0 +1,295 @@
+//! The seeded fault-injecting virtual transport.
+//!
+//! Implements [`hetgrid_exec::Transport`] so the *real* kernel code runs
+//! over it unchanged. Each mailbox is a mutex-protected pair of queues:
+//!
+//! * `ready` — deliverable messages; a receive pops the front, or a
+//!   seeded pick when the profile reorders;
+//! * `held` — messages the fault injector is delaying. A held message
+//!   carries a countdown of subsequent arrivals at the same mailbox;
+//!   when the countdown expires it moves to `ready`. A receiver that
+//!   finds `ready` empty promotes the oldest held message instead of
+//!   blocking — delay can starve progress only temporarily, never
+//!   forever.
+//!
+//! Whether a particular message is held, for how long, and which ready
+//! message a receive takes are all pure functions of the run seed and
+//! per-endpoint counters (see [`crate::faults`]), so a seed replays the
+//! same fault schedule regardless of OS scheduling. If a run
+//! nevertheless wedges — every queue empty, senders alive but nothing
+//! arriving within the watchdog window — the transport panics with the
+//! seed rather than hanging the test suite.
+
+use crate::faults::FaultProfile;
+use hetgrid_exec::transport::{Closed, Endpoint, Transport};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long a receiver waits on an empty mailbox (with other endpoints
+/// still alive) before declaring the run wedged.
+const WATCHDOG: Duration = Duration::from_secs(10);
+
+/// A [`Transport`] whose endpoints misbehave according to a
+/// [`FaultProfile`], deterministically per `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualTransport {
+    seed: u64,
+    profile: FaultProfile,
+}
+
+impl VirtualTransport {
+    /// A transport injecting `profile`'s faults with decisions derived
+    /// from `seed`.
+    pub fn new(seed: u64, profile: FaultProfile) -> Self {
+        VirtualTransport { seed, profile }
+    }
+
+    /// The run seed (reported in failure messages).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+}
+
+struct MailboxState<T> {
+    ready: VecDeque<T>,
+    /// Held messages with their remaining-arrivals countdown, oldest
+    /// first.
+    held: VecDeque<(T, u32)>,
+    /// The owning endpoint was dropped; sends to it fail.
+    closed: bool,
+}
+
+struct Mailbox<T> {
+    state: Mutex<MailboxState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Mailbox<T> {
+    /// Locks the state, tolerating poisoning: the queues are consistent
+    /// at every lock boundary, and a panicking run (watchdog, oracle
+    /// failure) must not abort the process by double-panicking in
+    /// endpoint drops or concurrent sends.
+    fn lock(&self) -> MutexGuard<'_, MailboxState<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+struct Shared<T> {
+    boxes: Vec<Mailbox<T>>,
+    /// Endpoints still alive; a lone survivor's empty recv fails
+    /// instead of blocking.
+    live: AtomicUsize,
+    seed: u64,
+    profile: FaultProfile,
+}
+
+struct VirtualEndpoint<T> {
+    shared: Arc<Shared<T>>,
+    me: usize,
+    /// Messages sent so far on each edge `me -> dest` (program order of
+    /// this endpoint's thread, hence deterministic).
+    sent: Vec<Cell<u64>>,
+    /// Receives completed so far on the own mailbox.
+    received: Cell<u64>,
+}
+
+impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
+    fn send(&self, dest: usize, msg: T) -> Result<(), Closed> {
+        let n = self.sent[dest].get();
+        self.sent[dest].set(n + 1);
+        let hold = self
+            .shared
+            .profile
+            .hold_for(self.shared.seed, self.me, dest, n);
+
+        let mb = &self.shared.boxes[dest];
+        let mut st = mb.lock();
+        if st.closed {
+            return Err(Closed);
+        }
+        // Every arrival ages the messages already held here.
+        let mut i = 0;
+        while i < st.held.len() {
+            st.held[i].1 -= 1;
+            if st.held[i].1 == 0 {
+                let (m, _) = st.held.remove(i).unwrap();
+                st.ready.push_back(m);
+            } else {
+                i += 1;
+            }
+        }
+        match hold {
+            Some(arrivals) => st.held.push_back((msg, arrivals)),
+            None => st.ready.push_back(msg),
+        }
+        drop(st);
+        // Notify even when the message went into `held`: a receiver
+        // already blocked on an empty mailbox wakes and promotes it
+        // (the delay fault may reorder traffic, never wedge it).
+        mb.cv.notify_all();
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<T, Closed> {
+        let mb = &self.shared.boxes[self.me];
+        let mut st = mb.lock();
+        loop {
+            if !st.ready.is_empty() {
+                let n = self.received.get();
+                self.received.set(n + 1);
+                let idx = self
+                    .shared
+                    .profile
+                    .pick(self.shared.seed, self.me, n, st.ready.len());
+                return Ok(st.ready.remove(idx).unwrap());
+            }
+            // Nothing deliverable: promote the oldest held message so a
+            // waiting receiver is never starved by the fault injector.
+            if let Some((msg, _)) = st.held.pop_front() {
+                self.received.set(self.received.get() + 1);
+                return Ok(msg);
+            }
+            if self.shared.live.load(Ordering::SeqCst) <= 1 {
+                return Err(Closed);
+            }
+            let (guard, timeout) = mb
+                .cv
+                .wait_timeout(st, WATCHDOG)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            if timeout.timed_out() && st.ready.is_empty() && st.held.is_empty() {
+                if self.shared.live.load(Ordering::SeqCst) <= 1 {
+                    return Err(Closed);
+                }
+                drop(st); // do not poison the mailbox the panic abandons
+                panic!(
+                    "harness watchdog: processor {} starved for {:?} \
+                     (profile '{}', seed {}) — replay with HARNESS_SEED={}",
+                    self.me, WATCHDOG, self.shared.profile.name, self.shared.seed, self.shared.seed
+                );
+            }
+        }
+    }
+}
+
+impl<T> Drop for VirtualEndpoint<T> {
+    fn drop(&mut self) {
+        self.shared.boxes[self.me].lock().closed = true;
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        // Receivers blocked on other mailboxes must recheck liveness.
+        for mb in &self.shared.boxes {
+            mb.cv.notify_all();
+        }
+    }
+}
+
+impl Transport for VirtualTransport {
+    fn connect<T: Send + 'static>(&self, n: usize) -> Vec<Box<dyn Endpoint<T>>> {
+        let shared = Arc::new(Shared {
+            boxes: (0..n)
+                .map(|_| Mailbox {
+                    state: Mutex::new(MailboxState {
+                        ready: VecDeque::new(),
+                        held: VecDeque::new(),
+                        closed: false,
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            live: AtomicUsize::new(n),
+            seed: self.seed,
+            profile: self.profile,
+        });
+        (0..n)
+            .map(|me| {
+                Box::new(VirtualEndpoint {
+                    shared: Arc::clone(&shared),
+                    me,
+                    sent: (0..n).map(|_| Cell::new(0)).collect(),
+                    received: Cell::new(0),
+                }) as Box<dyn Endpoint<T>>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_profile_preserves_order() {
+        let t = VirtualTransport::new(1, FaultProfile::FIFO);
+        let mut eps = t.connect::<u32>(2);
+        let rx = eps.pop().unwrap();
+        let tx = eps.pop().unwrap();
+        for v in 0..50 {
+            tx.send(1, v).unwrap();
+        }
+        let got: Vec<u32> = (0..50).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_message_is_delivered_exactly_once_under_chaos() {
+        for seed in 0..8 {
+            let t = VirtualTransport::new(seed, FaultProfile::CHAOS);
+            let mut eps = t.connect::<u32>(2);
+            let rx = eps.pop().unwrap();
+            let tx = eps.pop().unwrap();
+            let h = thread::spawn(move || {
+                for v in 0..200 {
+                    tx.send(1, v).unwrap();
+                }
+            });
+            let mut got: Vec<u32> = (0..200).map(|_| rx.recv().unwrap()).collect();
+            h.join().unwrap();
+            got.sort_unstable();
+            assert_eq!(got, (0..200).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_actually_reorders() {
+        let t = VirtualTransport::new(3, FaultProfile::CHAOS);
+        let mut eps = t.connect::<u32>(2);
+        let rx = eps.pop().unwrap();
+        let tx = eps.pop().unwrap();
+        for v in 0..200 {
+            tx.send(1, v).unwrap();
+        }
+        let got: Vec<u32> = (0..200).map(|_| rx.recv().unwrap()).collect();
+        assert_ne!(got, (0..200).collect::<Vec<_>>(), "expected reordering");
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_fails() {
+        let t = VirtualTransport::new(4, FaultProfile::FIFO);
+        let mut eps = t.connect::<u32>(2);
+        drop(eps.pop());
+        assert_eq!(eps[0].send(1, 9), Err(Closed));
+    }
+
+    #[test]
+    fn recv_fails_when_last_survivor_and_empty() {
+        let t = VirtualTransport::new(5, FaultProfile::DELAY);
+        let mut eps = t.connect::<u32>(2);
+        let tx = eps.remove(0);
+        tx.send(1, 11).unwrap();
+        drop(tx);
+        let rx = eps.pop().unwrap();
+        // The in-flight (possibly held) message is still delivered...
+        assert_eq!(rx.recv().unwrap(), 11);
+        // ...then the drained, sender-less mailbox reports closure.
+        assert_eq!(rx.recv(), Err(Closed));
+    }
+}

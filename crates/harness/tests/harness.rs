@@ -1,0 +1,111 @@
+//! The harness test matrix: every executor kernel under every fault
+//! profile, across the seed corpus, each run validated by the
+//! differential oracles.
+//!
+//! A failing seed is printed in the panic message; replay it alone with
+//! `HARNESS_SEED=<n> cargo test -p hetgrid-harness`. Widen the corpus
+//! with `HARNESS_SEEDS=<count>` (the nightly CI job does).
+
+use hetgrid_harness::{
+    run_adapt_case, run_exec_case, run_redistribution_case, seed_corpus, FaultProfile, Kernel,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f(seed)` over the corpus, annotating any panic with the seed
+/// so even a panic deep inside a worker thread (which cannot know the
+/// seed) is replayable.
+fn over_corpus(label: &str, f: impl Fn(u64)) {
+    for seed in seed_corpus() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(seed))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "(non-string panic payload)".to_string());
+            panic!(
+                "[{label}] seed {seed} failed — replay: HARNESS_SEED={seed} \
+                 cargo test -p hetgrid-harness\n{msg}"
+            );
+        }
+    }
+}
+
+macro_rules! exec_cases {
+    ($($name:ident: $kernel:expr, $profile:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            over_corpus(stringify!($name), |seed| run_exec_case($kernel, $profile, seed));
+        }
+    )*};
+}
+
+exec_cases! {
+    mm_fifo:        Kernel::Mm,       FaultProfile::FIFO;
+    mm_reorder:     Kernel::Mm,       FaultProfile::REORDER;
+    mm_delay:       Kernel::Mm,       FaultProfile::DELAY;
+    mm_chaos:       Kernel::Mm,       FaultProfile::CHAOS;
+    lu_fifo:        Kernel::Lu,       FaultProfile::FIFO;
+    lu_reorder:     Kernel::Lu,       FaultProfile::REORDER;
+    lu_delay:       Kernel::Lu,       FaultProfile::DELAY;
+    lu_chaos:       Kernel::Lu,       FaultProfile::CHAOS;
+    cholesky_fifo:    Kernel::Cholesky, FaultProfile::FIFO;
+    cholesky_reorder: Kernel::Cholesky, FaultProfile::REORDER;
+    cholesky_delay:   Kernel::Cholesky, FaultProfile::DELAY;
+    cholesky_chaos:   Kernel::Cholesky, FaultProfile::CHAOS;
+    solve_fifo:     Kernel::Solve,    FaultProfile::FIFO;
+    solve_reorder:  Kernel::Solve,    FaultProfile::REORDER;
+    solve_delay:    Kernel::Solve,    FaultProfile::DELAY;
+    solve_chaos:    Kernel::Solve,    FaultProfile::CHAOS;
+}
+
+#[test]
+fn redistribution_conserves_blocks() {
+    over_corpus("redistribution", run_redistribution_case);
+}
+
+#[test]
+fn adapt_closed_loop_is_deterministic_under_injected_drift() {
+    over_corpus("adapt", |seed| {
+        let outcome = run_adapt_case(seed);
+        // The adaptive strategy never loses to static by more than the
+        // redistribution bills it chose to pay.
+        assert!(
+            outcome.adaptive_makespan
+                <= outcome.static_makespan + outcome.redistribution_cost + 1e-9,
+            "adaptive paid more than its bills explain (seed {seed})"
+        );
+    });
+}
+
+#[test]
+fn same_seed_same_profile_reports_identically() {
+    // The harness's own determinism: the fault schedule is a pure
+    // function of the seed, and the oracles already pin the report to
+    // the closed-form prediction, so two runs must agree exactly.
+    for seed in seed_corpus().into_iter().take(3) {
+        run_exec_case(Kernel::Mm, FaultProfile::CHAOS, seed);
+        run_exec_case(Kernel::Mm, FaultProfile::CHAOS, seed);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any seed (not just the corpus) survives the adversarial
+        /// profile on the cheapest kernel, and redistribution conserves
+        /// content. `PROPTEST_CASES` deepens this in the nightly job.
+        #[test]
+        fn arbitrary_seeds_survive_chaos(seed in 0u64..1_000_000_000) {
+            run_exec_case(Kernel::Mm, FaultProfile::CHAOS, seed);
+        }
+
+        #[test]
+        fn arbitrary_seeds_conserve_redistribution(seed in 0u64..1_000_000_000) {
+            run_redistribution_case(seed);
+        }
+    }
+}

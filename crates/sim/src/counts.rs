@@ -1,0 +1,275 @@
+//! Closed-form per-processor message and work-unit counts for the
+//! executor kernels — the "predicted" side of the harness's
+//! *predicted vs. observed* differential oracle.
+//!
+//! `hetgrid-exec` reports, per processor, how many point-to-point
+//! messages it sent and how many weighted block operations it performed
+//! ([`hetgrid_exec::ExecReport`]-style tables). Those counts are fully
+//! determined by the distribution and the block grid — no timing, no
+//! interleaving, no transport involved — so they can be recomputed here
+//! by walking the communication pattern of each algorithm directly.
+//! The harness then asserts exact equality: any lost, duplicated, or
+//! misrouted message in a transport shows up as a count mismatch even
+//! when the numerical result happens to survive.
+//!
+//! The counting rules mirror Section 3's algorithms (`Direct`
+//! broadcasts: one message per distinct destination processor per
+//! broadcast), independently re-derived from the algorithm structure
+//! rather than shared with the executor code.
+
+use hetgrid_dist::BlockDist;
+
+/// Predicted per-processor totals for one kernel run, laid out `[i][j]`
+/// over the `p x q` grid like the executor's report tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelCounts {
+    /// Point-to-point messages each processor sends.
+    pub messages: Vec<Vec<u64>>,
+    /// Weighted work units (block operations x slowdown weight) each
+    /// processor performs.
+    pub work_units: Vec<Vec<u64>>,
+}
+
+impl KernelCounts {
+    fn zeros(p: usize, q: usize) -> Self {
+        KernelCounts {
+            messages: vec![vec![0; q]; p],
+            work_units: vec![vec![0; q]; p],
+        }
+    }
+
+    /// Sum of all per-processor message counts.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().flatten().sum()
+    }
+
+    /// Sum of all per-processor work units.
+    pub fn total_work(&self) -> u64 {
+        self.work_units.iter().flatten().sum()
+    }
+}
+
+/// Linear processor id of a block's owner.
+fn owner_id(dist: &dyn BlockDist, bi: usize, bj: usize) -> usize {
+    let (_, q) = dist.grid();
+    let (oi, oj) = dist.owner(bi, bj);
+    oi * q + oj
+}
+
+/// Counts one broadcast: a message to every distinct id in `dests`
+/// except the sender itself.
+fn broadcast(msgs: &mut [Vec<u64>], q: usize, from: usize, dests: impl Iterator<Item = usize>) {
+    let mut seen: Vec<usize> = Vec::new();
+    for d in dests {
+        if d != from && !seen.contains(&d) {
+            seen.push(d);
+        }
+    }
+    msgs[from / q][from % q] += seen.len() as u64;
+}
+
+/// Predicted counts for the outer-product multiplication
+/// `C(mb x nb) = A(mb x kb) * B(kb x nb)` (`hetgrid_exec::run_mm_rect`).
+///
+/// Step `k`: the owner of `A(bi, k)` broadcasts it to the other owners
+/// of block row `bi` of `C`; the owner of `B(k, bj)` broadcasts it to
+/// the other owners of block column `bj` of `C`; every processor then
+/// updates each of its `C` blocks once (x its slowdown weight).
+pub fn mm_counts(
+    dist: &dyn BlockDist,
+    (mb, nb, kb): (usize, usize, usize),
+    weights: &[Vec<u64>],
+) -> KernelCounts {
+    let (p, q) = dist.grid();
+    let mut c = KernelCounts::zeros(p, q);
+    for k in 0..kb {
+        for bi in 0..mb {
+            let from = owner_id(dist, bi, k);
+            broadcast(
+                &mut c.messages,
+                q,
+                from,
+                (0..nb).map(|bj| owner_id(dist, bi, bj)),
+            );
+        }
+        for bj in 0..nb {
+            let from = owner_id(dist, k, bj);
+            broadcast(
+                &mut c.messages,
+                q,
+                from,
+                (0..mb).map(|bi| owner_id(dist, bi, bj)),
+            );
+        }
+    }
+    for bi in 0..mb {
+        for bj in 0..nb {
+            let (oi, oj) = dist.owner(bi, bj);
+            c.work_units[oi][oj] += kb as u64 * weights[oi][oj];
+        }
+    }
+    c
+}
+
+/// Predicted counts for right-looking LU (`hetgrid_exec::run_lu`).
+///
+/// Step `k`: the diagonal owner factors `A(k, k)` and broadcasts the
+/// packed factors to the owners of panel column `k` and pivot row `k`;
+/// each solved `L(bi, k)` is broadcast along trailing block row `bi`,
+/// each solved `U(k, bj)` down trailing block column `bj`; every
+/// trailing block is updated once. Each block operation counts one
+/// weighted work unit for its owner.
+pub fn lu_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = dist.grid();
+    let mut c = KernelCounts::zeros(p, q);
+    let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
+        let (oi, oj) = dist.owner(bi, bj);
+        c.work_units[oi][oj] += weights[oi][oj];
+    };
+    for k in 0..nb {
+        let diag = owner_id(dist, k, k);
+        unit(&mut c, k, k);
+        broadcast(
+            &mut c.messages,
+            q,
+            diag,
+            (k + 1..nb)
+                .map(|bi| owner_id(dist, bi, k))
+                .chain((k + 1..nb).map(|bj| owner_id(dist, k, bj))),
+        );
+        for bi in k + 1..nb {
+            unit(&mut c, bi, k);
+            broadcast(
+                &mut c.messages,
+                q,
+                owner_id(dist, bi, k),
+                (k + 1..nb).map(|bj| owner_id(dist, bi, bj)),
+            );
+        }
+        for bj in k + 1..nb {
+            unit(&mut c, k, bj);
+            broadcast(
+                &mut c.messages,
+                q,
+                owner_id(dist, k, bj),
+                (k + 1..nb).map(|bi| owner_id(dist, bi, bj)),
+            );
+        }
+        for bi in k + 1..nb {
+            for bj in k + 1..nb {
+                unit(&mut c, bi, bj);
+            }
+        }
+    }
+    c
+}
+
+/// Predicted counts for right-looking Cholesky
+/// (`hetgrid_exec::run_cholesky`, lower triangle).
+///
+/// Step `k`: the diagonal owner factors `A(k, k)` and broadcasts the
+/// factor down panel column `k`; each solved panel block `L(bi, k)` is
+/// broadcast to the trailing lower-triangle owners that use it as left
+/// factor (row `bi`) or right factor (column `bi`); every trailing
+/// lower-triangle block is updated once.
+pub fn cholesky_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = dist.grid();
+    let mut c = KernelCounts::zeros(p, q);
+    let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
+        let (oi, oj) = dist.owner(bi, bj);
+        c.work_units[oi][oj] += weights[oi][oj];
+    };
+    for k in 0..nb {
+        let diag = owner_id(dist, k, k);
+        unit(&mut c, k, k);
+        broadcast(
+            &mut c.messages,
+            q,
+            diag,
+            (k + 1..nb).map(|bi| owner_id(dist, bi, k)),
+        );
+        if k + 1 == nb {
+            continue;
+        }
+        for bi in k + 1..nb {
+            unit(&mut c, bi, k);
+            broadcast(
+                &mut c.messages,
+                q,
+                owner_id(dist, bi, k),
+                (k + 1..=bi)
+                    .map(|bj| owner_id(dist, bi, bj))
+                    .chain((bi..nb).map(|bi2| owner_id(dist, bi2, bi))),
+            );
+        }
+        for bi in k + 1..nb {
+            for bj in k + 1..=bi {
+                unit(&mut c, bi, bj);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_dist::BlockCyclic;
+
+    fn uniform(p: usize, q: usize) -> Vec<Vec<u64>> {
+        vec![vec![1; q]; p]
+    }
+
+    #[test]
+    fn single_processor_sends_nothing() {
+        let dist = BlockCyclic::new(1, 1);
+        let w = uniform(1, 1);
+        assert_eq!(mm_counts(&dist, (3, 3, 3), &w).total_messages(), 0);
+        assert_eq!(lu_counts(&dist, 4, &w).total_messages(), 0);
+        assert_eq!(cholesky_counts(&dist, 4, &w).total_messages(), 0);
+    }
+
+    #[test]
+    fn mm_work_is_cube() {
+        // Every C block is updated once per step: mb * nb * kb units.
+        let dist = BlockCyclic::new(2, 2);
+        let c = mm_counts(&dist, (4, 4, 4), &uniform(2, 2));
+        assert_eq!(c.total_work(), 64);
+    }
+
+    #[test]
+    fn lu_work_counts_all_block_ops() {
+        // Step k touches the diagonal, the two panels, and the trailing
+        // square: 1 + 2(nb-1-k) + (nb-1-k)^2 = (nb-k)^2 block ops.
+        let nb = 5;
+        let dist = BlockCyclic::new(2, 2);
+        let c = lu_counts(&dist, nb, &uniform(2, 2));
+        let expect: u64 = (1..=nb as u64).map(|m| m * m).sum();
+        assert_eq!(c.total_work(), expect);
+    }
+
+    #[test]
+    fn cholesky_work_counts_lower_triangle_ops() {
+        // Step k: diagonal + panel (nb-1-k) + trailing lower triangle
+        // T(nb-1-k) where T(m) = m(m+1)/2.
+        let nb = 5;
+        let dist = BlockCyclic::new(2, 2);
+        let c = cholesky_counts(&dist, nb, &uniform(2, 2));
+        let expect: u64 = (0..nb as u64)
+            .map(|k| {
+                let m = nb as u64 - 1 - k;
+                1 + m + m * (m + 1) / 2
+            })
+            .sum();
+        assert_eq!(c.total_work(), expect);
+    }
+
+    #[test]
+    fn weights_scale_work_linearly() {
+        let dist = BlockCyclic::new(2, 2);
+        let base = lu_counts(&dist, 4, &uniform(2, 2));
+        let heavy = lu_counts(&dist, 4, &vec![vec![3; 2]; 2]);
+        assert_eq!(heavy.total_work(), 3 * base.total_work());
+        assert_eq!(heavy.messages, base.messages);
+    }
+}

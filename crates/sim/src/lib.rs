@@ -42,12 +42,14 @@
 pub mod analysis;
 pub mod bsp;
 pub mod collectives;
+pub mod counts;
 pub mod drift;
 pub mod engine;
 pub mod kernels;
 pub mod machine;
 pub mod trace;
 
+pub use counts::{cholesky_counts, lu_counts, mm_counts, KernelCounts};
 pub use drift::DriftProfile;
 pub use kernels::{
     simulate_cholesky, simulate_cholesky_traced, simulate_factor_bcast, simulate_factor_traced,

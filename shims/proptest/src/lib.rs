@@ -29,15 +29,31 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Config running `cases` random cases.
+    /// Config running `cases` random cases — or more, when the
+    /// `PROPTEST_CASES` environment variable asks for more.
+    ///
+    /// Shim-specific behaviour: `PROPTEST_CASES` only ever *raises* the
+    /// count (the real crate overrides it in both directions). Tests
+    /// that picked a small count for speed keep it by default, and a
+    /// nightly run with `PROPTEST_CASES=4096` deepens every suite at
+    /// once.
     pub fn with_cases(cases: u32) -> Self {
+        let cases = match env_cases() {
+            Some(n) if n > cases => n,
+            _ => cases,
+        };
         ProptestConfig { cases }
     }
 }
 
+/// `PROPTEST_CASES`, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        Self::with_cases(256)
     }
 }
 
