@@ -138,6 +138,12 @@ impl Controller {
         if !self.detector.observe(&reference, &estimates) {
             return Action::Continue;
         }
+        // Drift confirmations and re-solve decisions are rare (at most
+        // one per iteration, gated by detector hysteresis), so the obs
+        // registry lookups here are off the per-sample hot path.
+        hetgrid_obs::metrics()
+            .counter("adapt.drift.detections")
+            .inc();
 
         let (decision, candidate) = policy::evaluate(
             &self.plan,
@@ -148,8 +154,15 @@ impl Controller {
         );
         self.detector.arm_cooldown();
         if !decision.rebalance {
+            hetgrid_obs::metrics()
+                .counter("adapt.rebalances.declined")
+                .inc();
             return Action::Evaluated(decision);
         }
+        let m = hetgrid_obs::metrics();
+        m.counter("adapt.rebalances.accepted").inc();
+        m.counter("adapt.blocks.moved")
+            .add(decision.blocks_moved as u64);
         let old = std::mem::replace(&mut self.plan, candidate);
         self.rebalances += 1;
         Action::Rebalanced {

@@ -53,7 +53,9 @@ fn bench_ablation_lu_ordering(c: &mut Criterion) {
     let contig = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Contiguous);
     let mi = kernels::simulate_lu(&arr, &inter, nb, cost).makespan;
     let mc = kernels::simulate_lu(&arr, &contig, nb, cost).makespan;
-    println!(
+    // Diagnostic, not benchmark output: route through obs so it lands
+    // on stderr and never interleaves with Criterion's stdout.
+    hetgrid_obs::diag!(
         "[ablation] LU makespan (zero comm, nb={}): interleaved={:.1} contiguous={:.1} (ratio {:.3})",
         nb,
         mi,

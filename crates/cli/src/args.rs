@@ -13,6 +13,18 @@ pub struct Args {
     flags: Vec<String>,
 }
 
+/// Is `t` a flag token? `--anything`, or a short flag like `-v`
+/// (a single dash followed by a letter — `-1.5` stays a value).
+fn is_flag_token(t: &str) -> bool {
+    t.starts_with("--")
+        || (t.len() > 1
+            && t.starts_with('-')
+            && t[1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic()))
+}
+
 impl Args {
     /// Parses from an iterator of arguments (excluding `argv[0]`).
     pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
@@ -23,7 +35,7 @@ impl Args {
                 // `--key value` when the next token is not a flag;
                 // otherwise a boolean flag.
                 match argv.peek() {
-                    Some(v) if !v.starts_with("--") => {
+                    Some(v) if !is_flag_token(v) => {
                         let v = argv.next().expect("peeked");
                         if out.options.insert(key.to_string(), v).is_some() {
                             return Err(format!("duplicate option --{}", key));
@@ -31,6 +43,9 @@ impl Args {
                     }
                     _ => out.flags.push(key.to_string()),
                 }
+            } else if is_flag_token(&a) {
+                // Short boolean flag (`-v`); never takes a value.
+                out.flags.push(a[1..].to_string());
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
@@ -63,6 +78,18 @@ impl Args {
     /// A boolean flag.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+    }
+
+    /// Diagnostic verbosity from `--quiet`/`-q` and `--verbose`/`-v`
+    /// (see `hetgrid_obs::diag`): 0 quiet, 1 default, 2 verbose.
+    pub fn verbosity(&self) -> i32 {
+        if self.flag("quiet") || self.flag("q") {
+            0
+        } else if self.flag("verbose") || self.flag("v") {
+            2
+        } else {
+            1
+        }
     }
 
     /// Comma-separated cycle-times from `--times`.
@@ -113,6 +140,24 @@ mod tests {
         assert_eq!(a.get_parse("nb", 0usize).unwrap(), 32);
         assert_eq!(a.get_parse("trials", 7usize).unwrap(), 7);
         assert!(a.require("times").is_err());
+    }
+
+    #[test]
+    fn short_flags_and_verbosity() {
+        let a = parse("run --nb 8 -v");
+        assert!(a.flag("v"));
+        assert_eq!(a.get_parse("nb", 0usize).unwrap(), 8);
+        assert_eq!(a.verbosity(), 2);
+        assert_eq!(parse("run --quiet").verbosity(), 0);
+        assert_eq!(parse("run -q").verbosity(), 0);
+        assert_eq!(parse("run").verbosity(), 1);
+        // A short flag is never swallowed as an option value, but a
+        // negative number still is.
+        let a = parse("run --kernel mm -v");
+        assert_eq!(a.get("kernel"), Some("mm"));
+        assert!(a.flag("v"));
+        let a = parse("run --shift -1.5");
+        assert_eq!(a.get_parse("shift", 0.0f64).unwrap(), -1.5);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! ```text
 //! hetgrid solve      --times 1,2,3,5 --grid 2x2 [--method heuristic|exact|local-search|anneal]
 //! hetgrid distribute --times 1,2,3,5 --grid 2x2 --panel 8x6 [--scheme panel|kl|cyclic]
+//! hetgrid run        --times 1,2,3,5 --grid 2x2 --kernel mm|lu|cholesky [--nb 8] [--block 8]
+//!                    [--method heuristic|exact] [--scheme panel|kl|cyclic] [--seed 0]
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
@@ -11,16 +13,25 @@
 //! hetgrid adapt      --times 1,1,1,1 --new-times 6,1,1,1 --grid 2x2 [--iters 60]
 //!                    [--drift step|ramp|spike] [--nb 32] [--panel 8x8] [--csv]
 //! ```
+//!
+//! Global options: `--trace-out FILE` (Chrome trace-event JSON, on
+//! `run`/`adapt`/`solve`/`simulate`), `--metrics-out FILE` (per-run
+//! metrics delta as JSON, on `run`/`adapt`/`solve`), `--quiet`/`-q`,
+//! `--verbose`/`-v`. Machine-readable results go to stdout; progress
+//! diagnostics go to stderr through `hetgrid_obs::diag`.
 
 mod args;
+mod obs_out;
 
 use args::Args;
 use hetgrid_core::objective::workload_matrix;
 use hetgrid_core::search::{anneal, local_search, SearchOptions};
 use hetgrid_core::{exact, heuristic, Arrangement};
 use hetgrid_dist::{BlockCyclic, BlockDist, KlDist, PanelDist, PanelOrdering};
+use hetgrid_obs::vdiag;
 use hetgrid_sim::machine::{CostModel, Network};
 use hetgrid_sim::{kernels, Broadcast};
+use obs_out::ObsSession;
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -30,9 +41,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    hetgrid_obs::diag::set_verbosity(args.verbosity());
     let result = match args.command.as_deref() {
         Some("solve") => cmd_solve(&args),
         Some("distribute") => cmd_distribute(&args),
+        Some("run") => cmd_run(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("bounds") => cmd_bounds(&args),
@@ -60,6 +73,9 @@ fn print_usage() {
     );
     println!("  distribute --times .. --grid PxQ --panel BPxBQ [--scheme panel|kl|cyclic]");
     println!("             [--ordering interleaved|contiguous|columns]");
+    println!("  run        --times .. --grid PxQ --kernel mm|lu|cholesky [--nb 8] [--block 8]");
+    println!("             [--method heuristic|exact] [--scheme panel|kl|cyclic] [--panel BPxBQ]");
+    println!("             [--seed 0]   (threaded executor on real data)");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
     println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
     println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
@@ -72,6 +88,13 @@ fn print_usage() {
     println!("             [--period 10] [--width 2] [--half-life 3] [--threshold 0.2]");
     println!("             [--patience 3] [--cooldown 5] [--safety 1.5] [--move-cost 1]");
     println!("             [--csv]       (closed-loop static vs adaptive comparison)");
+    println!();
+    println!("global options:");
+    println!("  --trace-out FILE    Chrome trace-event JSON (run/adapt/solve/simulate);");
+    println!("                      open in Perfetto or chrome://tracing");
+    println!("  --metrics-out FILE  per-run metrics delta as JSON (run/adapt/solve)");
+    println!("  --quiet, -q         suppress stderr diagnostics");
+    println!("  --verbose, -v       extra stderr diagnostics");
 }
 
 /// Runs the deterministic closed-loop scenario: static plan vs adaptive
@@ -160,7 +183,19 @@ fn cmd_adapt(args: &Args) -> Result<(), String> {
         profile,
         config,
     };
+    let session = ObsSession::begin(args);
+    vdiag!(
+        "running closed loop: {} iterations on a {}x{} grid",
+        iters,
+        p,
+        q
+    );
     let out = run_scenario(&scenario);
+    if session.wants_trace() {
+        session.finish_with_trace(adapt_chrome_trace(&out))?;
+    } else {
+        session.finish()?;
+    }
 
     if args.flag("csv") {
         println!("iter,static_cost,adaptive_cost,rebalanced");
@@ -185,6 +220,42 @@ fn cmd_adapt(args: &Args) -> Result<(), String> {
     println!("blocks moved        : {}", out.blocks_moved);
     println!("adaptive speedup    : {:.2}x", out.speedup());
     Ok(())
+}
+
+/// Renders the adaptive-loop history as a Chrome trace-event document:
+/// one track per strategy (`static`, `adaptive`) with a complete event
+/// per kernel iteration (duration = that iteration's cost, one
+/// simulated time unit = one second), plus an instant `rebalance`
+/// marker on the adaptive track at every plan swap.
+fn adapt_chrome_trace(out: &hetgrid_adapt::Outcome) -> String {
+    const US_PER_UNIT: f64 = 1e6;
+    let mut ct = hetgrid_obs::ChromeTrace::new();
+    ct.thread_name(0, "static");
+    ct.thread_name(1, "adaptive");
+    let (mut t_static, mut t_adaptive) = (0.0f64, 0.0f64);
+    for h in &out.history {
+        let name = format!("iter {}", h.iter);
+        ct.complete(
+            0,
+            &name,
+            t_static * US_PER_UNIT,
+            h.static_cost * US_PER_UNIT,
+            &[("cost", hetgrid_obs::Arg::F64(h.static_cost))],
+        );
+        ct.complete(
+            1,
+            &name,
+            t_adaptive * US_PER_UNIT,
+            h.adaptive_cost * US_PER_UNIT,
+            &[("cost", hetgrid_obs::Arg::F64(h.adaptive_cost))],
+        );
+        t_static += h.static_cost;
+        t_adaptive += h.adaptive_cost;
+        if h.rebalanced {
+            ct.instant(1, "rebalance", t_adaptive * US_PER_UNIT, &[]);
+        }
+    }
+    ct.finish()
 }
 
 /// Quantifies a rebalance: solve for both pools, report the makespan
@@ -334,6 +405,14 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
     }
     let method = args.get("method").unwrap_or("heuristic");
+    let session = ObsSession::begin(args);
+    // Per-solve solver effort: the exact solver publishes its tree
+    // counters to the obs registry (the one counting mechanism), so the
+    // label below reads the delta across this solve.
+    let solver_baseline = hetgrid_obs::metrics().snapshot();
+    let solve_track = hetgrid_obs::trace::track("solver");
+    let span = hetgrid_obs::span!(solve_track, "solve {}x{} ({})", p, q, method);
+    vdiag!("solving {}x{} placement with method '{}'", p, q, method);
     let (arr, alloc, label): (Arrangement, hetgrid_core::Allocation, String) = match method {
         "heuristic" => {
             let res = heuristic::solve_default(&times, p, q);
@@ -355,12 +434,15 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 exact::ExactOptions::default()
             };
             let g = exact::solve_global_with(&times, p, q, &opts);
+            let effort = hetgrid_obs::metrics().snapshot().delta(&solver_baseline);
             (
                 g.arrangement,
                 g.alloc,
                 format!(
                     "exact ({} arrangements, {} trees examined, {} subtrees pruned)",
-                    g.arrangements_examined, g.trees_examined, g.trees_pruned
+                    effort.counter("solver.arrangements.examined"),
+                    effort.counter("solver.trees.examined"),
+                    effort.counter("solver.trees.pruned")
                 ),
             )
         }
@@ -382,6 +464,8 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown method: {}", other)),
     };
+    drop(span);
+    session.finish()?;
     println!("method: {}", label);
     println!("arrangement:\n{}", arr);
     println!(
@@ -438,6 +522,146 @@ fn build_dist(
         "cyclic" => Box::new(BlockCyclic::new(arr.p(), arr.q())),
         other => return Err(format!("unknown scheme: {}", other)),
     })
+}
+
+/// Runs a real distributed kernel on the threaded executor (one OS
+/// thread per grid processor, heterogeneity emulated by slowdown
+/// weights), verifies the numerical result against the sequential
+/// reference, and reports the executor's measurements. With
+/// `--trace-out` / `--metrics-out` the executor's probes are live: the
+/// trace has one track per processor and the metrics carry the
+/// per-processor / per-edge message and work counters.
+fn cmd_run(args: &Args) -> Result<(), String> {
+    use hetgrid_exec::{run_cholesky, run_lu, run_mm, slowdown_weights};
+    use hetgrid_linalg::gemm::matmul;
+    use hetgrid_linalg::tri::{unit_lower_from_packed, upper_from_packed};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let times = args.times()?;
+    let (p, q) = args.grid()?;
+    if times.len() != p * q {
+        return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+    }
+    let nb: usize = args.get_parse("nb", 8)?;
+    let r: usize = args.get_parse("block", 8)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let kernel = args.get("kernel").unwrap_or("mm");
+
+    let method = args.get("method").unwrap_or("heuristic");
+    let (arr, alloc) = match method {
+        "heuristic" => {
+            let res = heuristic::solve_default(&times, p, q);
+            let b = res.best();
+            (b.arrangement.clone(), b.alloc.clone())
+        }
+        "exact" => {
+            let g = exact::solve_global_with(&times, p, q, &exact::ExactOptions::default());
+            (g.arrangement, g.alloc)
+        }
+        other => return Err(format!("unknown method: {}", other)),
+    };
+    let panel_raw = args.get("panel").unwrap_or("4x4");
+    let (bp, bq) = panel_raw
+        .split_once(['x', 'X'])
+        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+        .ok_or_else(|| format!("invalid --panel: {}", panel_raw))?;
+    let dist = build_dist(args, &arr, &alloc, bp, bq)?;
+    let weights = slowdown_weights(&arr);
+    let n = nb * r;
+    vdiag!(
+        "executor: kernel {} on {} {}x{} blocks ({} worker threads, matrix {}x{})",
+        kernel,
+        nb * nb,
+        r,
+        r,
+        p * q,
+        n,
+        n
+    );
+
+    let session = ObsSession::begin(args);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (report, check) = match kernel {
+        "mm" => {
+            let a = random_matrix(&mut rng, n, n);
+            let b = random_matrix(&mut rng, n, n);
+            let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &weights);
+            let err = c.sub(&matmul(&a, &b)).max_abs();
+            (report, format!("max |C - A*B|    = {:.3e}", err))
+        }
+        "lu" => {
+            let a = dominant_matrix(&mut rng, n);
+            let (packed, report) = run_lu(&a, dist.as_ref(), nb, r, &weights);
+            let lu = matmul(
+                &unit_lower_from_packed(&packed),
+                &upper_from_packed(&packed),
+            );
+            let err = lu.sub(&a).max_abs();
+            (report, format!("max |L*U - A|    = {:.3e}", err))
+        }
+        "cholesky" => {
+            let a = spd_matrix(&mut rng, n);
+            let (l, report) = run_cholesky(&a, dist.as_ref(), nb, r, &weights);
+            let err = matmul(&l, &l.transpose()).sub(&a).max_abs();
+            (report, format!("max |L*L^T - A|  = {:.3e}", err))
+        }
+        other => {
+            return Err(format!(
+                "unknown kernel: {} (run supports mm, lu, cholesky)",
+                other
+            ))
+        }
+    };
+    session.finish()?;
+
+    println!(
+        "kernel {} on a {}x{} grid, scheme {}: {}x{} blocks of order {} (matrix {}x{})",
+        kernel,
+        p,
+        q,
+        args.get("scheme").unwrap_or("panel"),
+        nb,
+        nb,
+        r,
+        n,
+        n
+    );
+    println!("wall time        : {:.4} s", report.wall_seconds);
+    println!("{}", check);
+    println!("messages sent    : {}", report.total_messages());
+    println!("work imbalance   : {:.3}", report.work_imbalance());
+    println!("busy imbalance   : {:.3}", report.imbalance());
+    println!("per-processor work units:");
+    for row in &report.work_units {
+        println!("  {:?}", row);
+    }
+    Ok(())
+}
+
+/// A dense matrix with entries in `[-1, 1)`.
+fn random_matrix(rng: &mut impl rand::Rng, rows: usize, cols: usize) -> hetgrid_linalg::Matrix {
+    hetgrid_linalg::Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// A diagonally dominant matrix (safe for LU without pivoting).
+fn dominant_matrix(rng: &mut impl rand::Rng, n: usize) -> hetgrid_linalg::Matrix {
+    let mut m = random_matrix(rng, n, n);
+    for i in 0..n {
+        m[(i, i)] += 2.0 * n as f64;
+    }
+    m
+}
+
+/// A symmetric positive definite matrix (`B^T B` plus a diagonal
+/// shift).
+fn spd_matrix(rng: &mut impl rand::Rng, n: usize) -> hetgrid_linalg::Matrix {
+    let b = random_matrix(rng, n, n);
+    let mut a = hetgrid_linalg::gemm::matmul(&b.transpose(), &b);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
 }
 
 fn cmd_distribute(args: &Args) -> Result<(), String> {
@@ -555,8 +779,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         let cells: Vec<String> = row.iter().map(|x| format!("{:>10.1}", x)).collect();
         println!("  {}", cells.join(" "));
     }
+    let labels = hetgrid_sim::trace::grid_labels(p, q, matches!(network, Network::SharedBus));
+    if let Some(path) = args.get("trace-out") {
+        let doc = hetgrid_sim::trace::chrome_trace(&run.engine, &run.schedule, &labels);
+        obs_out::write_file(path, &doc)?;
+        hetgrid_obs::diag!("wrote chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
     if args.flag("gantt") {
-        let labels = hetgrid_sim::trace::grid_labels(p, q, matches!(network, Network::SharedBus));
         println!("\nschedule (compute = #, communication = ~, idle = .):");
         print!(
             "{}",

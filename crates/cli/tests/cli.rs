@@ -14,13 +14,52 @@ fn run(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// A scratch file path in the target tmpdir, removed on drop.
+struct TmpFile(std::path::PathBuf);
+
+impl TmpFile {
+    fn new(name: &str) -> TmpFile {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hetgrid-cli-test-{}-{}", std::process::id(), name));
+        TmpFile(p)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 tmp path")
+    }
+
+    fn read(&self) -> String {
+        std::fs::read_to_string(&self.0)
+            .unwrap_or_else(|e| panic!("reading {}: {}", self.path(), e))
+    }
+}
+
+impl Drop for TmpFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Track names (thread_name metadata) of a chrome trace document.
+fn track_names(doc: &hetgrid_obs::json::Value) -> Vec<String> {
+    doc.get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+        .filter_map(|e| Some(e.get("args")?.get("name")?.as_str()?.to_string()))
+        .collect()
+}
+
 #[test]
 fn help_lists_commands() {
     let (ok, stdout, _) = run(&["help"]);
     assert!(ok);
-    for cmd in ["solve", "distribute", "simulate", "sweep"] {
+    for cmd in ["solve", "distribute", "run", "simulate", "sweep", "adapt"] {
         assert!(stdout.contains(cmd), "missing {} in help", cmd);
     }
+    assert!(stdout.contains("--trace-out"));
+    assert!(stdout.contains("--metrics-out"));
 }
 
 #[test]
@@ -137,6 +176,228 @@ fn rank1_detects_both_cases() {
     let (ok, stdout, _) = run(&["rank1", "--times", "1,2,3,5", "--grid", "2x2"]);
     assert!(ok);
     assert!(stdout.contains("impossible"));
+}
+
+#[test]
+fn run_executes_all_kernels() {
+    for kernel in ["mm", "lu", "cholesky"] {
+        let (ok, stdout, stderr) = run(&[
+            "run", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", kernel, "--nb", "4",
+            "--block", "4",
+        ]);
+        assert!(ok, "kernel {} failed: {}", kernel, stderr);
+        assert!(stdout.contains("wall time"), "{}", stdout);
+        assert!(stdout.contains("messages sent"), "{}", stdout);
+        // The numerical check against the sequential reference ran.
+        assert!(stdout.contains("e-"), "no small residual in: {}", stdout);
+    }
+    let (ok, _, stderr) = run(&[
+        "run", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", "qr",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown kernel"));
+}
+
+#[test]
+fn run_writes_trace_and_metrics() {
+    let trace = TmpFile::new("run-trace.json");
+    let metrics = TmpFile::new("run-metrics.json");
+    let (ok, _, stderr) = run(&[
+        "run",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--kernel",
+        "mm",
+        "--nb",
+        "4",
+        "--block",
+        "4",
+        "--trace-out",
+        trace.path(),
+        "--metrics-out",
+        metrics.path(),
+    ]);
+    assert!(ok, "{}", stderr);
+
+    let doc = hetgrid_obs::json::parse(&trace.read()).expect("trace must be valid JSON");
+    let tracks = track_names(&doc);
+    // One executor track per grid processor.
+    for name in ["P(1,1)", "P(1,2)", "P(2,1)", "P(2,2)"] {
+        assert!(
+            tracks.iter().any(|t| t == name),
+            "missing track {name} in {tracks:?}"
+        );
+    }
+
+    let m = hetgrid_obs::json::parse(&metrics.read()).expect("metrics must be valid JSON");
+    let counters = m.get("counters").expect("counters object");
+    // Per-processor and per-edge executor series.
+    assert!(
+        counters
+            .get("exec.p0_0.msgs")
+            .and_then(|v| v.as_f64())
+            .is_some(),
+        "missing exec.p0_0.msgs"
+    );
+    assert!(
+        counters
+            .get("exec.p0_0.work")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            > 0.0,
+        "exec.p0_0.work should be positive"
+    );
+    let edges: Vec<&str> = counters
+        .members()
+        .expect("counters is an object")
+        .iter()
+        .filter(|(k, _)| k.starts_with("exec.edge.") && k.ends_with(".msgs"))
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert!(!edges.is_empty(), "no per-edge message counters");
+}
+
+#[test]
+fn solve_exact_label_reads_obs_deltas() {
+    let metrics = TmpFile::new("solve-metrics.json");
+    let (ok, stdout, stderr) = run(&[
+        "solve",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--method",
+        "exact",
+        "--metrics-out",
+        metrics.path(),
+    ]);
+    assert!(ok, "{}", stderr);
+    let m = hetgrid_obs::json::parse(&metrics.read()).expect("metrics must be valid JSON");
+    let trees = m
+        .get("counters")
+        .and_then(|c| c.get("solver.trees.examined"))
+        .and_then(|v| v.as_f64())
+        .expect("solver.trees.examined counter");
+    assert!(trees > 0.0);
+    // The label and the metrics file come from the same registry delta.
+    assert!(
+        stdout.contains(&format!("{} trees examined", trees as u64)),
+        "label does not match the metrics delta: {}",
+        stdout
+    );
+}
+
+#[test]
+fn adapt_writes_trace_and_metrics() {
+    let trace = TmpFile::new("adapt-trace.json");
+    let metrics = TmpFile::new("adapt-metrics.json");
+    let (ok, stdout, stderr) = run(&[
+        "adapt",
+        "--times",
+        "1,1,1,1",
+        "--new-times",
+        "6,1,1,1",
+        "--grid",
+        "2x2",
+        "--iters",
+        "40",
+        "--nb",
+        "16",
+        "--trace-out",
+        trace.path(),
+        "--metrics-out",
+        metrics.path(),
+    ]);
+    assert!(ok, "{}", stderr);
+    assert!(stdout.contains("rebalances"));
+
+    let doc = hetgrid_obs::json::parse(&trace.read()).expect("trace must be valid JSON");
+    let tracks = track_names(&doc);
+    assert!(tracks.iter().any(|t| t == "static"), "{tracks:?}");
+    assert!(tracks.iter().any(|t| t == "adaptive"), "{tracks:?}");
+
+    let m = hetgrid_obs::json::parse(&metrics.read()).expect("metrics must be valid JSON");
+    let drift = m
+        .get("counters")
+        .and_then(|c| c.get("adapt.drift.detections"))
+        .and_then(|v| v.as_f64())
+        .expect("adapt.drift.detections counter");
+    assert!(drift > 0.0, "sustained step drift must be detected");
+}
+
+#[test]
+fn simulate_writes_schedule_trace() {
+    let trace = TmpFile::new("sim-trace.json");
+    let (ok, _, stderr) = run(&[
+        "simulate",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--nb",
+        "4",
+        "--kernel",
+        "mm",
+        "--trace-out",
+        trace.path(),
+    ]);
+    assert!(ok, "{}", stderr);
+    let doc = hetgrid_obs::json::parse(&trace.read()).expect("trace must be valid JSON");
+    let tracks = track_names(&doc);
+    assert!(tracks.iter().any(|t| t == "P(1,1)"), "{tracks:?}");
+    let has_compute = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .unwrap()
+        .iter()
+        .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("compute"));
+    assert!(has_compute, "no compute interval in simulated trace");
+}
+
+#[test]
+fn quiet_suppresses_diagnostics() {
+    let trace = TmpFile::new("quiet-trace.json");
+    let (ok, _, stderr) = run(&[
+        "run",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--kernel",
+        "mm",
+        "--nb",
+        "4",
+        "--block",
+        "4",
+        "--trace-out",
+        trace.path(),
+    ]);
+    assert!(ok);
+    assert!(
+        stderr.contains("wrote chrome trace"),
+        "default verbosity should report the written file: {}",
+        stderr
+    );
+    let (ok, _, stderr) = run(&[
+        "run",
+        "--times",
+        "1,2,3,5",
+        "--grid",
+        "2x2",
+        "--kernel",
+        "mm",
+        "--nb",
+        "4",
+        "--block",
+        "4",
+        "--trace-out",
+        trace.path(),
+        "--quiet",
+    ]);
+    assert!(ok);
+    assert!(stderr.is_empty(), "--quiet must silence stderr: {}", stderr);
 }
 
 #[test]

@@ -100,6 +100,53 @@ impl ExactOptions {
     }
 }
 
+/// Search-effort counters for one or more branch-and-bound runs.
+///
+/// The per-run numbers stay deterministic fields of [`ExactSolution`] /
+/// [`GlobalSolution`] (tests pin the Cayley counts to them); this struct
+/// exists to aggregate them across arrangements and publish the totals
+/// to the `hetgrid-obs` metrics registry exactly once per top-level
+/// solve — never from the per-arrangement hot path.
+#[derive(Clone, Copy, Debug, Default)]
+struct Effort {
+    examined: u64,
+    acceptable: u64,
+    pruned: u64,
+    /// Times the incumbent was created or improved at a leaf.
+    improvements: u64,
+}
+
+impl Effort {
+    fn of(bnb: &Bnb) -> Effort {
+        Effort {
+            examined: bnb.examined,
+            acceptable: bnb.acceptable,
+            pruned: bnb.pruned,
+            improvements: bnb.improvements,
+        }
+    }
+
+    fn absorb(&mut self, other: Effort) {
+        self.examined += other.examined;
+        self.acceptable += other.acceptable;
+        self.pruned += other.pruned;
+        self.improvements += other.improvements;
+    }
+
+    /// Adds the effort to the cumulative `solver.*` series. Five
+    /// registry lookups once per solve — negligible next to the search,
+    /// so not gated on tracing being enabled.
+    fn publish(&self, arrangements: u64) {
+        let m = hetgrid_obs::metrics();
+        m.counter("solver.arrangements.examined").add(arrangements);
+        m.counter("solver.trees.examined").add(self.examined);
+        m.counter("solver.trees.acceptable").add(self.acceptable);
+        m.counter("solver.trees.pruned").add(self.pruned);
+        m.counter("solver.incumbent.improvements")
+            .add(self.improvements);
+    }
+}
+
 /// Exact optimum for a fixed arrangement.
 #[derive(Clone, Debug)]
 pub struct ExactSolution {
@@ -135,31 +182,22 @@ pub fn solve_arrangement(arr: &Arrangement) -> ExactSolution {
 /// # Panics
 /// Panics if the grid is larger than 10x10.
 pub fn solve_arrangement_with(arr: &Arrangement, opts: &ExactOptions) -> ExactSolution {
-    solve_arrangement_seeded(arr, opts, f64::NEG_INFINITY)
-        .expect("K_{p,q} always has an acceptable spanning tree")
+    let (sol, eff) = solve_arrangement_counted(arr, opts, f64::NEG_INFINITY);
+    eff.publish(1);
+    sol.expect("K_{p,q} always has an acceptable spanning tree")
 }
 
 /// Internal entry point allowing an externally-known lower bound (used
 /// by [`solve_global`] to share the incumbent across arrangements). The
 /// external bound may exceed this arrangement's optimum — then the
-/// search returns `None` and the caller discards this arrangement.
-fn solve_arrangement_seeded(
-    arr: &Arrangement,
-    opts: &ExactOptions,
-    external_lb: f64,
-) -> Option<ExactSolution> {
-    solve_arrangement_counted(arr, opts, external_lb).0
-}
-
-/// Like [`solve_arrangement_seeded`], but also reports the search-effort
-/// counters `(solution, trees_examined, trees_pruned)` even when the
-/// arrangement is disproved (`None`), so [`solve_global_with`] can
-/// aggregate effort across arrangements.
+/// search returns `None` and the caller discards this arrangement. Also
+/// reports the search [`Effort`] even when the arrangement is disproved,
+/// so [`solve_global_with`] can aggregate effort across arrangements.
 fn solve_arrangement_counted(
     arr: &Arrangement,
     opts: &ExactOptions,
     external_lb: f64,
-) -> (Option<ExactSolution>, u64, u64) {
+) -> (Option<ExactSolution>, Effort) {
     let (p, q) = (arr.p(), arr.q());
     let mut lb = external_lb;
     if opts.prune && opts.seed_incumbent {
@@ -171,10 +209,10 @@ fn solve_arrangement_counted(
         lb = lb.max(alt * (1.0 - 1e-9));
     }
 
-    let (sol, ex, pr) = solve_slice_counted(p, q, arr.times(), opts.prune, lb);
+    let (sol, mut eff) = solve_slice_counted(p, q, arr.times(), opts.prune, lb);
     match sol {
-        Some(sol) => (Some(sol), ex, pr),
-        None if external_lb == f64::NEG_INFINITY && !opts.seed_incumbent => (None, ex, pr),
+        Some(sol) => (Some(sol), eff),
+        None if external_lb == f64::NEG_INFINITY && !opts.seed_incumbent => (None, eff),
         None => {
             // Everything was pruned by the external/seeded bound. For a
             // lone arrangement that means the seed was too tight
@@ -184,11 +222,12 @@ fn solve_arrangement_counted(
             // incumbent", but only after this unseeded check confirms the
             // arrangement's own optimum does not beat it either.
             if external_lb == f64::NEG_INFINITY {
-                let (sol2, ex2, pr2) =
+                let (sol2, eff2) =
                     solve_slice_counted(p, q, arr.times(), opts.prune, f64::NEG_INFINITY);
-                (sol2, ex + ex2, pr + pr2)
+                eff.absorb(eff2);
+                (sol2, eff)
             } else {
-                (None, ex, pr)
+                (None, eff)
             }
         }
     }
@@ -200,15 +239,15 @@ fn solve_arrangement_counted(
 /// this arrangement cannot beat it). Taking a plain slice (rather than
 /// an [`Arrangement`]) lets [`solve_global_with`]'s fused enumeration
 /// loop skip per-candidate arrangement construction entirely. The extra
-/// `(trees_examined, trees_pruned)` counters survive a disproof so
-/// global aggregation stays accurate.
+/// [`Effort`] counters survive a disproof so global aggregation stays
+/// accurate.
 fn solve_slice_counted(
     p: usize,
     q: usize,
     times: &[f64],
     prune: bool,
     lower_bound: f64,
-) -> (Option<ExactSolution>, u64, u64) {
+) -> (Option<ExactSolution>, Effort) {
     assert!(
         p <= MAX_DIM && q <= MAX_DIM,
         "solve_arrangement: exact solver limited to grids up to {MAX_DIM}x{MAX_DIM}"
@@ -218,8 +257,8 @@ fn solve_slice_counted(
         bnb.best_lb = lower_bound;
     }
     bnb.search();
-    let (ex, pr) = (bnb.examined, bnb.pruned);
-    (bnb.finish(times), ex, pr)
+    let eff = Effort::of(&bnb);
+    (bnb.finish(times), eff)
 }
 
 /// Undo journal frame for one edge inclusion.
@@ -290,6 +329,8 @@ struct Bnb {
     examined: u64,
     acceptable: u64,
     pruned: u64,
+    /// Incumbent creations/improvements at leaves (see [`Effort`]).
+    improvements: u64,
 }
 
 impl Bnb {
@@ -321,6 +362,7 @@ impl Bnb {
             examined: 0,
             acceptable: 0,
             pruned: 0,
+            improvements: 0,
         };
         bnb.reset(times);
         bnb
@@ -395,6 +437,7 @@ impl Bnb {
         self.examined = 0;
         self.acceptable = 0;
         self.pruned = 0;
+        self.improvements = 0;
     }
 
     // Flat offsets into `mat`.
@@ -740,6 +783,7 @@ impl Bnb {
         let obj2 = sr * sc;
         if self.best.as_ref().is_none_or(|b| obj2 > b.0) {
             self.best = Some((obj2, self.chosen.clone()));
+            self.improvements += 1;
             if self.prune && obj2 > self.best_lb {
                 self.best_lb = obj2;
             }
@@ -871,6 +915,14 @@ pub fn solve_2x2(arr: &Arrangement) -> ExactSolution {
         .expect("at least two candidates");
     debug_assert!(crate::objective::is_feasible(arr, &alloc, 1e-9));
     let obj2 = alloc.obj2();
+    Effort {
+        examined: trees_examined,
+        acceptable: trees_examined,
+        pruned: 0,
+        // The closed form adopts its best candidate exactly once.
+        improvements: 1,
+    }
+    .publish(1);
     ExactSolution {
         alloc,
         obj2,
@@ -927,7 +979,7 @@ pub fn solve_global_with(times: &[f64], p: usize, q: usize, opts: &ExactOptions)
     // pattern order matches numeric order and fetch_max works; 0 means
     // "no objective found yet".
     let shared_lb = AtomicU64::new(0);
-    let solve_one = |arr: &Arrangement| -> (Option<ExactSolution>, u64, u64) {
+    let solve_one = |arr: &Arrangement| -> (Option<ExactSolution>, Effort) {
         if !opts.prune {
             return solve_arrangement_counted(arr, opts, f64::NEG_INFINITY);
         }
@@ -948,17 +1000,16 @@ pub fn solve_global_with(times: &[f64], p: usize, q: usize, opts: &ExactOptions)
         } else {
             (f64::NEG_INFINITY, *opts)
         };
-        let (sol, ex, pr) = solve_arrangement_counted(arr, &eff, external);
+        let (sol, effort) = solve_arrangement_counted(arr, &eff, external);
         if let Some(s) = &sol {
             shared_lb.fetch_max(s.obj2.to_bits(), Ordering::Relaxed);
         }
-        (sol, ex, pr)
+        (sol, effort)
     };
 
     let mut best: Option<GlobalSolution> = None;
     let mut count = 0u64;
-    let mut trees_ex = 0u64;
-    let mut trees_pr = 0u64;
+    let mut effort = Effort::default();
 
     let pool = hetgrid_par::global();
     if !opts.prune || pool.threads() == 1 {
@@ -982,19 +1033,16 @@ pub fn solve_global_with(times: &[f64], p: usize, q: usize, opts: &ExactOptions)
                 };
                 bnb.best_lb = lb * (1.0 - 1e-9);
                 bnb.search();
-                trees_ex += bnb.examined;
-                trees_pr += bnb.pruned;
+                effort.absorb(Effort::of(bnb));
                 bnb.finish(grid_times)
             } else if !opts.prune {
-                let (sol, ex, pr) = solve_slice_counted(p, q, grid_times, false, f64::NEG_INFINITY);
-                trees_ex += ex;
-                trees_pr += pr;
+                let (sol, eff) = solve_slice_counted(p, q, grid_times, false, f64::NEG_INFINITY);
+                effort.absorb(eff);
                 sol
             } else {
                 let arr = Arrangement::with_procs(p, q, grid_times.to_vec(), grid_procs.to_vec());
-                let (sol, ex, pr) = solve_arrangement_counted(&arr, opts, f64::NEG_INFINITY);
-                trees_ex += ex;
-                trees_pr += pr;
+                let (sol, eff) = solve_arrangement_counted(&arr, opts, f64::NEG_INFINITY);
+                effort.absorb(eff);
                 sol
             };
             let Some(sol) = sol else { return };
@@ -1038,17 +1086,17 @@ pub fn solve_global_with(times: &[f64], p: usize, q: usize, opts: &ExactOptions)
             let solve_one = &solve_one;
             pool.parallel_map(indices, move |i| solve_one(&arrs[i]))
         };
-        for (arr, (sol, ex, pr)) in arrangements.iter().zip(results) {
-            trees_ex += ex;
-            trees_pr += pr;
+        for (arr, (sol, eff)) in arrangements.iter().zip(results) {
+            effort.absorb(eff);
             consider(arr, sol);
         }
     }
 
+    effort.publish(count);
     let mut sol = best.expect("at least one arrangement exists");
     sol.arrangements_examined = count;
-    sol.trees_examined = trees_ex;
-    sol.trees_pruned = trees_pr;
+    sol.trees_examined = effort.examined;
+    sol.trees_pruned = effort.pruned;
     sol
 }
 
@@ -1262,7 +1310,7 @@ mod tests {
         let mut winners = 0usize;
         crate::arrangement::enumerate_nondecreasing(&times, 3, 3, |a| {
             examined += 1;
-            if let Some(s) = solve_arrangement_seeded(a, &noseed, ext) {
+            if let Some(s) = solve_arrangement_counted(a, &noseed, ext).0 {
                 winners += 1;
                 assert!(
                     s.obj2 >= ext,

@@ -10,6 +10,7 @@
 //! lower-triangle blocks are then updated.
 
 use crate::channel::{unbounded, Sender};
+use crate::probe::Probe;
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
@@ -138,8 +139,10 @@ fn worker(
     ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
-    let (_, q) = dist.grid();
+    let (p, q) = dist.grid();
     let me = i * q + j;
+    let mut probe = Probe::new((i, j), (p, q));
+    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
     let owner_id = |bi: usize, bj: usize| {
         let (oi, oj) = dist.owner(bi, bj);
         oi * q + oj
@@ -156,6 +159,7 @@ fn worker(
 
         // --- 1. Diagonal factorization and broadcast to panel owners.
         if diag_owner == me {
+            let _factor_span = probe.as_ref().map(|pr| pr.span(format!("factor {k}")));
             let lkk = {
                 let blk = blocks.get(&(k, k)).expect("diag block missing");
                 let t0 = Instant::now();
@@ -185,6 +189,9 @@ fn worker(
                 )
                 .expect("receiver hung up");
                 sent += 1;
+                if let Some(pr) = probe.as_mut() {
+                    pr.sent(d, k, block_bytes);
+                }
             }
         }
         if k + 1 == nb {
@@ -194,6 +201,7 @@ fn worker(
         // --- 2. Panel right-solves: A_ik := A_ik * L_kk^{-T}.
         let i_own_panel = (k + 1..nb).any(|bi| owner_id(bi, k) == me);
         if i_own_panel {
+            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panel {k}")));
             let lkk = if diag_owner == me {
                 blocks[&(k, k)].clone()
             } else {
@@ -248,6 +256,9 @@ fn worker(
                     )
                     .expect("receiver hung up");
                     sent += 1;
+                    if let Some(pr) = probe.as_mut() {
+                        pr.sent(d, k, block_bytes);
+                    }
                 }
             }
         }
@@ -268,10 +279,14 @@ fn worker(
             }
             need.retain(|&b| !l_pending.contains_key(&(k, b)));
             if !need.is_empty() {
+                let _wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
                 pump(ep.as_ref(), &mut diag_pending, &mut l_pending, |_, l| {
                     need.iter().all(|&b| l.contains_key(&(k, b)))
                 });
             }
+            let mut update_span = probe.as_ref().map(|pr| pr.span(format!("update {k}")));
+            let units_before = units;
+            let t_update = Instant::now();
             let mut scratch = Matrix::zeros(r, r);
             for &(bi, bj) in &trailing {
                 let left = if owner_id(bi, k) == me {
@@ -296,11 +311,20 @@ fn worker(
                 busy += t0.elapsed().as_secs_f64();
                 units += weight;
             }
+            if let Some(pr) = &probe {
+                pr.step_done(t_update.elapsed().as_secs_f64());
+            }
+            if let Some(g) = update_span.as_mut() {
+                g.arg_u64("units", units - units_before);
+            }
         }
         diag_pending.remove(&k);
         l_pending.retain(|&(s, _), _| s > k);
     }
 
+    if let Some(pr) = &probe {
+        pr.finish(units);
+    }
     done.send((me, blocks, busy, units, sent))
         .expect("main hung up");
 }

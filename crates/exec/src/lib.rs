@@ -40,6 +40,7 @@ pub mod channel;
 pub mod cholesky;
 pub mod lu;
 pub mod mm;
+mod probe;
 pub mod solve;
 pub mod store;
 pub mod transport;

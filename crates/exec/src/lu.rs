@@ -10,6 +10,7 @@
 //! and upper `U` must reproduce the input, `A = L * U`.
 
 use crate::channel::{unbounded, Sender};
+use crate::probe::Probe;
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
@@ -154,8 +155,10 @@ fn worker(
     ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
-    let (_, q) = dist.grid();
+    let (p, q) = dist.grid();
     let me = i * q + j;
+    let mut probe = Probe::new((i, j), (p, q));
+    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
     let owner_id = |bi: usize, bj: usize| {
         let (oi, oj) = dist.owner(bi, bj);
         oi * q + oj
@@ -189,6 +192,7 @@ fn worker(
 
         // --- 1. Diagonal block factorization.
         if diag_owner == me {
+            let _factor_span = probe.as_ref().map(|pr| pr.span(format!("factor {k}")));
             {
                 let blk = blocks.get_mut(&(k, k)).expect("diag block missing");
                 let original = blk.clone();
@@ -227,6 +231,9 @@ fn worker(
                 )
                 .expect("receiver hung up");
                 sent += 1;
+                if let Some(pr) = probe.as_mut() {
+                    pr.sent(d, k, block_bytes);
+                }
             }
         }
 
@@ -252,6 +259,7 @@ fn worker(
 
         // --- 3. Solve and broadcast my L blocks of column k.
         if i_own_col {
+            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panelL {k}")));
             let u11 = upper_from_packed(packed_diag.as_ref().expect("diag needed"));
             for bi in k + 1..nb {
                 if owner_id(bi, k) != me {
@@ -281,12 +289,16 @@ fn worker(
                     )
                     .expect("receiver hung up");
                     sent += 1;
+                    if let Some(pr) = probe.as_mut() {
+                        pr.sent(d, k, block_bytes);
+                    }
                 }
             }
         }
 
         // --- 4. Solve and broadcast my U blocks of row k.
         if i_own_row {
+            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panelU {k}")));
             let l11 = unit_lower_from_packed(packed_diag.as_ref().expect("diag needed"));
             for bj in k + 1..nb {
                 if owner_id(k, bj) != me {
@@ -315,6 +327,9 @@ fn worker(
                     )
                     .expect("receiver hung up");
                     sent += 1;
+                    if let Some(pr) = probe.as_mut() {
+                        pr.sent(d, k, block_bytes);
+                    }
                 }
             }
         }
@@ -343,6 +358,7 @@ fn worker(
             need_u.dedup();
             need_u.retain(|&bj| !u_pending.contains_key(&(k, bj)));
             if !(need_l.is_empty() && need_u.is_empty()) {
+                let _wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
                 pump(
                     ep.as_ref(),
                     &mut diag_pending,
@@ -354,6 +370,9 @@ fn worker(
                     },
                 );
             }
+            let mut update_span = probe.as_ref().map(|pr| pr.span(format!("update {k}")));
+            let units_before = units;
+            let t_update = Instant::now();
             for &(bi, bj) in &trailing {
                 let lblk = if owner_id(bi, k) == me {
                     blocks[&(bi, k)].clone()
@@ -376,6 +395,12 @@ fn worker(
                 busy += t0.elapsed().as_secs_f64();
                 units += weight;
             }
+            if let Some(pr) = &probe {
+                pr.step_done(t_update.elapsed().as_secs_f64());
+            }
+            if let Some(g) = update_span.as_mut() {
+                g.arg_u64("units", units - units_before);
+            }
         }
         // Drop messages of this step.
         diag_pending.remove(&k);
@@ -383,6 +408,9 @@ fn worker(
         u_pending.retain(|&(s, _), _| s > k);
     }
 
+    if let Some(pr) = &probe {
+        pr.finish(units);
+    }
     done.send((me, blocks, busy, units, sent))
         .expect("main hung up");
 }

@@ -8,6 +8,7 @@
 //! `(i, j)` repeats every block kernel `w_ij` times.
 
 use crate::channel::{unbounded, Sender};
+use crate::probe::Probe;
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Endpoint, Transport};
 use hetgrid_dist::BlockDist;
@@ -200,8 +201,9 @@ fn worker(
     ep: Box<dyn Endpoint<Msg>>,
     done: Sender<(usize, BlockStore, f64, u64, u64)>,
 ) {
-    let (_, q) = dist.grid();
+    let (p, q) = dist.grid();
     let me = i * q + j;
+    let mut probe = Probe::new((i, j), (p, q));
 
     // Owned C blocks (same layout as A and B by construction).
     let owned: Vec<(usize, usize)> = {
@@ -229,8 +231,11 @@ fn worker(
     let mut sent = 0u64;
     let mut scratch = Matrix::zeros(r, r);
 
+    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
     for k in 0..kb {
         // --- Send phase: my A blocks of column k, my B blocks of row k.
+        let mut bcast_span = probe.as_ref().map(|pr| pr.span(format!("bcast {k}")));
+        let sent_before = sent;
         for bi in 0..mb {
             if let Some(data) = my_a.get(&(bi, k)) {
                 let dests = row_owner_ids(dist, bi, nb, me);
@@ -250,6 +255,9 @@ fn worker(
                     )
                     .expect("receiver hung up");
                     sent += 1;
+                    if let Some(pr) = probe.as_mut() {
+                        pr.sent(dest, k, block_bytes);
+                    }
                 }
             }
         }
@@ -271,9 +279,16 @@ fn worker(
                     )
                     .expect("receiver hung up");
                     sent += 1;
+                    if let Some(pr) = probe.as_mut() {
+                        pr.sent(dest, k, block_bytes);
+                    }
                 }
             }
         }
+        if let Some(g) = bcast_span.as_mut() {
+            g.arg_u64("msgs", sent - sent_before);
+        }
+        drop(bcast_span);
 
         // --- Receive phase: wait for every foreign block this step needs.
         let mut need_a: HashSet<usize> = HashSet::new(); // bi values
@@ -288,6 +303,7 @@ fn worker(
         }
         need_a.retain(|&bi| !a_pending.contains_key(&(k, bi)));
         need_b.retain(|&bj| !b_pending.contains_key(&(k, bj)));
+        let wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
         while !(need_a.is_empty() && need_b.is_empty()) {
             match ep.recv().expect("sender hung up") {
                 Msg::A { step, bi, data } => {
@@ -305,8 +321,12 @@ fn worker(
             }
         }
 
+        drop(wait_span);
+
         // --- Compute phase: C_bi,bj += A_bi,k * B_k,bj (repeated for
         // the slowdown weight).
+        let mut compute_span = probe.as_ref().map(|pr| pr.span(format!("compute {k}")));
+        let units_before = units;
         let t0 = Instant::now();
         for &(bi, bj) in &owned {
             let ablk: &Matrix = match my_a.get(&(bi, k)) {
@@ -325,11 +345,21 @@ fn worker(
             units += weight;
         }
         busy += t0.elapsed().as_secs_f64();
+        if let Some(pr) = &probe {
+            pr.step_done(t0.elapsed().as_secs_f64());
+        }
+        if let Some(g) = compute_span.as_mut() {
+            g.arg_u64("units", units - units_before);
+        }
+        drop(compute_span);
         // Drop buffered blocks of this step.
         a_pending.retain(|&(s, _), _| s > k);
         b_pending.retain(|&(s, _), _| s > k);
     }
 
+    if let Some(pr) = &probe {
+        pr.finish(units);
+    }
     done.send((me, c_blocks, busy, units, sent))
         .expect("main hung up");
 }

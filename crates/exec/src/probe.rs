@@ -1,0 +1,114 @@
+//! Per-worker observability probe for the executor kernels.
+//!
+//! A [`Probe`] is created once per worker thread and is `None` while
+//! tracing is disabled ([`hetgrid_obs::trace::enabled`]), so an
+//! uninstrumented run pays exactly one relaxed atomic load per worker.
+//! When enabled it owns:
+//!
+//! * this processor's timeline track `P(i,j)` (1-based, matching
+//!   `hetgrid_sim::trace::grid_labels`) for per-step compute/broadcast
+//!   spans;
+//! * the per-processor counters `exec.p{i}_{j}.msgs` /
+//!   `exec.p{i}_{j}.work` — the obs-layer mirror of the
+//!   [`crate::store::ExecReport`] tables, cross-checked against
+//!   `hetgrid_sim::counts` by the harness differential oracle;
+//! * lazily created per-edge state: a track `P(i,j) -> P(k,l)` that
+//!   receives one instant event per message, and the counters
+//!   `exec.edge.p{i}_{j}.p{k}_{l}.msgs` / `.bytes`.
+//!
+//! Handles are resolved once (per worker / per first message on an
+//! edge), never per event.
+
+use hetgrid_obs::chrome::Arg;
+use hetgrid_obs::metrics::{Counter, Histogram};
+use hetgrid_obs::trace::{self, SpanGuard, TrackId};
+
+/// Compute-chunk duration buckets, microseconds.
+const STEP_US_BOUNDS: [f64; 6] = [10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
+
+pub(crate) struct Probe {
+    track: TrackId,
+    msgs: Counter,
+    step_us: Histogram,
+    work: Counter,
+    /// Per-edge state, indexed by destination linear id, interned on
+    /// the first message along that edge.
+    edges: Vec<Option<EdgeProbe>>,
+    me: (usize, usize),
+    q: usize,
+}
+
+struct EdgeProbe {
+    track: TrackId,
+    msgs: Counter,
+    bytes: Counter,
+}
+
+impl Probe {
+    /// The probe for grid position `(i, j)` on a `p x q` grid, or
+    /// `None` while tracing is disabled.
+    pub fn new((i, j): (usize, usize), (p, q): (usize, usize)) -> Option<Probe> {
+        if !trace::enabled() {
+            return None;
+        }
+        let m = hetgrid_obs::metrics();
+        Some(Probe {
+            track: trace::track(&format!("P({},{})", i + 1, j + 1)),
+            msgs: m.counter(&format!("exec.p{i}_{j}.msgs")),
+            work: m.counter(&format!("exec.p{i}_{j}.work")),
+            step_us: m.histogram("exec.step.compute_us", &STEP_US_BOUNDS),
+            edges: (0..p * q).map(|_| None).collect(),
+            me: (i, j),
+            q,
+        })
+    }
+
+    /// Opens a span on this processor's track.
+    pub fn span(&self, name: String) -> SpanGuard {
+        trace::span_at(self.track, name)
+    }
+
+    /// Records one message of `bytes` payload bytes to `dest` at step
+    /// `step`: per-processor and per-edge counters, plus an instant
+    /// event on the edge's own track.
+    pub fn sent(&mut self, dest: usize, step: usize, bytes: u64) {
+        self.msgs.inc();
+        let (si, sj) = self.me;
+        let q = self.q;
+        let edge = self.edges[dest].get_or_insert_with(|| {
+            let (di, dj) = (dest / q, dest % q);
+            let m = hetgrid_obs::metrics();
+            EdgeProbe {
+                track: trace::track(&format!(
+                    "P({},{}) -> P({},{})",
+                    si + 1,
+                    sj + 1,
+                    di + 1,
+                    dj + 1
+                )),
+                msgs: m.counter(&format!("exec.edge.p{si}_{sj}.p{di}_{dj}.msgs")),
+                bytes: m.counter(&format!("exec.edge.p{si}_{sj}.p{di}_{dj}.bytes")),
+            }
+        });
+        edge.msgs.inc();
+        edge.bytes.add(bytes);
+        trace::instant_with(
+            edge.track,
+            "msg".to_string(),
+            vec![("step", Arg::U64(step as u64)), ("bytes", Arg::U64(bytes))],
+        );
+    }
+
+    /// Records one compute chunk's duration in the
+    /// `exec.step.compute_us` histogram.
+    pub fn step_done(&self, dur_seconds: f64) {
+        self.step_us.observe(dur_seconds * 1e6);
+    }
+
+    /// Publishes the worker's total weighted work and flushes this
+    /// thread's trace buffer (the worker is about to exit).
+    pub fn finish(&self, total_units: u64) {
+        self.work.add(total_units);
+        trace::flush_thread();
+    }
+}

@@ -94,6 +94,55 @@ pub fn check_counts(report: &ExecReport, predicted: &KernelCounts) -> Result<(),
     Ok(())
 }
 
+/// Cross-checks the *metrics-layer* counters against the same
+/// closed-form [`hetgrid_sim::counts`] predictions the [`ExecReport`]
+/// oracle uses. `delta` must be a per-run snapshot delta taken around a
+/// kernel run with tracing enabled (the executor's probes are no-ops
+/// otherwise). The metrics path is plumbed independently of the report
+/// (atomic counters vs. per-worker locals sent over the done channel),
+/// so this catches instrumentation drift in either direction. Also
+/// requires the per-edge `exec.edge.*.msgs` series to sum to the same
+/// total — an edge accounted twice or not at all fails here even when
+/// the per-processor totals happen to agree.
+pub fn check_obs_counts(
+    delta: &hetgrid_obs::MetricsSnapshot,
+    predicted: &KernelCounts,
+) -> Result<(), String> {
+    let p = predicted.messages.len();
+    let q = predicted.messages.first().map_or(0, |row| row.len());
+    for i in 0..p {
+        for j in 0..q {
+            let msgs = delta.counter(&format!("exec.p{i}_{j}.msgs"));
+            if msgs != predicted.messages[i][j] {
+                return Err(format!(
+                    "obs counter exec.p{i}_{j}.msgs = {msgs}, sim predicts {}",
+                    predicted.messages[i][j]
+                ));
+            }
+            let work = delta.counter(&format!("exec.p{i}_{j}.work"));
+            if work != predicted.work_units[i][j] {
+                return Err(format!(
+                    "obs counter exec.p{i}_{j}.work = {work}, sim predicts {}",
+                    predicted.work_units[i][j]
+                ));
+            }
+        }
+    }
+    let edge_total: u64 = delta
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("exec.edge.") && name.ends_with(".msgs"))
+        .map(|(_, v)| v)
+        .sum();
+    let predicted_total: u64 = predicted.messages.iter().flatten().sum();
+    if edge_total != predicted_total {
+        return Err(format!(
+            "obs per-edge message counters sum to {edge_total}, sim predicts {predicted_total}"
+        ));
+    }
+    Ok(())
+}
+
 /// Conservation oracle for redistribution: the analytic move count, the
 /// per-edge transfer plan, the live move count reported by
 /// [`hetgrid_adapt::redistribute`], and the gathered matrix content

@@ -82,6 +82,26 @@ impl<T> Mailbox<T> {
     }
 }
 
+/// Obs counters for injected faults, one per category. Handles are
+/// resolved once per [`Transport::connect`]; each injection is a single
+/// relaxed atomic increment.
+struct FaultCounters {
+    delayed: hetgrid_obs::Counter,
+    reordered: hetgrid_obs::Counter,
+    promoted: hetgrid_obs::Counter,
+}
+
+impl FaultCounters {
+    fn new() -> Self {
+        let m = hetgrid_obs::metrics();
+        FaultCounters {
+            delayed: m.counter("harness.faults.delayed"),
+            reordered: m.counter("harness.faults.reordered"),
+            promoted: m.counter("harness.faults.promoted"),
+        }
+    }
+}
+
 struct Shared<T> {
     boxes: Vec<Mailbox<T>>,
     /// Endpoints still alive; a lone survivor's empty recv fails
@@ -89,6 +109,7 @@ struct Shared<T> {
     live: AtomicUsize,
     seed: u64,
     profile: FaultProfile,
+    faults: FaultCounters,
 }
 
 struct VirtualEndpoint<T> {
@@ -127,7 +148,10 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
             }
         }
         match hold {
-            Some(arrivals) => st.held.push_back((msg, arrivals)),
+            Some(arrivals) => {
+                self.shared.faults.delayed.inc();
+                st.held.push_back((msg, arrivals));
+            }
             None => st.ready.push_back(msg),
         }
         drop(st);
@@ -149,11 +173,15 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
                     .shared
                     .profile
                     .pick(self.shared.seed, self.me, n, st.ready.len());
+                if idx != 0 {
+                    self.shared.faults.reordered.inc();
+                }
                 return Ok(st.ready.remove(idx).unwrap());
             }
             // Nothing deliverable: promote the oldest held message so a
             // waiting receiver is never starved by the fault injector.
             if let Some((msg, _)) = st.held.pop_front() {
+                self.shared.faults.promoted.inc();
                 self.received.set(self.received.get() + 1);
                 return Ok(msg);
             }
@@ -207,6 +235,7 @@ impl Transport for VirtualTransport {
             live: AtomicUsize::new(n),
             seed: self.seed,
             profile: self.profile,
+            faults: FaultCounters::new(),
         });
         (0..n)
             .map(|me| {

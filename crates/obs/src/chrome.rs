@@ -1,0 +1,290 @@
+//! Hand-rolled Chrome trace-event JSON writer.
+//!
+//! Emits the `{"traceEvents": [...]}` object form of the [Trace Event
+//! Format] consumed by Perfetto and `chrome://tracing`: `"M"`
+//! (metadata) records name the tracks, `"X"` (complete) records are
+//! spans with a start and duration, `"i"` records are instant markers.
+//! All timestamps are microseconds. One process (`pid` 1) with one
+//! `tid` per track keeps every track on its own timeline row.
+//!
+//! The writer is serde-free; [`escape_into`] implements the JSON
+//! string escaping rules (tested in this module and exercised by the
+//! round-trip tests against [`crate::json`]).
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::TraceEvent;
+use std::fmt::Write as _;
+
+/// A structured event argument (rendered into the record's `"args"`
+/// object).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// Unsigned integer, rendered as a JSON number.
+    U64(u64),
+    /// Float, rendered as a JSON number (`null` if not finite).
+    F64(f64),
+    /// String, rendered escaped.
+    Str(String),
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// and control characters; everything else passes through as UTF-8).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `v` as a JSON number, or `null` when it is not finite (JSON
+/// has no NaN/Infinity).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on a finite f64 always produces a valid JSON number
+        // (digits, optional '.', optional 'e' exponent).
+        let _ = write!(out, "{}", v);
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&str, Arg)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            Arg::U64(n) => {
+                let _ = write!(out, "{}", n);
+            }
+            Arg::F64(x) => write_f64(out, *x),
+            Arg::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Incremental builder for one trace file. Records are appended in any
+/// order (the format does not require sorted timestamps); [`finish`]
+/// yields the complete JSON document.
+///
+/// [`finish`]: ChromeTrace::finish
+#[derive(Default)]
+pub struct ChromeTrace {
+    body: String,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('\n');
+    }
+
+    /// Names the timeline row `tid` (a `thread_name` metadata record).
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.sep();
+        let _ = write!(
+            self.body,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"",
+            tid
+        );
+        escape_into(&mut self.body, name);
+        self.body.push_str("\"}}");
+    }
+
+    /// Appends a complete span (`ph:"X"`).
+    pub fn complete(
+        &mut self,
+        tid: u64,
+        name: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, Arg)],
+    ) {
+        self.record("X", tid, name, ts_us, Some(dur_us), args);
+    }
+
+    /// Appends an instant marker (`ph:"i"`, thread scope).
+    pub fn instant(&mut self, tid: u64, name: &str, ts_us: f64, args: &[(&str, Arg)]) {
+        self.record("i", tid, name, ts_us, None, args);
+    }
+
+    fn record(
+        &mut self,
+        ph: &str,
+        tid: u64,
+        name: &str,
+        ts_us: f64,
+        dur_us: Option<f64>,
+        args: &[(&str, Arg)],
+    ) {
+        self.sep();
+        self.body.push_str("{\"ph\":\"");
+        self.body.push_str(ph);
+        self.body.push_str("\",\"name\":\"");
+        escape_into(&mut self.body, name);
+        self.body.push_str("\",\"pid\":1,\"tid\":");
+        let _ = write!(self.body, "{}", tid);
+        self.body.push_str(",\"ts\":");
+        write_f64(&mut self.body, ts_us);
+        if let Some(d) = dur_us {
+            self.body.push_str(",\"dur\":");
+            // Perfetto rejects negative durations; clock jitter on a
+            // zero-length span must not corrupt the file.
+            write_f64(&mut self.body, d.max(0.0));
+        }
+        if ph == "i" {
+            self.body.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            self.body.push_str(",\"args\":");
+            write_args(&mut self.body, args);
+        }
+        self.body.push('}');
+    }
+
+    /// The finished `{"traceEvents": [...]}` document.
+    pub fn finish(self) -> String {
+        format!("{{\"traceEvents\": [{}\n]}}\n", self.body)
+    }
+}
+
+/// Renders collected [`crate::trace`] events (as returned by
+/// [`crate::trace::take`]) into a Chrome trace: one named track per
+/// interned track id.
+pub fn export(tracks: &[String], events: &[TraceEvent]) -> String {
+    let mut ct = ChromeTrace::new();
+    for (tid, name) in tracks.iter().enumerate() {
+        ct.thread_name(tid as u64, name);
+    }
+    for ev in events {
+        let tid = ev.track.index() as u64;
+        match ev.dur_us {
+            Some(d) => ct.complete(tid, &ev.name, ev.start_us, d, &ev.args),
+            None => ct.instant(tid, &ev.name, ev.start_us, &ev.args),
+        }
+    }
+    ct.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn escaping_covers_quotes_backslash_and_controls() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\re\tf\u{1}g");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\re\\tf\\u0001g");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "line\nbreaks\tand\rreturns",
+            "control \u{0} \u{1f} chars",
+            "unicode: grille 2×2 — ✓",
+        ] {
+            let mut doc = String::from("{\"k\":\"");
+            escape_into(&mut doc, s);
+            doc.push_str("\"}");
+            let v = json::parse(&doc).expect("escaped string must parse");
+            assert_eq!(v.get("k").and_then(|v| v.as_str()), Some(s));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        out.push(' ');
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null null");
+    }
+
+    #[test]
+    fn builder_output_is_well_formed_and_complete() {
+        let mut ct = ChromeTrace::new();
+        ct.thread_name(0, "P(1,1)");
+        ct.thread_name(1, "E P(1,1)->P(1,2)");
+        ct.complete(0, "compute step 0", 10.0, 42.5, &[("units", Arg::U64(3))]);
+        ct.instant(
+            1,
+            "send",
+            12.0,
+            &[
+                ("bytes", Arg::U64(2048)),
+                ("dest", Arg::Str("P(1,2)".into())),
+            ],
+        );
+        let out = ct.finish();
+        let doc = json::parse(&out).expect("builder output must parse");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(evs.len(), 4);
+        let x = &evs[2];
+        assert_eq!(x.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(x.get("dur").and_then(|v| v.as_f64()), Some(42.5));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("units"))
+                .and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        let i = &evs[3];
+        assert_eq!(i.get("ph").and_then(|v| v.as_str()), Some("i"));
+        assert_eq!(
+            i.get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(|v| v.as_f64()),
+            Some(2048.0)
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = json::parse(&ChromeTrace::new().finish()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn negative_duration_is_clamped() {
+        let mut ct = ChromeTrace::new();
+        ct.complete(0, "jitter", 5.0, -0.001, &[]);
+        let doc = json::parse(&ct.finish()).unwrap();
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(evs[0].get("dur").and_then(|v| v.as_f64()), Some(0.0));
+    }
+}

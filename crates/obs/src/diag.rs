@@ -1,0 +1,46 @@
+//! Verbosity-gated stderr diagnostics.
+//!
+//! The CLI and bench bins print machine-readable output (tables, CSV,
+//! JSON) on **stdout** and route all progress/diagnostic chatter
+//! through [`crate::diag!`] / [`crate::vdiag!`], which write to
+//! **stderr** and respect the process verbosity level:
+//!
+//! * `0` — quiet (`--quiet`): diagnostics suppressed;
+//! * `1` — default: [`crate::diag!`] shown;
+//! * `2` — verbose (`-v`): [`crate::vdiag!`] shown too.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+
+static VERBOSITY: AtomicI32 = AtomicI32::new(1);
+
+/// Sets the process verbosity level.
+pub fn set_verbosity(level: i32) {
+    VERBOSITY.store(level, Ordering::Relaxed);
+}
+
+/// The current verbosity level.
+pub fn verbosity() -> i32 {
+    VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Writes `msg` to stderr when the verbosity level is at least
+/// `level`. Prefer the [`crate::diag!`] / [`crate::vdiag!`] macros,
+/// which build the `fmt::Arguments` lazily.
+pub fn emit(level: i32, msg: std::fmt::Arguments<'_>) {
+    if verbosity() >= level {
+        eprintln!("{}", msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_round_trips() {
+        let old = verbosity();
+        set_verbosity(2);
+        assert_eq!(verbosity(), 2);
+        set_verbosity(old);
+    }
+}

@@ -1,0 +1,210 @@
+//! # hetgrid-obs
+//!
+//! Workspace-wide observability: structured spans and events, a metrics
+//! registry, and exporters for both — self-contained (the build is
+//! offline, so this is **not** a `tracing`-crate wrapper).
+//!
+//! The crate has three independent legs:
+//!
+//! * [`trace`] — cheap structured spans/events. Instrumented code
+//!   records into thread-local buffers that drain into a global
+//!   collector; everything is a no-op (a single relaxed atomic load)
+//!   while tracing is disabled, which is the default. See the
+//!   [`span!`] and [`event!`] macros.
+//! * [`metrics`] — a global registry of named counters, gauges, and
+//!   fixed-bucket histograms with typed handles. Hot paths fetch a
+//!   handle once and then pay one relaxed atomic op per update; the
+//!   registry lock is touched only at registration and snapshot time.
+//! * [`chrome`] / [`json`] — exporters and their test harness: a
+//!   hand-rolled Chrome trace-event JSON writer (loadable in Perfetto
+//!   and `chrome://tracing`) and a minimal JSON parser used to verify
+//!   the writer's output and by the CI smoke job.
+//!
+//! [`diag`] is the fourth, tiny leg: verbosity-gated stderr
+//! diagnostics ([`diag!`] / [`vdiag!`]) so machine-readable output on
+//! stdout is never interleaved with progress chatter.
+//!
+//! ## Overhead strategy
+//!
+//! Instrumentation in the hot kernels is guarded by [`trace::enabled`]
+//! (one relaxed `AtomicBool` load). When disabled, the [`span!`] macro
+//! does not even format its name. When enabled, a span costs two
+//! `Instant::now()` calls and a push onto a thread-local `Vec`; the
+//! global mutex is taken only when a buffer fills
+//! ([`trace::FLUSH_AT`] events) or at an explicit
+//! [`trace::flush_thread`]. Instrumented worker threads flush at their
+//! natural join points (end of a kernel run), never mid-computation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod diag;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use chrome::{Arg, ChromeTrace};
+pub use metrics::{metrics, Counter, Gauge, Histogram, MetricsSnapshot};
+pub use trace::{enabled, set_enabled, SpanGuard, TrackId};
+
+/// Opens a span on `track` that closes (records a complete event) when
+/// the returned guard drops. Evaluates to `Option<SpanGuard>`: `None`
+/// — without formatting the name — while tracing is disabled.
+///
+/// ```
+/// let track = hetgrid_obs::trace::track("P(1,1)");
+/// let _g = hetgrid_obs::span!(track, "compute step {}", 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($track:expr, $($fmt:tt)*) => {
+        if $crate::trace::enabled() {
+            Some($crate::trace::span_at($track, format!($($fmt)*)))
+        } else {
+            None
+        }
+    };
+}
+
+/// Records an instant event on `track`. A no-op (name unformatted)
+/// while tracing is disabled.
+#[macro_export]
+macro_rules! event {
+    ($track:expr, $($fmt:tt)*) => {
+        if $crate::trace::enabled() {
+            $crate::trace::instant($track, format!($($fmt)*));
+        }
+    };
+}
+
+/// Level-1 diagnostic on stderr: shown unless `--quiet`
+/// (verbosity 0). Formatting is lazy; nothing is allocated when
+/// suppressed.
+#[macro_export]
+macro_rules! diag {
+    ($($t:tt)*) => { $crate::diag::emit(1, format_args!($($t)*)) };
+}
+
+/// Level-2 (verbose, `-v`) diagnostic on stderr.
+#[macro_export]
+macro_rules! vdiag {
+    ($($t:tt)*) => { $crate::diag::emit(2, format_args!($($t)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that touch the global enabled flag or the
+    /// global trace collector (unit tests in one binary run in
+    /// parallel).
+    fn global_state_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_emit_nothing() {
+        let _g = global_state_lock();
+        set_enabled(false);
+        trace::clear();
+        let track = trace::track("test-disabled");
+        for i in 0..1000 {
+            let guard = span!(track, "never formatted {}", i);
+            assert!(guard.is_none());
+            event!(track, "also never formatted {}", i);
+        }
+        let (_, events) = trace::take();
+        assert!(events.is_empty(), "disabled tracing must emit nothing");
+    }
+
+    #[test]
+    fn enabled_span_records_complete_event_with_args() {
+        let _g = global_state_lock();
+        set_enabled(true);
+        trace::clear();
+        let track = trace::track("test-enabled");
+        {
+            let mut guard = span!(track, "step {}", 7).unwrap();
+            guard.arg_u64("bytes", 128);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        event!(track, "marker");
+        set_enabled(false);
+        let (tracks, events) = trace::take();
+        assert_eq!(events.len(), 2);
+        let span_ev = &events[0];
+        assert_eq!(span_ev.name, "step 7");
+        assert_eq!(&tracks[span_ev.track.index()], "test-enabled");
+        assert!(span_ev.dur_us.unwrap() >= 1000.0, "slept a millisecond");
+        assert!(matches!(span_ev.args[0], ("bytes", Arg::U64(128))));
+        assert!(events[1].dur_us.is_none(), "instant event has no duration");
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_reach_the_collector() {
+        let _g = global_state_lock();
+        set_enabled(true);
+        trace::clear();
+        let track = trace::track("test-threads");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..50 {
+                        drop(span!(track, "t{} i{}", t, i));
+                    }
+                    trace::flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        let (_, events) = trace::take();
+        assert_eq!(events.len(), 4 * 50);
+    }
+
+    #[test]
+    fn export_current_trace_is_valid_json_with_named_tracks() {
+        let _g = global_state_lock();
+        set_enabled(true);
+        trace::clear();
+        let track = trace::track("P(1,1)");
+        drop(span!(track, "compute"));
+        set_enabled(false);
+        let (tracks, events) = trace::take();
+        let out = chrome::export(&tracks, &events);
+        let doc = json::parse(&out).expect("exported trace must parse");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // One thread_name metadata record per track, plus the span.
+        assert!(evs.iter().any(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    == Some("P(1,1)")
+        }));
+        assert!(evs
+            .iter()
+            .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("compute")));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let c = metrics().counter("obs.test.concurrent");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before, 80_000);
+    }
+}

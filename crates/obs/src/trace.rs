@@ -1,0 +1,256 @@
+//! Structured spans and instant events.
+//!
+//! The model is deliberately small: a global interned list of *tracks*
+//! (one per grid processor, transport edge, or subsystem), and a flat
+//! stream of [`TraceEvent`]s, each either a *complete* span (start +
+//! duration) or an *instant* marker. Events are buffered in
+//! thread-local vectors and drained into the global collector when a
+//! buffer fills or at an explicit [`flush_thread`]; [`take`] collects
+//! everything for export.
+//!
+//! The whole module is inert until [`set_enabled`]`(true)`: the
+//! [`crate::span!`] / [`crate::event!`] macros check [`enabled`] (one
+//! relaxed atomic load) before formatting anything.
+
+use crate::chrome::Arg;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is tracing globally enabled? Instrumented hot paths call this first
+/// and skip all other work when it returns `false`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns trace collection on or off (off is the default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// A thread-local buffer drains to the collector once it holds this
+/// many events.
+pub const FLUSH_AT: usize = 1024;
+
+/// An interned track (timeline row in the exported trace). Copyable;
+/// fetch once per worker with [`track`] and reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TrackId(u32);
+
+impl TrackId {
+    /// Index into the track-name table returned by [`take`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Display name (span or marker label).
+    pub name: String,
+    /// The track this event belongs to.
+    pub track: TrackId,
+    /// Start time, microseconds since the process trace epoch.
+    pub start_us: f64,
+    /// Duration in microseconds for complete spans; `None` for instant
+    /// events.
+    pub dur_us: Option<f64>,
+    /// Structured arguments attached to the event.
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+struct Collector {
+    tracks: Mutex<Vec<String>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        tracks: Mutex::new(Vec::new()),
+        events: Mutex::new(Vec::new()),
+    })
+}
+
+/// Tolerate poisoning: a panicking instrumented thread must not take
+/// the whole trace (and every later test) down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (first call wins).
+pub fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Interns `name` as a track, returning its stable id. Registering the
+/// same name twice returns the same id. Takes the collector lock —
+/// call once per worker, not per event.
+pub fn track(name: &str) -> TrackId {
+    let mut tracks = lock(&collector().tracks);
+    if let Some(i) = tracks.iter().position(|t| t == name) {
+        return TrackId(i as u32);
+    }
+    tracks.push(name.to_string());
+    TrackId((tracks.len() - 1) as u32)
+}
+
+thread_local! {
+    static BUFFER: RefCell<Vec<TraceEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+fn push(ev: TraceEvent) {
+    let full = BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        b.push(ev);
+        b.len() >= FLUSH_AT
+    });
+    if full {
+        flush_thread();
+    }
+}
+
+/// Drains this thread's buffer into the global collector. Instrumented
+/// worker threads call this at their join point (end of a kernel run);
+/// events still buffered on a thread that never flushes are lost.
+pub fn flush_thread() {
+    BUFFER.with(|b| {
+        let mut b = b.borrow_mut();
+        if !b.is_empty() {
+            lock(&collector().events).append(&mut b);
+        }
+    });
+}
+
+/// Flushes the calling thread and removes every collected event,
+/// returning the track-name table (indexed by [`TrackId::index`]) and
+/// the events. Track registrations persist (ids stay valid).
+pub fn take() -> (Vec<String>, Vec<TraceEvent>) {
+    flush_thread();
+    let tracks = lock(&collector().tracks).clone();
+    let events = std::mem::take(&mut *lock(&collector().events));
+    (tracks, events)
+}
+
+/// Discards this thread's buffer and every collected event (test
+/// helper; track registrations persist).
+pub fn clear() {
+    BUFFER.with(|b| b.borrow_mut().clear());
+    lock(&collector().events).clear();
+}
+
+/// An open span; records a complete event over its lifetime when
+/// dropped. Obtain via [`crate::span!`] (or [`span_at`] when the
+/// enabled check has already been done).
+pub struct SpanGuard {
+    name: String,
+    track: TrackId,
+    start_us: f64,
+    args: Vec<(&'static str, Arg)>,
+}
+
+impl SpanGuard {
+    /// Attaches an integer argument.
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) {
+        self.args.push((key, Arg::U64(value)));
+    }
+
+    /// Attaches a float argument.
+    pub fn arg_f64(&mut self, key: &'static str, value: f64) {
+        self.args.push((key, Arg::F64(value)));
+    }
+
+    /// Attaches a string argument.
+    pub fn arg_str(&mut self, key: &'static str, value: impl Into<String>) {
+        self.args.push((key, Arg::Str(value.into())));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur = now_us() - self.start_us;
+        push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            track: self.track,
+            start_us: self.start_us,
+            dur_us: Some(dur),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Opens a span unconditionally (the caller — normally the
+/// [`crate::span!`] macro — has already checked [`enabled`]).
+pub fn span_at(track: TrackId, name: String) -> SpanGuard {
+    SpanGuard {
+        name,
+        track,
+        start_us: now_us(),
+        args: Vec::new(),
+    }
+}
+
+/// Records an instant event now.
+pub fn instant(track: TrackId, name: String) {
+    instant_with(track, name, Vec::new());
+}
+
+/// Records an instant event now, with arguments.
+pub fn instant_with(track: TrackId, name: String, args: Vec<(&'static str, Arg)>) {
+    push(TraceEvent {
+        name,
+        track,
+        start_us: now_us(),
+        dur_us: None,
+        args,
+    });
+}
+
+/// Records a complete span from explicit timestamps (for code that
+/// already measures with its own `Instant`s).
+pub fn complete(
+    track: TrackId,
+    name: String,
+    start_us: f64,
+    dur_us: f64,
+    args: Vec<(&'static str, Arg)>,
+) {
+    push(TraceEvent {
+        name,
+        track,
+        start_us,
+        dur_us: Some(dur_us),
+        args,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_interning_is_stable() {
+        let a = track("intern-test-a");
+        let b = track("intern-test-b");
+        assert_ne!(a, b);
+        assert_eq!(track("intern-test-a"), a);
+        assert_eq!(track("intern-test-b"), b);
+    }
+
+    #[test]
+    fn now_us_is_monotone() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

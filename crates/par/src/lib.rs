@@ -39,6 +39,11 @@ struct Shared {
     cv: Condvar,
     next: AtomicUsize,
     shutdown: AtomicBool,
+    /// Cross-queue steals (obs `par.steals`). Handle resolved once at
+    /// pool construction; each steal is one relaxed atomic increment.
+    steals: hetgrid_obs::Counter,
+    /// High-water queue depth (obs `par.queue.depth`).
+    depth: hetgrid_obs::Gauge,
 }
 
 impl Shared {
@@ -58,6 +63,7 @@ impl Shared {
                 continue;
             }
             if let Some(job) = self.queues[q].lock().expect("pool poisoned").pop_front() {
+                self.steals.inc();
                 return Some(job);
             }
         }
@@ -66,7 +72,12 @@ impl Shared {
 
     fn push(&self, job: Job) {
         let q = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        self.queues[q].lock().expect("pool poisoned").push_back(job);
+        let len = {
+            let mut queue = self.queues[q].lock().expect("pool poisoned");
+            queue.push_back(job);
+            queue.len()
+        };
+        self.depth.record_max(len as f64);
         let mut g = self.gen.lock().expect("pool poisoned");
         g.0 = g.0.wrapping_add(1);
         drop(g);
@@ -90,6 +101,8 @@ impl ThreadPool {
             cv: Condvar::new(),
             next: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            steals: hetgrid_obs::metrics().counter("par.steals"),
+            depth: hetgrid_obs::metrics().gauge("par.queue.depth"),
         });
         let handles = (0..threads)
             .map(|idx| {
@@ -388,6 +401,18 @@ mod tests {
         assert!(global().threads() >= 1);
         let out = parallel_map(vec![1, 2, 3], |x: u32| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_publishes_scheduler_metrics() {
+        let pool = ThreadPool::new(2);
+        let out = pool.parallel_map((0..64).collect(), |x: u64| x + 1);
+        assert_eq!(out.len(), 64);
+        let snap = hetgrid_obs::metrics().snapshot();
+        // 64 pushes round-robined over 2 queues: some queue reached
+        // depth >= 1, and the series exist from pool construction on.
+        assert!(snap.gauge("par.queue.depth") >= 1.0);
+        assert!(snap.counters.contains_key("par.steals"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Textual schedule traces: per-resource Gantt rendering of a
-//! [`Schedule`](crate::engine::Schedule), for inspecting what the
-//! simulated machine actually did.
+//! [`Schedule`](crate::engine::Schedule) plus a Chrome trace-event
+//! export ([`chrome_trace`]), for inspecting what the simulated machine
+//! actually did.
 
 use crate::engine::{Engine, Schedule, TaskTag};
 
@@ -88,6 +89,44 @@ pub fn ascii_gantt(
     out
 }
 
+/// Exports the schedule as a Chrome trace-event JSON document loadable
+/// in Perfetto / `chrome://tracing`: one timeline track per resource
+/// (named by `labels`, `r{n}` beyond them) and one complete event per
+/// busy interval, tagged `compute` / `comm` / `join` with the task id
+/// in `args`. Uses the same JSON writer as the live-executor traces
+/// (`hetgrid_obs::ChromeTrace`), so the two renderings are directly
+/// comparable.
+///
+/// Simulated time is unitless; the exporter maps one simulated unit to
+/// one second (`1e6` trace microseconds) so typical makespans render at
+/// a comfortable zoom.
+pub fn chrome_trace(engine: &Engine, schedule: &Schedule, labels: &[String]) -> String {
+    const US_PER_UNIT: f64 = 1e6;
+    let lines = resource_timelines(engine, schedule);
+    let mut ct = hetgrid_obs::ChromeTrace::new();
+    for r in 0..lines.len() {
+        let label = labels.get(r).cloned().unwrap_or_else(|| format!("r{}", r));
+        ct.thread_name(r as u64, &label);
+    }
+    for (r, intervals) in lines.iter().enumerate() {
+        for iv in intervals {
+            let name = match iv.tag {
+                TaskTag::Compute(_) => "compute",
+                TaskTag::Comm => "comm",
+                TaskTag::Join => "join",
+            };
+            ct.complete(
+                r as u64,
+                name,
+                iv.start * US_PER_UNIT,
+                (iv.end - iv.start) * US_PER_UNIT,
+                &[("task", hetgrid_obs::Arg::U64(iv.task as u64))],
+            );
+        }
+    }
+    ct.finish()
+}
+
 /// Convenience: Gantt chart for a grid [`Machine`](crate::machine::Machine)
 /// run — labels cores `P(i,j)` and NICs `N(i,j)`.
 pub fn grid_labels(p: usize, q: usize, shared_bus: bool) -> Vec<String> {
@@ -153,6 +192,40 @@ mod tests {
         let g = ascii_gantt(&e, &s, &["busy".into(), "idle".into()], 10);
         assert!(g.contains("busy"));
         assert!(!g.contains("idle"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_a_small_schedule() {
+        let mut e = Engine::new();
+        let r0 = e.add_resource();
+        let r1 = e.add_resource();
+        let a = e.add_task(vec![], vec![r0], 1.5, TaskTag::Compute(r0));
+        let b = e.add_task(vec![a], vec![r1], 0.5, TaskTag::Comm);
+        let s = e.run();
+        let out = chrome_trace(&e, &s, &["P(1,1)".into(), "N(1,1)".into()]);
+        let doc = hetgrid_obs::json::parse(&out).expect("sim chrome trace must parse");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // Two thread_name records + two complete events.
+        assert_eq!(evs.len(), 4);
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, ["P(1,1)", "N(1,1)"]);
+        let comm = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("comm"))
+            .expect("comm interval exported");
+        // Task b starts at t=1.5 for 0.5 units -> 1.5e6 us + 0.5e6 us.
+        assert_eq!(comm.get("ts").and_then(|v| v.as_f64()), Some(1.5e6));
+        assert_eq!(comm.get("dur").and_then(|v| v.as_f64()), Some(0.5e6));
+        assert_eq!(
+            comm.get("args")
+                .and_then(|a| a.get("task"))
+                .and_then(|v| v.as_f64()),
+            Some(b as f64)
+        );
     }
 
     #[test]
