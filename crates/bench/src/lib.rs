@@ -221,6 +221,17 @@ pub fn lu_row(inst: &SimInstance, nb: usize, cost: CostModel) -> Vec<(Strategy, 
         .collect()
 }
 
+/// Simulated QR makespan for every strategy of an instance.
+pub fn qr_row(inst: &SimInstance, nb: usize, cost: CostModel) -> Vec<(Strategy, f64)> {
+    inst.dists
+        .iter()
+        .map(|(s, d)| {
+            let rep = kernels::simulate_qr(&inst.arr, d.as_ref(), nb, cost);
+            (*s, rep.makespan)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

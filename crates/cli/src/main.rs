@@ -4,7 +4,7 @@
 //! ```text
 //! hetgrid solve      --times 1,2,3,5 --grid 2x2 [--method heuristic|exact|local-search|anneal]
 //! hetgrid distribute --times 1,2,3,5 --grid 2x2 --panel 8x6 [--scheme panel|kl|cyclic]
-//! hetgrid run        --times 1,2,3,5 --grid 2x2 --kernel mm|lu|cholesky [--nb 8] [--block 8]
+//! hetgrid run        --times 1,2,3,5 --grid 2x2 --kernel mm|lu|cholesky|qr [--nb 8] [--block 8]
 //!                    [--method heuristic|exact] [--scheme panel|kl|cyclic] [--seed 0]
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
@@ -73,7 +73,7 @@ fn print_usage() {
     );
     println!("  distribute --times .. --grid PxQ --panel BPxBQ [--scheme panel|kl|cyclic]");
     println!("             [--ordering interleaved|contiguous|columns]");
-    println!("  run        --times .. --grid PxQ --kernel mm|lu|cholesky [--nb 8] [--block 8]");
+    println!("  run        --times .. --grid PxQ --kernel mm|lu|cholesky|qr [--nb 8] [--block 8]");
     println!("             [--method heuristic|exact] [--scheme panel|kl|cyclic] [--panel BPxBQ]");
     println!("             [--seed 0]   (threaded executor on real data)");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
@@ -532,7 +532,7 @@ fn build_dist(
 /// trace has one track per processor and the metrics carry the
 /// per-processor / per-edge message and work counters.
 fn cmd_run(args: &Args) -> Result<(), String> {
-    use hetgrid_exec::{run_cholesky, run_lu, run_mm, slowdown_weights};
+    use hetgrid_exec::{run_cholesky, run_lu, run_mm, run_qr, slowdown_weights};
     use hetgrid_linalg::gemm::matmul;
     use hetgrid_linalg::tri::{unit_lower_from_packed, upper_from_packed};
     use rand::rngs::StdRng;
@@ -606,9 +606,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             let err = matmul(&l, &l.transpose()).sub(&a).max_abs();
             (report, format!("max |L*L^T - A|  = {:.3e}", err))
         }
+        "qr" => {
+            let a = random_matrix(&mut rng, n, n);
+            let (packed, taus, report) = run_qr(&a, dist.as_ref(), nb, r, &weights);
+            let (qm, rm) = hetgrid_exec::qr_unpack(&packed, &taus, nb, r);
+            let err = matmul(&qm, &rm).sub(&a).max_abs();
+            (report, format!("max |Q*R - A|    = {:.3e}", err))
+        }
         other => {
             return Err(format!(
-                "unknown kernel: {} (run supports mm, lu, cholesky)",
+                "unknown kernel: {} (run supports mm, lu, cholesky, qr)",
                 other
             ))
         }

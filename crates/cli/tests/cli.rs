@@ -180,7 +180,7 @@ fn rank1_detects_both_cases() {
 
 #[test]
 fn run_executes_all_kernels() {
-    for kernel in ["mm", "lu", "cholesky"] {
+    for kernel in ["mm", "lu", "cholesky", "qr"] {
         let (ok, stdout, stderr) = run(&[
             "run", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", kernel, "--nb", "4",
             "--block", "4",
@@ -192,7 +192,7 @@ fn run_executes_all_kernels() {
         assert!(stdout.contains("e-"), "no small residual in: {}", stdout);
     }
     let (ok, _, stderr) = run(&[
-        "run", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", "qr",
+        "run", "--times", "1,2,3,5", "--grid", "2x2", "--kernel", "svd",
     ]);
     assert!(!ok);
     assert!(stderr.contains("unknown kernel"));

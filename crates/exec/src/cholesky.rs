@@ -1,37 +1,31 @@
 //! Threaded distributed right-looking Cholesky factorization
-//! (`A = L L^T`, lower triangle), completing the ScaLAPACK kernel triple
-//! (LU, QR, Cholesky — the paper's reference \[8]) in the executor.
+//! (`A = L L^T`, lower triangle): the [`hetgrid_plan::cholesky_plan`]
+//! step stream interpreted over real threads. (QR lives in
+//! [`crate::qr`], with its own fan-in/fan-out plan; LU in
+//! [`crate::lu`].)
 //!
-//! Step `k`: the owner of the diagonal block factors it and broadcasts
-//! the factor down the panel; panel owners right-solve their blocks and
-//! broadcast them to the trailing lower-triangle owners (each block
-//! `L(bi, k)` serves both as the left factor for row `bi` and,
-//! transposed, as the right factor for column `bi`); the trailing
+//! Step `k`: the owner of the diagonal block factors it and sends the
+//! factor down the panel (the plan's `diag_dests`); panel owners
+//! right-solve their blocks and broadcast them along the plan's
+//! per-block destination lists to the trailing lower-triangle owners
+//! (each block `L(bi, k)` serves both as the left factor for row `bi`
+//! and, transposed, as the right factor for column `bi`); the trailing
 //! lower-triangle blocks are then updated.
 
-use crate::channel::{unbounded, Sender};
-use crate::probe::Probe;
+use crate::step::{check_weights, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Endpoint, Transport};
+use crate::transport::{ChannelTransport, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::cholesky::cholesky;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::tri::solve_lower;
 use hetgrid_linalg::Matrix;
-use std::collections::HashMap;
+use hetgrid_plan::{Plan, Step};
 use std::time::Instant;
 
-#[derive(Clone, Debug)]
-enum Msg {
-    /// Cholesky factor of the diagonal block of step `k`.
-    Diag { step: usize, data: Matrix },
-    /// Solved panel block `(bi, k)` of step `k`.
-    L {
-        step: usize,
-        bi: usize,
-        data: Matrix,
-    },
-}
+/// Message tags: the diagonal Cholesky factor, solved panel blocks.
+const TAG_DIAG: u8 = 0;
+const TAG_L: u8 = 1;
 
 /// Factors the SPD matrix `a` over the distribution; returns the
 /// gathered lower factor `L` (upper triangle zero) and the execution
@@ -65,42 +59,17 @@ pub fn run_cholesky_on(
     weights: &[Vec<u64>],
 ) -> (Matrix, ExecReport) {
     let (p, q) = dist.grid();
-    assert_eq!(weights.len(), p, "run_cholesky: weights rows mismatch");
-    assert!(
-        weights.iter().all(|row| row.len() == q),
-        "run_cholesky: weights cols mismatch"
-    );
+    check_weights(weights, (p, q), "run_cholesky");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let plan = hetgrid_plan::cholesky_plan(dist, nb);
 
-    let n_procs = p * q;
-    let endpoints = transport.connect::<Msg>(n_procs);
-    let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
-
-    let wall_start = Instant::now();
-    std::thread::scope(|scope| {
-        for (me, ep) in endpoints.into_iter().enumerate() {
-            let (i, j) = (me / q, me % q);
-            let my_blocks = da.stores[me].clone();
-            let done = done_tx.clone();
-            let w = weights[i][j];
-            scope.spawn(move || {
-                worker(dist, nb, r, (i, j), my_blocks, w, ep, done);
-            });
-        }
+    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+        worker(&plan, r, me, da.stores[me].clone(), courier, clock)
     });
-    drop(done_tx);
 
-    let wall_seconds = wall_start.elapsed().as_secs_f64();
     let mut l = Matrix::zeros(nb * r, nb * r);
-    let mut busy = vec![vec![0.0f64; q]; p];
-    let mut work = vec![vec![0u64; q]; p];
-    let mut msgs = vec![vec![0u64; q]; p];
     let mut blocks_seen = 0usize;
-    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
-        let (i, j) = (me / q, me % q);
-        busy[i][j] = busy_s;
-        work[i][j] = units;
-        msgs[i][j] = sent;
+    for store in stores {
         for ((bi, bj), block) in store {
             // Keep only the lower block triangle.
             if bj <= bi {
@@ -117,234 +86,130 @@ pub fn run_cholesky_on(
             l[(i, j)] = 0.0;
         }
     }
-    (
-        l,
-        ExecReport {
-            wall_seconds,
-            busy_seconds: busy,
-            work_units: work,
-            messages_sent: msgs,
-        },
-    )
+    (l, report)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker(
-    dist: &dyn BlockDist,
-    nb: usize,
+    plan: &Plan,
     r: usize,
-    (i, j): (usize, usize),
+    me: usize,
     mut blocks: BlockStore,
-    weight: u64,
-    ep: Box<dyn Endpoint<Msg>>,
-    done: Sender<(usize, BlockStore, f64, u64, u64)>,
-) {
-    let (p, q) = dist.grid();
-    let me = i * q + j;
-    let mut probe = Probe::new((i, j), (p, q));
+    courier: &mut Courier<Matrix>,
+    clock: &mut WorkClock,
+) -> BlockStore {
+    let (_, q) = plan.grid;
+    let my = (me / q, me % q);
+    let nb = plan.steps.len();
+    let mut scratch = Matrix::zeros(r, r);
     let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
-    let owner_id = |bi: usize, bj: usize| {
-        let (oi, oj) = dist.owner(bi, bj);
-        oi * q + oj
-    };
 
-    let mut diag_pending: HashMap<usize, Matrix> = HashMap::new();
-    let mut l_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
-    let mut busy = 0.0f64;
-    let mut units = 0u64;
-    let mut sent = 0u64;
+    for step in &plan.steps {
+        let Step::Cholesky {
+            k,
+            diag,
+            diag_dests,
+            panel_bcasts,
+            ..
+        } = step
+        else {
+            panic!("run_cholesky: non-Cholesky step in plan")
+        };
+        let k = *k;
 
-    for k in 0..nb {
-        let diag_owner = owner_id(k, k);
-
-        // --- 1. Diagonal factorization and broadcast to panel owners.
-        if diag_owner == me {
-            let _factor_span = probe.as_ref().map(|pr| pr.span(format!("factor {k}")));
-            let lkk = {
-                let blk = blocks.get(&(k, k)).expect("diag block missing");
-                let t0 = Instant::now();
-                let mut lkk = cholesky(blk).expect("diagonal block not SPD");
-                for _ in 1..weight {
-                    lkk = cholesky(blk).expect("diagonal block not SPD");
-                }
-                busy += t0.elapsed().as_secs_f64();
-                units += weight;
-                lkk
-            };
+        // --- 1. Diagonal factorization and send to panel owners.
+        if *diag == my {
+            let _factor_span = courier.span(format!("factor {k}"));
+            let lkk = clock.run(
+                1,
+                || cholesky(&blocks[&(k, k)]).expect("diagonal block not SPD"),
+                || {
+                    cholesky(&blocks[&(k, k)]).expect("diagonal block not SPD");
+                },
+            );
             blocks.insert((k, k), lkk.clone());
-            let mut dests: Vec<usize> = Vec::new();
-            for bi in k + 1..nb {
-                let d = owner_id(bi, k);
-                if d != me && !dests.contains(&d) {
-                    dests.push(d);
-                }
-            }
-            for d in dests {
-                ep.send(
-                    d,
-                    Msg::Diag {
-                        step: k,
-                        data: lkk.clone(),
-                    },
-                )
-                .expect("receiver hung up");
-                sent += 1;
-                if let Some(pr) = probe.as_mut() {
-                    pr.sent(d, k, block_bytes);
-                }
-            }
+            courier.bcast(diag_dests, k, TAG_DIAG, (k, k), &lkk, block_bytes);
         }
         if k + 1 == nb {
             continue;
         }
 
         // --- 2. Panel right-solves: A_ik := A_ik * L_kk^{-T}.
-        let i_own_panel = (k + 1..nb).any(|bi| owner_id(bi, k) == me);
+        let i_own_panel = panel_bcasts.iter().any(|bc| bc.src == my);
         if i_own_panel {
-            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panel {k}")));
-            let lkk = if diag_owner == me {
+            let _panel_span = courier.span(format!("panel {k}"));
+            let lkk = if *diag == my {
                 blocks[&(k, k)].clone()
             } else {
-                if !diag_pending.contains_key(&k) {
-                    pump(ep.as_ref(), &mut diag_pending, &mut l_pending, |d, _| {
-                        d.contains_key(&k)
-                    });
-                }
-                diag_pending[&k].clone()
+                courier.obtain(k, TAG_DIAG, (k, k)).clone()
             };
-            for bi in k + 1..nb {
-                if owner_id(bi, k) != me {
+            for bc in panel_bcasts {
+                if bc.src != my {
                     continue;
                 }
                 // X * L^T = A  <=>  L * X^T = A^T.
-                let solved = {
-                    let blk = blocks.get(&(bi, k)).expect("panel block missing");
-                    let t0 = Instant::now();
-                    let mut s = solve_lower(&lkk, &blk.transpose(), false).transpose();
-                    for _ in 1..weight {
-                        s = solve_lower(&lkk, &blk.transpose(), false).transpose();
-                    }
-                    busy += t0.elapsed().as_secs_f64();
-                    units += weight;
-                    s
-                };
-                blocks.insert((bi, k), solved.clone());
-                // Broadcast to the trailing lower-triangle owners that
-                // need this block: row bi (left factor) and column bi
-                // (right factor).
-                let mut dests: Vec<usize> = Vec::new();
-                for bj in k + 1..=bi {
-                    let d = owner_id(bi, bj);
-                    if d != me && !dests.contains(&d) {
-                        dests.push(d);
-                    }
-                }
-                for bi2 in bi..nb {
-                    let d = owner_id(bi2, bi);
-                    if d != me && !dests.contains(&d) {
-                        dests.push(d);
-                    }
-                }
-                for d in dests {
-                    ep.send(
-                        d,
-                        Msg::L {
-                            step: k,
-                            bi,
-                            data: solved.clone(),
-                        },
-                    )
-                    .expect("receiver hung up");
-                    sent += 1;
-                    if let Some(pr) = probe.as_mut() {
-                        pr.sent(d, k, block_bytes);
-                    }
-                }
+                let solved = clock.run(
+                    1,
+                    || solve_lower(&lkk, &blocks[&bc.block].transpose(), false).transpose(),
+                    || {
+                        solve_lower(&lkk, &blocks[&bc.block].transpose(), false).transpose();
+                    },
+                );
+                blocks.insert(bc.block, solved.clone());
+                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes);
             }
         }
 
         // --- 3. Trailing symmetric update of my lower-triangle blocks.
-        let trailing: Vec<(usize, usize)> = (k + 1..nb)
-            .flat_map(|bi| (k + 1..=bi).map(move |bj| (bi, bj)))
-            .filter(|&(bi, bj)| owner_id(bi, bj) == me)
+        let mut trailing: Vec<(usize, usize)> = blocks
+            .keys()
+            .copied()
+            .filter(|&(bi, bj)| bi > k && bj > k && bj <= bi)
             .collect();
+        trailing.sort_unstable();
         if !trailing.is_empty() {
-            let mut need: Vec<usize> = Vec::new();
-            for &(bi, bj) in &trailing {
-                for b in [bi, bj] {
-                    if owner_id(b, k) != me && !need.contains(&b) {
-                        need.push(b);
+            {
+                let _wait_span = courier.span(format!("wait {k}"));
+                let mut need: Vec<usize> = Vec::new();
+                for &(bi, bj) in &trailing {
+                    for b in [bi, bj] {
+                        if !blocks.contains_key(&(b, k)) && !need.contains(&b) {
+                            need.push(b);
+                        }
                     }
                 }
+                courier.wait_all(need.into_iter().map(|b| (k, TAG_L, (b, k))));
             }
-            need.retain(|&b| !l_pending.contains_key(&(k, b)));
-            if !need.is_empty() {
-                let _wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
-                pump(ep.as_ref(), &mut diag_pending, &mut l_pending, |_, l| {
-                    need.iter().all(|&b| l.contains_key(&(k, b)))
-                });
-            }
-            let mut update_span = probe.as_ref().map(|pr| pr.span(format!("update {k}")));
-            let units_before = units;
+            let mut update_span = courier.span(format!("update {k}"));
+            let units_before = clock.units;
             let t_update = Instant::now();
-            let mut scratch = Matrix::zeros(r, r);
             for &(bi, bj) in &trailing {
-                let left = if owner_id(bi, k) == me {
-                    blocks[&(bi, k)].clone()
-                } else {
-                    l_pending[&(k, bi)].clone()
+                let left = match blocks.get(&(bi, k)) {
+                    Some(m) => m.clone(),
+                    None => courier.get(k, TAG_L, (bi, k)).clone(),
                 };
-                let right = if owner_id(bj, k) == me {
-                    blocks[&(bj, k)].clone()
-                } else {
-                    l_pending[&(k, bj)].clone()
+                let right = match blocks.get(&(bj, k)) {
+                    Some(m) => m.clone(),
+                    None => courier.get(k, TAG_L, (bj, k)).clone(),
                 };
                 let rt = right.transpose();
-                let t0 = Instant::now();
-                {
-                    let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
-                    gemm(-1.0, &left, &rt, 1.0, c);
-                }
-                for _ in 1..weight {
-                    gemm(-1.0, &left, &rt, 0.0, &mut scratch);
-                }
-                busy += t0.elapsed().as_secs_f64();
-                units += weight;
+                clock.run(
+                    1,
+                    || {
+                        let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
+                        gemm(-1.0, &left, &rt, 1.0, c);
+                    },
+                    || gemm(-1.0, &left, &rt, 0.0, &mut scratch),
+                );
             }
-            if let Some(pr) = &probe {
-                pr.step_done(t_update.elapsed().as_secs_f64());
-            }
+            courier.step_done(t_update.elapsed().as_secs_f64());
             if let Some(g) = update_span.as_mut() {
-                g.arg_u64("units", units - units_before);
+                g.arg_u64("units", clock.units - units_before);
             }
         }
-        diag_pending.remove(&k);
-        l_pending.retain(|&(s, _), _| s > k);
+        courier.end_step(k);
     }
 
-    if let Some(pr) = &probe {
-        pr.finish(units);
-    }
-    done.send((me, blocks, busy, units, sent))
-        .expect("main hung up");
-}
-
-fn pump(
-    ep: &dyn Endpoint<Msg>,
-    diag: &mut HashMap<usize, Matrix>,
-    l: &mut HashMap<(usize, usize), Matrix>,
-    ready: impl Fn(&HashMap<usize, Matrix>, &HashMap<(usize, usize), Matrix>) -> bool,
-) {
-    while !ready(diag, l) {
-        match ep.recv().expect("sender hung up") {
-            Msg::Diag { step, data } => {
-                diag.insert(step, data);
-            }
-            Msg::L { step, bi, data } => {
-                l.insert((step, bi), data);
-            }
-        }
-    }
+    blocks
 }
 
 #[cfg(test)]

@@ -12,11 +12,33 @@
 //! gather — on real data, and verifies the numerical result against the
 //! sequential kernels.
 //!
-//! * [`mm::run_mm`] — outer-product `C = A * B`;
+//! ## Architecture: plan interpretation
+//!
+//! Each kernel is an *interpreter* of the shared step-plan IR from
+//! `hetgrid-plan`: the plan generator turns a
+//! [`hetgrid_dist::BlockDist`] into an ordered stream of typed steps
+//! whose broadcast lists name exactly who sends which block to whom,
+//! and the executor worker replays that stream with real data over
+//! real threads. The same plans drive the `hetgrid-sim` event
+//! simulator and its closed-form count predictions, so the executor's
+//! measured message/work counts are checked against the model
+//! *by construction* (the harness asserts exact equality).
+//!
+//! The per-kernel workers share the [`step`] machinery — one wire
+//! format, one pending-message buffer, one slowdown clock, one
+//! spawn/collect driver — and contain only the algorithm: iterate the
+//! plan steps, send along the plan's broadcast lists, wait on the
+//! plan's receive sets, run block kernels.
+//!
+//! * [`mm::run_mm`] — outer-product `C = A * B`
+//!   ([`hetgrid_plan::mm_plan`] / [`hetgrid_plan::mm_rect_plan`]);
 //! * [`lu::run_lu`] — right-looking LU (no pivoting; use diagonally
-//!   dominant inputs);
+//!   dominant inputs; [`hetgrid_plan::factor_plan`]);
 //! * [`cholesky::run_cholesky`] — right-looking Cholesky of SPD
-//!   matrices (lower triangle);
+//!   matrices (lower triangle; [`hetgrid_plan::cholesky_plan`]);
+//! * [`qr::run_qr`] — fan-in Householder QR
+//!   ([`hetgrid_plan::qr_plan`]); unpack the packed result with
+//!   [`qr::qr_unpack`];
 //! * [`store`] — scatter/gather and the [`store::ExecReport`]
 //!   measurements (busy time, weighted work, imbalance);
 //! * [`transport`] — the pluggable message-transport trait. Every
@@ -41,13 +63,16 @@ pub mod cholesky;
 pub mod lu;
 pub mod mm;
 mod probe;
+pub mod qr;
 pub mod solve;
+mod step;
 pub mod store;
 pub mod transport;
 
 pub use cholesky::{run_cholesky, run_cholesky_on};
 pub use lu::{run_lu, run_lu_on};
 pub use mm::{run_mm, run_mm_on, run_mm_rect, run_mm_rect_on};
+pub use qr::{qr_unpack, run_qr, run_qr_on};
 pub use solve::{run_solve, run_solve_on, SolveKind};
 pub use store::{slowdown_weights, DistributedMatrix, ExecReport};
 pub use transport::{ChannelTransport, Endpoint, Transport};

@@ -1,7 +1,9 @@
 //! Threaded distributed right-looking LU factorization (without
-//! pivoting), following the ScaLAPACK structure of Section 3.2.1: factor
-//! the diagonal block, solve the pivot block column and row, broadcast
-//! them, rank-`r` update the trailing submatrix.
+//! pivoting): the [`hetgrid_plan::factor_plan`] step stream interpreted
+//! over real threads, following the ScaLAPACK structure of Section
+//! 3.2.1 — factor the diagonal block, solve the pivot block column and
+//! row, broadcast them along the plan's destination lists, rank-`r`
+//! update the trailing submatrix.
 //!
 //! Pivoting is omitted (the executor demonstrates distribution
 //! correctness and load balance; feed it diagonally dominant matrices).
@@ -9,36 +11,23 @@
 //! gathering the in-place result and splitting it into unit-lower `L`
 //! and upper `U` must reproduce the input, `A = L * U`.
 
-use crate::channel::{unbounded, Sender};
-use crate::probe::Probe;
+use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Endpoint, Transport};
+use crate::transport::{ChannelTransport, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::tri::{
     solve_lower, solve_right_upper, unit_lower_from_packed, upper_from_packed,
 };
 use hetgrid_linalg::Matrix;
-use std::collections::HashMap;
+use hetgrid_plan::{Plan, Step};
 use std::time::Instant;
 
-#[derive(Clone, Debug)]
-enum Msg {
-    /// Packed LU of the diagonal block of step `k`.
-    Diag { step: usize, data: Matrix },
-    /// Solved L block `(bi, k)` of step `k`.
-    L {
-        step: usize,
-        bi: usize,
-        data: Matrix,
-    },
-    /// Solved U block `(k, bj)` of step `k`.
-    U {
-        step: usize,
-        bj: usize,
-        data: Matrix,
-    },
-}
+/// Message tags: packed diagonal factors, solved L blocks, solved U
+/// blocks.
+const TAG_DIAG: u8 = 0;
+const TAG_L: u8 = 1;
+const TAG_U: u8 = 2;
 
 /// Factors `a` in place (no pivoting) over the distribution; returns the
 /// gathered packed factors (strictly lower = `L` with unit diagonal,
@@ -71,57 +60,15 @@ pub fn run_lu_on(
     weights: &[Vec<u64>],
 ) -> (Matrix, ExecReport) {
     let (p, q) = dist.grid();
-    assert_eq!(weights.len(), p, "run_lu: weights rows mismatch");
-    assert!(
-        weights.iter().all(|row| row.len() == q),
-        "run_lu: weights cols mismatch"
-    );
+    check_weights(weights, (p, q), "run_lu");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let plan = hetgrid_plan::factor_plan(dist, nb);
 
-    let n_procs = p * q;
-    let endpoints = transport.connect::<Msg>(n_procs);
-    let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
-
-    let wall_start = Instant::now();
-    std::thread::scope(|scope| {
-        for (me, ep) in endpoints.into_iter().enumerate() {
-            let (i, j) = (me / q, me % q);
-            let my_blocks = da.stores[me].clone();
-            let done = done_tx.clone();
-            let w = weights[i][j];
-            scope.spawn(move || {
-                worker(dist, nb, r, (i, j), my_blocks, w, ep, done);
-            });
-        }
+    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+        worker(&plan, r, me, da.stores[me].clone(), courier, clock)
     });
-    drop(done_tx);
-
-    let wall_seconds = wall_start.elapsed().as_secs_f64();
-    let mut f = Matrix::zeros(nb * r, nb * r);
-    let mut busy = vec![vec![0.0f64; q]; p];
-    let mut work = vec![vec![0u64; q]; p];
-    let mut msgs = vec![vec![0u64; q]; p];
-    let mut blocks_seen = 0usize;
-    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
-        let (i, j) = (me / q, me % q);
-        busy[i][j] = busy_s;
-        work[i][j] = units;
-        msgs[i][j] = sent;
-        for ((bi, bj), block) in store {
-            f.set_block(bi * r, bj * r, &block);
-            blocks_seen += 1;
-        }
-    }
-    assert_eq!(blocks_seen, nb * nb, "run_lu: missing result blocks");
-    (
-        f,
-        ExecReport {
-            wall_seconds,
-            busy_seconds: busy,
-            work_units: work,
-            messages_sent: msgs,
-        },
-    )
+    let f = gather_result(stores, (nb, nb), r, "run_lu");
+    (f, report)
 }
 
 /// Unblocked LU without pivoting of a single block, in place, packed.
@@ -144,303 +91,161 @@ fn lu_block_nopivot(a: &mut Matrix) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker(
-    dist: &dyn BlockDist,
-    nb: usize,
+    plan: &Plan,
     r: usize,
-    (i, j): (usize, usize),
+    me: usize,
     mut blocks: BlockStore,
-    weight: u64,
-    ep: Box<dyn Endpoint<Msg>>,
-    done: Sender<(usize, BlockStore, f64, u64, u64)>,
-) {
-    let (p, q) = dist.grid();
-    let me = i * q + j;
-    let mut probe = Probe::new((i, j), (p, q));
-    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
-    let owner_id = |bi: usize, bj: usize| {
-        let (oi, oj) = dist.owner(bi, bj);
-        oi * q + oj
-    };
-
-    let mut diag_pending: HashMap<usize, Matrix> = HashMap::new();
-    let mut l_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
-    let mut u_pending: HashMap<(usize, usize), Matrix> = HashMap::new();
-
-    let mut busy = 0.0f64;
-    let mut units = 0u64;
-    let mut sent = 0u64;
+    courier: &mut Courier<Matrix>,
+    clock: &mut WorkClock,
+) -> BlockStore {
+    let (_, q) = plan.grid;
+    let my = (me / q, me % q);
     let mut scratch = Matrix::zeros(r, r);
+    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
 
-    // Repeats a block kernel for the slowdown weight, timing it.
-    macro_rules! weighted {
-        ($units:expr, $body:expr) => {{
-            let t0 = Instant::now();
-            let result = $body;
-            for _ in 1..weight {
-                let _ = $body;
-            }
-            busy += t0.elapsed().as_secs_f64();
-            units += weight * $units;
-            result
-        }};
-    }
+    for step in &plan.steps {
+        let Step::Factor {
+            k,
+            diag,
+            diag_col_dests,
+            l_bcasts,
+            trsm,
+            u_bcasts,
+            ..
+        } = step
+        else {
+            panic!("run_lu: non-factor step in plan")
+        };
+        let k = *k;
 
-    for k in 0..nb {
-        let diag_owner = owner_id(k, k);
-
-        // --- 1. Diagonal block factorization.
-        if diag_owner == me {
-            let _factor_span = probe.as_ref().map(|pr| pr.span(format!("factor {k}")));
-            {
-                let blk = blocks.get_mut(&(k, k)).expect("diag block missing");
-                let original = blk.clone();
-                let t0 = Instant::now();
-                lu_block_nopivot(blk);
-                for _ in 1..weight {
+        // --- 1. Diagonal block factorization; the packed factors go to
+        // the panel-column owners (for the L solves) and the pivot-row
+        // owners (for the U solves), one message per distinct owner.
+        if *diag == my {
+            let _factor_span = courier.span(format!("factor {k}"));
+            let original = blocks[&(k, k)].clone();
+            clock.run(
+                1,
+                || lu_block_nopivot(blocks.get_mut(&(k, k)).expect("diag block missing")),
+                || {
                     let mut copy = original.clone();
                     lu_block_nopivot(&mut copy);
-                }
-                busy += t0.elapsed().as_secs_f64();
-                units += weight;
-            }
+                },
+            );
             let packed = blocks[&(k, k)].clone();
-            // Send to everyone who owns a block in column k below or row
-            // k right of the diagonal.
-            let mut dests: Vec<usize> = Vec::new();
-            for bi in k + 1..nb {
-                let d = owner_id(bi, k);
-                if d != me && !dests.contains(&d) {
-                    dests.push(d);
+            let mut dests = diag_col_dests.clone();
+            for d in &l_bcasts[0].dests {
+                if !dests.contains(d) {
+                    dests.push(*d);
                 }
             }
-            for bj in k + 1..nb {
-                let d = owner_id(k, bj);
-                if d != me && !dests.contains(&d) {
-                    dests.push(d);
-                }
-            }
-            for d in dests {
-                ep.send(
-                    d,
-                    Msg::Diag {
-                        step: k,
-                        data: packed.clone(),
-                    },
-                )
-                .expect("receiver hung up");
-                sent += 1;
-                if let Some(pr) = probe.as_mut() {
-                    pr.sent(d, k, block_bytes);
-                }
-            }
+            courier.bcast(&dests, k, TAG_DIAG, (k, k), &packed, block_bytes);
         }
 
         // --- 2. Get the diagonal factors if I need them this step.
-        let i_own_col = (k + 1..nb).any(|bi| owner_id(bi, k) == me);
-        let i_own_row = (k + 1..nb).any(|bj| owner_id(k, bj) == me);
-        let packed_diag: Option<Matrix> = if diag_owner == me {
+        let i_own_col = l_bcasts[1..].iter().any(|bc| bc.src == my);
+        let i_own_row = trsm.iter().any(|w| w.owner == my);
+        let packed_diag: Option<Matrix> = if *diag == my {
             Some(blocks[&(k, k)].clone())
         } else if i_own_col || i_own_row {
-            if !diag_pending.contains_key(&k) {
-                pump(
-                    ep.as_ref(),
-                    &mut diag_pending,
-                    &mut l_pending,
-                    &mut u_pending,
-                    |d, _, _| d.contains_key(&k),
-                );
-            }
-            Some(diag_pending[&k].clone())
+            Some(courier.obtain(k, TAG_DIAG, (k, k)).clone())
         } else {
             None
         };
 
         // --- 3. Solve and broadcast my L blocks of column k.
         if i_own_col {
-            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panelL {k}")));
+            let _panel_span = courier.span(format!("panelL {k}"));
             let u11 = upper_from_packed(packed_diag.as_ref().expect("diag needed"));
-            for bi in k + 1..nb {
-                if owner_id(bi, k) != me {
+            for bc in &l_bcasts[1..] {
+                if bc.src != my {
                     continue;
                 }
-                let solved = weighted!(1, {
-                    let blk = blocks.get(&(bi, k)).expect("L block missing");
-                    solve_right_upper(&u11, blk)
-                });
-                blocks.insert((bi, k), solved.clone());
-                // Broadcast along the block row to trailing owners.
-                let mut dests: Vec<usize> = Vec::new();
-                for bj in k + 1..nb {
-                    let d = owner_id(bi, bj);
-                    if d != me && !dests.contains(&d) {
-                        dests.push(d);
-                    }
-                }
-                for d in dests {
-                    ep.send(
-                        d,
-                        Msg::L {
-                            step: k,
-                            bi,
-                            data: solved.clone(),
-                        },
-                    )
-                    .expect("receiver hung up");
-                    sent += 1;
-                    if let Some(pr) = probe.as_mut() {
-                        pr.sent(d, k, block_bytes);
-                    }
-                }
+                let solved = clock.run(
+                    1,
+                    || solve_right_upper(&u11, &blocks[&bc.block]),
+                    || {
+                        solve_right_upper(&u11, &blocks[&bc.block]);
+                    },
+                );
+                blocks.insert(bc.block, solved.clone());
+                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes);
             }
         }
 
         // --- 4. Solve and broadcast my U blocks of row k.
         if i_own_row {
-            let _panel_span = probe.as_ref().map(|pr| pr.span(format!("panelU {k}")));
+            let _panel_span = courier.span(format!("panelU {k}"));
             let l11 = unit_lower_from_packed(packed_diag.as_ref().expect("diag needed"));
-            for bj in k + 1..nb {
-                if owner_id(k, bj) != me {
+            for bc in u_bcasts {
+                if bc.src != my {
                     continue;
                 }
-                let solved = weighted!(1, {
-                    let blk = blocks.get(&(k, bj)).expect("U block missing");
-                    solve_lower(&l11, blk, true)
-                });
-                blocks.insert((k, bj), solved.clone());
-                let mut dests: Vec<usize> = Vec::new();
-                for bi in k + 1..nb {
-                    let d = owner_id(bi, bj);
-                    if d != me && !dests.contains(&d) {
-                        dests.push(d);
-                    }
-                }
-                for d in dests {
-                    ep.send(
-                        d,
-                        Msg::U {
-                            step: k,
-                            bj,
-                            data: solved.clone(),
-                        },
-                    )
-                    .expect("receiver hung up");
-                    sent += 1;
-                    if let Some(pr) = probe.as_mut() {
-                        pr.sent(d, k, block_bytes);
-                    }
-                }
+                let solved = clock.run(
+                    1,
+                    || solve_lower(&l11, &blocks[&bc.block], true),
+                    || {
+                        solve_lower(&l11, &blocks[&bc.block], true);
+                    },
+                );
+                blocks.insert(bc.block, solved.clone());
+                courier.bcast(&bc.dests, k, TAG_U, bc.block, &solved, block_bytes);
             }
         }
 
         // --- 5. Trailing update of my blocks.
-        let trailing: Vec<(usize, usize)> = (k + 1..nb)
-            .flat_map(|bi| (k + 1..nb).map(move |bj| (bi, bj)))
-            .filter(|&(bi, bj)| owner_id(bi, bj) == me)
+        let mut trailing: Vec<(usize, usize)> = blocks
+            .keys()
+            .copied()
+            .filter(|&(bi, bj)| bi > k && bj > k)
             .collect();
+        trailing.sort_unstable();
         if !trailing.is_empty() {
-            // Wait for the L and U blocks I need but do not own.
-            let mut need_l: Vec<usize> = trailing
-                .iter()
-                .map(|&(bi, _)| bi)
-                .filter(|&bi| owner_id(bi, k) != me)
-                .collect();
-            need_l.sort_unstable();
-            need_l.dedup();
-            need_l.retain(|&bi| !l_pending.contains_key(&(k, bi)));
-            let mut need_u: Vec<usize> = trailing
-                .iter()
-                .map(|&(_, bj)| bj)
-                .filter(|&bj| owner_id(k, bj) != me)
-                .collect();
-            need_u.sort_unstable();
-            need_u.dedup();
-            need_u.retain(|&bj| !u_pending.contains_key(&(k, bj)));
-            if !(need_l.is_empty() && need_u.is_empty()) {
-                let _wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
-                pump(
-                    ep.as_ref(),
-                    &mut diag_pending,
-                    &mut l_pending,
-                    &mut u_pending,
-                    |_, l, u| {
-                        need_l.iter().all(|&bi| l.contains_key(&(k, bi)))
-                            && need_u.iter().all(|&bj| u.contains_key(&(k, bj)))
-                    },
-                );
+            {
+                let _wait_span = courier.span(format!("wait {k}"));
+                let need_l = trailing
+                    .iter()
+                    .map(|&(bi, _)| bi)
+                    .filter(|&bi| !blocks.contains_key(&(bi, k)))
+                    .map(|bi| (k, TAG_L, (bi, k)));
+                let need_u = trailing
+                    .iter()
+                    .map(|&(_, bj)| bj)
+                    .filter(|&bj| !blocks.contains_key(&(k, bj)))
+                    .map(|bj| (k, TAG_U, (k, bj)));
+                courier.wait_all(need_l.chain(need_u));
             }
-            let mut update_span = probe.as_ref().map(|pr| pr.span(format!("update {k}")));
-            let units_before = units;
+            let mut update_span = courier.span(format!("update {k}"));
+            let units_before = clock.units;
             let t_update = Instant::now();
             for &(bi, bj) in &trailing {
-                let lblk = if owner_id(bi, k) == me {
-                    blocks[&(bi, k)].clone()
-                } else {
-                    l_pending[&(k, bi)].clone()
+                let lblk = match blocks.get(&(bi, k)) {
+                    Some(m) => m.clone(),
+                    None => courier.get(k, TAG_L, (bi, k)).clone(),
                 };
-                let ublk = if owner_id(k, bj) == me {
-                    blocks[&(k, bj)].clone()
-                } else {
-                    u_pending[&(k, bj)].clone()
+                let ublk = match blocks.get(&(k, bj)) {
+                    Some(m) => m.clone(),
+                    None => courier.get(k, TAG_U, (k, bj)).clone(),
                 };
-                let t0 = Instant::now();
-                {
-                    let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
-                    gemm(-1.0, &lblk, &ublk, 1.0, c);
-                }
-                for _ in 1..weight {
-                    gemm(-1.0, &lblk, &ublk, 0.0, &mut scratch);
-                }
-                busy += t0.elapsed().as_secs_f64();
-                units += weight;
+                clock.run(
+                    1,
+                    || {
+                        let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
+                        gemm(-1.0, &lblk, &ublk, 1.0, c);
+                    },
+                    || gemm(-1.0, &lblk, &ublk, 0.0, &mut scratch),
+                );
             }
-            if let Some(pr) = &probe {
-                pr.step_done(t_update.elapsed().as_secs_f64());
-            }
+            courier.step_done(t_update.elapsed().as_secs_f64());
             if let Some(g) = update_span.as_mut() {
-                g.arg_u64("units", units - units_before);
+                g.arg_u64("units", clock.units - units_before);
             }
         }
-        // Drop messages of this step.
-        diag_pending.remove(&k);
-        l_pending.retain(|&(s, _), _| s > k);
-        u_pending.retain(|&(s, _), _| s > k);
+        courier.end_step(k);
     }
 
-    if let Some(pr) = &probe {
-        pr.finish(units);
-    }
-    done.send((me, blocks, busy, units, sent))
-        .expect("main hung up");
-}
-
-/// Receives messages into the pending buffers until `ready` is
-/// satisfied.
-fn pump(
-    ep: &dyn Endpoint<Msg>,
-    diag: &mut HashMap<usize, Matrix>,
-    l: &mut HashMap<(usize, usize), Matrix>,
-    u: &mut HashMap<(usize, usize), Matrix>,
-    ready: impl Fn(
-        &HashMap<usize, Matrix>,
-        &HashMap<(usize, usize), Matrix>,
-        &HashMap<(usize, usize), Matrix>,
-    ) -> bool,
-) {
-    while !ready(diag, l, u) {
-        match ep.recv().expect("sender hung up") {
-            Msg::Diag { step, data } => {
-                diag.insert(step, data);
-            }
-            Msg::L { step, bi, data } => {
-                l.insert((step, bi), data);
-            }
-            Msg::U { step, bj, data } => {
-                u.insert((step, bj), data);
-            }
-        }
-    }
+    blocks
 }
 
 #[cfg(test)]

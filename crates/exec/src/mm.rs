@@ -1,41 +1,26 @@
-//! Threaded distributed outer-product matrix multiplication.
-//!
-//! One OS thread per virtual processor; blocks travel through
-//! [`crate::channel`] channels exactly along the distribution's communication
-//! pattern (horizontal broadcasts of the pivot block column of `A`,
+//! Threaded distributed outer-product matrix multiplication: the
+//! [`hetgrid_plan::mm_rect_plan`] step stream interpreted over real
+//! threads (horizontal broadcasts of the pivot block column of `A`,
 //! vertical broadcasts of the pivot block row of `B`, Section 3.1.1).
 //! Heterogeneity is emulated by integer *slowdown weights*: processor
 //! `(i, j)` repeats every block kernel `w_ij` times.
 
-use crate::channel::{unbounded, Sender};
-use crate::probe::Probe;
+use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Endpoint, Transport};
+use crate::transport::{ChannelTransport, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::Matrix;
-use std::collections::{HashMap, HashSet};
+use hetgrid_plan::{Plan, Step};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A message carrying one block of `A` or `B` for a given step. Payloads
-/// are `Arc`-shared: a broadcast clones the block once per hop and each
-/// recipient only bumps the refcount, so fanning a pivot block out to a
-/// whole row or column of the grid costs one deep copy, not one per
-/// destination.
-#[derive(Clone, Debug)]
-enum Msg {
-    A {
-        step: usize,
-        bi: usize,
-        data: Arc<Matrix>,
-    },
-    B {
-        step: usize,
-        bj: usize,
-        data: Arc<Matrix>,
-    },
-}
+/// Message tags: a block of `A` or of `B`. Payloads are `Arc`-shared: a
+/// broadcast clones the block once and each recipient only bumps the
+/// refcount, so fanning a pivot block out to a whole row or column of
+/// the grid costs one deep copy, not one per destination.
+const TAG_A: u8 = 0;
+const TAG_B: u8 = 1;
 
 /// Runs `C = A * B` on `nb x nb` blocks of size `r`, distributed by
 /// `dist`, with per-processor slowdown `weights` (block kernels repeated
@@ -104,264 +89,140 @@ pub fn run_mm_rect_on(
     weights: &[Vec<u64>],
 ) -> (Matrix, ExecReport) {
     let (p, q) = dist.grid();
-    assert_eq!(weights.len(), p, "run_mm: weights rows mismatch");
-    assert!(
-        weights.iter().all(|row| row.len() == q),
-        "run_mm: weights cols mismatch"
-    );
+    check_weights(weights, (p, q), "run_mm");
     assert_eq!(a.shape(), (mb * r, kb * r), "run_mm: A shape mismatch");
     assert_eq!(b.shape(), (kb * r, nb * r), "run_mm: B shape mismatch");
     let da = DistributedMatrix::scatter_rect(a, dist, mb, kb, r);
     let db = DistributedMatrix::scatter_rect(b, dist, kb, nb, r);
+    let plan = hetgrid_plan::mm_rect_plan(dist, (mb, nb, kb));
+    // Owned C blocks per processor (same layout as A and B).
+    let owned_c: Vec<Vec<(usize, usize)>> = (0..p * q)
+        .map(|me| {
+            let mut v: Vec<(usize, usize)> = (0..mb)
+                .flat_map(|bi| (0..nb).map(move |bj| (bi, bj)))
+                .filter(|&(bi, bj)| {
+                    let (oi, oj) = dist.owner(bi, bj);
+                    oi * q + oj == me
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
 
-    let n_procs = p * q;
-    let endpoints = transport.connect::<Msg>(n_procs);
-    let (done_tx, done_rx) = unbounded::<(usize, BlockStore, f64, u64, u64)>();
-
-    let wall_start = Instant::now();
-    std::thread::scope(|scope| {
-        for (me, ep) in endpoints.into_iter().enumerate() {
-            let (i, j) = (me / q, me % q);
-            let my_a = da.stores[me].clone();
-            let my_b = db.stores[me].clone();
-            let done = done_tx.clone();
-            let w = weights[i][j];
-            scope.spawn(move || {
-                worker(dist, (mb, nb, kb), r, (i, j), my_a, my_b, w, ep, done);
-            });
-        }
+    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+        worker(
+            &plan,
+            r,
+            me,
+            &owned_c[me],
+            &da.stores[me],
+            &db.stores[me],
+            courier,
+            clock,
+        )
     });
-    drop(done_tx);
-
-    let wall_seconds = wall_start.elapsed().as_secs_f64();
-    let mut c = Matrix::zeros(mb * r, nb * r);
-    let mut busy = vec![vec![0.0f64; q]; p];
-    let mut work = vec![vec![0u64; q]; p];
-    let mut msgs = vec![vec![0u64; q]; p];
-    let mut blocks_seen = 0usize;
-    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
-        let (i, j) = (me / q, me % q);
-        busy[i][j] = busy_s;
-        work[i][j] = units;
-        msgs[i][j] = sent;
-        for ((bi, bj), block) in store {
-            c.set_block(bi * r, bj * r, &block);
-            blocks_seen += 1;
-        }
-    }
-    assert_eq!(blocks_seen, mb * nb, "run_mm: missing result blocks");
-    (
-        c,
-        ExecReport {
-            wall_seconds,
-            busy_seconds: busy,
-            work_units: work,
-            messages_sent: msgs,
-        },
-    )
+    let c = gather_result(stores, (mb, nb), r, "run_mm");
+    (c, report)
 }
 
-/// Distinct owners of block row `bi` (linear ids), excluding `me`.
-fn row_owner_ids(dist: &dyn BlockDist, bi: usize, nb: usize, me: usize) -> Vec<usize> {
-    let (_, q) = dist.grid();
-    let mut set: Vec<usize> = Vec::new();
-    for bj in 0..nb {
-        let (oi, oj) = dist.owner(bi, bj);
-        let id = oi * q + oj;
-        if id != me && !set.contains(&id) {
-            set.push(id);
-        }
-    }
-    set
-}
-
-/// Distinct owners of block column `bj` (linear ids), excluding `me`.
-fn col_owner_ids(dist: &dyn BlockDist, bj: usize, nb: usize, me: usize) -> Vec<usize> {
-    let (_, q) = dist.grid();
-    let mut set: Vec<usize> = Vec::new();
-    for bi in 0..nb {
-        let (oi, oj) = dist.owner(bi, bj);
-        let id = oi * q + oj;
-        if id != me && !set.contains(&id) {
-            set.push(id);
-        }
-    }
-    set
-}
-
-#[allow(clippy::too_many_arguments)]
 fn worker(
-    dist: &dyn BlockDist,
-    (mb, nb, kb): (usize, usize, usize),
+    plan: &Plan,
     r: usize,
-    (i, j): (usize, usize),
-    my_a: BlockStore,
-    my_b: BlockStore,
-    weight: u64,
-    ep: Box<dyn Endpoint<Msg>>,
-    done: Sender<(usize, BlockStore, f64, u64, u64)>,
-) {
-    let (p, q) = dist.grid();
-    let me = i * q + j;
-    let mut probe = Probe::new((i, j), (p, q));
-
-    // Owned C blocks (same layout as A and B by construction).
-    let owned: Vec<(usize, usize)> = {
-        let mut v: Vec<(usize, usize)> = (0..mb)
-            .flat_map(|bi| (0..nb).map(move |bj| (bi, bj)))
-            .filter(|&(bi, bj)| {
-                let (oi, oj) = dist.owner(bi, bj);
-                oi == i && oj == j
-            })
-            .collect();
-        v.sort_unstable();
-        v
-    };
+    me: usize,
+    owned: &[(usize, usize)],
+    my_a: &BlockStore,
+    my_b: &BlockStore,
+    courier: &mut Courier<Arc<Matrix>>,
+    clock: &mut WorkClock,
+) -> BlockStore {
+    let (_, q) = plan.grid;
+    let my = (me / q, me % q);
     let mut c_blocks: BlockStore = owned
         .iter()
         .map(|&key| (key, Matrix::zeros(r, r)))
         .collect();
-
-    // Buffers for messages that arrive ahead of their step.
-    let mut a_pending: HashMap<(usize, usize), Arc<Matrix>> = HashMap::new(); // (step, bi)
-    let mut b_pending: HashMap<(usize, usize), Arc<Matrix>> = HashMap::new(); // (step, bj)
-
-    let mut busy = 0.0f64;
-    let mut units = 0u64;
-    let mut sent = 0u64;
     let mut scratch = Matrix::zeros(r, r);
-
     let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
-    for k in 0..kb {
+
+    for step in &plan.steps {
+        let Step::Mm {
+            k,
+            a_bcasts,
+            b_bcasts,
+        } = step
+        else {
+            panic!("run_mm: non-MM step in plan")
+        };
+        let k = *k;
+
         // --- Send phase: my A blocks of column k, my B blocks of row k.
-        let mut bcast_span = probe.as_ref().map(|pr| pr.span(format!("bcast {k}")));
-        let sent_before = sent;
-        for bi in 0..mb {
-            if let Some(data) = my_a.get(&(bi, k)) {
-                let dests = row_owner_ids(dist, bi, nb, me);
-                if dests.is_empty() {
+        let mut bcast_span = courier.span(format!("bcast {k}"));
+        let sent_before = courier.sent();
+        for (tag, bcasts) in [(TAG_A, a_bcasts), (TAG_B, b_bcasts)] {
+            for bc in bcasts {
+                if bc.src != my || bc.dests.is_empty() {
                     continue;
                 }
-                // One deep copy per hop; recipients share it via the Arc.
-                let payload = Arc::new(data.clone());
-                for dest in dests {
-                    ep.send(
-                        dest,
-                        Msg::A {
-                            step: k,
-                            bi,
-                            data: Arc::clone(&payload),
-                        },
-                    )
-                    .expect("receiver hung up");
-                    sent += 1;
-                    if let Some(pr) = probe.as_mut() {
-                        pr.sent(dest, k, block_bytes);
-                    }
-                }
-            }
-        }
-        for bj in 0..nb {
-            if let Some(data) = my_b.get(&(k, bj)) {
-                let dests = col_owner_ids(dist, bj, mb, me);
-                if dests.is_empty() {
-                    continue;
-                }
-                let payload = Arc::new(data.clone());
-                for dest in dests {
-                    ep.send(
-                        dest,
-                        Msg::B {
-                            step: k,
-                            bj,
-                            data: Arc::clone(&payload),
-                        },
-                    )
-                    .expect("receiver hung up");
-                    sent += 1;
-                    if let Some(pr) = probe.as_mut() {
-                        pr.sent(dest, k, block_bytes);
-                    }
-                }
+                let store = if tag == TAG_A { my_a } else { my_b };
+                // One deep copy; recipients share it via the Arc.
+                let payload = Arc::new(store[&bc.block].clone());
+                courier.bcast(&bc.dests, k, tag, bc.block, &payload, block_bytes);
             }
         }
         if let Some(g) = bcast_span.as_mut() {
-            g.arg_u64("msgs", sent - sent_before);
+            g.arg_u64("msgs", courier.sent() - sent_before);
         }
         drop(bcast_span);
 
         // --- Receive phase: wait for every foreign block this step needs.
-        let mut need_a: HashSet<usize> = HashSet::new(); // bi values
-        let mut need_b: HashSet<usize> = HashSet::new(); // bj values
-        for &(bi, bj) in &owned {
-            if !my_a.contains_key(&(bi, k)) {
-                need_a.insert(bi);
-            }
-            if !my_b.contains_key(&(k, bj)) {
-                need_b.insert(bj);
-            }
+        {
+            let _wait_span = courier.span(format!("wait {k}"));
+            courier.wait_all(
+                a_bcasts
+                    .iter()
+                    .filter(|bc| bc.dests.contains(&my))
+                    .map(|bc| (k, TAG_A, bc.block))
+                    .chain(
+                        b_bcasts
+                            .iter()
+                            .filter(|bc| bc.dests.contains(&my))
+                            .map(|bc| (k, TAG_B, bc.block)),
+                    ),
+            );
         }
-        need_a.retain(|&bi| !a_pending.contains_key(&(k, bi)));
-        need_b.retain(|&bj| !b_pending.contains_key(&(k, bj)));
-        let wait_span = probe.as_ref().map(|pr| pr.span(format!("wait {k}")));
-        while !(need_a.is_empty() && need_b.is_empty()) {
-            match ep.recv().expect("sender hung up") {
-                Msg::A { step, bi, data } => {
-                    if step == k {
-                        need_a.remove(&bi);
-                    }
-                    a_pending.insert((step, bi), data);
-                }
-                Msg::B { step, bj, data } => {
-                    if step == k {
-                        need_b.remove(&bj);
-                    }
-                    b_pending.insert((step, bj), data);
-                }
-            }
-        }
-
-        drop(wait_span);
 
         // --- Compute phase: C_bi,bj += A_bi,k * B_k,bj (repeated for
         // the slowdown weight).
-        let mut compute_span = probe.as_ref().map(|pr| pr.span(format!("compute {k}")));
-        let units_before = units;
+        let mut compute_span = courier.span(format!("compute {k}"));
+        let units_before = clock.units;
         let t0 = Instant::now();
-        for &(bi, bj) in &owned {
+        for &(bi, bj) in owned {
             let ablk: &Matrix = match my_a.get(&(bi, k)) {
                 Some(m) => m,
-                None => a_pending.get(&(k, bi)).expect("A block missing"),
+                None => courier.get(k, TAG_A, (bi, k)),
             };
             let bblk: &Matrix = match my_b.get(&(k, bj)) {
                 Some(m) => m,
-                None => b_pending.get(&(k, bj)).expect("B block missing"),
+                None => courier.get(k, TAG_B, (k, bj)),
             };
             let c = c_blocks.get_mut(&(bi, bj)).expect("C block missing");
             gemm(1.0, ablk, bblk, 1.0, c);
-            for _ in 1..weight {
+            for _ in 1..clock.weight() {
                 gemm(1.0, ablk, bblk, 0.0, &mut scratch);
             }
-            units += weight;
+            clock.charge(1);
         }
-        busy += t0.elapsed().as_secs_f64();
-        if let Some(pr) = &probe {
-            pr.step_done(t0.elapsed().as_secs_f64());
-        }
+        clock.add_busy(t0.elapsed().as_secs_f64());
+        courier.step_done(t0.elapsed().as_secs_f64());
         if let Some(g) = compute_span.as_mut() {
-            g.arg_u64("units", units - units_before);
+            g.arg_u64("units", clock.units - units_before);
         }
         drop(compute_span);
-        // Drop buffered blocks of this step.
-        a_pending.retain(|&(s, _), _| s > k);
-        b_pending.retain(|&(s, _), _| s > k);
+        courier.end_step(k);
     }
 
-    if let Some(pr) = &probe {
-        pr.finish(units);
-    }
-    done.send((me, c_blocks, busy, units, sent))
-        .expect("main hung up");
+    c_blocks
 }
 
 #[cfg(test)]

@@ -1,0 +1,428 @@
+//! Threaded distributed Householder QR: the [`hetgrid_plan::qr_plan`]
+//! fan-in/fan-out step stream interpreted over real threads.
+//!
+//! QR's panel factorization couples all panel rows through the
+//! reflector norms, so unlike LU/Cholesky the panel cannot be solved
+//! block-locally. Step `k` instead runs a fan-in cycle (Section 3.2.2
+//! notes QR parallelizes "analogously" to LU at this granularity): the
+//! panel blocks `(bi, k)` fan in to the diagonal owner, which factors
+//! the stacked panel with [`qr_factor`] and scatters the packed
+//! reflector segments back; the packed panel factors are broadcast to
+//! the trailing column heads; each head gathers its column, applies
+//! `Q^T` to the stacked column, and scatters the updated blocks back.
+//!
+//! The gathered result is the *globally packed* factorization:
+//! Householder vectors below the block diagonal of each panel column,
+//! `R` on and above. [`qr_unpack`] rebuilds `(Q, R)` from it.
+
+use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
+use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::transport::{ChannelTransport, Transport};
+use hetgrid_dist::BlockDist;
+use hetgrid_linalg::qr::{qr_factor, QrFactors};
+use hetgrid_linalg::Matrix;
+use hetgrid_plan::{Plan, Step};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Message tags: panel fan-in, reflector segment scatter-back, packed
+/// panel factor broadcast, column gather, updated column scatter-back.
+const TAG_PANEL: u8 = 0;
+const TAG_SEG: u8 = 1;
+const TAG_REFL: u8 = 2;
+const TAG_COL: u8 = 3;
+const TAG_COLRET: u8 = 4;
+
+/// QR wire payload: a single `r x r` block, or the packed factors of a
+/// stacked panel (the reflector broadcast to the column heads).
+#[derive(Clone)]
+enum QrPayload {
+    Block(Matrix),
+    Factors { packed: Matrix, taus: Vec<f64> },
+}
+
+impl QrPayload {
+    fn into_block(self) -> Matrix {
+        match self {
+            QrPayload::Block(m) => m,
+            QrPayload::Factors { .. } => panic!("run_qr: expected block payload"),
+        }
+    }
+}
+
+/// Factors `a` over the distribution; returns the gathered packed
+/// factors (Householder vectors below each panel's diagonal, `R` on and
+/// above), the Householder scalars (`nb * r` of them, panel-major), and
+/// the execution report. Unpack with [`qr_unpack`].
+///
+/// # Panics
+/// Panics on size mismatch.
+pub fn run_qr(
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, Vec<f64>, ExecReport) {
+    run_qr_on(&ChannelTransport, a, dist, nb, r, weights)
+}
+
+/// [`run_qr`] over an explicit [`Transport`] (the harness injects its
+/// fault-injecting virtual transport here).
+///
+/// # Panics
+/// Panics like [`run_qr`].
+pub fn run_qr_on(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+) -> (Matrix, Vec<f64>, ExecReport) {
+    let (p, q) = dist.grid();
+    check_weights(weights, (p, q), "run_qr");
+    let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let plan = hetgrid_plan::qr_plan(dist, nb);
+
+    // Each step's Householder scalars, reported by whichever worker
+    // owned that step's diagonal block.
+    let taus_acc: Mutex<Vec<Vec<f64>>> = Mutex::new(vec![Vec::new(); nb]);
+
+    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+        worker(
+            &plan,
+            r,
+            me,
+            da.stores[me].clone(),
+            &taus_acc,
+            courier,
+            clock,
+        )
+    });
+
+    let packed = gather_result(stores, (nb, nb), r, "run_qr");
+    let taus: Vec<f64> = taus_acc
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(taus.len(), nb * r, "run_qr: missing Householder scalars");
+    (packed, taus, report)
+}
+
+/// Rebuilds `(Q, R)` from [`run_qr`]'s globally packed factors: `Q` is
+/// `n x n` orthogonal, `R` upper triangular, `A = Q * R`. Mirrors the
+/// panel-by-panel `Q` accumulation of
+/// [`qr_blocked`](hetgrid_linalg::qr::qr_blocked).
+///
+/// # Panics
+/// Panics if `packed` is not `nb * r` square or `taus` is not `nb * r`
+/// long.
+pub fn qr_unpack(packed: &Matrix, taus: &[f64], nb: usize, r: usize) -> (Matrix, Matrix) {
+    let n = nb * r;
+    assert_eq!(packed.shape(), (n, n), "qr_unpack: packed shape mismatch");
+    assert_eq!(taus.len(), n, "qr_unpack: tau count mismatch");
+    let mut qfull = Matrix::identity(n);
+    for k in 0..nb {
+        let pf = QrFactors::from_parts(
+            packed.block(k * r, k * r, n - k * r, r),
+            taus[k * r..(k + 1) * r].to_vec(),
+        );
+        // Q := Q * diag(I, Q_panel), via the transposed qt_mul trick.
+        let qcols = qfull.block(0, k * r, n, n - k * r);
+        qfull.set_block(0, k * r, &pf.qt_mul(&qcols.transpose()).transpose());
+    }
+    let rmat = Matrix::from_fn(n, n, |i, j| if i <= j { packed[(i, j)] } else { 0.0 });
+    (qfull, rmat)
+}
+
+fn worker(
+    plan: &Plan,
+    r: usize,
+    me: usize,
+    mut blocks: BlockStore,
+    taus_acc: &Mutex<Vec<Vec<f64>>>,
+    courier: &mut Courier<QrPayload>,
+    clock: &mut WorkClock,
+) -> BlockStore {
+    let (_, q) = plan.grid;
+    let my = (me / q, me % q);
+    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
+
+    for step in &plan.steps {
+        let Step::Qr {
+            k,
+            diag,
+            panel,
+            reflector_dests,
+            columns,
+        } = step
+        else {
+            panic!("run_qr: non-QR step in plan")
+        };
+        let k = *k;
+        let nk = panel.len(); // nb - k stacked panel blocks
+
+        // --- 1. All fan-in sends first (before any receive, so the
+        // step's send/receive graph is acyclic): my foreign panel
+        // blocks to the diagonal owner, my foreign column members to
+        // their heads.
+        if *diag != my {
+            for &((bi, bk), owner) in panel {
+                if owner == my {
+                    let blk = blocks[&(bi, bk)].clone();
+                    courier.send(
+                        *diag,
+                        k,
+                        TAG_PANEL,
+                        (bi, bk),
+                        QrPayload::Block(blk),
+                        block_bytes,
+                    );
+                }
+            }
+        }
+        for col in columns {
+            if col.head == my {
+                continue;
+            }
+            for &((bi, bj), owner) in &col.members {
+                if owner == my {
+                    let blk = blocks[&(bi, bj)].clone();
+                    courier.send(
+                        col.head,
+                        k,
+                        TAG_COL,
+                        (bi, bj),
+                        QrPayload::Block(blk),
+                        block_bytes,
+                    );
+                }
+            }
+        }
+
+        // --- 2. Diagonal owner: stack the panel, factor it, scatter
+        // the packed reflector segments back, broadcast the factors to
+        // the trailing column heads.
+        let mut my_factors: Option<QrFactors> = None;
+        if *diag == my {
+            let _factor_span = courier.span(format!("factor {k}"));
+            let mut stacked = Matrix::zeros(nk * r, r);
+            for &((bi, _), owner) in panel {
+                let blk = if owner == my {
+                    blocks[&(bi, k)].clone()
+                } else {
+                    courier.take(k, TAG_PANEL, (bi, k)).into_block()
+                };
+                stacked.set_block((bi - k) * r, 0, &blk);
+            }
+            let pf = clock.run(
+                2 * nk as u64,
+                || qr_factor(&stacked),
+                || {
+                    qr_factor(&stacked);
+                },
+            );
+            for &((bi, _), owner) in panel {
+                let seg = pf.packed().block((bi - k) * r, 0, r, r);
+                if owner == my {
+                    blocks.insert((bi, k), seg);
+                } else {
+                    courier.send(
+                        owner,
+                        k,
+                        TAG_SEG,
+                        (bi, k),
+                        QrPayload::Block(seg),
+                        block_bytes,
+                    );
+                }
+            }
+            taus_acc.lock().unwrap()[k] = pf.taus().to_vec();
+            let factors = QrPayload::Factors {
+                packed: pf.packed().clone(),
+                taus: pf.taus().to_vec(),
+            };
+            let refl_bytes = (nk * r * r + r) as u64 * std::mem::size_of::<f64>() as u64;
+            courier.bcast(reflector_dests, k, TAG_REFL, (k, k), &factors, refl_bytes);
+            my_factors = Some(pf);
+        } else {
+            // --- 3. Foreign panel owners take their reflector segments.
+            for &((bi, _), owner) in panel {
+                if owner == my {
+                    let seg = courier.take(k, TAG_SEG, (bi, k)).into_block();
+                    blocks.insert((bi, k), seg);
+                }
+            }
+        }
+
+        // --- 4. Column heads: gather each owned trailing column, apply
+        // Q^T of the stacked panel, scatter the updated blocks back.
+        let i_am_head = columns.iter().any(|c| c.head == my);
+        if i_am_head {
+            let mut apply_span = courier.span(format!("apply {k}"));
+            let pf: QrFactors = if *diag == my {
+                my_factors.take().expect("factored above")
+            } else {
+                match courier.obtain(k, TAG_REFL, (k, k)) {
+                    QrPayload::Factors { packed, taus } => {
+                        QrFactors::from_parts(packed.clone(), taus.clone())
+                    }
+                    QrPayload::Block(_) => panic!("run_qr: expected factors payload"),
+                }
+            };
+            let units_before = clock.units;
+            let t_apply = Instant::now();
+            for col in columns {
+                if col.head != my {
+                    continue;
+                }
+                let mut stacked = Matrix::zeros(nk * r, r);
+                stacked.set_block(0, 0, &blocks[&(k, col.bj)]);
+                for &((bi, bj), owner) in &col.members {
+                    let blk = if owner == my {
+                        blocks[&(bi, bj)].clone()
+                    } else {
+                        courier.take(k, TAG_COL, (bi, bj)).into_block()
+                    };
+                    stacked.set_block((bi - k) * r, 0, &blk);
+                }
+                let col_blocks = col.members.len() as u64 + 1;
+                let updated = clock.run(
+                    2 * col_blocks,
+                    || pf.qt_mul(&stacked),
+                    || {
+                        pf.qt_mul(&stacked);
+                    },
+                );
+                blocks.insert((k, col.bj), updated.block(0, 0, r, r));
+                for &((bi, bj), owner) in &col.members {
+                    let blk = updated.block((bi - k) * r, 0, r, r);
+                    if owner == my {
+                        blocks.insert((bi, bj), blk);
+                    } else {
+                        courier.send(
+                            owner,
+                            k,
+                            TAG_COLRET,
+                            (bi, bj),
+                            QrPayload::Block(blk),
+                            block_bytes,
+                        );
+                    }
+                }
+            }
+            courier.step_done(t_apply.elapsed().as_secs_f64());
+            if let Some(g) = apply_span.as_mut() {
+                g.arg_u64("units", clock.units - units_before);
+            }
+        }
+
+        // --- 5. Foreign column members take their updated blocks back.
+        for col in columns {
+            if col.head == my {
+                continue;
+            }
+            for &((bi, bj), owner) in &col.members {
+                if owner == my {
+                    let blk = courier.take(k, TAG_COLRET, (bi, bj)).into_block();
+                    blocks.insert((bi, bj), blk);
+                }
+            }
+        }
+        courier.end_step(k);
+    }
+
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_core::{exact, Arrangement};
+    use hetgrid_dist::{BlockCyclic, PanelDist, PanelOrdering};
+    use hetgrid_linalg::gemm::matmul;
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check_qr(a: &Matrix, packed: &Matrix, taus: &[f64], nb: usize, r: usize, tol: f64) {
+        let (qm, rmat) = qr_unpack(packed, taus, nb, r);
+        let reconstructed = matmul(&qm, &rmat);
+        assert!(
+            reconstructed.approx_eq(a, tol),
+            "A != Q R, max err {}",
+            reconstructed.sub(a).max_abs()
+        );
+        let n = nb * r;
+        let qtq = matmul(&qm.transpose(), &qm);
+        assert!(
+            qtq.approx_eq(&Matrix::identity(n), tol),
+            "Q not orthonormal, max err {}",
+            qtq.sub(&Matrix::identity(n)).max_abs()
+        );
+    }
+
+    #[test]
+    fn qr_cyclic_reconstructs() {
+        let nb = 4;
+        let r = 3;
+        let a = test_matrix(nb * r, 0xA1);
+        let dist = BlockCyclic::new(2, 2);
+        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        check_qr(&a, &packed, &taus, nb, r, 1e-9);
+    }
+
+    #[test]
+    fn qr_matches_blocked_reference() {
+        // The distributed schedule performs qr_blocked's arithmetic
+        // column-by-column, so the R factors agree to rounding.
+        let nb = 3;
+        let r = 4;
+        let a = test_matrix(nb * r, 0xA2);
+        let dist = BlockCyclic::new(1, 2);
+        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &[vec![1; 2]]);
+        check_qr(&a, &packed, &taus, nb, r, 1e-9);
+        let (_, r_seq) = hetgrid_linalg::qr::qr_blocked(&a, r);
+        let n = nb * r;
+        let r_dist = Matrix::from_fn(n, n, |i, j| if i <= j { packed[(i, j)] } else { 0.0 });
+        assert!(
+            r_dist.approx_eq(&r_seq, 1e-9),
+            "R mismatch vs qr_blocked, max err {}",
+            r_dist.sub(&r_seq).max_abs()
+        );
+    }
+
+    #[test]
+    fn qr_panel_with_weights() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = test_matrix(nb * r, 0xA3);
+        let w = crate::store::slowdown_weights(&arr);
+        let (packed, taus, report) = run_qr(&a, &dist, nb, r, &w);
+        check_qr(&a, &packed, &taus, nb, r, 1e-8);
+        assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
+        assert!(report.messages_sent.iter().flatten().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn single_processor_qr() {
+        let a = test_matrix(8, 0xA4);
+        let dist = BlockCyclic::new(1, 1);
+        let (packed, taus, report) = run_qr(&a, &dist, 4, 2, &[vec![1]]);
+        check_qr(&a, &packed, &taus, 4, 2, 1e-10);
+        assert_eq!(report.messages_sent.iter().flatten().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Shared plan-interpretation machinery for the executor kernels.
+//!
+//! Every kernel used to carry its own copy of the same scaffolding: a
+//! per-kernel message enum with `(step, index)` routing fields, a
+//! `pump` loop buffering early arrivals, destination-list recomputation
+//! from the distribution, a `weighted!` slowdown macro, and a ~40-line
+//! spawn/collect/report block. This module factors all of it out so a
+//! kernel worker is only the algorithm: iterate the
+//! [`hetgrid_plan::Plan`] steps, send along the plan's broadcast lists,
+//! wait on the plan's receive sets, and run block kernels under the
+//! [`WorkClock`].
+//!
+//! * [`WireMsg`] — the one wire format: `(step, tag, block index)`
+//!   routing plus a kernel-chosen payload;
+//! * [`Courier`] — owns the endpoint, the pending-message buffer, the
+//!   observability [`Probe`](crate::probe::Probe), and the sent-message
+//!   counter; all sends and receives go through it so the `ExecReport`
+//!   and the obs counters can never disagree about what was sent;
+//! * [`WorkClock`] — the slowdown-weight compute timer (first run is
+//!   the real one, repeats emulate the slower processor);
+//! * [`run_grid`] — spawns one thread per virtual processor over a
+//!   [`Transport`], hands each a courier and a clock, and assembles the
+//!   [`ExecReport`] from what they return.
+
+use crate::probe::Probe;
+use crate::store::{BlockStore, ExecReport};
+use crate::transport::{Endpoint, Transport};
+use hetgrid_obs::trace::SpanGuard;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One wire message: payload `P` routed by `(step, tag, idx)`, where
+/// `tag` distinguishes a kernel's message kinds (diagonal factors, L
+/// blocks, ...) and `idx` is the block index the payload belongs to.
+pub(crate) struct WireMsg<P> {
+    step: usize,
+    tag: u8,
+    idx: (usize, usize),
+    payload: P,
+}
+
+/// Per-worker communication handle: endpoint + pending buffer + probe +
+/// sent counter. Messages that arrive ahead of their step are buffered
+/// and dropped by [`Courier::end_step`] once their step completes.
+pub(crate) struct Courier<P> {
+    ep: Box<dyn Endpoint<WireMsg<P>>>,
+    pending: HashMap<(usize, u8, (usize, usize)), P>,
+    probe: Option<Probe>,
+    sent: u64,
+    q: usize,
+}
+
+impl<P> Courier<P> {
+    fn new(ep: Box<dyn Endpoint<WireMsg<P>>>, me: (usize, usize), grid: (usize, usize)) -> Self {
+        Courier {
+            ep,
+            pending: HashMap::new(),
+            probe: Probe::new(me, grid),
+            sent: 0,
+            q: grid.1,
+        }
+    }
+
+    /// Sends `payload` to grid processor `dest`, counting it in the
+    /// report and the obs counters.
+    pub fn send(
+        &mut self,
+        dest: (usize, usize),
+        step: usize,
+        tag: u8,
+        idx: (usize, usize),
+        payload: P,
+        bytes: u64,
+    ) {
+        let dest = dest.0 * self.q + dest.1;
+        self.ep
+            .send(
+                dest,
+                WireMsg {
+                    step,
+                    tag,
+                    idx,
+                    payload,
+                },
+            )
+            .expect("receiver hung up");
+        self.sent += 1;
+        if let Some(pr) = self.probe.as_mut() {
+            pr.sent(dest, step, bytes);
+        }
+    }
+
+    /// Sends one clone of `payload` to every destination of a plan
+    /// broadcast list.
+    pub fn bcast(
+        &mut self,
+        dests: &[(usize, usize)],
+        step: usize,
+        tag: u8,
+        idx: (usize, usize),
+        payload: &P,
+        bytes: u64,
+    ) where
+        P: Clone,
+    {
+        for &dest in dests {
+            self.send(dest, step, tag, idx, payload.clone(), bytes);
+        }
+    }
+
+    /// Messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn pump_until(&mut self, key: (usize, u8, (usize, usize))) {
+        while !self.pending.contains_key(&key) {
+            let m = self.ep.recv().expect("sender hung up");
+            self.pending.insert((m.step, m.tag, m.idx), m.payload);
+        }
+    }
+
+    /// Blocks until the message is here, leaving it buffered (for
+    /// payloads read by several phases, e.g. diagonal factors).
+    pub fn obtain(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> &P {
+        self.pump_until((step, tag, idx));
+        &self.pending[&(step, tag, idx)]
+    }
+
+    /// Blocks until the message is here and removes it from the buffer.
+    pub fn take(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> P {
+        self.pump_until((step, tag, idx));
+        self.pending.remove(&(step, tag, idx)).unwrap()
+    }
+
+    /// Blocks until every listed message has arrived (they stay
+    /// buffered; read them with [`Courier::get`]). Keeps the wait phase
+    /// separate from the timed compute phase.
+    pub fn wait_all(&mut self, keys: impl Iterator<Item = (usize, u8, (usize, usize))>) {
+        for key in keys {
+            self.pump_until(key);
+        }
+    }
+
+    /// A buffered message that [`Courier::wait_all`] already collected.
+    pub fn get(&self, step: usize, tag: u8, idx: (usize, usize)) -> &P {
+        self.pending
+            .get(&(step, tag, idx))
+            .expect("message missing (not waited for)")
+    }
+
+    /// Drops every buffered message of step `k` and earlier.
+    pub fn end_step(&mut self, k: usize) {
+        self.pending.retain(|&(s, _, _), _| s > k);
+    }
+
+    /// Opens a named span on this processor's trace track (no-op while
+    /// tracing is disabled).
+    pub fn span(&self, name: String) -> Option<SpanGuard> {
+        self.probe.as_ref().map(|pr| pr.span(name))
+    }
+
+    /// Records one compute chunk's duration in the obs histogram.
+    pub fn step_done(&self, dur_seconds: f64) {
+        if let Some(pr) = &self.probe {
+            pr.step_done(dur_seconds);
+        }
+    }
+
+    fn finish(&self, total_units: u64) {
+        if let Some(pr) = &self.probe {
+            pr.finish(total_units);
+        }
+    }
+}
+
+/// Busy-time and work-unit accounting under an integer slowdown weight:
+/// the first closure is the real computation, the repeats emulate a
+/// `weight`-times-slower processor re-doing equivalent work.
+pub(crate) struct WorkClock {
+    /// Seconds spent inside [`WorkClock::run`].
+    pub busy: f64,
+    /// Weighted block operations performed.
+    pub units: u64,
+    weight: u64,
+}
+
+impl WorkClock {
+    fn new(weight: u64) -> Self {
+        WorkClock {
+            busy: 0.0,
+            units: 0,
+            weight,
+        }
+    }
+
+    /// Runs `first` once and `repeat` `weight - 1` times, timing the
+    /// whole batch and charging `units * weight` work units.
+    pub fn run<T>(&mut self, units: u64, first: impl FnOnce() -> T, mut repeat: impl FnMut()) -> T {
+        let t0 = Instant::now();
+        let out = first();
+        for _ in 1..self.weight {
+            repeat();
+        }
+        self.busy += t0.elapsed().as_secs_f64();
+        self.units += self.weight * units;
+        out
+    }
+
+    /// The slowdown weight, for loops that inline the repeats (e.g. the
+    /// MM update, whose borrows don't fit the closure form).
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Charges `units * weight` work units for inlined repeats.
+    pub fn charge(&mut self, units: u64) {
+        self.units += self.weight * units;
+    }
+
+    /// Adds externally timed busy seconds for inlined repeats.
+    pub fn add_busy(&mut self, seconds: f64) {
+        self.busy += seconds;
+    }
+}
+
+/// Validates a slowdown-weight table against the grid shape.
+pub(crate) fn check_weights(weights: &[Vec<u64>], (p, q): (usize, usize), kernel: &str) {
+    assert_eq!(weights.len(), p, "{kernel}: weights rows mismatch");
+    assert!(
+        weights.iter().all(|row| row.len() == q),
+        "{kernel}: weights cols mismatch"
+    );
+}
+
+/// Spawns one worker thread per virtual processor of a `p x q` grid
+/// over `transport`, giving each a [`Courier`] and a [`WorkClock`]
+/// seeded from its slowdown weight. Returns each worker's final block
+/// store (indexed by linear processor id) and the assembled
+/// [`ExecReport`].
+pub(crate) fn run_grid<P, W>(
+    transport: &impl Transport,
+    (p, q): (usize, usize),
+    weights: &[Vec<u64>],
+    worker: W,
+) -> (Vec<BlockStore>, ExecReport)
+where
+    P: Send + 'static,
+    W: Fn(usize, &mut Courier<P>, &mut WorkClock) -> BlockStore + Sync,
+{
+    let n_procs = p * q;
+    let endpoints = transport.connect::<WireMsg<P>>(n_procs);
+    let (done_tx, done_rx) = crate::channel::unbounded::<(usize, BlockStore, f64, u64, u64)>();
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let (i, j) = (me / q, me % q);
+            let done = done_tx.clone();
+            let w = weights[i][j];
+            let worker = &worker;
+            scope.spawn(move || {
+                let mut courier = Courier::new(ep, (i, j), (p, q));
+                let mut clock = WorkClock::new(w);
+                let store = worker(me, &mut courier, &mut clock);
+                courier.finish(clock.units);
+                done.send((me, store, clock.busy, clock.units, courier.sent()))
+                    .expect("main hung up");
+            });
+        }
+    });
+    drop(done_tx);
+
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let mut stores: Vec<BlockStore> = (0..n_procs).map(|_| BlockStore::new()).collect();
+    let mut busy = vec![vec![0.0f64; q]; p];
+    let mut work = vec![vec![0u64; q]; p];
+    let mut msgs = vec![vec![0u64; q]; p];
+    while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
+        let (i, j) = (me / q, me % q);
+        busy[i][j] = busy_s;
+        work[i][j] = units;
+        msgs[i][j] = sent;
+        stores[me] = store;
+    }
+    (
+        stores,
+        ExecReport {
+            wall_seconds,
+            busy_seconds: busy,
+            work_units: work,
+            messages_sent: msgs,
+        },
+    )
+}
+
+/// Folds worker block stores into one `rows_b x cols_b` block matrix,
+/// asserting every block arrived exactly once.
+pub(crate) fn gather_result(
+    stores: Vec<BlockStore>,
+    (rows_b, cols_b): (usize, usize),
+    r: usize,
+    kernel: &str,
+) -> hetgrid_linalg::Matrix {
+    let mut m = hetgrid_linalg::Matrix::zeros(rows_b * r, cols_b * r);
+    let mut blocks_seen = 0usize;
+    for store in stores {
+        for ((bi, bj), block) in store {
+            m.set_block(bi * r, bj * r, &block);
+            blocks_seen += 1;
+        }
+    }
+    assert_eq!(
+        blocks_seen,
+        rows_b * cols_b,
+        "{kernel}: missing result blocks"
+    );
+    m
+}

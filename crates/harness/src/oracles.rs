@@ -65,6 +65,38 @@ pub fn check_cholesky(a: &Matrix, l: &Matrix, tol: f64) -> Result<(), String> {
     }
 }
 
+/// Checks the packed QR factors from [`hetgrid_exec::run_qr`]:
+/// unpacking must give an orthonormal `Q` with `Q * R` reproducing `a`.
+pub fn check_qr(
+    a: &Matrix,
+    packed: &Matrix,
+    taus: &[f64],
+    nb: usize,
+    r: usize,
+    tol: f64,
+) -> Result<(), String> {
+    let (qm, rmat) = hetgrid_exec::qr_unpack(packed, taus, nb, r);
+    let qr = matmul(&qm, &rmat);
+    if !qr.approx_eq(a, tol) {
+        return Err(format!(
+            "QR mismatch: |Q*R - A| max err {:.3e} (tol {:.1e})",
+            qr.sub(a).max_abs(),
+            tol
+        ));
+    }
+    let n = nb * r;
+    let qtq = matmul(&qm.transpose(), &qm);
+    let eye = Matrix::identity(n);
+    if !qtq.approx_eq(&eye, tol) {
+        return Err(format!(
+            "QR orthogonality loss: |Q^T Q - I| max err {:.3e} (tol {:.1e})",
+            qtq.sub(&eye).max_abs(),
+            tol
+        ));
+    }
+    Ok(())
+}
+
 /// Checks a solve: the max-norm residual `|A x - b|` must be below
 /// `tol`.
 pub fn check_solve(a: &Matrix, x: &[f64], b: &[f64], tol: f64) -> Result<(), String> {

@@ -11,9 +11,11 @@ use crate::scenario::{
 };
 use crate::vtransport::VirtualTransport;
 use hetgrid_adapt::{ControllerConfig, Outcome, Scenario};
-use hetgrid_exec::{run_cholesky_on, run_lu_on, run_mm_on, run_solve_on, ExecReport, SolveKind};
+use hetgrid_exec::{
+    run_cholesky_on, run_lu_on, run_mm_on, run_qr_on, run_solve_on, ExecReport, SolveKind,
+};
 use hetgrid_linalg::gemm::matvec;
-use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts};
+use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts, qr_counts};
 use hetgrid_sim::DriftProfile;
 use rand::prelude::*;
 
@@ -26,13 +28,21 @@ pub enum Kernel {
     Lu,
     /// Right-looking Cholesky.
     Cholesky,
+    /// Fan-in Householder QR.
+    Qr,
     /// Full linear solve (LU- or Cholesky-backed, by seed).
     Solve,
 }
 
 impl Kernel {
-    /// The three factorization/multiplication kernels plus the solve.
-    pub const ALL: [Kernel; 4] = [Kernel::Mm, Kernel::Lu, Kernel::Cholesky, Kernel::Solve];
+    /// The four factorization/multiplication kernels plus the solve.
+    pub const ALL: [Kernel; 5] = [
+        Kernel::Mm,
+        Kernel::Lu,
+        Kernel::Cholesky,
+        Kernel::Qr,
+        Kernel::Solve,
+    ];
 }
 
 /// Runs one executor case and validates it with every applicable
@@ -90,6 +100,16 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
             check(oracles::check_counts(
                 &report,
                 &cholesky_counts(dist, sc.nb, &sc.weights),
+            ));
+            report
+        }
+        Kernel::Qr => {
+            let a = general_matrix(&mut rng, n, n);
+            let (packed, taus, report) = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            check(oracles::check_qr(&a, &packed, &taus, sc.nb, sc.r, 1e-8));
+            check(oracles::check_counts(
+                &report,
+                &qr_counts(dist, sc.nb, &sc.weights),
             ));
             report
         }

@@ -52,6 +52,10 @@ exec_cases! {
     cholesky_reorder: Kernel::Cholesky, FaultProfile::REORDER;
     cholesky_delay:   Kernel::Cholesky, FaultProfile::DELAY;
     cholesky_chaos:   Kernel::Cholesky, FaultProfile::CHAOS;
+    qr_fifo:        Kernel::Qr,       FaultProfile::FIFO;
+    qr_reorder:     Kernel::Qr,       FaultProfile::REORDER;
+    qr_delay:       Kernel::Qr,       FaultProfile::DELAY;
+    qr_chaos:       Kernel::Qr,       FaultProfile::CHAOS;
     solve_fifo:     Kernel::Solve,    FaultProfile::FIFO;
     solve_reorder:  Kernel::Solve,    FaultProfile::REORDER;
     solve_delay:    Kernel::Solve,    FaultProfile::DELAY;

@@ -9,10 +9,10 @@
 //! isolated from the main harness suite; within the binary the tests
 //! serialize on one mutex for the same reason.
 
-use hetgrid_exec::{run_cholesky_on, run_lu_on, run_mm_on, Transport as _};
+use hetgrid_exec::{run_cholesky_on, run_lu_on, run_mm_on, run_qr_on, Transport as _};
 use hetgrid_harness::scenario::{dominant_matrix, exec_scenario, general_matrix, spd_matrix};
 use hetgrid_harness::{oracles, FaultProfile, VirtualTransport};
-use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts};
+use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts, qr_counts};
 use rand::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -28,6 +28,7 @@ enum Kernel {
     Mm,
     Lu,
     Cholesky,
+    Qr,
 }
 
 /// Runs one instrumented kernel case and returns the metrics delta it
@@ -61,6 +62,11 @@ fn run_instrumented(
             let a = spd_matrix(&mut rng, n);
             let _ = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
             cholesky_counts(dist, sc.nb, &sc.weights)
+        }
+        Kernel::Qr => {
+            let a = general_matrix(&mut rng, n, n);
+            let _ = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            qr_counts(dist, sc.nb, &sc.weights)
         }
     };
     let delta = hetgrid_obs::metrics().snapshot().delta(&before);
@@ -102,6 +108,14 @@ fn obs_counters_match_sim_counts_for_cholesky() {
 }
 
 #[test]
+fn obs_counters_match_sim_counts_for_qr() {
+    let _g = obs_lock();
+    for seed in 0..4u64 {
+        run_instrumented(Kernel::Qr, FaultProfile::FIFO, seed);
+    }
+}
+
+#[test]
 fn obs_counters_survive_fault_injection() {
     // Faults delay and reorder messages but never lose or duplicate
     // them, so the obs counters must still match the predictions bit
@@ -111,6 +125,7 @@ fn obs_counters_survive_fault_injection() {
     run_instrumented(Kernel::Mm, FaultProfile::CHAOS, 3);
     run_instrumented(Kernel::Lu, FaultProfile::DELAY, 1);
     run_instrumented(Kernel::Cholesky, FaultProfile::REORDER, 2);
+    run_instrumented(Kernel::Qr, FaultProfile::CHAOS, 4);
 }
 
 #[test]

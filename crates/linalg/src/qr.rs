@@ -15,6 +15,36 @@ pub struct QrFactors {
 }
 
 impl QrFactors {
+    /// The packed storage: Householder vectors below the diagonal, `R`
+    /// on and above (the wire format of the distributed executor).
+    pub fn packed(&self) -> &Matrix {
+        &self.packed
+    }
+
+    /// The Householder scalars, one per reflector.
+    pub fn taus(&self) -> &[f64] {
+        &self.taus
+    }
+
+    /// Rebuilds factors from their packed representation (the receiving
+    /// side of the distributed executor's reflector broadcast).
+    ///
+    /// # Panics
+    /// Panics if `packed` has fewer rows than columns or `taus` has a
+    /// length other than the column count.
+    pub fn from_parts(packed: Matrix, taus: Vec<f64>) -> Self {
+        assert!(
+            packed.rows() >= packed.cols(),
+            "QrFactors::from_parts: need rows >= cols"
+        );
+        assert_eq!(
+            taus.len(),
+            packed.cols(),
+            "QrFactors::from_parts: one tau per column"
+        );
+        QrFactors { packed, taus }
+    }
+
     /// The `m x n` "thin" orthogonal factor `Q1` (so `A = Q1 * R`).
     pub fn thin_q(&self) -> Matrix {
         let (m, n) = self.packed.shape();

@@ -1,0 +1,549 @@
+//! # hetgrid-plan
+//!
+//! The kernel **step-plan IR**: one deterministic schedule source for the
+//! paper's dense linear algebra kernels (Section 3), shared by the three
+//! consumers that used to hand-maintain it separately —
+//!
+//! * `hetgrid_sim::kernels` interprets a plan under the DES cost model
+//!   (messages aggregated per (src, dst) pair, ring/tree topologies
+//!   re-shaped per grid row/column);
+//! * `hetgrid_sim::counts` folds a plan into per-processor message and
+//!   work-unit totals (the predicted side of the harness oracle);
+//! * `hetgrid_exec` executes a plan over real threads and a `Transport`.
+//!
+//! A plan is a flat `Vec<Step>` — one step per outer iteration `k` of
+//! the blocked algorithm — where each step records, in deterministic
+//! order, every per-block broadcast (owner, ordered destination list)
+//! and every per-owner compute aggregate. Adding a kernel means adding
+//! one generator here; all three consumers pick it up.
+//!
+//! Conventions shared by every generator:
+//!
+//! * broadcast destination lists are **insertion-order deduplicated and
+//!   never contain the source** — a consumer counting "one message per
+//!   distinct destination" can take `dests.len()` directly;
+//! * broadcasts are emitted for *every* block of a panel, even when the
+//!   destination list is empty (topology-aware interpreters need the
+//!   full block→owner map of the panel, e.g. to size ring transfers);
+//! * per-owner compute aggregates are listed in sorted (row-major)
+//!   owner order, matching the `BTreeMap` iteration order the simulator
+//!   has always used.
+
+#![warn(missing_docs)]
+// Grid code indexes `[i][j]`-style tables with `for i in 0..p` loops;
+// the clippy iterator rewrites would obscure the 2D-grid idiom the
+// paper's algorithms are written in.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
+use hetgrid_dist::BlockDist;
+
+/// One block broadcast: the owner of `block` sends it to each processor
+/// in `dests` (insertion-order distinct, source excluded).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bcast {
+    /// Block index `(bi, bj)` being broadcast.
+    pub block: (usize, usize),
+    /// Owner of the block (the sender).
+    pub src: (usize, usize),
+    /// Distinct destinations in first-need order; never contains `src`.
+    pub dests: Vec<(usize, usize)>,
+}
+
+/// Per-owner compute aggregate: `owner` performs `blocks` block
+/// operations of one phase (each costing the phase's unit cost times
+/// the owner's speed/weight).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnerWork {
+    /// Grid coordinates of the processor doing the work.
+    pub owner: (usize, usize),
+    /// Number of block operations.
+    pub blocks: usize,
+}
+
+/// One fan-in/fan-out column update of the executor's QR schedule: the
+/// column head gathers the trailing column slice, applies the panel
+/// reflectors, and scatters the updated blocks back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QrColumn {
+    /// Trailing block column index.
+    pub bj: usize,
+    /// The column head, `owner(k, bj)`, who applies the reflectors.
+    pub head: (usize, usize),
+    /// Blocks `(bi, bj)`, `bi > k`, with their owners (in `bi` order).
+    /// Each member not owned by the head costs one gather message in
+    /// and one scatter message back.
+    pub members: Vec<((usize, usize), (usize, usize))>,
+}
+
+/// One outer-iteration step of a kernel schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// Outer-product MM step `k` (Section 3.1): broadcast block column
+    /// `k` of `A` along rows and block row `k` of `B` down columns,
+    /// then every processor rank-r-updates all its owned `C` blocks.
+    Mm {
+        /// Outer iteration index.
+        k: usize,
+        /// Per block `(bi, k)` of `A` (in `bi` order): broadcast to the
+        /// distinct owners of `C` block row `bi`.
+        a_bcasts: Vec<Bcast>,
+        /// Per block `(k, bj)` of `B` (in `bj` order): broadcast to the
+        /// distinct owners of `C` block column `bj`.
+        b_bcasts: Vec<Bcast>,
+    },
+    /// Right-looking LU/QR factorization step `k` (Section 3.2): panel
+    /// factor, L broadcast along rows, pivot-row triangular solves, U
+    /// broadcast down columns, trailing rank-r update. The DES models
+    /// QR on this same step (2x arithmetic); the executor's QR uses
+    /// [`Step::Qr`] instead (true Householder panels couple block rows).
+    Factor {
+        /// Outer iteration index.
+        k: usize,
+        /// Owner of the diagonal block `(k, k)`.
+        diag: (usize, usize),
+        /// Panel factor work: owners of blocks `(bi, k)`, `bi >= k`,
+        /// with their block counts, in sorted owner order.
+        panel: Vec<OwnerWork>,
+        /// Distinct owners of panel blocks `(bi, k)`, `bi > k`, other
+        /// than the diagonal owner — the executor sends the packed
+        /// diagonal factors down the panel column before the solves.
+        diag_col_dests: Vec<(usize, usize)>,
+        /// Per block `(bi, k)`, `bi >= k` (in `bi` order): broadcast to
+        /// the distinct owners of trailing block row `bi` (`bj > k`).
+        /// The first entry is the diagonal block itself — its
+        /// destinations are the pivot-row owners needing the diagonal
+        /// factors for their triangular solves.
+        l_bcasts: Vec<Bcast>,
+        /// Triangular-solve work on the pivot row: owners of `(k, bj)`,
+        /// `bj > k`, with block counts, in sorted owner order.
+        trsm: Vec<OwnerWork>,
+        /// Per block `(k, bj)`, `bj > k` (in `bj` order): broadcast to
+        /// the distinct owners of trailing block column `bj` (`bi > k`).
+        u_bcasts: Vec<Bcast>,
+        /// Trailing update block counts, `[i][j]` over the grid.
+        trailing: Vec<Vec<usize>>,
+    },
+    /// Right-looking Cholesky step `k` (lower triangle).
+    Cholesky {
+        /// Outer iteration index.
+        k: usize,
+        /// Owner of the diagonal block `(k, k)`.
+        diag: (usize, usize),
+        /// Distinct owners of panel blocks `(bi, k)`, `bi > k`, other
+        /// than the diagonal owner (they receive the diagonal factor).
+        diag_dests: Vec<(usize, usize)>,
+        /// Panel solve work per owner, sorted owner order.
+        panel: Vec<OwnerWork>,
+        /// Per panel block `(bi, k)`, `bi > k`: broadcast to the
+        /// trailing lower-triangle owners of row `bi` (columns
+        /// `k+1..=bi`) then column `bi` (rows `bi..nb`), one
+        /// deduplicated destination list.
+        panel_bcasts: Vec<Bcast>,
+        /// Symmetric trailing update work per owner (lower triangle
+        /// only), sorted owner order.
+        trailing: Vec<OwnerWork>,
+    },
+    /// Executor QR step `k`: fan the panel in to the diagonal owner,
+    /// factor it there (Householder, 2x LU's per-block weight),
+    /// scatter the reflector segments back, broadcast the packed panel
+    /// factors to the trailing column heads, then update each trailing
+    /// column by a gather → apply-`Q^T` → scatter cycle at its head.
+    Qr {
+        /// Outer iteration index.
+        k: usize,
+        /// Owner of the diagonal block `(k, k)`, who factors the panel.
+        diag: (usize, usize),
+        /// Panel blocks `((bi, k), owner)`, `bi >= k`, in `bi` order;
+        /// the first entry is the diagonal block. Every non-diagonal
+        /// owner sends its block in and receives its reflector segment
+        /// back (two messages per such block).
+        panel: Vec<((usize, usize), (usize, usize))>,
+        /// Distinct trailing column heads (`owner(k, bj)`, `bj > k`)
+        /// other than the diagonal owner, in first-need order; each
+        /// receives the packed panel factors once.
+        reflector_dests: Vec<(usize, usize)>,
+        /// Trailing column updates, in `bj` order.
+        columns: Vec<QrColumn>,
+    },
+}
+
+/// A full kernel schedule: the grid shape plus the ordered steps. For
+/// the MM kernels the per-processor owned-`C`-block table (constant
+/// across steps) rides along so interpreters need not recompute it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// Grid shape `(p, q)`.
+    pub grid: (usize, usize),
+    /// Owned `C` blocks `[i][j]` (MM plans only; empty otherwise).
+    pub owned: Vec<Vec<usize>>,
+    /// The schedule, one [`Step`] per outer iteration.
+    pub steps: Vec<Step>,
+}
+
+/// Distinct owners of blocks `(bi, bj)` for `bj` in `cols`, excluding
+/// `skip`, in first-need order.
+fn row_owners(
+    dist: &dyn BlockDist,
+    bi: usize,
+    cols: impl Iterator<Item = usize>,
+    skip: (usize, usize),
+) -> Vec<(usize, usize)> {
+    let mut dests: Vec<(usize, usize)> = Vec::new();
+    for bj in cols {
+        let o = dist.owner(bi, bj);
+        if o != skip && !dests.contains(&o) {
+            dests.push(o);
+        }
+    }
+    dests
+}
+
+/// Distinct owners of blocks `(bi, bj)` for `bi` in `rows`, excluding
+/// `skip`, in first-need order.
+fn col_owners(
+    dist: &dyn BlockDist,
+    bj: usize,
+    rows: impl Iterator<Item = usize>,
+    skip: (usize, usize),
+) -> Vec<(usize, usize)> {
+    let mut dests: Vec<(usize, usize)> = Vec::new();
+    for bi in rows {
+        let o = dist.owner(bi, bj);
+        if o != skip && !dests.contains(&o) {
+            dests.push(o);
+        }
+    }
+    dests
+}
+
+/// Per-owner block counts over `blocks`, in sorted owner order.
+fn owner_work(
+    blocks: impl Iterator<Item = (usize, usize)>,
+    dist: &dyn BlockDist,
+) -> Vec<OwnerWork> {
+    let mut counts: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    for (bi, bj) in blocks {
+        *counts.entry(dist.owner(bi, bj)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(owner, blocks)| OwnerWork { owner, blocks })
+        .collect()
+}
+
+/// Plan for the square outer-product MM `C = A * B` on an `nb x nb`
+/// block matrix ([`mm_rect_plan`] with `mb = nb = kb`).
+pub fn mm_plan(dist: &dyn BlockDist, nb: usize) -> Plan {
+    mm_rect_plan(dist, (nb, nb, nb))
+}
+
+/// Plan for the rectangular outer-product MM
+/// `C(mb x nb) = A(mb x kb) * B(kb x nb)`, all three matrices laid out
+/// by the same distribution.
+///
+/// # Panics
+/// Panics if any dimension is zero.
+pub fn mm_rect_plan(dist: &dyn BlockDist, (mb, nb, kb): (usize, usize, usize)) -> Plan {
+    assert!(mb > 0 && nb > 0 && kb > 0, "mm_rect_plan: empty shape");
+    let steps = (0..kb)
+        .map(|k| {
+            let a_bcasts = (0..mb)
+                .map(|bi| {
+                    let src = dist.owner(bi, k);
+                    Bcast {
+                        block: (bi, k),
+                        src,
+                        dests: row_owners(dist, bi, 0..nb, src),
+                    }
+                })
+                .collect();
+            let b_bcasts = (0..nb)
+                .map(|bj| {
+                    let src = dist.owner(k, bj);
+                    Bcast {
+                        block: (k, bj),
+                        src,
+                        dests: col_owners(dist, bj, 0..mb, src),
+                    }
+                })
+                .collect();
+            Step::Mm {
+                k,
+                a_bcasts,
+                b_bcasts,
+            }
+        })
+        .collect();
+    Plan {
+        grid: dist.grid(),
+        owned: dist.owned_counts(mb, nb),
+        steps,
+    }
+}
+
+/// Plan for the right-looking LU-shaped factorization of an `nb x nb`
+/// block matrix. The same plan serves LU and (in the simulator's cost
+/// model, at 2x arithmetic) QR.
+pub fn factor_plan(dist: &dyn BlockDist, nb: usize) -> Plan {
+    let steps = (0..nb)
+        .map(|k| {
+            let diag = dist.owner(k, k);
+            let panel = owner_work((k..nb).map(|bi| (bi, k)), dist);
+            let diag_col_dests = col_owners(dist, k, k + 1..nb, diag);
+            // Trailing phases are empty on the last step; the emitted
+            // lists below are all empty ranges then, matching the
+            // simulator's historical `k + 1 == nb` early-continue.
+            let l_bcasts = (k..nb)
+                .map(|bi| {
+                    let src = dist.owner(bi, k);
+                    Bcast {
+                        block: (bi, k),
+                        src,
+                        dests: row_owners(dist, bi, k + 1..nb, src),
+                    }
+                })
+                .collect();
+            let trsm = owner_work((k + 1..nb).map(|bj| (k, bj)), dist);
+            let u_bcasts = (k + 1..nb)
+                .map(|bj| {
+                    let src = dist.owner(k, bj);
+                    Bcast {
+                        block: (k, bj),
+                        src,
+                        dests: col_owners(dist, bj, k + 1..nb, src),
+                    }
+                })
+                .collect();
+            Step::Factor {
+                k,
+                diag,
+                panel,
+                diag_col_dests,
+                l_bcasts,
+                trsm,
+                u_bcasts,
+                trailing: dist.trailing_counts(nb, k + 1),
+            }
+        })
+        .collect();
+    Plan {
+        grid: dist.grid(),
+        owned: Vec::new(),
+        steps,
+    }
+}
+
+/// Plan for right-looking Cholesky (`A = L L^T`, lower triangle only)
+/// of an `nb x nb` block matrix.
+pub fn cholesky_plan(dist: &dyn BlockDist, nb: usize) -> Plan {
+    let steps = (0..nb)
+        .map(|k| {
+            let diag = dist.owner(k, k);
+            let diag_dests = col_owners(dist, k, k + 1..nb, diag);
+            let panel = owner_work((k + 1..nb).map(|bi| (bi, k)), dist);
+            let panel_bcasts = (k + 1..nb)
+                .map(|bi| {
+                    let src = dist.owner(bi, k);
+                    let mut dests: Vec<(usize, usize)> = Vec::new();
+                    for bj in k + 1..=bi {
+                        let o = dist.owner(bi, bj);
+                        if o != src && !dests.contains(&o) {
+                            dests.push(o);
+                        }
+                    }
+                    for bi2 in bi..nb {
+                        let o = dist.owner(bi2, bi);
+                        if o != src && !dests.contains(&o) {
+                            dests.push(o);
+                        }
+                    }
+                    Bcast {
+                        block: (bi, k),
+                        src,
+                        dests,
+                    }
+                })
+                .collect();
+            let trailing = owner_work(
+                (k + 1..nb).flat_map(|bi| (k + 1..=bi).map(move |bj| (bi, bj))),
+                dist,
+            );
+            Step::Cholesky {
+                k,
+                diag,
+                diag_dests,
+                panel,
+                panel_bcasts,
+                trailing,
+            }
+        })
+        .collect();
+    Plan {
+        grid: dist.grid(),
+        owned: Vec::new(),
+        steps,
+    }
+}
+
+/// Plan for the executor's Householder QR of an `nb x nb` block matrix
+/// (see [`Step::Qr`] for the per-step structure and message/work
+/// conventions).
+pub fn qr_plan(dist: &dyn BlockDist, nb: usize) -> Plan {
+    let steps = (0..nb)
+        .map(|k| {
+            let diag = dist.owner(k, k);
+            let panel = (k..nb).map(|bi| ((bi, k), dist.owner(bi, k))).collect();
+            let reflector_dests = row_owners(dist, k, k + 1..nb, diag);
+            let columns = (k + 1..nb)
+                .map(|bj| QrColumn {
+                    bj,
+                    head: dist.owner(k, bj),
+                    members: (k + 1..nb)
+                        .map(|bi| ((bi, bj), dist.owner(bi, bj)))
+                        .collect(),
+                })
+                .collect();
+            Step::Qr {
+                k,
+                diag,
+                panel,
+                reflector_dests,
+                columns,
+            }
+        })
+        .collect();
+    Plan {
+        grid: dist.grid(),
+        owned: Vec::new(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetgrid_core::Arrangement;
+    use hetgrid_dist::{BlockCyclic, KlDist, PanelDist, PanelOrdering};
+
+    fn dists() -> Vec<Box<dyn BlockDist>> {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = hetgrid_core::exact::solve_arrangement(&arr);
+        vec![
+            Box::new(BlockCyclic::new(2, 2)),
+            Box::new(PanelDist::from_allocation(
+                &arr,
+                &sol.alloc,
+                4,
+                3,
+                PanelOrdering::Interleaved,
+            )),
+            Box::new(KlDist::new(&arr, 4, 6)),
+        ]
+    }
+
+    fn all_bcasts(step: &Step) -> Vec<&Bcast> {
+        match step {
+            Step::Mm {
+                a_bcasts, b_bcasts, ..
+            } => a_bcasts.iter().chain(b_bcasts).collect(),
+            Step::Factor {
+                l_bcasts, u_bcasts, ..
+            } => l_bcasts.iter().chain(u_bcasts).collect(),
+            Step::Cholesky { panel_bcasts, .. } => panel_bcasts.iter().collect(),
+            Step::Qr { .. } => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bcast_dests_are_distinct_and_never_the_source() {
+        for dist in dists() {
+            for plan in [
+                mm_plan(dist.as_ref(), 6),
+                factor_plan(dist.as_ref(), 6),
+                cholesky_plan(dist.as_ref(), 6),
+            ] {
+                for step in &plan.steps {
+                    for b in all_bcasts(step) {
+                        assert!(!b.dests.contains(&b.src), "{b:?}");
+                        let mut seen = b.dests.clone();
+                        seen.sort_unstable();
+                        seen.dedup();
+                        assert_eq!(seen.len(), b.dests.len(), "dup dest in {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factor_plan_covers_every_panel_block() {
+        for dist in dists() {
+            let nb = 7;
+            let plan = factor_plan(dist.as_ref(), nb);
+            assert_eq!(plan.steps.len(), nb);
+            for (k, step) in plan.steps.iter().enumerate() {
+                let Step::Factor {
+                    panel,
+                    l_bcasts,
+                    u_bcasts,
+                    trailing,
+                    ..
+                } = step
+                else {
+                    panic!("wrong step kind")
+                };
+                let panel_blocks: usize = panel.iter().map(|w| w.blocks).sum();
+                assert_eq!(panel_blocks, nb - k);
+                assert_eq!(l_bcasts.len(), nb - k);
+                assert_eq!(u_bcasts.len(), nb - k - 1);
+                let t: usize = trailing.iter().flatten().sum();
+                assert_eq!(t, (nb - k - 1) * (nb - k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn qr_plan_last_step_has_no_trailing_phase() {
+        for dist in dists() {
+            let plan = qr_plan(dist.as_ref(), 5);
+            let Step::Qr {
+                panel,
+                reflector_dests,
+                columns,
+                ..
+            } = plan.steps.last().unwrap()
+            else {
+                panic!("wrong step kind")
+            };
+            assert_eq!(panel.len(), 1);
+            assert!(reflector_dests.is_empty());
+            assert!(columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_processor_plans_have_no_messages() {
+        let dist = BlockCyclic::new(1, 1);
+        for plan in [
+            mm_plan(&dist, 4),
+            factor_plan(&dist, 4),
+            cholesky_plan(&dist, 4),
+        ] {
+            for step in &plan.steps {
+                for b in all_bcasts(step) {
+                    assert!(b.dests.is_empty());
+                }
+            }
+        }
+        for step in &qr_plan(&dist, 4).steps {
+            let Step::Qr {
+                reflector_dests, ..
+            } = step
+            else {
+                panic!()
+            };
+            assert!(reflector_dests.is_empty());
+        }
+    }
+}

@@ -1,23 +1,25 @@
-//! Closed-form per-processor message and work-unit counts for the
-//! executor kernels — the "predicted" side of the harness's
-//! *predicted vs. observed* differential oracle.
+//! Per-processor message and work-unit counts for the executor kernels
+//! — the "predicted" side of the harness's *predicted vs. observed*
+//! differential oracle.
 //!
 //! `hetgrid-exec` reports, per processor, how many point-to-point
 //! messages it sent and how many weighted block operations it performed
 //! ([`hetgrid_exec::ExecReport`]-style tables). Those counts are fully
 //! determined by the distribution and the block grid — no timing, no
-//! interleaving, no transport involved — so they can be recomputed here
-//! by walking the communication pattern of each algorithm directly.
-//! The harness then asserts exact equality: any lost, duplicated, or
-//! misrouted message in a transport shows up as a count mismatch even
-//! when the numerical result happens to survive.
+//! interleaving, no transport involved — so they are computed here by
+//! folding over the same [`hetgrid_plan`] step stream the executor
+//! interprets: every broadcast contributes its destination count to the
+//! source, every owner-work entry its weighted block count. The harness
+//! then asserts exact equality: any lost, duplicated, or misrouted
+//! message in a transport shows up as a count mismatch even when the
+//! numerical result happens to survive.
 //!
-//! The counting rules mirror Section 3's algorithms (`Direct`
-//! broadcasts: one message per distinct destination processor per
-//! broadcast), independently re-derived from the algorithm structure
-//! rather than shared with the executor code.
+//! The historical closed-form counting loops (walking each algorithm's
+//! communication pattern directly, independent of the plan) are kept in
+//! this module's tests as a cross-check, not as the source of truth.
 
 use hetgrid_dist::BlockDist;
+use hetgrid_plan::{Plan, Step};
 
 /// Predicted per-processor totals for one kernel run, laid out `[i][j]`
 /// over the `p x q` grid like the executor's report tables.
@@ -49,27 +51,9 @@ impl KernelCounts {
     }
 }
 
-/// Linear processor id of a block's owner.
-fn owner_id(dist: &dyn BlockDist, bi: usize, bj: usize) -> usize {
-    let (_, q) = dist.grid();
-    let (oi, oj) = dist.owner(bi, bj);
-    oi * q + oj
-}
-
-/// Counts one broadcast: a message to every distinct id in `dests`
-/// except the sender itself.
-fn broadcast(msgs: &mut [Vec<u64>], q: usize, from: usize, dests: impl Iterator<Item = usize>) {
-    let mut seen: Vec<usize> = Vec::new();
-    for d in dests {
-        if d != from && !seen.contains(&d) {
-            seen.push(d);
-        }
-    }
-    msgs[from / q][from % q] += seen.len() as u64;
-}
-
 /// Predicted counts for the outer-product multiplication
-/// `C(mb x nb) = A(mb x kb) * B(kb x nb)` (`hetgrid_exec::run_mm_rect`).
+/// `C(mb x nb) = A(mb x kb) * B(kb x nb)` (`hetgrid_exec::run_mm_rect`):
+/// a fold over [`hetgrid_plan::mm_rect_plan`].
 ///
 /// Step `k`: the owner of `A(bi, k)` broadcasts it to the other owners
 /// of block row `bi` of `C`; the owner of `B(k, bj)` broadcasts it to
@@ -80,84 +64,95 @@ pub fn mm_counts(
     (mb, nb, kb): (usize, usize, usize),
     weights: &[Vec<u64>],
 ) -> KernelCounts {
-    let (p, q) = dist.grid();
+    mm_counts_from_plan(&hetgrid_plan::mm_rect_plan(dist, (mb, nb, kb)), weights)
+}
+
+/// [`mm_counts`] over an already-built MM plan.
+///
+/// # Panics
+/// Panics if the plan contains non-MM steps.
+pub fn mm_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    for k in 0..kb {
-        for bi in 0..mb {
-            let from = owner_id(dist, bi, k);
-            broadcast(
-                &mut c.messages,
-                q,
-                from,
-                (0..nb).map(|bj| owner_id(dist, bi, bj)),
-            );
+    for step in &plan.steps {
+        let Step::Mm {
+            a_bcasts, b_bcasts, ..
+        } = step
+        else {
+            panic!("mm_counts_from_plan: non-MM step in plan")
+        };
+        for b in a_bcasts.iter().chain(b_bcasts.iter()) {
+            c.messages[b.src.0][b.src.1] += b.dests.len() as u64;
         }
-        for bj in 0..nb {
-            let from = owner_id(dist, k, bj);
-            broadcast(
-                &mut c.messages,
-                q,
-                from,
-                (0..mb).map(|bi| owner_id(dist, bi, bj)),
-            );
-        }
-    }
-    for bi in 0..mb {
-        for bj in 0..nb {
-            let (oi, oj) = dist.owner(bi, bj);
-            c.work_units[oi][oj] += kb as u64 * weights[oi][oj];
+        for i in 0..p {
+            for j in 0..q {
+                c.work_units[i][j] += plan.owned[i][j] as u64 * weights[i][j];
+            }
         }
     }
     c
 }
 
-/// Predicted counts for right-looking LU (`hetgrid_exec::run_lu`).
+/// Predicted counts for right-looking LU (`hetgrid_exec::run_lu`): a
+/// fold over [`hetgrid_plan::factor_plan`].
 ///
 /// Step `k`: the diagonal owner factors `A(k, k)` and broadcasts the
-/// packed factors to the owners of panel column `k` and pivot row `k`;
-/// each solved `L(bi, k)` is broadcast along trailing block row `bi`,
-/// each solved `U(k, bj)` down trailing block column `bj`; every
-/// trailing block is updated once. Each block operation counts one
-/// weighted work unit for its owner.
+/// packed factors to the owners of panel column `k` and pivot row `k`
+/// (one deduplicated destination set); each solved `L(bi, k)` is
+/// broadcast along trailing block row `bi`, each solved `U(k, bj)` down
+/// trailing block column `bj`; every trailing block is updated once.
+/// Each block operation counts one weighted work unit for its owner.
 pub fn lu_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
-    let (p, q) = dist.grid();
+    factor_counts_from_plan(&hetgrid_plan::factor_plan(dist, nb), 1, weights)
+}
+
+/// Counts for an LU-shaped factorization plan; `unit_scale` is the
+/// work-unit multiplier per block operation (1 for LU).
+///
+/// # Panics
+/// Panics if the plan contains non-factor steps.
+pub fn factor_counts_from_plan(plan: &Plan, unit_scale: u64, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
-        let (oi, oj) = dist.owner(bi, bj);
-        c.work_units[oi][oj] += weights[oi][oj];
-    };
-    for k in 0..nb {
-        let diag = owner_id(dist, k, k);
-        unit(&mut c, k, k);
-        broadcast(
-            &mut c.messages,
-            q,
+    for step in &plan.steps {
+        let Step::Factor {
             diag,
-            (k + 1..nb)
-                .map(|bi| owner_id(dist, bi, k))
-                .chain((k + 1..nb).map(|bj| owner_id(dist, k, bj))),
-        );
-        for bi in k + 1..nb {
-            unit(&mut c, bi, k);
-            broadcast(
-                &mut c.messages,
-                q,
-                owner_id(dist, bi, k),
-                (k + 1..nb).map(|bj| owner_id(dist, bi, bj)),
-            );
+            panel,
+            diag_col_dests,
+            l_bcasts,
+            trsm,
+            u_bcasts,
+            trailing,
+            ..
+        } = step
+        else {
+            panic!("factor_counts_from_plan: non-factor step in plan")
+        };
+        // Diagonal-factor broadcast: panel column chained with pivot
+        // row under one dedup — `diag_col_dests` plus the pivot-row
+        // destinations (l_bcasts[0] is the diagonal block) not already
+        // in it.
+        let extra = l_bcasts[0]
+            .dests
+            .iter()
+            .filter(|d| !diag_col_dests.contains(d))
+            .count();
+        c.messages[diag.0][diag.1] += (diag_col_dests.len() + extra) as u64;
+        for b in &l_bcasts[1..] {
+            c.messages[b.src.0][b.src.1] += b.dests.len() as u64;
         }
-        for bj in k + 1..nb {
-            unit(&mut c, k, bj);
-            broadcast(
-                &mut c.messages,
-                q,
-                owner_id(dist, k, bj),
-                (k + 1..nb).map(|bi| owner_id(dist, bi, bj)),
-            );
+        for b in u_bcasts {
+            c.messages[b.src.0][b.src.1] += b.dests.len() as u64;
         }
-        for bi in k + 1..nb {
-            for bj in k + 1..nb {
-                unit(&mut c, bi, bj);
+        // Work: the diagonal factorization is part of the aggregated
+        // panel entry for its owner.
+        for w in panel.iter().chain(trsm.iter()) {
+            c.work_units[w.owner.0][w.owner.1] +=
+                w.blocks as u64 * unit_scale * weights[w.owner.0][w.owner.1];
+        }
+        for i in 0..p {
+            for j in 0..q {
+                c.work_units[i][j] += trailing[i][j] as u64 * unit_scale * weights[i][j];
             }
         }
     }
@@ -165,7 +160,8 @@ pub fn lu_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> Kerne
 }
 
 /// Predicted counts for right-looking Cholesky
-/// (`hetgrid_exec::run_cholesky`, lower triangle).
+/// (`hetgrid_exec::run_cholesky`, lower triangle): a fold over
+/// [`hetgrid_plan::cholesky_plan`].
 ///
 /// Step `k`: the diagonal owner factors `A(k, k)` and broadcasts the
 /// factor down panel column `k`; each solved panel block `L(bi, k)` is
@@ -173,39 +169,96 @@ pub fn lu_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> Kerne
 /// factor (row `bi`) or right factor (column `bi`); every trailing
 /// lower-triangle block is updated once.
 pub fn cholesky_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
-    let (p, q) = dist.grid();
+    cholesky_counts_from_plan(&hetgrid_plan::cholesky_plan(dist, nb), weights)
+}
+
+/// [`cholesky_counts`] over an already-built Cholesky plan.
+///
+/// # Panics
+/// Panics if the plan contains non-Cholesky steps.
+pub fn cholesky_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
-        let (oi, oj) = dist.owner(bi, bj);
-        c.work_units[oi][oj] += weights[oi][oj];
-    };
-    for k in 0..nb {
-        let diag = owner_id(dist, k, k);
-        unit(&mut c, k, k);
-        broadcast(
-            &mut c.messages,
-            q,
+    for step in &plan.steps {
+        let Step::Cholesky {
             diag,
-            (k + 1..nb).map(|bi| owner_id(dist, bi, k)),
-        );
-        if k + 1 == nb {
-            continue;
+            diag_dests,
+            panel,
+            panel_bcasts,
+            trailing,
+            ..
+        } = step
+        else {
+            panic!("cholesky_counts_from_plan: non-Cholesky step in plan")
+        };
+        c.work_units[diag.0][diag.1] += weights[diag.0][diag.1];
+        c.messages[diag.0][diag.1] += diag_dests.len() as u64;
+        for b in panel_bcasts {
+            c.messages[b.src.0][b.src.1] += b.dests.len() as u64;
         }
-        for bi in k + 1..nb {
-            unit(&mut c, bi, k);
-            broadcast(
-                &mut c.messages,
-                q,
-                owner_id(dist, bi, k),
-                (k + 1..=bi)
-                    .map(|bj| owner_id(dist, bi, bj))
-                    .chain((bi..nb).map(|bi2| owner_id(dist, bi2, bi))),
-            );
+        for w in panel.iter().chain(trailing.iter()) {
+            c.work_units[w.owner.0][w.owner.1] += w.blocks as u64 * weights[w.owner.0][w.owner.1];
         }
-        for bi in k + 1..nb {
-            for bj in k + 1..=bi {
-                unit(&mut c, bi, bj);
+    }
+    c
+}
+
+/// Predicted counts for the fan-in Householder QR
+/// (`hetgrid_exec::run_qr`): a fold over [`hetgrid_plan::qr_plan`].
+///
+/// Step `k`: the panel blocks `(bi, k)`, `bi >= k`, fan in to the
+/// diagonal owner (one message per foreign block), which factors the
+/// stacked panel — `2 (nb - k)` weighted work units, twice LU's panel
+/// arithmetic per block (Section 3.2) — and scatters the reflector
+/// segments back (one message per foreign block). The packed panel
+/// factors are then broadcast to the heads of the trailing block
+/// columns; each head gathers its column (one message per foreign
+/// block), applies `Q^T` to the stacked column — `2 (nb - k)` weighted
+/// units — and returns the updated foreign blocks (one message each).
+///
+/// Total work is `sum_k 2 (nb - k)^2`: exactly twice LU's.
+pub fn qr_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
+    qr_counts_from_plan(&hetgrid_plan::qr_plan(dist, nb), weights)
+}
+
+/// [`qr_counts`] over an already-built QR plan.
+///
+/// # Panics
+/// Panics if the plan contains non-QR steps.
+pub fn qr_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = plan.grid;
+    let mut c = KernelCounts::zeros(p, q);
+    for step in &plan.steps {
+        let Step::Qr {
+            diag,
+            panel,
+            reflector_dests,
+            columns,
+            ..
+        } = step
+        else {
+            panic!("qr_counts_from_plan: non-QR step in plan")
+        };
+        // Panel fan-in to the diagonal owner and reflector scatter back.
+        for &(_, owner) in panel {
+            if owner != *diag {
+                c.messages[owner.0][owner.1] += 1;
+                c.messages[diag.0][diag.1] += 1;
             }
+        }
+        c.work_units[diag.0][diag.1] += 2 * panel.len() as u64 * weights[diag.0][diag.1];
+        c.messages[diag.0][diag.1] += reflector_dests.len() as u64;
+        // Trailing columns: gather to the head, apply, return.
+        for col in columns {
+            let head = col.head;
+            for &(_, owner) in &col.members {
+                if owner != head {
+                    c.messages[owner.0][owner.1] += 1;
+                    c.messages[head.0][head.1] += 1;
+                }
+            }
+            let col_blocks = col.members.len() as u64 + 1; // + the (k, bj) head block
+            c.work_units[head.0][head.1] += 2 * col_blocks * weights[head.0][head.1];
         }
     }
     c
@@ -227,6 +280,7 @@ mod tests {
         assert_eq!(mm_counts(&dist, (3, 3, 3), &w).total_messages(), 0);
         assert_eq!(lu_counts(&dist, 4, &w).total_messages(), 0);
         assert_eq!(cholesky_counts(&dist, 4, &w).total_messages(), 0);
+        assert_eq!(qr_counts(&dist, 4, &w).total_messages(), 0);
     }
 
     #[test]
@@ -265,11 +319,255 @@ mod tests {
     }
 
     #[test]
+    fn qr_work_is_twice_lu() {
+        // Step k: panel 2(nb-k) + (nb-k-1) columns x 2(nb-k) =
+        // 2(nb-k)^2 — exactly twice LU's per-step block ops.
+        let nb = 5;
+        let dist = BlockCyclic::new(2, 2);
+        let qr = qr_counts(&dist, nb, &uniform(2, 2));
+        let lu = lu_counts(&dist, nb, &uniform(2, 2));
+        assert_eq!(qr.total_work(), 2 * lu.total_work());
+    }
+
+    #[test]
+    fn qr_fan_in_messages_are_symmetric() {
+        // Every foreign panel/column block costs one message in and one
+        // message back, plus the reflector broadcasts: the total is
+        // even + reflector count. Spot-check on a 2x2 cyclic grid.
+        let nb = 4;
+        let dist = BlockCyclic::new(2, 2);
+        let c = qr_counts(&dist, nb, &uniform(2, 2));
+        let mut reflector = 0u64;
+        let plan = hetgrid_plan::qr_plan(&dist, nb);
+        for step in &plan.steps {
+            if let hetgrid_plan::Step::Qr {
+                reflector_dests, ..
+            } = step
+            {
+                reflector += reflector_dests.len() as u64;
+            }
+        }
+        assert_eq!((c.total_messages() - reflector) % 2, 0);
+        assert!(c.total_messages() > 0);
+    }
+
+    #[test]
     fn weights_scale_work_linearly() {
         let dist = BlockCyclic::new(2, 2);
         let base = lu_counts(&dist, 4, &uniform(2, 2));
         let heavy = lu_counts(&dist, 4, &vec![vec![3; 2]; 2]);
         assert_eq!(heavy.total_work(), 3 * base.total_work());
         assert_eq!(heavy.messages, base.messages);
+    }
+}
+
+/// The plan folds must reproduce the historical closed-form counting
+/// loops exactly, for random heterogeneous grids and distributions.
+/// The closed-form bodies below are verbatim copies of the pre-plan
+/// implementations — kept as cross-checks, not as the source of truth.
+#[cfg(test)]
+mod closed_form_equivalence {
+    use super::*;
+    use hetgrid_core::{exact, Arrangement};
+    use hetgrid_dist::{BlockCyclic, KlDist, PanelDist, PanelOrdering};
+    use rand::prelude::*;
+
+    fn owner_id(dist: &dyn BlockDist, bi: usize, bj: usize) -> usize {
+        let (_, q) = dist.grid();
+        let (oi, oj) = dist.owner(bi, bj);
+        oi * q + oj
+    }
+
+    fn broadcast(msgs: &mut [Vec<u64>], q: usize, from: usize, dests: impl Iterator<Item = usize>) {
+        let mut seen: Vec<usize> = Vec::new();
+        for d in dests {
+            if d != from && !seen.contains(&d) {
+                seen.push(d);
+            }
+        }
+        msgs[from / q][from % q] += seen.len() as u64;
+    }
+
+    fn closed_form_mm(
+        dist: &dyn BlockDist,
+        (mb, nb, kb): (usize, usize, usize),
+        weights: &[Vec<u64>],
+    ) -> KernelCounts {
+        let (p, q) = dist.grid();
+        let mut c = KernelCounts::zeros(p, q);
+        for k in 0..kb {
+            for bi in 0..mb {
+                let from = owner_id(dist, bi, k);
+                broadcast(
+                    &mut c.messages,
+                    q,
+                    from,
+                    (0..nb).map(|bj| owner_id(dist, bi, bj)),
+                );
+            }
+            for bj in 0..nb {
+                let from = owner_id(dist, k, bj);
+                broadcast(
+                    &mut c.messages,
+                    q,
+                    from,
+                    (0..mb).map(|bi| owner_id(dist, bi, bj)),
+                );
+            }
+        }
+        for bi in 0..mb {
+            for bj in 0..nb {
+                let (oi, oj) = dist.owner(bi, bj);
+                c.work_units[oi][oj] += kb as u64 * weights[oi][oj];
+            }
+        }
+        c
+    }
+
+    fn closed_form_lu(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
+        let (p, q) = dist.grid();
+        let mut c = KernelCounts::zeros(p, q);
+        let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
+            let (oi, oj) = dist.owner(bi, bj);
+            c.work_units[oi][oj] += weights[oi][oj];
+        };
+        for k in 0..nb {
+            let diag = owner_id(dist, k, k);
+            unit(&mut c, k, k);
+            broadcast(
+                &mut c.messages,
+                q,
+                diag,
+                (k + 1..nb)
+                    .map(|bi| owner_id(dist, bi, k))
+                    .chain((k + 1..nb).map(|bj| owner_id(dist, k, bj))),
+            );
+            for bi in k + 1..nb {
+                unit(&mut c, bi, k);
+                broadcast(
+                    &mut c.messages,
+                    q,
+                    owner_id(dist, bi, k),
+                    (k + 1..nb).map(|bj| owner_id(dist, bi, bj)),
+                );
+            }
+            for bj in k + 1..nb {
+                unit(&mut c, k, bj);
+                broadcast(
+                    &mut c.messages,
+                    q,
+                    owner_id(dist, k, bj),
+                    (k + 1..nb).map(|bi| owner_id(dist, bi, bj)),
+                );
+            }
+            for bi in k + 1..nb {
+                for bj in k + 1..nb {
+                    unit(&mut c, bi, bj);
+                }
+            }
+        }
+        c
+    }
+
+    fn closed_form_cholesky(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> KernelCounts {
+        let (p, q) = dist.grid();
+        let mut c = KernelCounts::zeros(p, q);
+        let unit = |c: &mut KernelCounts, bi: usize, bj: usize| {
+            let (oi, oj) = dist.owner(bi, bj);
+            c.work_units[oi][oj] += weights[oi][oj];
+        };
+        for k in 0..nb {
+            let diag = owner_id(dist, k, k);
+            unit(&mut c, k, k);
+            broadcast(
+                &mut c.messages,
+                q,
+                diag,
+                (k + 1..nb).map(|bi| owner_id(dist, bi, k)),
+            );
+            if k + 1 == nb {
+                continue;
+            }
+            for bi in k + 1..nb {
+                unit(&mut c, bi, k);
+                broadcast(
+                    &mut c.messages,
+                    q,
+                    owner_id(dist, bi, k),
+                    (k + 1..=bi)
+                        .map(|bj| owner_id(dist, bi, bj))
+                        .chain((bi..nb).map(|bi2| owner_id(dist, bi2, bi))),
+                );
+            }
+            for bi in k + 1..nb {
+                for bj in k + 1..=bi {
+                    unit(&mut c, bi, bj);
+                }
+            }
+        }
+        c
+    }
+
+    fn random_dist(rng: &mut StdRng, p: usize, q: usize, nb: usize) -> Box<dyn BlockDist> {
+        let rows: Vec<Vec<f64>> = (0..p)
+            .map(|_| (0..q).map(|_| rng.gen_range(1.0..8.0)).collect())
+            .collect();
+        let arr = Arrangement::from_rows(&rows);
+        match rng.gen_range(0..3) {
+            0 => Box::new(BlockCyclic::new(p, q)),
+            1 => {
+                let sol = exact::solve_arrangement(&arr);
+                let orderings = [
+                    PanelOrdering::Contiguous,
+                    PanelOrdering::Interleaved,
+                    PanelOrdering::SuffixInterleaved,
+                ];
+                let ordering = orderings[rng.gen_range(0..orderings.len())];
+                Box::new(PanelDist::from_allocation(
+                    &arr,
+                    &sol.alloc,
+                    2 * p,
+                    2 * q,
+                    ordering,
+                ))
+            }
+            _ => Box::new(KlDist::new(&arr, nb, p + q)),
+        }
+    }
+
+    fn random_weights(rng: &mut StdRng, p: usize, q: usize) -> Vec<Vec<u64>> {
+        (0..p)
+            .map(|_| (0..q).map(|_| rng.gen_range(1..5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn plan_fold_matches_closed_form_for_all_kernels() {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let grids = [(2, 2), (2, 3), (3, 2), (3, 3)];
+        for case in 0..60 {
+            let (p, q) = grids[rng.gen_range(0..grids.len())];
+            let nb = rng.gen_range(2..=7);
+            let dist = random_dist(&mut rng, p, q, nb);
+            let w = random_weights(&mut rng, p, q);
+
+            let shapes = [(nb, nb, nb), (nb + 2, nb, nb - 1), (nb, 2 * nb, nb)];
+            let shape = shapes[rng.gen_range(0..shapes.len())];
+            assert_eq!(
+                mm_counts(dist.as_ref(), shape, &w),
+                closed_form_mm(dist.as_ref(), shape, &w),
+                "mm case {case} shape {shape:?}"
+            );
+            assert_eq!(
+                lu_counts(dist.as_ref(), nb, &w),
+                closed_form_lu(dist.as_ref(), nb, &w),
+                "lu case {case} nb {nb}"
+            );
+            assert_eq!(
+                cholesky_counts(dist.as_ref(), nb, &w),
+                closed_form_cholesky(dist.as_ref(), nb, &w),
+                "cholesky case {case} nb {nb}"
+            );
+        }
     }
 }

@@ -1,19 +1,24 @@
-//! Task-graph generators for the simulated dense kernels: the
-//! outer-product matrix multiplication (Section 3.1) and the
-//! right-looking LU / QR factorizations (Section 3.2), at `r x r` block
+//! DES interpreters for the shared kernel step plans: the outer-product
+//! matrix multiplication (Section 3.1), the right-looking LU / QR
+//! factorizations (Section 3.2) and Cholesky, at `r x r` block
 //! granularity over an arbitrary [`BlockDist`].
 //!
-//! Messages are aggregated per (source, destination) pair, so on a
-//! Cartesian (strict-grid) distribution each step produces exactly the
-//! grid broadcasts of the paper, while the Kalinov–Lastovetsky
-//! distribution naturally produces its extra horizontal transfers
-//! (Figure 3) — no special-casing, the penalty emerges from the owner
-//! map itself.
+//! The *schedule* — which block moves where, who computes what, in what
+//! order — comes from [`hetgrid_plan`]; this module only applies the
+//! machine cost model to it. Messages are aggregated per (source,
+//! destination) pair, so on a Cartesian (strict-grid) distribution each
+//! step produces exactly the grid broadcasts of the paper, while the
+//! Kalinov–Lastovetsky distribution naturally produces its extra
+//! horizontal transfers (Figure 3) — no special-casing, the penalty
+//! emerges from the owner map itself. The Ring/Tree broadcast
+//! topologies are an interpreter concern: they re-shape each plan
+//! step's broadcasts into one pipelined transfer per grid row/column.
 
 use crate::engine::{Engine, TaskId};
 use crate::machine::{CostModel, Machine, SimReport};
 use hetgrid_core::Arrangement;
 use hetgrid_dist::BlockDist;
+use hetgrid_plan::{Plan, Step};
 use std::collections::BTreeMap;
 
 /// How a block is broadcast to the processors that need it.
@@ -120,44 +125,6 @@ fn finish_run_traced(machine: &Machine<'_>, engine: Engine) -> TracedRun {
     }
 }
 
-/// Distinct owners of blocks `(bi, bj)` for `bj` in `cols`, excluding
-/// `skip`.
-fn row_dests(
-    dist: &dyn BlockDist,
-    bi: usize,
-    cols: impl Iterator<Item = usize>,
-    skip: (usize, usize),
-) -> Vec<(usize, usize)> {
-    let mut dests: Vec<(usize, usize)> = Vec::new();
-    for bj in cols {
-        let o = dist.owner(bi, bj);
-        if o != skip && !dests.contains(&o) {
-            dests.push(o);
-        }
-    }
-    dests.sort_unstable();
-    dests
-}
-
-/// Distinct owners of blocks `(bi, bj)` for `bi` in `rows`, excluding
-/// `skip`.
-fn col_dests(
-    dist: &dyn BlockDist,
-    bj: usize,
-    rows: impl Iterator<Item = usize>,
-    skip: (usize, usize),
-) -> Vec<(usize, usize)> {
-    let mut dests: Vec<(usize, usize)> = Vec::new();
-    for bi in rows {
-        let o = dist.owner(bi, bj);
-        if o != skip && !dests.contains(&o) {
-            dests.push(o);
-        }
-    }
-    dests.sort_unstable();
-    dests
-}
-
 /// Helper tracking the last task issued on every processor, enforcing
 /// per-processor program order (SPMD execution).
 struct ProcState {
@@ -226,50 +193,8 @@ pub fn simulate_mm_rect(
         (arr.p(), arr.q()),
         "simulate_mm_rect: grid mismatch"
     );
-    assert!(mb > 0 && nb > 0 && kb > 0, "simulate_mm_rect: empty shape");
-    let mut engine = Engine::new();
-    let machine = Machine::new(&mut engine, arr, cost);
-    let mut procs = ProcState::new(p, q);
-    let owned = dist.owned_counts(mb, nb); // C blocks per processor
-
-    for k in 0..kb {
-        let mut incoming: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
-        let mut msgs: BTreeMap<((usize, usize), (usize, usize)), usize> = BTreeMap::new();
-        // A blocks (bi, k), bi in 0..mb, go to every owner of C row bi.
-        for bi in 0..mb {
-            let src = dist.owner(bi, k);
-            for dst in row_dests(dist, bi, 0..nb, src) {
-                *msgs.entry((src, dst)).or_insert(0) += 1;
-            }
-        }
-        // B blocks (k, bj), bj in 0..nb, go to every owner of C col bj.
-        for bj in 0..nb {
-            let src = dist.owner(k, bj);
-            for dst in col_dests(dist, bj, 0..mb, src) {
-                *msgs.entry((src, dst)).or_insert(0) += 1;
-            }
-        }
-        for (&(src, dst), &blocks) in &msgs {
-            let deps = match procs.get(src) {
-                Some(t) => vec![t],
-                None => vec![],
-            };
-            let m = machine.message(&mut engine, deps, src, dst, blocks);
-            incoming.entry(dst).or_default().push(m);
-        }
-        for i in 0..p {
-            for j in 0..q {
-                if owned[i][j] == 0 {
-                    continue;
-                }
-                let deps = incoming.remove(&(i, j)).unwrap_or_default();
-                let deps = procs.deps_with_last((i, j), deps);
-                let t = machine.compute(&mut engine, deps, (i, j), owned[i][j], 1.0);
-                procs.set_last((i, j), t);
-            }
-        }
-    }
-    finish_run_traced(&machine, engine).report
+    let plan = hetgrid_plan::mm_rect_plan(dist, (mb, nb, kb));
+    interpret_mm(arr, &plan, cost, Broadcast::Direct).report
 }
 
 /// [`simulate_mm`] retaining the full task graph and schedule.
@@ -288,29 +213,48 @@ pub fn simulate_mm_traced(
             "ring/tree broadcasts require a Cartesian (strict-grid) distribution"
         );
     }
+    interpret_mm(arr, &hetgrid_plan::mm_plan(dist, nb), cost, broadcast)
+}
+
+/// Applies the DES cost model to an MM step plan ([`hetgrid_plan::mm_plan`]
+/// / [`hetgrid_plan::mm_rect_plan`]).
+///
+/// Non-`Direct` topologies assume the plan came from a Cartesian
+/// distribution (the `simulate_mm*` wrappers enforce this).
+///
+/// # Panics
+/// Panics if the plan's grid differs from the arrangement's or the plan
+/// contains non-MM steps.
+pub fn interpret_mm(
+    arr: &Arrangement,
+    plan: &Plan,
+    cost: CostModel,
+    broadcast: Broadcast,
+) -> TracedRun {
+    let (p, q) = plan.grid;
+    assert_eq!((p, q), (arr.p(), arr.q()), "interpret_mm: grid mismatch");
     let mut engine = Engine::new();
     let machine = Machine::new(&mut engine, arr, cost);
     let mut procs = ProcState::new(p, q);
-    let owned = dist.owned_counts(nb, nb);
+    let owned = &plan.owned;
 
-    for k in 0..nb {
+    for step in &plan.steps {
+        let Step::Mm {
+            a_bcasts, b_bcasts, ..
+        } = step
+        else {
+            panic!("interpret_mm: non-MM step in plan")
+        };
         // --- Horizontal broadcasts: block (bi, k) of A to every owner
-        // of block row bi.
+        // of block row bi; vertical for B.
         let mut incoming: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
         match broadcast {
             Broadcast::Direct => {
                 // Aggregate (src, dst) -> block count.
                 let mut msgs: BTreeMap<((usize, usize), (usize, usize)), usize> = BTreeMap::new();
-                for bi in 0..nb {
-                    let src = dist.owner(bi, k);
-                    for dst in row_dests(dist, bi, 0..nb, src) {
-                        *msgs.entry((src, dst)).or_insert(0) += 1;
-                    }
-                }
-                for bj in 0..nb {
-                    let src = dist.owner(k, bj);
-                    for dst in col_dests(dist, bj, 0..nb, src) {
-                        *msgs.entry((src, dst)).or_insert(0) += 1;
+                for b in a_bcasts.iter().chain(b_bcasts.iter()) {
+                    for &dst in &b.dests {
+                        *msgs.entry((b.src, dst)).or_insert(0) += 1;
                     }
                 }
                 for (&(src, dst), &blocks) in &msgs {
@@ -325,10 +269,10 @@ pub fn simulate_mm_traced(
             Broadcast::Ring | Broadcast::Tree => {
                 // Cartesian: one pipelined ring / binomial tree per grid
                 // row (A panel) and per grid column (B panel).
-                let src_col = dist.owner(0, k).1;
+                let src_col = a_bcasts[0].src.1;
                 for gi in 0..p {
                     // Blocks of column k owned by grid row gi.
-                    let blocks = (0..nb).filter(|&bi| dist.owner(bi, k).0 == gi).count();
+                    let blocks = a_bcasts.iter().filter(|b| b.src.0 == gi).count();
                     let src = (gi, src_col);
                     let dests: Vec<(usize, usize)> =
                         (1..q).map(|step| (gi, (src_col + step) % q)).collect();
@@ -348,9 +292,9 @@ pub fn simulate_mm_traced(
                         incoming.entry(dst).or_default().push(m);
                     }
                 }
-                let src_row = dist.owner(k, 0).0;
+                let src_row = b_bcasts[0].src.0;
                 for gj in 0..q {
-                    let blocks = (0..nb).filter(|&bj| dist.owner(k, bj).1 == gj).count();
+                    let blocks = b_bcasts.iter().filter(|b| b.src.1 == gj).count();
                     let src = (src_row, gj);
                     let dests: Vec<(usize, usize)> =
                         (1..p).map(|step| ((src_row + step) % p, gj)).collect();
@@ -457,6 +401,38 @@ pub fn simulate_factor_traced(
             "ring/tree broadcasts require a Cartesian (strict-grid) distribution"
         );
     }
+    interpret_factor(
+        arr,
+        &hetgrid_plan::factor_plan(dist, nb),
+        cost,
+        kind,
+        broadcast,
+    )
+}
+
+/// Applies the DES cost model to an LU-shaped factorization step plan
+/// ([`hetgrid_plan::factor_plan`]); `kind` selects the arithmetic scale
+/// (QR costs twice LU per block, Section 3.2).
+///
+/// Non-`Direct` topologies assume a Cartesian plan (the `simulate_*`
+/// wrappers enforce this).
+///
+/// # Panics
+/// Panics if the plan's grid differs from the arrangement's or the plan
+/// contains non-factor steps.
+pub fn interpret_factor(
+    arr: &Arrangement,
+    plan: &Plan,
+    cost: CostModel,
+    kind: FactorKind,
+    broadcast: Broadcast,
+) -> TracedRun {
+    let (p, q) = plan.grid;
+    assert_eq!(
+        (p, q),
+        (arr.p(), arr.q()),
+        "interpret_factor: grid mismatch"
+    );
     let flop_scale = match kind {
         FactorKind::Lu => 1.0,
         FactorKind::Qr => 2.0,
@@ -464,25 +440,35 @@ pub fn simulate_factor_traced(
     let panel_cost = cost.panel_cost * flop_scale;
     let trsm_cost = cost.trsm_cost * flop_scale;
     let update_cost = flop_scale;
+    let nb = plan.steps.len();
 
     let mut engine = Engine::new();
     let machine = Machine::new(&mut engine, arr, cost);
     let mut procs = ProcState::new(p, q);
 
-    for k in 0..nb {
+    for step in &plan.steps {
+        let Step::Factor {
+            k,
+            diag,
+            panel,
+            l_bcasts,
+            trsm,
+            u_bcasts,
+            trailing,
+            ..
+        } = step
+        else {
+            panic!("interpret_factor: non-factor step in plan")
+        };
+        let k = *k;
+
         // --- Panel factorization: owners of blocks (bi, k), bi >= k.
         let mut panel_tasks: BTreeMap<(usize, usize), TaskId> = BTreeMap::new();
-        {
-            let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-            for bi in k..nb {
-                *counts.entry(dist.owner(bi, k)).or_insert(0) += 1;
-            }
-            for (&owner, &blocks) in &counts {
-                let deps = procs.deps_with_last(owner, vec![]);
-                let t = machine.compute(&mut engine, deps, owner, blocks, panel_cost);
-                panel_tasks.insert(owner, t);
-                procs.set_last(owner, t);
-            }
+        for w in panel {
+            let deps = procs.deps_with_last(w.owner, vec![]);
+            let t = machine.compute(&mut engine, deps, w.owner, w.blocks, panel_cost);
+            panel_tasks.insert(w.owner, t);
+            procs.set_last(w.owner, t);
         }
 
         if k + 1 == nb {
@@ -496,10 +482,9 @@ pub fn simulate_factor_traced(
         let mut l_incoming: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
         if broadcast == Broadcast::Direct {
             let mut msgs: BTreeMap<((usize, usize), (usize, usize)), usize> = BTreeMap::new();
-            for bi in k..nb {
-                let src = dist.owner(bi, k);
-                for dst in row_dests(dist, bi, k + 1..nb, src) {
-                    *msgs.entry((src, dst)).or_insert(0) += 1;
+            for b in l_bcasts {
+                for &dst in &b.dests {
+                    *msgs.entry((b.src, dst)).or_insert(0) += 1;
                 }
             }
             for (&(src, dst), &blocks) in &msgs {
@@ -510,12 +495,12 @@ pub fn simulate_factor_traced(
         } else {
             // Cartesian ring/tree: one broadcast per grid row, to the
             // grid columns owning trailing block columns.
-            let src_col = dist.owner(k, k).1;
-            let mut trailing_cols: Vec<usize> = (k + 1..nb).map(|bj| dist.owner(k, bj).1).collect();
+            let src_col = l_bcasts[0].src.1;
+            let mut trailing_cols: Vec<usize> = u_bcasts.iter().map(|b| b.src.1).collect();
             trailing_cols.sort_unstable();
             trailing_cols.dedup();
             for gi in 0..p {
-                let blocks = (k..nb).filter(|&bi| dist.owner(bi, k).0 == gi).count();
+                let blocks = l_bcasts.iter().filter(|b| b.src.0 == gi).count();
                 if blocks == 0 {
                     continue;
                 }
@@ -546,25 +531,18 @@ pub fn simulate_factor_traced(
         // --- Triangular solves on the pivot block row: owners of
         // (k, bj), bj > k.
         let mut trsm_tasks: BTreeMap<(usize, usize), TaskId> = BTreeMap::new();
-        {
-            let diag_owner = dist.owner(k, k);
-            let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-            for bj in k + 1..nb {
-                *counts.entry(dist.owner(k, bj)).or_insert(0) += 1;
+        for w in trsm {
+            let mut deps = Vec::new();
+            if w.owner == *diag {
+                deps.push(panel_tasks[diag]);
+            } else {
+                // The diagonal block arrives with the L messages.
+                deps.extend(l_incoming.get(&w.owner).into_iter().flatten().copied());
             }
-            for (&owner, &blocks) in &counts {
-                let mut deps = Vec::new();
-                if owner == diag_owner {
-                    deps.push(panel_tasks[&diag_owner]);
-                } else {
-                    // The diagonal block arrives with the L messages.
-                    deps.extend(l_incoming.get(&owner).into_iter().flatten().copied());
-                }
-                let deps = procs.deps_with_last(owner, deps);
-                let t = machine.compute(&mut engine, deps, owner, blocks, trsm_cost);
-                trsm_tasks.insert(owner, t);
-                procs.set_last(owner, t);
-            }
+            let deps = procs.deps_with_last(w.owner, deps);
+            let t = machine.compute(&mut engine, deps, w.owner, w.blocks, trsm_cost);
+            trsm_tasks.insert(w.owner, t);
+            procs.set_last(w.owner, t);
         }
 
         // --- U broadcast along columns: block (k, bj) (bj > k) goes to
@@ -572,10 +550,9 @@ pub fn simulate_factor_traced(
         let mut u_incoming: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
         if broadcast == Broadcast::Direct {
             let mut msgs: BTreeMap<((usize, usize), (usize, usize)), usize> = BTreeMap::new();
-            for bj in k + 1..nb {
-                let src = dist.owner(k, bj);
-                for dst in col_dests(dist, bj, k + 1..nb, src) {
-                    *msgs.entry((src, dst)).or_insert(0) += 1;
+            for b in u_bcasts {
+                for &dst in &b.dests {
+                    *msgs.entry((b.src, dst)).or_insert(0) += 1;
                 }
             }
             for (&(src, dst), &blocks) in &msgs {
@@ -586,12 +563,12 @@ pub fn simulate_factor_traced(
         } else {
             // Cartesian ring/tree: one broadcast per grid column, to the
             // grid rows owning trailing block rows.
-            let src_row = dist.owner(k, k).0;
-            let mut trailing_rows: Vec<usize> = (k + 1..nb).map(|bi| dist.owner(bi, k).0).collect();
+            let src_row = l_bcasts[0].src.0;
+            let mut trailing_rows: Vec<usize> = l_bcasts[1..].iter().map(|b| b.src.0).collect();
             trailing_rows.sort_unstable();
             trailing_rows.dedup();
             for gj in 0..q {
-                let blocks = (k + 1..nb).filter(|&bj| dist.owner(k, bj).1 == gj).count();
+                let blocks = u_bcasts.iter().filter(|b| b.src.1 == gj).count();
                 if blocks == 0 {
                     continue;
                 }
@@ -620,7 +597,6 @@ pub fn simulate_factor_traced(
         }
 
         // --- Trailing rank-r update.
-        let trailing = dist.trailing_counts(nb, k + 1);
         for i in 0..p {
             for j in 0..q {
                 if trailing[i][j] == 0 {
@@ -772,13 +748,42 @@ pub fn simulate_cholesky_traced(
         (arr.p(), arr.q()),
         "simulate_cholesky: grid mismatch"
     );
+    interpret_cholesky(arr, &hetgrid_plan::cholesky_plan(dist, nb), cost)
+}
+
+/// Applies the DES cost model to a Cholesky step plan
+/// ([`hetgrid_plan::cholesky_plan`]).
+///
+/// # Panics
+/// Panics if the plan's grid differs from the arrangement's or the plan
+/// contains non-Cholesky steps.
+pub fn interpret_cholesky(arr: &Arrangement, plan: &Plan, cost: CostModel) -> TracedRun {
+    let (p, q) = plan.grid;
+    assert_eq!(
+        (p, q),
+        (arr.p(), arr.q()),
+        "interpret_cholesky: grid mismatch"
+    );
+    let nb = plan.steps.len();
     let mut engine = Engine::new();
     let machine = Machine::new(&mut engine, arr, cost);
     let mut procs = ProcState::new(p, q);
 
-    for k in 0..nb {
+    for step in &plan.steps {
+        let Step::Cholesky {
+            k,
+            diag,
+            panel,
+            panel_bcasts,
+            trailing,
+            ..
+        } = step
+        else {
+            panic!("interpret_cholesky: non-Cholesky step in plan")
+        };
+        let (k, diag_owner) = (*k, *diag);
+
         // --- 1. Diagonal block factorization.
-        let diag_owner = dist.owner(k, k);
         let diag_task = {
             let deps = procs.deps_with_last(diag_owner, vec![]);
             let t = machine.compute(&mut engine, deps, diag_owner, 1, cost.panel_cost);
@@ -789,58 +794,41 @@ pub fn simulate_cholesky_traced(
             continue;
         }
 
-        // --- 2. Diagonal factor to the panel owners below.
-        let mut panel_owners: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-        for bi in k + 1..nb {
-            *panel_owners.entry(dist.owner(bi, k)).or_insert(0) += 1;
-        }
+        // --- 2. Diagonal factor to the panel owners below (panel work
+        // entries are in sorted owner order, matching the historical
+        // message emission order).
         let mut diag_arrived: BTreeMap<(usize, usize), TaskId> = BTreeMap::new();
-        for &owner in panel_owners.keys() {
-            if owner != diag_owner {
-                let m = machine.message(&mut engine, vec![diag_task], diag_owner, owner, 1);
-                diag_arrived.insert(owner, m);
+        for w in panel {
+            if w.owner != diag_owner {
+                let m = machine.message(&mut engine, vec![diag_task], diag_owner, w.owner, 1);
+                diag_arrived.insert(w.owner, m);
             }
         }
 
         // --- 3. Panel triangular solves.
         let mut panel_tasks: BTreeMap<(usize, usize), TaskId> = BTreeMap::new();
-        for (&owner, &blocks) in &panel_owners {
+        for w in panel {
             let mut deps = Vec::new();
-            if owner == diag_owner {
+            if w.owner == diag_owner {
                 deps.push(diag_task);
             } else {
-                deps.push(diag_arrived[&owner]);
+                deps.push(diag_arrived[&w.owner]);
             }
-            let deps = procs.deps_with_last(owner, deps);
-            let t = machine.compute(&mut engine, deps, owner, blocks, cost.trsm_cost);
-            panel_tasks.insert(owner, t);
-            procs.set_last(owner, t);
+            let deps = procs.deps_with_last(w.owner, deps);
+            let t = machine.compute(&mut engine, deps, w.owner, w.blocks, cost.trsm_cost);
+            panel_tasks.insert(w.owner, t);
+            procs.set_last(w.owner, t);
         }
 
         // --- 4. Panel broadcast: block (bi, k) to the owners of the
         // trailing lower-triangle blocks that need it — row bi (as the
-        // left factor, columns k+1..=bi) and column bi (as the right
-        // factor, rows bi..nb).
+        // left factor) and column bi (as the right factor).
         let mut incoming: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
         {
             let mut msgs: BTreeMap<((usize, usize), (usize, usize)), usize> = BTreeMap::new();
-            for bi in k + 1..nb {
-                let src = dist.owner(bi, k);
-                let mut dests: Vec<(usize, usize)> = Vec::new();
-                for bj in k + 1..=bi {
-                    let o = dist.owner(bi, bj);
-                    if o != src && !dests.contains(&o) {
-                        dests.push(o);
-                    }
-                }
-                for bi2 in bi..nb {
-                    let o = dist.owner(bi2, bi);
-                    if o != src && !dests.contains(&o) {
-                        dests.push(o);
-                    }
-                }
-                for dst in dests {
-                    *msgs.entry((src, dst)).or_insert(0) += 1;
+            for b in panel_bcasts {
+                for &dst in &b.dests {
+                    *msgs.entry((b.src, dst)).or_insert(0) += 1;
                 }
             }
             for (&(src, dst), &blocks) in &msgs {
@@ -851,20 +839,14 @@ pub fn simulate_cholesky_traced(
         }
 
         // --- 5. Symmetric trailing update (lower triangle only).
-        let mut trailing: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-        for bi in k + 1..nb {
-            for bj in k + 1..=bi {
-                *trailing.entry(dist.owner(bi, bj)).or_insert(0) += 1;
-            }
-        }
-        for (&owner, &blocks) in &trailing {
-            let mut deps = incoming.remove(&owner).unwrap_or_default();
-            if let Some(&t) = panel_tasks.get(&owner) {
+        for w in trailing {
+            let mut deps = incoming.remove(&w.owner).unwrap_or_default();
+            if let Some(&t) = panel_tasks.get(&w.owner) {
                 deps.push(t);
             }
-            let deps = procs.deps_with_last(owner, deps);
-            let t = machine.compute(&mut engine, deps, owner, blocks, 1.0);
-            procs.set_last(owner, t);
+            let deps = procs.deps_with_last(w.owner, deps);
+            let t = machine.compute(&mut engine, deps, w.owner, w.blocks, 1.0);
+            procs.set_last(w.owner, t);
         }
     }
 

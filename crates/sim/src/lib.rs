@@ -10,9 +10,11 @@
 //! * [`machine`] — the HNOW machine model of Section 2.2: sequential
 //!   per-processor communication, Ethernet (shared bus) vs switched
 //!   networks, per-processor cycle-times;
-//! * [`kernels`] — task-graph generators for outer-product matrix
-//!   multiplication and right-looking LU/QR over any
-//!   [`hetgrid_dist::BlockDist`];
+//! * [`kernels`] — DES interpreters over the shared [`hetgrid_plan`]
+//!   step streams (outer-product matrix multiplication, right-looking
+//!   LU/QR, Cholesky) for any [`hetgrid_dist::BlockDist`];
+//! * [`counts`] — closed per-processor message/work totals, folded over
+//!   the same plans (the harness's predicted-vs-observed oracle);
 //! * [`bsp`] — analytic bulk-synchronous bounds used as cross-checks.
 //!
 //! ```
@@ -49,11 +51,13 @@ pub mod kernels;
 pub mod machine;
 pub mod trace;
 
-pub use counts::{cholesky_counts, lu_counts, mm_counts, KernelCounts};
+pub use counts::{cholesky_counts, lu_counts, mm_counts, qr_counts, KernelCounts};
 pub use drift::DriftProfile;
+pub use hetgrid_plan as plan;
 pub use kernels::{
-    simulate_cholesky, simulate_cholesky_traced, simulate_factor_bcast, simulate_factor_traced,
-    simulate_lu, simulate_mm, simulate_mm_rect, simulate_mm_traced, simulate_qr, simulate_trsv,
-    Broadcast, FactorKind, TracedRun,
+    interpret_cholesky, interpret_factor, interpret_mm, simulate_cholesky,
+    simulate_cholesky_traced, simulate_factor_bcast, simulate_factor_traced, simulate_lu,
+    simulate_mm, simulate_mm_rect, simulate_mm_traced, simulate_qr, simulate_trsv, Broadcast,
+    FactorKind, TracedRun,
 };
 pub use machine::{CostModel, Network, SimReport};
