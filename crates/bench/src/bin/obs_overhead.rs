@@ -86,7 +86,7 @@ fn main() {
         reps
     );
     let mut gemm = || {
-        std::hint::black_box(run_mm(&a, &b, &dist, nb, r, &weights));
+        std::hint::black_box(run_mm(&a, &b, &dist, nb, r, &weights).unwrap());
     };
     let gemm_off = time_traced(reps, false, &mut gemm);
     let gemm_on = time_traced(reps, true, &mut gemm);

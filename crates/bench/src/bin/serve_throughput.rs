@@ -1,0 +1,163 @@
+//! Throughput and latency benchmark for `hetgrid serve`, over real TCP
+//! on loopback. Written to `BENCH_serve.json` at the repo root:
+//!
+//! 1. **cold** — every request carries a distinct cycle-time matrix,
+//!    so each one misses the plan cache and runs the full heuristic
+//!    solve + plan generation + plan encoding;
+//! 2. **hot** — the same request repeated, so after the first miss
+//!    every response is served from the content-addressed cache;
+//! 3. **throughput** — several client threads hammering a small hot
+//!    working set concurrently, reported as requests per second.
+//!
+//! Latencies are measured at the wire level (pre-encoded request
+//! frames in, raw response frames out) so they isolate what the server
+//! does per request; client-side plan decoding is identical for hit
+//! and miss and is benchmarked separately in the plan crate. The
+//! cold/hot split is the service's reason to exist: the JSON records
+//! the p50 speedup so regressions in the cache path are visible.
+//!
+//! Usage: `serve_throughput [--smoke]`; `--smoke` shrinks request
+//! counts so CI exercises the full path in seconds. Timings on shared
+//! runners are reported, not asserted (the accompanying CI job checks
+//! the speedup ratio, which is robust to machine speed).
+
+use hetgrid_obs::diag;
+use hetgrid_serve::proto::{
+    decode_response, encode_request, Kernel, PlanSpec, Request, RequestBody, Response, SolveSpec,
+};
+use hetgrid_serve::{spawn, Client, ServiceConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The response kind byte for a successful Plan (offset 3 in the
+/// payload: magic, version, kind).
+const PLAN_KIND: u8 = 2;
+
+/// An encoded plan request on a 4x4 grid; `seed` perturbs the cycle
+/// times so distinct seeds are distinct cache fingerprints. `nb = 96`
+/// makes plan generation the dominant per-miss cost, which is the
+/// realistic regime for the cache (solves and plans grow with the
+/// problem; the lookup does not).
+fn plan_frame(seed: usize) -> Vec<u8> {
+    let times: Vec<f64> = (0..16)
+        .map(|i| 1.0 + ((i * 7 + seed * 13) % 23) as f64 / 4.0)
+        .collect();
+    encode_request(&Request {
+        tenant: "bench".into(),
+        body: RequestBody::Plan(PlanSpec {
+            solve: SolveSpec { p: 4, q: 4, times },
+            kernel: Kernel::Lu,
+            nb: 96,
+        }),
+    })
+}
+
+/// Per-request wire latencies in milliseconds for pre-encoded frames
+/// over one connection.
+fn measure(client: &mut Client, frames: &[Vec<u8>]) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let t0 = Instant::now();
+        let resp = client.request_raw(frame).expect("request");
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(resp.get(3), Some(&PLAN_KIND), "expected a Plan response");
+    }
+    lat
+}
+
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn stats(mut lat: Vec<f64>) -> (f64, f64, f64) {
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    (mean, percentile(&lat, 50.0), percentile(&lat, 99.0))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (cold_reqs, hot_reqs, clients, per_client) = if smoke {
+        (8, 40, 4, 25)
+    } else {
+        (32, 200, 8, 100)
+    };
+
+    let handle = spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = handle.addr();
+    diag!("serve_throughput: server on {addr}");
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Sanity: one full decode proves the responses really are plans.
+    let first = client
+        .request_raw(&plan_frame(usize::MAX))
+        .expect("request");
+    assert!(matches!(
+        decode_response(&first).expect("decodes"),
+        Response::Plan(_)
+    ));
+
+    // --- 1. cold: distinct fingerprints, full solve each time ---
+    let cold_frames: Vec<Vec<u8>> = (0..cold_reqs).map(plan_frame).collect();
+    let (cold_mean, cold_p50, cold_p99) = stats(measure(&mut client, &cold_frames));
+    println!(
+        "cold (distinct fingerprints, n={cold_reqs}): mean {cold_mean:.3} ms, \
+         p50 {cold_p50:.3} ms, p99 {cold_p99:.3} ms"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{ \"n\": {cold_reqs}, \"mean_ms\": {cold_mean:.4}, \
+         \"p50_ms\": {cold_p50:.4}, \"p99_ms\": {cold_p99:.4} }},"
+    );
+
+    // --- 2. hot: one fingerprint, already primed by the sanity check ---
+    let hot_frames: Vec<Vec<u8>> = (0..hot_reqs).map(|_| plan_frame(usize::MAX)).collect();
+    let (hot_mean, hot_p50, hot_p99) = stats(measure(&mut client, &hot_frames));
+    let speedup = cold_p50 / hot_p50;
+    println!(
+        "hot (cached, n={hot_reqs}): mean {hot_mean:.3} ms, p50 {hot_p50:.3} ms, \
+         p99 {hot_p99:.3} ms  -> p50 speedup {speedup:.1}x"
+    );
+    let _ = writeln!(
+        json,
+        "  \"hot\": {{ \"n\": {hot_reqs}, \"mean_ms\": {hot_mean:.4}, \
+         \"p50_ms\": {hot_p50:.4}, \"p99_ms\": {hot_p99:.4} }},"
+    );
+    let _ = writeln!(json, "  \"p50_speedup\": {speedup:.2},");
+
+    // --- 3. throughput: concurrent clients over a hot working set ---
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // A working set of 4 fingerprints, phase-shifted per
+                // client so connections contend on the same entries.
+                let frames: Vec<Vec<u8>> = (0..per_client)
+                    .map(|i| plan_frame(1000 + (i + c) % 4))
+                    .collect();
+                let _ = measure(&mut client, &frames);
+            });
+        }
+    });
+    let total = clients * per_client;
+    let req_per_s = total as f64 / t0.elapsed().as_secs_f64();
+    println!("throughput: {clients} clients x {per_client} reqs -> {req_per_s:.0} req/s");
+    let _ = writeln!(
+        json,
+        "  \"throughput\": {{ \"clients\": {clients}, \"requests\": {total}, \
+         \"req_per_s\": {req_per_s:.1} }}"
+    );
+
+    handle.shutdown();
+    json.push_str("}\n");
+    // BENCH_serve.json lives at the repo root, two levels above this
+    // crate's manifest directory.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_serve.json");
+    std::fs::write(&path, json).expect("writing BENCH_serve.json");
+    diag!("wrote {}", path);
+}

@@ -52,6 +52,8 @@ fn main() {
         Some("rank1") => cmd_rank1(&args),
         Some("rebalance") => cmd_rebalance(&args),
         Some("adapt") => cmd_adapt(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -88,6 +90,12 @@ fn print_usage() {
     println!("             [--period 10] [--width 2] [--half-life 3] [--threshold 0.2]");
     println!("             [--patience 3] [--cooldown 5] [--safety 1.5] [--move-cost 1]");
     println!("             [--csv]       (closed-loop static vs adaptive comparison)");
+    println!("  serve      [--addr 127.0.0.1:7421] [--cache 256] [--queue 64]");
+    println!("             [--quota-rps R --quota-burst B]   (scheduling service; runs");
+    println!("             until a client sends --op shutdown)");
+    println!("  submit     --addr HOST:PORT [--op solve|plan|simulate|metrics|shutdown]");
+    println!("             [--times .. --grid PxQ] [--kernel mm|lu|cholesky|qr] [--nb 8]");
+    println!("             [--tenant NAME] [--repeat 1]   (client for a running serve)");
     println!();
     println!("global options:");
     println!("  --trace-out FILE    Chrome trace-event JSON (run/adapt/solve/simulate);");
@@ -586,13 +594,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "mm" => {
             let a = random_matrix(&mut rng, n, n);
             let b = random_matrix(&mut rng, n, n);
-            let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &weights);
+            let (c, report) =
+                run_mm(&a, &b, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
             let err = c.sub(&matmul(&a, &b)).max_abs();
             (report, format!("max |C - A*B|    = {:.3e}", err))
         }
         "lu" => {
             let a = dominant_matrix(&mut rng, n);
-            let (packed, report) = run_lu(&a, dist.as_ref(), nb, r, &weights);
+            let (packed, report) =
+                run_lu(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
             let lu = matmul(
                 &unit_lower_from_packed(&packed),
                 &upper_from_packed(&packed),
@@ -602,13 +612,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         "cholesky" => {
             let a = spd_matrix(&mut rng, n);
-            let (l, report) = run_cholesky(&a, dist.as_ref(), nb, r, &weights);
+            let (l, report) =
+                run_cholesky(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
             let err = matmul(&l, &l.transpose()).sub(&a).max_abs();
             (report, format!("max |L*L^T - A|  = {:.3e}", err))
         }
         "qr" => {
             let a = random_matrix(&mut rng, n, n);
-            let (packed, taus, report) = run_qr(&a, dist.as_ref(), nb, r, &weights);
+            let (packed, taus, report) =
+                run_qr(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
             let (qm, rm) = hetgrid_exec::qr_unpack(&packed, &taus, nb, r);
             let err = matmul(&qm, &rm).sub(&a).max_abs();
             (report, format!("max |Q*R - A|    = {:.3e}", err))
@@ -842,4 +854,135 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Runs the scheduling service until a client sends a `Shutdown`
+/// request. With `--trace-out`, per-request spans from the `serve`
+/// track (and any executor activity) are exported when the server
+/// drains; `--metrics-out` writes the session's metrics delta.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use hetgrid_serve::{QuotaConfig, ServiceConfig};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7421");
+    let cfg = ServiceConfig {
+        cache_capacity: args.get_parse("cache", 256usize)?,
+        queue_limit: args.get_parse("queue", 64usize)?,
+        quota: QuotaConfig {
+            rate_per_sec: args.get_parse("quota-rps", 0.0f64)?,
+            burst: args.get_parse("quota-burst", 8.0f64)?,
+        },
+    };
+    let obs = ObsSession::begin(args);
+    let handle = hetgrid_serve::spawn(addr, cfg).map_err(|e| format!("binding {}: {}", addr, e))?;
+    // The resolved address on stdout is the machine-readable contract:
+    // harnesses bind `:0` and read the port from here. Flush
+    // explicitly: stdout is block-buffered when redirected to a file,
+    // and a harness polls for this line while the server runs.
+    println!("listening {}", handle.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    handle.join();
+    let snapshot = hetgrid_obs::metrics().snapshot().filtered("serve.");
+    println!("{}", snapshot.to_text());
+    obs.finish()
+}
+
+/// Client for a running `hetgrid serve`: sends one request kind
+/// `--repeat` times over a single connection and prints each response.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    use hetgrid_serve::proto::{PlanSpec, Request, RequestBody, SolveSpec};
+    use hetgrid_serve::Client;
+
+    let addr = args.require("addr")?;
+    let op = args.get("op").unwrap_or("plan");
+    let tenant = args.get("tenant").unwrap_or("").to_string();
+    let repeat: usize = args.get_parse("repeat", 1usize)?;
+
+    let body = match op {
+        "metrics" => RequestBody::Metrics,
+        "shutdown" => RequestBody::Shutdown,
+        "solve" | "plan" | "simulate" => {
+            let times = args.times()?;
+            let (p, q) = args.grid()?;
+            if times.len() != p * q {
+                return Err(format!("{} times for a {}x{} grid", times.len(), p, q));
+            }
+            let solve = SolveSpec { p, q, times };
+            if op == "solve" {
+                RequestBody::Solve(solve)
+            } else {
+                let kernel = hetgrid_serve::Kernel::parse(args.get("kernel").unwrap_or("lu"))
+                    .ok_or_else(|| format!("unknown kernel: {:?}", args.get("kernel")))?;
+                let nb: usize = args.get_parse("nb", 8usize)?;
+                let spec = PlanSpec { solve, kernel, nb };
+                if op == "plan" {
+                    RequestBody::Plan(spec)
+                } else {
+                    RequestBody::Simulate(spec)
+                }
+            }
+        }
+        other => return Err(format!("unknown --op: {}", other)),
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {}: {}", addr, e))?;
+    for i in 0..repeat {
+        let resp = client
+            .request(&Request {
+                tenant: tenant.clone(),
+                body: body.clone(),
+            })
+            .map_err(|e| format!("request {} failed: {}", i, e))?;
+        print_response(&resp, args.verbosity());
+    }
+    Ok(())
+}
+
+fn print_response(resp: &hetgrid_serve::Response, verbosity: i32) {
+    use hetgrid_serve::proto::Response;
+    match resp {
+        Response::Solve(r) => {
+            println!(
+                "solve ok: {}x{} obj2 {:.6} rows {:?} cols {:?}",
+                r.p, r.q, r.obj2, r.rows, r.cols
+            );
+        }
+        Response::Plan(r) => {
+            let steps = hetgrid_plan_steps(&r.plan_bytes);
+            println!(
+                "plan ok: {}x{} obj2 {:.6} plan {} bytes ({} steps)",
+                r.solve.p,
+                r.solve.q,
+                r.solve.obj2,
+                r.plan_bytes.len(),
+                steps
+            );
+        }
+        Response::Simulate(r) => {
+            println!(
+                "simulate ok: {}x{} messages {} work {}",
+                r.p,
+                r.q,
+                r.messages.iter().sum::<u64>(),
+                r.work.iter().sum::<u64>()
+            );
+            if verbosity > 1 {
+                println!("  per-proc messages {:?}", r.messages);
+                println!("  per-proc work     {:?}", r.work);
+            }
+        }
+        Response::Metrics(json) => println!("{}", json),
+        Response::ShuttingDown => println!("server shutting down"),
+        Response::Busy => println!("server busy (load shed)"),
+        Response::QuotaExceeded => println!("quota exceeded"),
+        Response::BadRequest(msg) => println!("bad request: {}", msg),
+        Response::ServerError(msg) => println!("server error: {}", msg),
+    }
+}
+
+/// Step count of an encoded plan, or 0 when it fails to decode (the
+/// server produced it, so failure here is cosmetic only).
+fn hetgrid_plan_steps(bytes: &[u8]) -> usize {
+    hetgrid_plan::wire::decode(bytes)
+        .map(|p| p.steps.len())
+        .unwrap_or(0)
 }

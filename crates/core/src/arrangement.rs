@@ -12,6 +12,73 @@ use std::fmt;
 /// Index of a processor in the original (unarranged) processor list.
 pub type ProcId = usize;
 
+/// Why a cycle-time specification cannot form an [`Arrangement`].
+///
+/// The panicking constructors ([`Arrangement::from_times`] and friends)
+/// are right for in-process callers whose inputs are program invariants;
+/// code fed by *untrusted* input — the CLI argument parser, the
+/// `hetgrid serve` wire protocol — validates first with
+/// [`validate_times`] / [`Arrangement::try_from_times`] so a malformed
+/// request degrades to a typed error instead of a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimesError {
+    /// `p == 0` or `q == 0`.
+    EmptyGrid,
+    /// `times.len()` is not `p * q`.
+    SizeMismatch {
+        /// `p * q`.
+        expected: usize,
+        /// `times.len()`.
+        got: usize,
+    },
+    /// A cycle-time is not strictly positive and finite.
+    BadCycleTime {
+        /// Row-major index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TimesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimesError::EmptyGrid => write!(f, "grid must have p >= 1 and q >= 1"),
+            TimesError::SizeMismatch { expected, got } => {
+                write!(f, "expected {expected} cycle-times, got {got}")
+            }
+            TimesError::BadCycleTime { index, value } => write!(
+                f,
+                "cycle-time [{index}] = {value} must be strictly positive and finite"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimesError {}
+
+/// Checks that `times` is a well-formed row-major `p x q` cycle-time
+/// matrix: non-empty grid, exact length, every entry strictly positive
+/// and finite. The non-panicking counterpart of the
+/// [`Arrangement::from_times`] assertions.
+pub fn validate_times(times: &[f64], p: usize, q: usize) -> Result<(), TimesError> {
+    if p == 0 || q == 0 {
+        return Err(TimesError::EmptyGrid);
+    }
+    if times.len() != p * q {
+        return Err(TimesError::SizeMismatch {
+            expected: p * q,
+            got: times.len(),
+        });
+    }
+    for (index, &value) in times.iter().enumerate() {
+        if !(value > 0.0 && value.is_finite()) {
+            return Err(TimesError::BadCycleTime { index, value });
+        }
+    }
+    Ok(())
+}
+
 /// A concrete placement of `p * q` heterogeneous processors on a `p x q`
 /// grid.
 ///
@@ -43,6 +110,15 @@ impl Arrangement {
         );
         let procs = (0..p * q).collect();
         Arrangement { p, q, times, procs }
+    }
+
+    /// Non-panicking [`Arrangement::from_times`]: validates first and
+    /// reports a typed [`TimesError`] on malformed input. Use this on
+    /// untrusted input paths (CLI arguments, the serve wire protocol).
+    pub fn try_from_times(p: usize, q: usize, times: Vec<f64>) -> Result<Self, TimesError> {
+        validate_times(&times, p, q)?;
+        let procs = (0..p * q).collect();
+        Ok(Arrangement { p, q, times, procs })
     }
 
     /// Builds an arrangement from rows of cycle-times.

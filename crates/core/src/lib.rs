@@ -65,6 +65,8 @@ pub mod rank1;
 pub mod rounding;
 pub mod search;
 
-pub use arrangement::{enumerate_nondecreasing, sorted_row_major, Arrangement};
+pub use arrangement::{
+    enumerate_nondecreasing, sorted_row_major, validate_times, Arrangement, TimesError,
+};
 pub use objective::Allocation;
 pub use problem::{Method, Problem, Solution};

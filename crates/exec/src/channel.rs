@@ -5,25 +5,47 @@
 //!
 //! Semantics match crossbeam where the executor relies on them:
 //!
-//! * [`Sender::send`] fails only when every receiver is gone;
+//! * [`Sender::send`] fails only when every receiver is gone (or the
+//!   channel was [poisoned](Sender::poison));
 //! * [`Receiver::recv`] blocks until a message arrives and fails only
-//!   when the channel is empty and every sender is gone;
+//!   when the channel is empty and every sender is gone, or the channel
+//!   was poisoned;
 //! * dropping the last sender wakes all blocked receivers so shutdown
 //!   cannot deadlock.
+//!
+//! Every operation recovers from mutex poisoning (a panicking thread
+//! holding the lock) instead of propagating it: the protected state is
+//! a plain queue whose invariants hold between operations, so the
+//! "poisoned" marker carries no information worth dying for. The
+//! *channel-level* poison ([`Sender::poison`]) is different and
+//! deliberate: it marks the whole conversation as doomed so blocked
+//! peers fail fast with a typed error instead of deadlocking when one
+//! participant of a multi-party run has dropped out early.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// Set by [`Sender::poison`]: the conversation is doomed; every
+    /// subsequent send and recv fails immediately.
+    poisoned: bool,
 }
 
 struct Shared<T> {
     state: Mutex<State<T>>,
     cv: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from mutex poisoning (see module
+    /// docs: the queue's invariants hold between operations).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// Creates an unbounded channel.
@@ -33,6 +55,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             queue: VecDeque::new(),
             senders: 1,
             receivers: 1,
+            poisoned: false,
         }),
         cv: Condvar::new(),
     });
@@ -45,19 +68,22 @@ pub struct Sender<T>(Arc<Shared<T>>);
 /// Receiving half; clonable (all clones drain the same queue).
 pub struct Receiver<T>(Arc<Shared<T>>);
 
-/// The message could not be delivered: all receivers are gone. Carries
-/// the undelivered message back, like crossbeam's error.
+/// The message could not be delivered: all receivers are gone (or the
+/// channel was poisoned). Carries the undelivered message back, like
+/// crossbeam's error.
 pub struct SendError<T>(pub T);
 
-/// The channel is empty and all senders are gone.
+/// The channel is empty and all senders are gone, or the channel was
+/// poisoned.
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
 impl<T> Sender<T> {
-    /// Enqueues `value`, failing only if every receiver was dropped.
+    /// Enqueues `value`, failing only if every receiver was dropped or
+    /// the channel was poisoned.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut st = self.0.state.lock().expect("channel poisoned");
-        if st.receivers == 0 {
+        let mut st = self.0.lock();
+        if st.receivers == 0 || st.poisoned {
             return Err(SendError(value));
         }
         st.queue.push_back(value);
@@ -65,42 +91,57 @@ impl<T> Sender<T> {
         self.0.cv.notify_one();
         Ok(())
     }
+
+    /// Marks the channel as doomed: every blocked and future `recv`
+    /// fails immediately (queued messages are abandoned), and every
+    /// future `send` fails. Used by the executor's abort path so a run
+    /// with a dropped participant fails fast with typed errors instead
+    /// of deadlocking on messages that will never arrive.
+    pub fn poison(&self) {
+        let mut st = self.0.lock();
+        st.poisoned = true;
+        drop(st);
+        self.0.cv.notify_all();
+    }
 }
 
 impl<T> Receiver<T> {
     /// Blocks for the next message; fails when the channel is drained
-    /// and every sender was dropped.
+    /// and every sender was dropped, or the channel was poisoned.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.0.state.lock().expect("channel poisoned");
+        let mut st = self.0.lock();
         loop {
+            if st.poisoned {
+                return Err(RecvError);
+            }
             if let Some(v) = st.queue.pop_front() {
                 return Ok(v);
             }
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self.0.cv.wait(st).expect("channel poisoned");
+            st = self.0.cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.0.state.lock().expect("channel poisoned").senders += 1;
+        self.0.lock().senders += 1;
         Sender(self.0.clone())
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.0.state.lock().expect("channel poisoned").receivers += 1;
+        self.0.lock().receivers += 1;
         Receiver(self.0.clone())
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.0.state.lock().expect("channel poisoned");
+        let mut st = self.0.lock();
         st.senders -= 1;
         let last = st.senders == 0;
         drop(st);
@@ -113,7 +154,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.0.state.lock().expect("channel poisoned").receivers -= 1;
+        self.0.lock().receivers -= 1;
     }
 }
 
@@ -198,6 +239,26 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_receiver_and_fails_senders() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let waiter = thread::spawn(move || rx.recv());
+        // Give the receiver a moment to block, then poison.
+        thread::sleep(std::time::Duration::from_millis(10));
+        tx.poison();
+        assert!(waiter.join().unwrap().is_err(), "poison must wake recv");
+        assert!(tx2.send(1).is_err(), "send after poison must fail");
+    }
+
+    #[test]
+    fn poison_abandons_queued_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.poison();
+        assert!(rx.recv().is_err(), "a poisoned run is doomed; fail fast");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::step::{check_weights, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Transport};
+use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::cholesky::cholesky;
 use hetgrid_linalg::gemm::gemm;
@@ -29,7 +29,8 @@ const TAG_L: u8 = 1;
 
 /// Factors the SPD matrix `a` over the distribution; returns the
 /// gathered lower factor `L` (upper triangle zero) and the execution
-/// report. Only the lower triangle of `a` participates; the strict
+/// report, or a typed [`ExecError`] if a worker dropped out mid-run.
+/// Only the lower triangle of `a` participates; the strict
 /// upper-triangle blocks of the result are zeroed.
 ///
 /// # Panics
@@ -41,7 +42,7 @@ pub fn run_cholesky(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     run_cholesky_on(&ChannelTransport, a, dist, nb, r, weights)
 }
 
@@ -57,7 +58,7 @@ pub fn run_cholesky_on(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_cholesky");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
@@ -65,7 +66,7 @@ pub fn run_cholesky_on(
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
         worker(&plan, r, me, da.stores[me].clone(), courier, clock)
-    });
+    })?;
 
     let mut l = Matrix::zeros(nb * r, nb * r);
     let mut blocks_seen = 0usize;
@@ -86,7 +87,7 @@ pub fn run_cholesky_on(
             l[(i, j)] = 0.0;
         }
     }
-    (l, report)
+    Ok((l, report))
 }
 
 fn worker(
@@ -96,7 +97,7 @@ fn worker(
     mut blocks: BlockStore,
     courier: &mut Courier<Matrix>,
     clock: &mut WorkClock,
-) -> BlockStore {
+) -> Result<BlockStore, Closed> {
     let (_, q) = plan.grid;
     let my = (me / q, me % q);
     let nb = plan.steps.len();
@@ -127,7 +128,7 @@ fn worker(
                 },
             );
             blocks.insert((k, k), lkk.clone());
-            courier.bcast(diag_dests, k, TAG_DIAG, (k, k), &lkk, block_bytes);
+            courier.bcast(diag_dests, k, TAG_DIAG, (k, k), &lkk, block_bytes)?;
         }
         if k + 1 == nb {
             continue;
@@ -140,7 +141,7 @@ fn worker(
             let lkk = if *diag == my {
                 blocks[&(k, k)].clone()
             } else {
-                courier.obtain(k, TAG_DIAG, (k, k)).clone()
+                courier.obtain(k, TAG_DIAG, (k, k))?.clone()
             };
             for bc in panel_bcasts {
                 if bc.src != my {
@@ -155,7 +156,7 @@ fn worker(
                     },
                 );
                 blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes);
+                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes)?;
             }
         }
 
@@ -177,7 +178,7 @@ fn worker(
                         }
                     }
                 }
-                courier.wait_all(need.into_iter().map(|b| (k, TAG_L, (b, k))));
+                courier.wait_all(need.into_iter().map(|b| (k, TAG_L, (b, k))))?;
             }
             let mut update_span = courier.span(format!("update {k}"));
             let units_before = clock.units;
@@ -209,7 +210,7 @@ fn worker(
         courier.end_step(k);
     }
 
-    blocks
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -249,7 +250,7 @@ mod tests {
         let r = 3;
         let a = spd_matrix(nb * r, 0xC0);
         let dist = BlockCyclic::new(2, 2);
-        let (l, _) = run_cholesky(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        let (l, _) = run_cholesky(&a, &dist, nb, r, &vec![vec![1; 2]; 2]).unwrap();
         check(&a, &l, 1e-8);
     }
 
@@ -262,7 +263,7 @@ mod tests {
         let r = 2;
         let a = spd_matrix(nb * r, 0xC1);
         let w = crate::store::slowdown_weights(&arr);
-        let (l, report) = run_cholesky(&a, &dist, nb, r, &w);
+        let (l, report) = run_cholesky(&a, &dist, nb, r, &w).unwrap();
         check(&a, &l, 1e-8);
         assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
     }
@@ -273,7 +274,7 @@ mod tests {
         let r = 4;
         let a = spd_matrix(nb * r, 0xC2);
         let dist = BlockCyclic::new(1, 2);
-        let (l, _) = run_cholesky(&a, &dist, nb, r, &[vec![1; 2]]);
+        let (l, _) = run_cholesky(&a, &dist, nb, r, &[vec![1; 2]]).unwrap();
         let seq = hetgrid_linalg::cholesky::cholesky_blocked(&a, r).unwrap();
         assert!(l.approx_eq(&seq, 1e-8));
     }
@@ -282,7 +283,7 @@ mod tests {
     fn single_processor_cholesky() {
         let a = spd_matrix(8, 0xC3);
         let dist = BlockCyclic::new(1, 1);
-        let (l, _) = run_cholesky(&a, &dist, 4, 2, &[vec![1]]);
+        let (l, _) = run_cholesky(&a, &dist, 4, 2, &[vec![1]]).unwrap();
         check(&a, &l, 1e-9);
     }
 }

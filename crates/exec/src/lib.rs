@@ -46,6 +46,17 @@
 //!   `run_*` entry points use the production [`transport::ChannelTransport`],
 //!   while `hetgrid-harness` swaps in a seeded fault-injecting virtual
 //!   transport for deterministic simulation testing.
+//!
+//! ## Failure semantics
+//!
+//! Every `run_*` entry point returns `Result<_, `[`transport::ExecError`]`>`:
+//! if any worker observes a dropped peer (a closed mailbox on send or
+//! receive), the run is aborted through [`transport::Endpoint::abort`] —
+//! which dooms every mailbox so blocked peers fail fast — all threads
+//! are joined, and the caller gets a typed error instead of a panic or
+//! a deadlock. This is load-bearing for long-running hosts like
+//! `hetgrid serve`, where a single bad run must not take the process
+//! down.
 
 #![warn(missing_docs)]
 // Grid code indexes `owned[i][j]`-style tables with `for i in 0..p`
@@ -75,4 +86,4 @@ pub use mm::{run_mm, run_mm_on, run_mm_rect, run_mm_rect_on};
 pub use qr::{qr_unpack, run_qr, run_qr_on};
 pub use solve::{run_solve, run_solve_on, SolveKind};
 pub use store::{slowdown_weights, DistributedMatrix, ExecReport};
-pub use transport::{ChannelTransport, Endpoint, Transport};
+pub use transport::{ChannelTransport, Closed, Endpoint, ExecError, Transport};

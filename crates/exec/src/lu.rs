@@ -13,7 +13,7 @@
 
 use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Transport};
+use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::tri::{
@@ -31,7 +31,8 @@ const TAG_U: u8 = 2;
 
 /// Factors `a` in place (no pivoting) over the distribution; returns the
 /// gathered packed factors (strictly lower = `L` with unit diagonal,
-/// upper = `U`) and the execution report.
+/// upper = `U`) and the execution report, or a typed [`ExecError`] if a
+/// worker dropped out mid-run.
 ///
 /// # Panics
 /// Panics if sizes mismatch; numerical breakdown (a zero diagonal block
@@ -42,7 +43,7 @@ pub fn run_lu(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     run_lu_on(&ChannelTransport, a, dist, nb, r, weights)
 }
 
@@ -58,7 +59,7 @@ pub fn run_lu_on(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_lu");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
@@ -66,9 +67,9 @@ pub fn run_lu_on(
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
         worker(&plan, r, me, da.stores[me].clone(), courier, clock)
-    });
+    })?;
     let f = gather_result(stores, (nb, nb), r, "run_lu");
-    (f, report)
+    Ok((f, report))
 }
 
 /// Unblocked LU without pivoting of a single block, in place, packed.
@@ -98,7 +99,7 @@ fn worker(
     mut blocks: BlockStore,
     courier: &mut Courier<Matrix>,
     clock: &mut WorkClock,
-) -> BlockStore {
+) -> Result<BlockStore, Closed> {
     let (_, q) = plan.grid;
     let my = (me / q, me % q);
     let mut scratch = Matrix::zeros(r, r);
@@ -140,7 +141,7 @@ fn worker(
                     dests.push(*d);
                 }
             }
-            courier.bcast(&dests, k, TAG_DIAG, (k, k), &packed, block_bytes);
+            courier.bcast(&dests, k, TAG_DIAG, (k, k), &packed, block_bytes)?;
         }
 
         // --- 2. Get the diagonal factors if I need them this step.
@@ -149,7 +150,7 @@ fn worker(
         let packed_diag: Option<Matrix> = if *diag == my {
             Some(blocks[&(k, k)].clone())
         } else if i_own_col || i_own_row {
-            Some(courier.obtain(k, TAG_DIAG, (k, k)).clone())
+            Some(courier.obtain(k, TAG_DIAG, (k, k))?.clone())
         } else {
             None
         };
@@ -170,7 +171,7 @@ fn worker(
                     },
                 );
                 blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes);
+                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes)?;
             }
         }
 
@@ -190,7 +191,7 @@ fn worker(
                     },
                 );
                 blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_U, bc.block, &solved, block_bytes);
+                courier.bcast(&bc.dests, k, TAG_U, bc.block, &solved, block_bytes)?;
             }
         }
 
@@ -214,7 +215,7 @@ fn worker(
                     .map(|&(_, bj)| bj)
                     .filter(|&bj| !blocks.contains_key(&(k, bj)))
                     .map(|bj| (k, TAG_U, (k, bj)));
-                courier.wait_all(need_l.chain(need_u));
+                courier.wait_all(need_l.chain(need_u))?;
             }
             let mut update_span = courier.span(format!("update {k}"));
             let units_before = clock.units;
@@ -245,7 +246,7 @@ fn worker(
         courier.end_step(k);
     }
 
-    blocks
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -287,7 +288,7 @@ mod tests {
         let r = 3;
         let a = dominant_matrix(nb * r, 1);
         let dist = BlockCyclic::new(2, 2);
-        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 2]).unwrap();
         check_lu(&a, &f, 1e-8);
     }
 
@@ -300,7 +301,7 @@ mod tests {
         let r = 2;
         let a = dominant_matrix(nb * r, 2);
         let w = crate::store::slowdown_weights(&arr);
-        let (f, report) = run_lu(&a, &dist, nb, r, &w);
+        let (f, report) = run_lu(&a, &dist, nb, r, &w).unwrap();
         check_lu(&a, &f, 1e-8);
         assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
     }
@@ -313,7 +314,7 @@ mod tests {
         let r = 4;
         let a = dominant_matrix(nb * r, 3);
         let dist = BlockCyclic::new(1, 2);
-        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 1]);
+        let (f, _) = run_lu(&a, &dist, nb, r, &vec![vec![1; 2]; 1]).unwrap();
         let seq = hetgrid_linalg::lu::lu_factor(&a).unwrap();
         assert_eq!(seq.swaps, 0, "test premise: no pivoting happened");
         assert!(f.approx_eq(&seq.lu, 1e-8));
@@ -323,7 +324,7 @@ mod tests {
     fn single_processor_lu() {
         let a = dominant_matrix(8, 4);
         let dist = BlockCyclic::new(1, 1);
-        let (f, _) = run_lu(&a, &dist, 4, 2, &[vec![1]]);
+        let (f, _) = run_lu(&a, &dist, 4, 2, &[vec![1]]).unwrap();
         check_lu(&a, &f, 1e-9);
     }
 }

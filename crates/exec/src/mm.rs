@@ -7,7 +7,7 @@
 
 use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Transport};
+use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
 use hetgrid_linalg::Matrix;
@@ -26,7 +26,8 @@ const TAG_B: u8 = 1;
 /// `dist`, with per-processor slowdown `weights` (block kernels repeated
 /// `w_ij` times).
 ///
-/// Returns the gathered result and per-processor measurements.
+/// Returns the gathered result and per-processor measurements, or a
+/// typed [`ExecError`] if a worker dropped out mid-run.
 ///
 /// # Panics
 /// Panics if matrix sizes do not equal `nb * r` or the weights table
@@ -38,7 +39,7 @@ pub fn run_mm(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     run_mm_rect(a, b, dist, (nb, nb, nb), r, weights)
 }
 
@@ -55,7 +56,7 @@ pub fn run_mm_on(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     run_mm_rect_on(transport, a, b, dist, (nb, nb, nb), r, weights)
 }
 
@@ -71,7 +72,7 @@ pub fn run_mm_rect(
     dims: (usize, usize, usize),
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     run_mm_rect_on(&ChannelTransport, a, b, dist, dims, r, weights)
 }
 
@@ -87,7 +88,7 @@ pub fn run_mm_rect_on(
     (mb, nb, kb): (usize, usize, usize),
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, ExecReport) {
+) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_mm");
     assert_eq!(a.shape(), (mb * r, kb * r), "run_mm: A shape mismatch");
@@ -121,9 +122,9 @@ pub fn run_mm_rect_on(
             courier,
             clock,
         )
-    });
+    })?;
     let c = gather_result(stores, (mb, nb), r, "run_mm");
-    (c, report)
+    Ok((c, report))
 }
 
 fn worker(
@@ -135,7 +136,7 @@ fn worker(
     my_b: &BlockStore,
     courier: &mut Courier<Arc<Matrix>>,
     clock: &mut WorkClock,
-) -> BlockStore {
+) -> Result<BlockStore, Closed> {
     let (_, q) = plan.grid;
     let my = (me / q, me % q);
     let mut c_blocks: BlockStore = owned
@@ -167,7 +168,7 @@ fn worker(
                 let store = if tag == TAG_A { my_a } else { my_b };
                 // One deep copy; recipients share it via the Arc.
                 let payload = Arc::new(store[&bc.block].clone());
-                courier.bcast(&bc.dests, k, tag, bc.block, &payload, block_bytes);
+                courier.bcast(&bc.dests, k, tag, bc.block, &payload, block_bytes)?;
             }
         }
         if let Some(g) = bcast_span.as_mut() {
@@ -189,7 +190,7 @@ fn worker(
                             .filter(|bc| bc.dests.contains(&my))
                             .map(|bc| (k, TAG_B, bc.block)),
                     ),
-            );
+            )?;
         }
 
         // --- Compute phase: C_bi,bj += A_bi,k * B_k,bj (repeated for
@@ -222,7 +223,7 @@ fn worker(
         courier.end_step(k);
     }
 
-    c_blocks
+    Ok(c_blocks)
 }
 
 #[cfg(test)]
@@ -253,7 +254,7 @@ mod tests {
         let a = test_matrix(nb * r, 1);
         let b = test_matrix(nb * r, 2);
         let dist = BlockCyclic::new(2, 2);
-        let (c, report) = run_mm(&a, &b, &dist, nb, r, &uniform_weights(2, 2));
+        let (c, report) = run_mm(&a, &b, &dist, nb, r, &uniform_weights(2, 2)).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
         assert_eq!(
             report.work_units.iter().flatten().sum::<u64>() as usize,
@@ -271,7 +272,7 @@ mod tests {
         let a = test_matrix(nb * r, 3);
         let b = test_matrix(nb * r, 4);
         let w = crate::store::slowdown_weights(&arr);
-        let (c, report) = run_mm(&a, &b, &dist, nb, r, &w);
+        let (c, report) = run_mm(&a, &b, &dist, nb, r, &w).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
         // Weighted work should be close to balanced for this rank-1 grid.
         assert!(
@@ -289,7 +290,7 @@ mod tests {
         let r = 2;
         let a = test_matrix(nb * r, 5);
         let b = test_matrix(nb * r, 6);
-        let (c, _) = run_mm(&a, &b, &dist, nb, r, &uniform_weights(2, 2));
+        let (c, _) = run_mm(&a, &b, &dist, nb, r, &uniform_weights(2, 2)).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
     }
 
@@ -304,7 +305,7 @@ mod tests {
         let a = test_matrix(nb * r, 7);
         let b = test_matrix(nb * r, 8);
         let w = crate::store::slowdown_weights(&arr);
-        let (_, report) = run_mm(&a, &b, &dist, nb, r, &w);
+        let (_, report) = run_mm(&a, &b, &dist, nb, r, &w).unwrap();
         // weights 1,2,3,6, equal counts -> imbalance 6 / 3 = 2.
         assert!((report.work_imbalance() - 2.0).abs() < 1e-9);
     }
@@ -314,7 +315,7 @@ mod tests {
         let a = test_matrix(6, 9);
         let b = test_matrix(6, 10);
         let dist = BlockCyclic::new(1, 1);
-        let (c, report) = run_mm(&a, &b, &dist, 3, 2, &uniform_weights(1, 1));
+        let (c, report) = run_mm(&a, &b, &dist, 3, 2, &uniform_weights(1, 1)).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
         assert_eq!(report.total_messages(), 0, "no peers, no messages");
     }
@@ -343,7 +344,7 @@ mod tests {
             })
         };
         let dist = BlockCyclic::new(2, 2);
-        let (c, _) = run_mm_rect(&a, &b, &dist, (mb, nb, kb), r, &uniform_weights(2, 2));
+        let (c, _) = run_mm_rect(&a, &b, &dist, (mb, nb, kb), r, &uniform_weights(2, 2)).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
     }
 
@@ -363,8 +364,8 @@ mod tests {
         let a = test_matrix(nb * r, 21);
         let b = test_matrix(nb * r, 22);
         let w = uniform_weights(2, 2);
-        let (_, rep_panel) = run_mm(&a, &b, &panel, nb, r, &w);
-        let (_, rep_kl) = run_mm(&a, &b, &kl, nb, r, &w);
+        let (_, rep_panel) = run_mm(&a, &b, &panel, nb, r, &w).unwrap();
+        let (_, rep_kl) = run_mm(&a, &b, &kl, nb, r, &w).unwrap();
         assert!(rep_panel.total_messages() > 0);
         assert_eq!(rep_kl.total_messages(), rep_panel.total_messages());
     }

@@ -17,7 +17,7 @@
 
 use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
-use crate::transport::{ChannelTransport, Transport};
+use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::qr::{qr_factor, QrFactors};
 use hetgrid_linalg::Matrix;
@@ -53,7 +53,8 @@ impl QrPayload {
 /// Factors `a` over the distribution; returns the gathered packed
 /// factors (Householder vectors below each panel's diagonal, `R` on and
 /// above), the Householder scalars (`nb * r` of them, panel-major), and
-/// the execution report. Unpack with [`qr_unpack`].
+/// the execution report, or a typed [`ExecError`] if a worker dropped
+/// out mid-run. Unpack with [`qr_unpack`].
 ///
 /// # Panics
 /// Panics on size mismatch.
@@ -63,7 +64,7 @@ pub fn run_qr(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, Vec<f64>, ExecReport) {
+) -> Result<(Matrix, Vec<f64>, ExecReport), ExecError> {
     run_qr_on(&ChannelTransport, a, dist, nb, r, weights)
 }
 
@@ -79,7 +80,7 @@ pub fn run_qr_on(
     nb: usize,
     r: usize,
     weights: &[Vec<u64>],
-) -> (Matrix, Vec<f64>, ExecReport) {
+) -> Result<(Matrix, Vec<f64>, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_qr");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
@@ -99,17 +100,17 @@ pub fn run_qr_on(
             courier,
             clock,
         )
-    });
+    })?;
 
     let packed = gather_result(stores, (nb, nb), r, "run_qr");
     let taus: Vec<f64> = taus_acc
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(|p| p.into_inner())
         .into_iter()
         .flatten()
         .collect();
     assert_eq!(taus.len(), nb * r, "run_qr: missing Householder scalars");
-    (packed, taus, report)
+    Ok((packed, taus, report))
 }
 
 /// Rebuilds `(Q, R)` from [`run_qr`]'s globally packed factors: `Q` is
@@ -146,7 +147,7 @@ fn worker(
     taus_acc: &Mutex<Vec<Vec<f64>>>,
     courier: &mut Courier<QrPayload>,
     clock: &mut WorkClock,
-) -> BlockStore {
+) -> Result<BlockStore, Closed> {
     let (_, q) = plan.grid;
     let my = (me / q, me % q);
     let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
@@ -180,7 +181,7 @@ fn worker(
                         (bi, bk),
                         QrPayload::Block(blk),
                         block_bytes,
-                    );
+                    )?;
                 }
             }
         }
@@ -198,7 +199,7 @@ fn worker(
                         (bi, bj),
                         QrPayload::Block(blk),
                         block_bytes,
-                    );
+                    )?;
                 }
             }
         }
@@ -214,7 +215,7 @@ fn worker(
                 let blk = if owner == my {
                     blocks[&(bi, k)].clone()
                 } else {
-                    courier.take(k, TAG_PANEL, (bi, k)).into_block()
+                    courier.take(k, TAG_PANEL, (bi, k))?.into_block()
                 };
                 stacked.set_block((bi - k) * r, 0, &blk);
             }
@@ -237,22 +238,22 @@ fn worker(
                         (bi, k),
                         QrPayload::Block(seg),
                         block_bytes,
-                    );
+                    )?;
                 }
             }
-            taus_acc.lock().unwrap()[k] = pf.taus().to_vec();
+            taus_acc.lock().unwrap_or_else(|p| p.into_inner())[k] = pf.taus().to_vec();
             let factors = QrPayload::Factors {
                 packed: pf.packed().clone(),
                 taus: pf.taus().to_vec(),
             };
             let refl_bytes = (nk * r * r + r) as u64 * std::mem::size_of::<f64>() as u64;
-            courier.bcast(reflector_dests, k, TAG_REFL, (k, k), &factors, refl_bytes);
+            courier.bcast(reflector_dests, k, TAG_REFL, (k, k), &factors, refl_bytes)?;
             my_factors = Some(pf);
         } else {
             // --- 3. Foreign panel owners take their reflector segments.
             for &((bi, _), owner) in panel {
                 if owner == my {
-                    let seg = courier.take(k, TAG_SEG, (bi, k)).into_block();
+                    let seg = courier.take(k, TAG_SEG, (bi, k))?.into_block();
                     blocks.insert((bi, k), seg);
                 }
             }
@@ -266,7 +267,7 @@ fn worker(
             let pf: QrFactors = if *diag == my {
                 my_factors.take().expect("factored above")
             } else {
-                match courier.obtain(k, TAG_REFL, (k, k)) {
+                match courier.obtain(k, TAG_REFL, (k, k))? {
                     QrPayload::Factors { packed, taus } => {
                         QrFactors::from_parts(packed.clone(), taus.clone())
                     }
@@ -285,7 +286,7 @@ fn worker(
                     let blk = if owner == my {
                         blocks[&(bi, bj)].clone()
                     } else {
-                        courier.take(k, TAG_COL, (bi, bj)).into_block()
+                        courier.take(k, TAG_COL, (bi, bj))?.into_block()
                     };
                     stacked.set_block((bi - k) * r, 0, &blk);
                 }
@@ -310,7 +311,7 @@ fn worker(
                             (bi, bj),
                             QrPayload::Block(blk),
                             block_bytes,
-                        );
+                        )?;
                     }
                 }
             }
@@ -327,7 +328,7 @@ fn worker(
             }
             for &((bi, bj), owner) in &col.members {
                 if owner == my {
-                    let blk = courier.take(k, TAG_COLRET, (bi, bj)).into_block();
+                    let blk = courier.take(k, TAG_COLRET, (bi, bj))?.into_block();
                     blocks.insert((bi, bj), blk);
                 }
             }
@@ -335,7 +336,7 @@ fn worker(
         courier.end_step(k);
     }
 
-    blocks
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -378,7 +379,7 @@ mod tests {
         let r = 3;
         let a = test_matrix(nb * r, 0xA1);
         let dist = BlockCyclic::new(2, 2);
-        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &vec![vec![1; 2]; 2]);
+        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &vec![vec![1; 2]; 2]).unwrap();
         check_qr(&a, &packed, &taus, nb, r, 1e-9);
     }
 
@@ -390,7 +391,7 @@ mod tests {
         let r = 4;
         let a = test_matrix(nb * r, 0xA2);
         let dist = BlockCyclic::new(1, 2);
-        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &[vec![1; 2]]);
+        let (packed, taus, _) = run_qr(&a, &dist, nb, r, &[vec![1; 2]]).unwrap();
         check_qr(&a, &packed, &taus, nb, r, 1e-9);
         let (_, r_seq) = hetgrid_linalg::qr::qr_blocked(&a, r);
         let n = nb * r;
@@ -411,7 +412,7 @@ mod tests {
         let r = 2;
         let a = test_matrix(nb * r, 0xA3);
         let w = crate::store::slowdown_weights(&arr);
-        let (packed, taus, report) = run_qr(&a, &dist, nb, r, &w);
+        let (packed, taus, report) = run_qr(&a, &dist, nb, r, &w).unwrap();
         check_qr(&a, &packed, &taus, nb, r, 1e-8);
         assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
         assert!(report.messages_sent.iter().flatten().sum::<u64>() > 0);
@@ -421,7 +422,7 @@ mod tests {
     fn single_processor_qr() {
         let a = test_matrix(8, 0xA4);
         let dist = BlockCyclic::new(1, 1);
-        let (packed, taus, report) = run_qr(&a, &dist, 4, 2, &[vec![1]]);
+        let (packed, taus, report) = run_qr(&a, &dist, 4, 2, &[vec![1]]).unwrap();
         check_qr(&a, &packed, &taus, 4, 2, 1e-10);
         assert_eq!(report.messages_sent.iter().flatten().sum::<u64>(), 0);
     }

@@ -5,7 +5,7 @@
 //! library whose expensive phase is the factorization.
 
 use crate::store::ExecReport;
-use crate::transport::{ChannelTransport, Transport};
+use crate::transport::{ChannelTransport, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::tri::{solve_lower, solve_upper};
 use hetgrid_linalg::Matrix;
@@ -21,7 +21,8 @@ pub enum SolveKind {
 }
 
 /// Solves `A x = b` over the distribution; returns the solution and the
-/// factorization's execution report.
+/// factorization's execution report, or a typed [`ExecError`] if a
+/// worker dropped out mid-run.
 ///
 /// # Panics
 /// Panics on size mismatch or numerical breakdown (see
@@ -34,7 +35,7 @@ pub fn run_solve(
     r: usize,
     weights: &[Vec<u64>],
     kind: SolveKind,
-) -> (Vec<f64>, ExecReport) {
+) -> Result<(Vec<f64>, ExecReport), ExecError> {
     run_solve_on(&ChannelTransport, a, b, dist, nb, r, weights, kind)
 }
 
@@ -52,23 +53,23 @@ pub fn run_solve_on(
     r: usize,
     weights: &[Vec<u64>],
     kind: SolveKind,
-) -> (Vec<f64>, ExecReport) {
+) -> Result<(Vec<f64>, ExecReport), ExecError> {
     let n = nb * r;
     assert_eq!(a.shape(), (n, n), "run_solve: matrix size mismatch");
     assert_eq!(b.len(), n, "run_solve: rhs length mismatch");
     let bm = Matrix::from_fn(n, 1, |i, _| b[i]);
     match kind {
         SolveKind::Lu => {
-            let (f, report) = crate::lu::run_lu_on(transport, a, dist, nb, r, weights);
+            let (f, report) = crate::lu::run_lu_on(transport, a, dist, nb, r, weights)?;
             let y = solve_lower(&f, &bm, true);
             let x = solve_upper(&f, &y);
-            ((0..n).map(|i| x[(i, 0)]).collect(), report)
+            Ok(((0..n).map(|i| x[(i, 0)]).collect(), report))
         }
         SolveKind::Cholesky => {
-            let (l, report) = crate::cholesky::run_cholesky_on(transport, a, dist, nb, r, weights);
+            let (l, report) = crate::cholesky::run_cholesky_on(transport, a, dist, nb, r, weights)?;
             let y = solve_lower(&l, &bm, false);
             let x = solve_upper(&l.transpose(), &y);
-            ((0..n).map(|i| x[(i, 0)]).collect(), report)
+            Ok(((0..n).map(|i| x[(i, 0)]).collect(), report))
         }
     }
 }
@@ -124,7 +125,7 @@ mod tests {
         let x0: Vec<f64> = (0..nb * r).map(|i| (i as f64 * 0.31).cos()).collect();
         let b = matvec(&a, &x0);
         let w = crate::store::slowdown_weights(&arr);
-        let (x, _) = run_solve(&a, &b, &dist, nb, r, &w, SolveKind::Lu);
+        let (x, _) = run_solve(&a, &b, &dist, nb, r, &w, SolveKind::Lu).unwrap();
         for i in 0..nb * r {
             assert!(
                 (x[i] - x0[i]).abs() < 1e-7,
@@ -153,7 +154,8 @@ mod tests {
             r,
             &vec![vec![1; 2]; 2],
             SolveKind::Cholesky,
-        );
+        )
+        .unwrap();
         for i in 0..nb * r {
             assert!((x[i] - x0[i]).abs() < 1e-6);
         }

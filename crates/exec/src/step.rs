@@ -24,7 +24,7 @@
 
 use crate::probe::Probe;
 use crate::store::{BlockStore, ExecReport};
-use crate::transport::{Endpoint, Transport};
+use crate::transport::{Closed, Endpoint, ExecError, Transport};
 use hetgrid_obs::trace::SpanGuard;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -62,7 +62,8 @@ impl<P> Courier<P> {
     }
 
     /// Sends `payload` to grid processor `dest`, counting it in the
-    /// report and the obs counters.
+    /// report and the obs counters. Fails with [`Closed`] when the
+    /// destination mailbox is gone (the peer dropped out).
     pub fn send(
         &mut self,
         dest: (usize, usize),
@@ -71,23 +72,22 @@ impl<P> Courier<P> {
         idx: (usize, usize),
         payload: P,
         bytes: u64,
-    ) {
+    ) -> Result<(), Closed> {
         let dest = dest.0 * self.q + dest.1;
-        self.ep
-            .send(
-                dest,
-                WireMsg {
-                    step,
-                    tag,
-                    idx,
-                    payload,
-                },
-            )
-            .expect("receiver hung up");
+        self.ep.send(
+            dest,
+            WireMsg {
+                step,
+                tag,
+                idx,
+                payload,
+            },
+        )?;
         self.sent += 1;
         if let Some(pr) = self.probe.as_mut() {
             pr.sent(dest, step, bytes);
         }
+        Ok(())
     }
 
     /// Sends one clone of `payload` to every destination of a plan
@@ -100,12 +100,14 @@ impl<P> Courier<P> {
         idx: (usize, usize),
         payload: &P,
         bytes: u64,
-    ) where
+    ) -> Result<(), Closed>
+    where
         P: Clone,
     {
         for &dest in dests {
-            self.send(dest, step, tag, idx, payload.clone(), bytes);
+            self.send(dest, step, tag, idx, payload.clone(), bytes)?;
         }
+        Ok(())
     }
 
     /// Messages sent so far.
@@ -113,33 +115,42 @@ impl<P> Courier<P> {
         self.sent
     }
 
-    fn pump_until(&mut self, key: (usize, u8, (usize, usize))) {
+    fn pump_until(&mut self, key: (usize, u8, (usize, usize))) -> Result<(), Closed> {
         while !self.pending.contains_key(&key) {
-            let m = self.ep.recv().expect("sender hung up");
+            let m = self.ep.recv()?;
             self.pending.insert((m.step, m.tag, m.idx), m.payload);
         }
+        Ok(())
     }
 
     /// Blocks until the message is here, leaving it buffered (for
-    /// payloads read by several phases, e.g. diagonal factors).
-    pub fn obtain(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> &P {
-        self.pump_until((step, tag, idx));
-        &self.pending[&(step, tag, idx)]
+    /// payloads read by several phases, e.g. diagonal factors). Fails
+    /// with [`Closed`] when delivery has become impossible.
+    pub fn obtain(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> Result<&P, Closed> {
+        self.pump_until((step, tag, idx))?;
+        Ok(&self.pending[&(step, tag, idx)])
     }
 
     /// Blocks until the message is here and removes it from the buffer.
-    pub fn take(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> P {
-        self.pump_until((step, tag, idx));
-        self.pending.remove(&(step, tag, idx)).unwrap()
+    pub fn take(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> Result<P, Closed> {
+        self.pump_until((step, tag, idx))?;
+        Ok(self
+            .pending
+            .remove(&(step, tag, idx))
+            .expect("pumped above"))
     }
 
     /// Blocks until every listed message has arrived (they stay
     /// buffered; read them with [`Courier::get`]). Keeps the wait phase
     /// separate from the timed compute phase.
-    pub fn wait_all(&mut self, keys: impl Iterator<Item = (usize, u8, (usize, usize))>) {
+    pub fn wait_all(
+        &mut self,
+        keys: impl Iterator<Item = (usize, u8, (usize, usize))>,
+    ) -> Result<(), Closed> {
         for key in keys {
-            self.pump_until(key);
+            self.pump_until(key)?;
         }
+        Ok(())
     }
 
     /// A buffered message that [`Courier::wait_all`] already collected.
@@ -238,19 +249,26 @@ pub(crate) fn check_weights(weights: &[Vec<u64>], (p, q): (usize, usize), kernel
 /// seeded from its slowdown weight. Returns each worker's final block
 /// store (indexed by linear processor id) and the assembled
 /// [`ExecReport`].
+///
+/// A worker that hits a closed transport (a peer dropped out) returns
+/// `Err(Closed)`; the driver then aborts the whole run through
+/// [`Endpoint::abort`] so every blocked peer fails fast, waits for all
+/// threads, and reports the first failing processor as a typed
+/// [`ExecError`] — a dropped peer never panics the process.
 pub(crate) fn run_grid<P, W>(
     transport: &impl Transport,
     (p, q): (usize, usize),
     weights: &[Vec<u64>],
     worker: W,
-) -> (Vec<BlockStore>, ExecReport)
+) -> Result<(Vec<BlockStore>, ExecReport), ExecError>
 where
     P: Send + 'static,
-    W: Fn(usize, &mut Courier<P>, &mut WorkClock) -> BlockStore + Sync,
+    W: Fn(usize, &mut Courier<P>, &mut WorkClock) -> Result<BlockStore, Closed> + Sync,
 {
     let n_procs = p * q;
     let endpoints = transport.connect::<WireMsg<P>>(n_procs);
-    let (done_tx, done_rx) = crate::channel::unbounded::<(usize, BlockStore, f64, u64, u64)>();
+    type Done = (usize, Result<BlockStore, Closed>, f64, u64, u64);
+    let (done_tx, done_rx) = crate::channel::unbounded::<Done>();
 
     let wall_start = Instant::now();
     std::thread::scope(|scope| {
@@ -263,9 +281,16 @@ where
                 let mut courier = Courier::new(ep, (i, j), (p, q));
                 let mut clock = WorkClock::new(w);
                 let store = worker(me, &mut courier, &mut clock);
+                if store.is_err() {
+                    // Doom every peer mailbox so blocked workers fail
+                    // fast instead of waiting for messages this worker
+                    // will never send.
+                    courier.ep.abort();
+                }
                 courier.finish(clock.units);
-                done.send((me, store, clock.busy, clock.units, courier.sent()))
-                    .expect("main hung up");
+                // The main thread outlives the scope; if its receiver
+                // is somehow gone the result has nowhere to go anyway.
+                let _ = done.send((me, store, clock.busy, clock.units, courier.sent()));
             });
         }
     });
@@ -276,14 +301,23 @@ where
     let mut busy = vec![vec![0.0f64; q]; p];
     let mut work = vec![vec![0u64; q]; p];
     let mut msgs = vec![vec![0u64; q]; p];
+    let mut failed: Option<usize> = None;
     while let Ok((me, store, busy_s, units, sent)) = done_rx.recv() {
         let (i, j) = (me / q, me % q);
         busy[i][j] = busy_s;
         work[i][j] = units;
         msgs[i][j] = sent;
-        stores[me] = store;
+        match store {
+            Ok(store) => stores[me] = store,
+            Err(Closed) => failed = Some(failed.map_or(me, |f| f.min(me))),
+        }
     }
-    (
+    if let Some(me) = failed {
+        return Err(ExecError::PeerDropped {
+            proc: (me / q, me % q),
+        });
+    }
+    Ok((
         stores,
         ExecReport {
             wall_seconds,
@@ -291,7 +325,7 @@ where
             work_units: work,
             messages_sent: msgs,
         },
-    )
+    ))
 }
 
 /// Folds worker block stores into one `rows_b x cols_b` block matrix,

@@ -42,6 +42,36 @@ impl fmt::Display for Closed {
 
 impl std::error::Error for Closed {}
 
+/// A distributed kernel run failed: a peer endpoint dropped out (its
+/// thread returned or its mailbox became unreachable) before the plan
+/// completed, so the remaining workers aborted with typed errors
+/// instead of panicking. The run's partial results are discarded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Processor `(i, j)` observed a dropped peer (send or receive on a
+    /// closed mailbox) and aborted the run.
+    PeerDropped {
+        /// Grid coordinates of the first worker (in linear id order)
+        /// that hit the closed transport.
+        proc: (usize, usize),
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PeerDropped { proc: (i, j) } => write!(
+                f,
+                "executor run aborted: processor ({}, {}) observed a dropped peer",
+                i + 1,
+                j + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// One processor's view of the transport: send to any peer by linear
 /// processor id, receive from the own mailbox.
 ///
@@ -59,6 +89,15 @@ pub trait Endpoint<T>: Send {
     /// Blocks for the next message of the own mailbox. Fails when the
     /// mailbox is drained and no live endpoint can refill it.
     fn recv(&self) -> Result<T, Closed>;
+
+    /// Best-effort abort of the whole run this endpoint belongs to:
+    /// marks every peer mailbox as doomed so blocked receivers fail
+    /// fast with [`Closed`] instead of deadlocking on messages that
+    /// will never arrive. Called by the step driver when a worker hits
+    /// a closed transport mid-plan. The default is a no-op — a
+    /// transport with its own liveness mechanism (e.g. the harness
+    /// watchdog) need not implement it.
+    fn abort(&self) {}
 }
 
 /// Factory for a connected set of [`Endpoint`]s — one per virtual
@@ -91,6 +130,12 @@ impl<T: Send> Endpoint<T> for ChannelEndpoint<T> {
 
     fn recv(&self) -> Result<T, Closed> {
         self.rx.recv().map_err(|_| Closed)
+    }
+
+    fn abort(&self) {
+        for tx in &self.txs {
+            tx.poison();
+        }
     }
 }
 
@@ -141,5 +186,23 @@ mod tests {
         // The own mailbox is still alive.
         eps[0].send(0, 4).unwrap();
         assert_eq!(eps[0].recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn abort_fails_blocked_peers_fast() {
+        let eps = ChannelTransport.connect::<u8>(3);
+        let mut it = eps.into_iter();
+        let (e0, e1, e2) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+        // e1 and e2 block waiting for messages that will never come;
+        // without the abort they would deadlock (each still holds a
+        // sender to its own mailbox).
+        let h1 = thread::spawn(move || e1.recv());
+        let h2 = thread::spawn(move || e2.recv());
+        thread::sleep(std::time::Duration::from_millis(10));
+        e0.abort();
+        assert_eq!(h1.join().unwrap(), Err(Closed));
+        assert_eq!(h2.join().unwrap(), Err(Closed));
+        // The aborting endpoint itself also fails from here on.
+        assert_eq!(e0.send(0, 1), Err(Closed));
     }
 }

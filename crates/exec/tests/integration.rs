@@ -97,7 +97,7 @@ fn mm_matches_reference_on_heterogeneous_grids() {
         let b = dense(nb * r, 200 + ai as u64);
         let reference = matmul(&a, &b);
         for (dist, name) in distributions(arr) {
-            let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &w);
+            let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &w).unwrap();
             assert!(
                 c.approx_eq(&reference, 1e-9),
                 "MM mismatch on {}x{} {}: max err {:.3e}",
@@ -121,7 +121,7 @@ fn lu_matches_reference_on_heterogeneous_grids() {
         let (nb, r) = (6, 2);
         let a = dominant(nb * r, 300 + ai as u64);
         for (dist, name) in distributions(arr) {
-            let (f, _) = run_lu(&a, dist.as_ref(), nb, r, &w);
+            let (f, _) = run_lu(&a, dist.as_ref(), nb, r, &w).unwrap();
             let lu = matmul(&unit_lower_from_packed(&f), &upper_from_packed(&f));
             assert!(
                 lu.approx_eq(&a, 1e-8),
@@ -142,7 +142,7 @@ fn cholesky_matches_reference_on_heterogeneous_grids() {
         let (nb, r) = (6, 2);
         let a = spd(nb * r, 400 + ai as u64);
         for (dist, name) in distributions(arr) {
-            let (l, _) = run_cholesky(&a, dist.as_ref(), nb, r, &w);
+            let (l, _) = run_cholesky(&a, dist.as_ref(), nb, r, &w).unwrap();
             let llt = matmul(&l, &l.transpose());
             assert!(
                 llt.approx_eq(&a, 1e-8),
@@ -167,7 +167,7 @@ fn weighted_work_reflects_the_arrangement() {
     let (nb, r) = (4, 2);
     let a = dense(nb * r, 77);
     let b = dense(nb * r, 78);
-    let (_, report) = run_mm(&a, &b, &dist, nb, r, &w);
+    let (_, report) = run_mm(&a, &b, &dist, nb, r, &w).unwrap();
     let blocks_each = (nb * nb / 4) as u64;
     for (i, row) in w.iter().enumerate() {
         for (j, &wij) in row.iter().enumerate() {

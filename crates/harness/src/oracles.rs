@@ -175,6 +175,52 @@ pub fn check_obs_counts(
     Ok(())
 }
 
+/// Accounting oracle for the serve plan cache: checks the
+/// `serve.*` counter invariants on a per-run metrics delta taken
+/// around a batch of requests against a [`hetgrid_serve::Service`].
+///
+/// * every admitted request is either a cache hit or a cache miss —
+///   `hits + misses == admitted`;
+/// * the solver runs exactly once per miss (coalesced duplicates wait
+///   on the leader instead of re-solving) — `solves == misses`;
+/// * the cache can only evict entries it inserted, and insertions only
+///   happen on misses — `evictions <= misses`;
+/// * a coalesced wait is recorded as a hit, so `coalesced <= hits`.
+///
+/// A cache that double-solves, drops accounting on the panic path, or
+/// counts a shed request as admitted fails here even when every
+/// response is correct.
+pub fn check_serve_cache(delta: &hetgrid_obs::MetricsSnapshot) -> Result<(), String> {
+    let admitted = delta.counter("serve.requests.admitted");
+    let hits = delta.counter("serve.cache.hits");
+    let misses = delta.counter("serve.cache.misses");
+    let solves = delta.counter("serve.solver.invocations");
+    let evictions = delta.counter("serve.cache.evictions");
+    let coalesced = delta.counter("serve.cache.coalesced");
+
+    if hits + misses != admitted {
+        return Err(format!(
+            "serve cache accounting leak: hits {hits} + misses {misses} != admitted {admitted}"
+        ));
+    }
+    if solves != misses {
+        return Err(format!(
+            "serve solver ran {solves} times for {misses} cache misses (must be 1:1)"
+        ));
+    }
+    if evictions > misses {
+        return Err(format!(
+            "serve cache evicted {evictions} entries but only {misses} were ever inserted"
+        ));
+    }
+    if coalesced > hits {
+        return Err(format!(
+            "serve coalesced {coalesced} requests but only {hits} hits were recorded"
+        ));
+    }
+    Ok(())
+}
+
 /// Conservation oracle for redistribution: the analytic move count, the
 /// per-edge transfer plan, the live move count reported by
 /// [`hetgrid_adapt::redistribute`], and the gathered matrix content

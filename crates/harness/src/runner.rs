@@ -75,7 +75,8 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         Kernel::Mm => {
             let a = general_matrix(&mut rng, n, n);
             let b = general_matrix(&mut rng, n, n);
-            let (c, report) = run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights);
+            let (c, report) = run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights)
+                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_mm(&a, &b, &c, 1e-9));
             check(oracles::check_counts(
                 &report,
@@ -85,7 +86,8 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Lu => {
             let a = dominant_matrix(&mut rng, n);
-            let (f, report) = run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            let (f, report) = run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
+                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_lu(&a, &f, 1e-8));
             check(oracles::check_counts(
                 &report,
@@ -95,7 +97,8 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Cholesky => {
             let a = spd_matrix(&mut rng, n);
-            let (l, report) = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            let (l, report) = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
+                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_cholesky(&a, &l, 1e-8));
             check(oracles::check_counts(
                 &report,
@@ -105,7 +108,8 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Qr => {
             let a = general_matrix(&mut rng, n, n);
-            let (packed, taus, report) = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            let (packed, taus, report) = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
+                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_qr(&a, &packed, &taus, sc.nb, sc.r, 1e-8));
             check(oracles::check_counts(
                 &report,
@@ -122,7 +126,8 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
             let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let b = matvec(&a, &x0);
             let (x, report) =
-                run_solve_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, kind);
+                run_solve_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, kind)
+                    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_solve(&a, &x, &b, 1e-6));
             let predicted = match kind {
                 SolveKind::Lu => lu_counts(dist, sc.nb, &sc.weights),

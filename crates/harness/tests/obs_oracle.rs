@@ -50,22 +50,22 @@ fn run_instrumented(
         Kernel::Mm => {
             let a = general_matrix(&mut rng, n, n);
             let b = general_matrix(&mut rng, n, n);
-            let _ = run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights);
+            run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights).unwrap();
             mm_counts(dist, (sc.nb, sc.nb, sc.nb), &sc.weights)
         }
         Kernel::Lu => {
             let a = dominant_matrix(&mut rng, n);
-            let _ = run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights).unwrap();
             lu_counts(dist, sc.nb, &sc.weights)
         }
         Kernel::Cholesky => {
             let a = spd_matrix(&mut rng, n);
-            let _ = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights).unwrap();
             cholesky_counts(dist, sc.nb, &sc.weights)
         }
         Kernel::Qr => {
             let a = general_matrix(&mut rng, n, n);
-            let _ = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights);
+            run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights).unwrap();
             qr_counts(dist, sc.nb, &sc.weights)
         }
     };

@@ -299,6 +299,33 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Only the metrics whose names start with `prefix` — the registry
+    /// is process-global, so a component reporting its own metrics over
+    /// a boundary (e.g. the `hetgrid serve` metrics endpoint exporting
+    /// `serve.*`) narrows the snapshot first.
+    pub fn filtered(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
     /// Renders as a JSON document:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> String {
@@ -406,6 +433,20 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn filtered_keeps_only_the_prefix() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("serve.cache.hits".into(), 3);
+        s.counters.insert("exec.messages".into(), 9);
+        s.gauges.insert("serve.queue.depth".into(), 2.0);
+        s.gauges.insert("exec.depth".into(), 5.0);
+        let f = s.filtered("serve.");
+        assert_eq!(f.counter("serve.cache.hits"), 3);
+        assert_eq!(f.counter("exec.messages"), 0);
+        assert_eq!(f.gauge("serve.queue.depth"), 2.0);
+        assert!(!f.gauges.contains_key("exec.depth"));
     }
 
     #[test]

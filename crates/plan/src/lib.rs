@@ -37,6 +37,8 @@
 
 use hetgrid_dist::BlockDist;
 
+pub mod wire;
+
 /// One block broadcast: the owner of `block` sends it to each processor
 /// in `dests` (insertion-order distinct, source excluded).
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,426 @@
+//! Binary wire codec for [`Plan`]: a compact, versioned, deterministic
+//! serialization so a schedule can be cached, shipped over a socket, or
+//! written to disk and rebuilt bit-for-bit elsewhere.
+//!
+//! The primary consumer is `hetgrid-serve`, whose content-addressed
+//! plan cache stores encoded plans and whose `plan` endpoint returns
+//! them to remote clients; the round-trip property (`decode(encode(p))
+//! == p`) is what makes a cached response interchangeable with a fresh
+//! solve.
+//!
+//! Format (all integers little-endian, indices as `u32`):
+//!
+//! ```text
+//! u8 version (= 1)
+//! u32 p, u32 q                       grid shape
+//! u32 rows, then rows x cols x u32   owned-C table (0 rows when empty)
+//! u32 nsteps, then per step:
+//!   u8 tag: 0 Mm, 1 Factor, 2 Cholesky, 3 Qr
+//!   tag-specific fields in declaration order; every Vec is a u32
+//!   count followed by its elements; a grid coordinate is two u32s.
+//! ```
+//!
+//! Decoding is total: malformed input yields a typed [`DecodeError`]
+//! (never a panic), and trailing garbage after a well-formed plan is an
+//! error too, so a decoded plan always accounts for every input byte.
+
+use crate::{Bcast, OwnerWork, Plan, QrColumn, Step};
+
+/// Codec version written by [`encode`] and required by [`decode`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// A malformed plan buffer: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What the decoder was reading when the input ran out or made no
+    /// sense.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed plan at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u32).to_le_bytes());
+}
+
+fn put_pair(out: &mut Vec<u8>, (a, b): (usize, usize)) {
+    put_u32(out, a);
+    put_u32(out, b);
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(usize, usize)]) {
+    put_u32(out, pairs.len());
+    for &p in pairs {
+        put_pair(out, p);
+    }
+}
+
+fn put_bcasts(out: &mut Vec<u8>, bcasts: &[Bcast]) {
+    put_u32(out, bcasts.len());
+    for b in bcasts {
+        put_pair(out, b.block);
+        put_pair(out, b.src);
+        put_pairs(out, &b.dests);
+    }
+}
+
+fn put_work(out: &mut Vec<u8>, work: &[OwnerWork]) {
+    put_u32(out, work.len());
+    for w in work {
+        put_pair(out, w.owner);
+        put_u32(out, w.blocks);
+    }
+}
+
+fn put_table(out: &mut Vec<u8>, table: &[Vec<usize>]) {
+    put_u32(out, table.len());
+    for row in table {
+        put_u32(out, row.len());
+        for &v in row {
+            put_u32(out, v);
+        }
+    }
+}
+
+/// Serializes a plan to its canonical byte form.
+pub fn encode(plan: &Plan) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + plan.steps.len() * 64);
+    out.push(WIRE_VERSION);
+    put_pair(&mut out, plan.grid);
+    put_table(&mut out, &plan.owned);
+    put_u32(&mut out, plan.steps.len());
+    for step in &plan.steps {
+        match step {
+            Step::Mm {
+                k,
+                a_bcasts,
+                b_bcasts,
+            } => {
+                out.push(0);
+                put_u32(&mut out, *k);
+                put_bcasts(&mut out, a_bcasts);
+                put_bcasts(&mut out, b_bcasts);
+            }
+            Step::Factor {
+                k,
+                diag,
+                panel,
+                diag_col_dests,
+                l_bcasts,
+                trsm,
+                u_bcasts,
+                trailing,
+            } => {
+                out.push(1);
+                put_u32(&mut out, *k);
+                put_pair(&mut out, *diag);
+                put_work(&mut out, panel);
+                put_pairs(&mut out, diag_col_dests);
+                put_bcasts(&mut out, l_bcasts);
+                put_work(&mut out, trsm);
+                put_bcasts(&mut out, u_bcasts);
+                put_table(&mut out, trailing);
+            }
+            Step::Cholesky {
+                k,
+                diag,
+                diag_dests,
+                panel,
+                panel_bcasts,
+                trailing,
+            } => {
+                out.push(2);
+                put_u32(&mut out, *k);
+                put_pair(&mut out, *diag);
+                put_pairs(&mut out, diag_dests);
+                put_work(&mut out, panel);
+                put_bcasts(&mut out, panel_bcasts);
+                put_work(&mut out, trailing);
+            }
+            Step::Qr {
+                k,
+                diag,
+                panel,
+                reflector_dests,
+                columns,
+            } => {
+                out.push(3);
+                put_u32(&mut out, *k);
+                put_pair(&mut out, *diag);
+                put_u32(&mut out, panel.len());
+                for (block, owner) in panel {
+                    put_pair(&mut out, *block);
+                    put_pair(&mut out, *owner);
+                }
+                put_pairs(&mut out, reflector_dests);
+                put_u32(&mut out, columns.len());
+                for col in columns {
+                    put_u32(&mut out, col.bj);
+                    put_pair(&mut out, col.head);
+                    put_u32(&mut out, col.members.len());
+                    for (block, owner) in &col.members {
+                        put_pair(&mut out, *block);
+                        put_pair(&mut out, *owner);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.err(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or_else(|| self.err(what))?;
+        let bytes = self.buf.get(self.pos..end).ok_or_else(|| self.err(what))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()) as usize)
+    }
+
+    /// Reads a `u32` element count and sanity-bounds it against the
+    /// bytes remaining (each element needs at least `min_elem_bytes`),
+    /// so a corrupt length can never trigger a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize, DecodeError> {
+        let n = self.u32(what)?;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return Err(self.err(what));
+        }
+        Ok(n)
+    }
+
+    fn pair(&mut self, what: &'static str) -> Result<(usize, usize), DecodeError> {
+        Ok((self.u32(what)?, self.u32(what)?))
+    }
+
+    fn pairs(&mut self, what: &'static str) -> Result<Vec<(usize, usize)>, DecodeError> {
+        let n = self.count(8, what)?;
+        (0..n).map(|_| self.pair(what)).collect()
+    }
+
+    fn bcasts(&mut self, what: &'static str) -> Result<Vec<Bcast>, DecodeError> {
+        let n = self.count(20, what)?;
+        (0..n)
+            .map(|_| {
+                Ok(Bcast {
+                    block: self.pair(what)?,
+                    src: self.pair(what)?,
+                    dests: self.pairs(what)?,
+                })
+            })
+            .collect()
+    }
+
+    fn work(&mut self, what: &'static str) -> Result<Vec<OwnerWork>, DecodeError> {
+        let n = self.count(12, what)?;
+        (0..n)
+            .map(|_| {
+                Ok(OwnerWork {
+                    owner: self.pair(what)?,
+                    blocks: self.u32(what)?,
+                })
+            })
+            .collect()
+    }
+
+    fn table(&mut self, what: &'static str) -> Result<Vec<Vec<usize>>, DecodeError> {
+        let rows = self.count(4, what)?;
+        (0..rows)
+            .map(|_| {
+                let cols = self.count(4, what)?;
+                (0..cols).map(|_| self.u32(what)).collect()
+            })
+            .collect()
+    }
+}
+
+/// Rebuilds a plan from [`encode`]'s byte form. Total: any malformed
+/// input (wrong version, truncation, oversize counts, trailing bytes)
+/// is a [`DecodeError`], never a panic.
+pub fn decode(buf: &[u8]) -> Result<Plan, DecodeError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let version = c.u8("version byte")?;
+    if version != WIRE_VERSION {
+        return Err(DecodeError {
+            offset: 0,
+            what: "unsupported plan codec version",
+        });
+    }
+    let grid = c.pair("grid shape")?;
+    let owned = c.table("owned-C table")?;
+    let nsteps = c.count(5, "step count")?;
+    let mut steps = Vec::with_capacity(nsteps);
+    for _ in 0..nsteps {
+        let tag = c.u8("step tag")?;
+        let step = match tag {
+            0 => Step::Mm {
+                k: c.u32("mm step")?,
+                a_bcasts: c.bcasts("mm a_bcasts")?,
+                b_bcasts: c.bcasts("mm b_bcasts")?,
+            },
+            1 => Step::Factor {
+                k: c.u32("factor step")?,
+                diag: c.pair("factor diag")?,
+                panel: c.work("factor panel")?,
+                diag_col_dests: c.pairs("factor diag_col_dests")?,
+                l_bcasts: c.bcasts("factor l_bcasts")?,
+                trsm: c.work("factor trsm")?,
+                u_bcasts: c.bcasts("factor u_bcasts")?,
+                trailing: c.table("factor trailing")?,
+            },
+            2 => Step::Cholesky {
+                k: c.u32("cholesky step")?,
+                diag: c.pair("cholesky diag")?,
+                diag_dests: c.pairs("cholesky diag_dests")?,
+                panel: c.work("cholesky panel")?,
+                panel_bcasts: c.bcasts("cholesky panel_bcasts")?,
+                trailing: c.work("cholesky trailing")?,
+            },
+            3 => {
+                let k = c.u32("qr step")?;
+                let diag = c.pair("qr diag")?;
+                let npanel = c.count(16, "qr panel")?;
+                let panel = (0..npanel)
+                    .map(|_| Ok((c.pair("qr panel block")?, c.pair("qr panel owner")?)))
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                let reflector_dests = c.pairs("qr reflector_dests")?;
+                let ncols = c.count(16, "qr columns")?;
+                let columns = (0..ncols)
+                    .map(|_| {
+                        let bj = c.u32("qr column bj")?;
+                        let head = c.pair("qr column head")?;
+                        let nmem = c.count(16, "qr column members")?;
+                        let members = (0..nmem)
+                            .map(|_| Ok((c.pair("qr member block")?, c.pair("qr member owner")?)))
+                            .collect::<Result<Vec<_>, DecodeError>>()?;
+                        Ok(QrColumn { bj, head, members })
+                    })
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                Step::Qr {
+                    k,
+                    diag,
+                    panel,
+                    reflector_dests,
+                    columns,
+                }
+            }
+            _ => return Err(c.err("unknown step tag")),
+        };
+        steps.push(step);
+    }
+    if c.pos != buf.len() {
+        return Err(c.err("trailing bytes after plan"));
+    }
+    Ok(Plan { grid, owned, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cholesky_plan, factor_plan, mm_plan, mm_rect_plan, qr_plan};
+    use hetgrid_dist::BlockCyclic;
+
+    fn all_plans() -> Vec<Plan> {
+        let dist = BlockCyclic::new(2, 3);
+        vec![
+            mm_plan(&dist, 5),
+            mm_rect_plan(&dist, (4, 6, 3)),
+            factor_plan(&dist, 6),
+            cholesky_plan(&dist, 6),
+            qr_plan(&dist, 5),
+            Plan {
+                grid: (1, 1),
+                owned: vec![],
+                steps: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kernel_plan() {
+        for plan in all_plans() {
+            let bytes = encode(&plan);
+            let back = decode(&bytes).expect("well-formed plan must decode");
+            assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let dist = BlockCyclic::new(3, 2);
+        let a = encode(&factor_plan(&dist, 7));
+        let b = encode(&factor_plan(&dist, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_at_every_length_errors_not_panics() {
+        let bytes = encode(&qr_plan(&BlockCyclic::new(2, 2), 4));
+        for len in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..len]).is_err(),
+                "truncated prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_and_tags_error_not_panic() {
+        let bytes = encode(&factor_plan(&BlockCyclic::new(2, 2), 4));
+        // Flip each byte in turn to an extreme value; decode must
+        // return (any) result without panicking or allocating wildly.
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] = 0xFF;
+            let _ = decode(&evil);
+        }
+        assert_eq!(
+            decode(&[9]).unwrap_err().what,
+            "unsupported plan codec version"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&mm_plan(&BlockCyclic::new(2, 2), 3));
+        bytes.push(0);
+        assert_eq!(
+            decode(&bytes).unwrap_err().what,
+            "trailing bytes after plan"
+        );
+    }
+}

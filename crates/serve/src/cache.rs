@@ -1,0 +1,173 @@
+//! The content-addressed plan cache: a bounded LRU from request
+//! fingerprint to the *encoded response bytes* produced for it.
+//!
+//! Storing the encoded bytes (rather than the decoded result) is what
+//! guarantees the service's byte-identical-duplicates property: every
+//! request with the same fingerprint — concurrent or later — receives
+//! literally the same `Arc<Vec<u8>>`.
+//!
+//! Each entry also stores the full canonical key bytes; a lookup whose
+//! fingerprint matches but whose key bytes differ (a 128-bit FNV
+//! collision) is reported as a miss, and the subsequent insert
+//! replaces the colliding entry. Correctness therefore never depends
+//! on the hash being collision-free.
+//!
+//! The cache is plain data — no metrics, no locking. The service
+//! wraps it in a mutex and owns the `serve.cache.*` counters, so the
+//! accounting invariants live in one place.
+
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    key: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+/// Bounded LRU of encoded responses keyed by fingerprint.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u128, Entry>,
+}
+
+/// What an insert did (for the service's eviction counter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inserted {
+    /// An older entry was evicted to make room.
+    pub evicted: bool,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` entries
+    /// (`capacity == 0` disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `fp`, verifying the canonical `key` bytes match, and
+    /// refreshes the entry's recency on a hit.
+    pub fn get(&mut self, fp: Fingerprint, key: &[u8]) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let entry = self.map.get_mut(&fp.0)?;
+        if entry.key != key {
+            return None; // fingerprint collision: treat as absent
+        }
+        entry.last_used = self.tick;
+        Some(Arc::clone(&entry.bytes))
+    }
+
+    /// Stores `bytes` under `fp`, evicting the least-recently-used
+    /// entry when full. A colliding entry (same fingerprint, different
+    /// key) is replaced, not evicted.
+    pub fn insert(&mut self, fp: Fingerprint, key: Vec<u8>, bytes: Arc<Vec<u8>>) -> Inserted {
+        if self.capacity == 0 {
+            return Inserted { evicted: false };
+        }
+        self.tick += 1;
+        let replacing = self.map.contains_key(&fp.0);
+        let mut evicted = false;
+        if !replacing && self.map.len() >= self.capacity {
+            // O(n) scan; the cache is small (hundreds) and inserts are
+            // solver-rate, so this is noise next to a solve.
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(
+            fp.0,
+            Entry {
+                key,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        Inserted { evicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    fn entry(tag: u8) -> (Fingerprint, Vec<u8>, Arc<Vec<u8>>) {
+        let key = vec![tag; 4];
+        (fingerprint(&key), key, Arc::new(vec![tag; 8]))
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let mut c = PlanCache::new(4);
+        let (fp, key, bytes) = entry(1);
+        c.insert(fp, key.clone(), Arc::clone(&bytes));
+        let got = c.get(fp, &key).unwrap();
+        assert!(Arc::ptr_eq(&got, &bytes));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        let (fa, ka, ba) = entry(1);
+        let (fb, kb, bb) = entry(2);
+        let (fc, kc, bc) = entry(3);
+        assert!(!c.insert(fa, ka.clone(), ba).evicted);
+        assert!(!c.insert(fb, kb.clone(), bb).evicted);
+        // Touch A so B is the LRU.
+        assert!(c.get(fa, &ka).is_some());
+        assert!(c.insert(fc, kc.clone(), bc).evicted);
+        assert!(c.get(fa, &ka).is_some(), "A was recently used");
+        assert!(c.get(fb, &kb).is_none(), "B was the LRU");
+        assert!(c.get(fc, &kc).is_some());
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss_not_a_wrong_answer() {
+        let mut c = PlanCache::new(4);
+        let (fp, key, bytes) = entry(1);
+        c.insert(fp, key, bytes);
+        // Same fingerprint, different canonical key.
+        assert!(c.get(fp, b"different-key").is_none());
+        // Inserting the collider replaces the entry without eviction.
+        let ins = c.insert(fp, b"different-key".to_vec(), Arc::new(vec![9]));
+        assert!(!ins.evicted);
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get(fp, b"different-key").unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        let (fp, key, bytes) = entry(1);
+        assert!(!c.insert(fp, key.clone(), bytes).evicted);
+        assert!(c.get(fp, &key).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! A minimal blocking client for the serve wire protocol, shared by
+//! `hetgrid submit`, the benches, and the integration tests.
+
+use crate::proto::{decode_response, encode_request, ProtoError, Request, Response};
+use crate::wire::{read_frame, write_frame, WireError};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(std::io::ErrorKind),
+    /// Framing failed mid-conversation.
+    Wire(WireError),
+    /// The server's response did not decode.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(kind) => write!(f, "connect failed: {kind:?}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected client; reusable for many requests over one stream.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` with a 10-second response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.kind()))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req)).map_err(ClientError::Wire)?;
+        let frame = read_frame(&mut self.stream).map_err(ClientError::Wire)?;
+        decode_response(&frame).map_err(ClientError::Proto)
+    }
+
+    /// Sends pre-encoded payload bytes (test hook for malformed
+    /// traffic) and reads back one frame.
+    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, payload).map_err(ClientError::Wire)?;
+        read_frame(&mut self.stream).map_err(ClientError::Wire)
+    }
+}
+
+/// One-shot helper: connect, send, receive, disconnect.
+pub fn submit(addr: impl ToSocketAddrs, req: &Request) -> Result<Response, ClientError> {
+    Client::connect(addr)?.request(req)
+}

@@ -1,0 +1,159 @@
+//! Per-tenant token-bucket quotas.
+//!
+//! Each tenant id maps to a bucket holding up to `burst` tokens that
+//! refills at `rate_per_sec`; admitting a request costs one token.
+//! Time is passed in by the caller as seconds-since-service-start, so
+//! the policy is a pure function of `(history, now)` and the tests are
+//! deterministic — no `Instant::now()` inside.
+//!
+//! The table is bounded: past [`MAX_TENANTS`] distinct tenants, the
+//! stalest bucket is dropped before a new one is made. Dropping a
+//! bucket forgives at most `burst` tokens of debt, which is the right
+//! failure direction (briefly over-admit rather than let a tenant-id
+//! churn attack grow memory without bound).
+
+use std::collections::HashMap;
+
+/// Most distinct tenant buckets held at once.
+pub const MAX_TENANTS: usize = 4096;
+
+/// Quota policy: `rate_per_sec == 0.0` disables quotas entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaConfig {
+    /// Sustained admissions per second per tenant.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how far a tenant can burst above the rate.
+    pub burst: f64,
+}
+
+impl QuotaConfig {
+    /// No quota enforcement.
+    pub fn unlimited() -> Self {
+        QuotaConfig {
+            rate_per_sec: 0.0,
+            burst: 0.0,
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: f64,
+}
+
+/// The per-tenant bucket table.
+pub struct QuotaTable {
+    cfg: QuotaConfig,
+    buckets: HashMap<String, Bucket>,
+}
+
+impl QuotaTable {
+    /// An empty table under `cfg`.
+    pub fn new(cfg: QuotaConfig) -> Self {
+        QuotaTable {
+            cfg,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Tries to admit one request for `tenant` at time `now` (seconds,
+    /// monotonic, caller-supplied). Returns false when the bucket is
+    /// empty.
+    pub fn try_admit(&mut self, tenant: &str, now: f64) -> bool {
+        if self.cfg.rate_per_sec <= 0.0 {
+            return true;
+        }
+        if !self.buckets.contains_key(tenant) && self.buckets.len() >= MAX_TENANTS {
+            if let Some(stalest) = self
+                .buckets
+                .iter()
+                .min_by(|a, b| a.1.last.total_cmp(&b.1.last))
+                .map(|(k, _)| k.clone())
+            {
+                self.buckets.remove(&stalest);
+            }
+        }
+        let burst = self.cfg.burst.max(1.0);
+        let rate = self.cfg.rate_per_sec;
+        let bucket = self.buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: burst,
+            last: now,
+        });
+        bucket.tokens = (bucket.tokens + (now - bucket.last).max(0.0) * rate).min(burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let mut t = QuotaTable::new(QuotaConfig::unlimited());
+        for i in 0..1000 {
+            assert!(t.try_admit("anyone", i as f64 * 1e-6));
+        }
+    }
+
+    #[test]
+    fn burst_then_starve_then_refill() {
+        let mut t = QuotaTable::new(QuotaConfig {
+            rate_per_sec: 2.0,
+            burst: 3.0,
+        });
+        // Full bucket: exactly `burst` immediate admissions.
+        assert!(t.try_admit("a", 0.0));
+        assert!(t.try_admit("a", 0.0));
+        assert!(t.try_admit("a", 0.0));
+        assert!(!t.try_admit("a", 0.0));
+        // Half a second refills one token at 2/s.
+        assert!(t.try_admit("a", 0.5));
+        assert!(!t.try_admit("a", 0.5));
+        // Refill caps at burst: after a long idle, still only 3.
+        for _ in 0..3 {
+            assert!(t.try_admit("a", 100.0));
+        }
+        assert!(!t.try_admit("a", 100.0));
+    }
+
+    #[test]
+    fn tenants_are_independent() {
+        let mut t = QuotaTable::new(QuotaConfig {
+            rate_per_sec: 1.0,
+            burst: 1.0,
+        });
+        assert!(t.try_admit("a", 0.0));
+        assert!(!t.try_admit("a", 0.0));
+        assert!(t.try_admit("b", 0.0), "b has its own bucket");
+    }
+
+    #[test]
+    fn table_is_bounded() {
+        let mut t = QuotaTable::new(QuotaConfig {
+            rate_per_sec: 1.0,
+            burst: 1.0,
+        });
+        for i in 0..(MAX_TENANTS + 10) {
+            assert!(t.try_admit(&format!("tenant-{i}"), i as f64));
+        }
+        assert!(t.buckets.len() <= MAX_TENANTS);
+    }
+
+    #[test]
+    fn clock_going_backwards_does_not_mint_tokens() {
+        let mut t = QuotaTable::new(QuotaConfig {
+            rate_per_sec: 1.0,
+            burst: 2.0,
+        });
+        assert!(t.try_admit("a", 10.0));
+        assert!(t.try_admit("a", 5.0)); // second token, no refill
+        assert!(!t.try_admit("a", 1.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! The TCP front end: `std::net` only, thread-per-connection, no
+//! async runtime.
+//!
+//! Connection sockets carry a read timeout so idle connection threads
+//! wake periodically, notice a pending shutdown, and exit; the accept
+//! thread is woken from its blocking `accept` by a loopback
+//! self-connection. Shutdown is initiated either locally
+//! ([`ServerHandle::shutdown`]) or remotely (a `Shutdown` request),
+//! and joins every thread it started — "clean shutdown" means no
+//! thread is left behind and every accepted connection saw its stream
+//! closed, never a panic.
+
+use crate::service::{Service, ServiceConfig};
+use crate::wire::{read_frame, write_frame, WireError};
+use hetgrid_obs::vdiag;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Idle-poll interval: how long a blocked read waits before checking
+/// the shutdown flag.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// A running server: the bound address, the shared service, and the
+/// accept thread's handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (port resolved when
+    /// `addr` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process metrics inspection).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// True once the server has begun draining (local `shutdown` or a
+    /// remote `Shutdown` request).
+    pub fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || self.service.shutdown_requested()
+    }
+
+    /// Stops accepting, drains connection threads, and joins
+    /// everything the server started.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Waits for the server to stop on its own (a remote `Shutdown`
+    /// request) and joins everything it started.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+/// accepting in a background thread.
+pub fn spawn(addr: &str, cfg: ServiceConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(Service::new(cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, addr, service, stop))
+            .expect("spawning the accept thread")
+    };
+    vdiag!("serve: listening on {}", addr);
+    Ok(ServerHandle {
+        addr,
+        service,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+) {
+    let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) || service.shutdown_requested() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        hetgrid_obs::metrics()
+            .counter("serve.connections.opened")
+            .inc();
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                connection(stream, addr, &service, &stop);
+                hetgrid_obs::metrics()
+                    .counter("serve.connections.closed")
+                    .inc();
+                hetgrid_obs::trace::flush_thread();
+            })
+            .expect("spawning a connection thread");
+        let mut conns = conns.lock().unwrap_or_else(|p| p.into_inner());
+        conns.push(handle);
+        // Opportunistically reap finished threads so a long-lived
+        // server does not accumulate handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        let _ = h.join();
+    }
+    vdiag!("serve: stopped accepting on {}", addr);
+}
+
+/// One connection: a loop of read-frame / handle / write-frame.
+/// Returns (closing the stream) on peer close, any framing error, or
+/// shutdown. Malformed *frames* (oversize, truncated) drop the
+/// connection — the stream cannot be trusted to be frame-aligned —
+/// while malformed *payloads* in well-formed frames get a typed
+/// `BadRequest` response and the connection lives on.
+fn connection(mut stream: TcpStream, addr: SocketAddr, service: &Service, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) || service.shutdown_requested() {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if e.is_idle_timeout() => continue,
+            Err(WireError::Closed) => return,
+            Err(_) => return,
+        };
+        let resp = service.handle(&frame);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+        if service.shutdown_requested() {
+            // This request asked us to stop: wake the acceptor so the
+            // drain starts immediately instead of at its next accept.
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    }
+}

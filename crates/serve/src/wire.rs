@@ -1,0 +1,190 @@
+//! Length-prefixed framing for the serve wire protocol.
+//!
+//! A frame is a big-endian `u32` payload length followed by that many
+//! payload bytes. Frames larger than [`MAX_FRAME`] are rejected before
+//! any allocation, so a malicious length prefix cannot balloon memory.
+//!
+//! [`read_frame`] is written for sockets with a read timeout (the
+//! server's idle-poll mechanism): a timeout with **zero** bytes of the
+//! current frame consumed surfaces as `WireError::Io(TimedOut)` and is
+//! safe to retry — the stream is still frame-aligned. A timeout in the
+//! *middle* of a frame is retried internally up to [`STALL_LIMIT`]
+//! consecutive times and then reported as [`WireError::Truncated`],
+//! because retrying externally would lose frame alignment; the caller
+//! must drop the connection.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard upper bound on a frame payload (16 MiB). A 4096-processor
+/// cycle-time matrix is ~32 KiB; this leaves generous headroom for
+/// encoded plans while bounding what a hostile peer can make us buffer.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Consecutive mid-frame read timeouts tolerated before the frame is
+/// declared truncated (with the server's 250 ms poll interval this is
+/// a ~10 s stall budget).
+pub const STALL_LIMIT: u32 = 40;
+
+/// A framing-level failure. Protocol-level problems (bad magic, bad
+/// field) live in [`crate::proto::ProtoError`]; this type only covers
+/// moving bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// The stream ended (or stalled past the stall budget) in the
+    /// middle of a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize(usize),
+    /// Any other I/O failure, by kind. `Io(TimedOut)` /
+    /// `Io(WouldBlock)` with zero frame bytes consumed is retryable.
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Truncated => write!(f, "connection ended mid-frame"),
+            WireError::Oversize(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when the error is an idle-poll timeout: no frame bytes were
+    /// consumed, so calling [`read_frame`] again is safe.
+    pub fn is_idle_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(ErrorKind::TimedOut) | WireError::Io(ErrorKind::WouldBlock)
+        )
+    }
+}
+
+fn timeoutish(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::TimedOut | ErrorKind::WouldBlock)
+}
+
+/// Reads exactly `buf.len()` bytes. `started` says whether earlier
+/// bytes of this frame were already consumed (affects how EOF and
+/// timeouts are classified — see module docs).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], mut started: bool) -> Result<(), WireError> {
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if started {
+                    WireError::Truncated
+                } else {
+                    WireError::Closed
+                })
+            }
+            Ok(n) => {
+                got += n;
+                started = true;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if timeoutish(e.kind()) => {
+                if !started {
+                    return Err(WireError::Io(e.kind()));
+                }
+                stalls += 1;
+                if stalls >= STALL_LIMIT {
+                    return Err(WireError::Truncated);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame and returns its payload.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 4];
+    read_full(r, &mut header, false)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, true)?;
+    Ok(payload)
+}
+
+/// Writes one frame.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME`] — outbound frames are
+/// produced by our own codec, so an oversize one is a local bug, not
+/// peer input.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    assert!(
+        payload.len() <= MAX_FRAME,
+        "outbound frame exceeds MAX_FRAME"
+    );
+    let header = (payload.len() as u32).to_be_bytes();
+    let io = |e: std::io::Error| WireError::Io(e.kind());
+    w.write_all(&header).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.flush().map_err(io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::Oversize(u32::MAX as usize)
+        );
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_clean_close() {
+        // Clean close: EOF exactly between frames.
+        assert_eq!(
+            read_frame(&mut Cursor::new(Vec::new())).unwrap_err(),
+            WireError::Closed
+        );
+        // Truncated header.
+        assert_eq!(
+            read_frame(&mut Cursor::new(vec![0, 0])).unwrap_err(),
+            WireError::Truncated
+        );
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert_eq!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Concurrency test for request coalescing: many client threads
+//! submitting a mix of duplicate and distinct requests must observe
+//!
+//! * exactly one solver invocation per *distinct* fingerprint, no
+//!   matter how the threads interleave (in-flight duplicates wait on
+//!   the leader instead of solving again);
+//! * byte-identical response frames for duplicate requests;
+//! * the accounting invariants `hits + misses == admitted` and
+//!   `solves == misses`.
+//!
+//! Drives [`hetgrid_serve::Service`] in-process: the coalescing window
+//! is widest when requests arrive faster than a solve completes, which
+//! a socket would only blur. The metrics registry is process-global,
+//! so this binary holds all Service-driving tests in one `#[test]`
+//! body rather than racing several.
+
+use hetgrid_serve::proto::{encode_request, Kernel, PlanSpec, Request, RequestBody, SolveSpec};
+use hetgrid_serve::{Service, ServiceConfig};
+use std::sync::Arc;
+
+fn plan_request(tenant: &str, seed: usize) -> Request {
+    // Distinct seeds give distinct cycle-times, hence distinct
+    // fingerprints; equal seeds are exact duplicates.
+    let times = vec![1.0 + seed as f64 * 0.125, 2.0, 3.0, 5.0 + (seed % 3) as f64];
+    Request {
+        tenant: tenant.into(),
+        body: RequestBody::Plan(PlanSpec {
+            solve: SolveSpec { p: 2, q: 2, times },
+            kernel: Kernel::Lu,
+            nb: 8,
+        }),
+    }
+}
+
+#[test]
+fn duplicates_coalesce_to_one_solve_with_identical_bytes() {
+    const THREADS: usize = 16;
+    const REPEATS: usize = 4; // requests per thread
+    const DISTINCT: usize = 5; // distinct fingerprints across all threads
+
+    let svc = Arc::new(Service::new(ServiceConfig {
+        queue_limit: THREADS * REPEATS + 1, // no shedding in this test
+        ..ServiceConfig::default()
+    }));
+    let before = hetgrid_obs::metrics().snapshot();
+
+    // Every thread hammers all DISTINCT specs REPEATS times, so each
+    // fingerprint is requested THREADS * REPEATS times concurrently.
+    let responses: Vec<Vec<(usize, Arc<Vec<u8>>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for r in 0..REPEATS {
+                        for seed in 0..DISTINCT {
+                            let req = plan_request(&format!("tenant-{t}"), seed);
+                            let frame = encode_request(&req);
+                            got.push((seed, svc.handle(&frame)));
+                            // Interleave differently per thread.
+                            if (t + r) % 3 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let delta = hetgrid_obs::metrics().snapshot().delta(&before);
+    let total = (THREADS * REPEATS * DISTINCT) as u64;
+
+    // Exactly one solver invocation per distinct fingerprint. This is
+    // the coalescing guarantee: with 16 threads racing 5 specs, a
+    // naive cache would have solved each spec up to 16 times.
+    assert_eq!(
+        delta.counter("serve.solver.invocations"),
+        DISTINCT as u64,
+        "one solve per distinct fingerprint"
+    );
+    assert_eq!(delta.counter("serve.cache.misses"), DISTINCT as u64);
+    assert_eq!(delta.counter("serve.requests.admitted"), total);
+    assert_eq!(
+        delta.counter("serve.cache.hits") + delta.counter("serve.cache.misses"),
+        delta.counter("serve.requests.admitted"),
+        "every admitted request is either a hit or a miss"
+    );
+    assert_eq!(delta.counter("serve.shed"), 0);
+
+    // Duplicate requests got byte-identical responses.
+    let mut canonical: Vec<Option<Arc<Vec<u8>>>> = vec![None; DISTINCT];
+    for (seed, bytes) in responses.into_iter().flatten() {
+        match &canonical[seed] {
+            None => canonical[seed] = Some(bytes),
+            Some(expect) => assert_eq!(
+                **expect, *bytes,
+                "duplicate request for seed {seed} produced different bytes"
+            ),
+        }
+    }
+    // And distinct requests got distinct responses (sanity check that
+    // the cache is not conflating fingerprints).
+    for a in 0..DISTINCT {
+        for b in (a + 1)..DISTINCT {
+            assert_ne!(
+                canonical[a].as_deref(),
+                canonical[b].as_deref(),
+                "seeds {a} and {b} should differ"
+            );
+        }
+    }
+}

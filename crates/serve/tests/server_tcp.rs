@@ -1,0 +1,203 @@
+//! End-to-end robustness tests for the TCP front end: many concurrent
+//! clients mixing well-formed requests with hostile traffic (malformed
+//! payloads, truncated frames, oversize length prefixes), plus the
+//! deterministic control paths — Busy shedding, quota denial, and both
+//! shutdown routes. The server must never panic: a panic in any
+//! server-side thread would abort `join` on the handle and fail the
+//! test.
+//!
+//! These tests avoid asserting on deltas of the process-global metrics
+//! registry (several servers run concurrently in this binary); the
+//! accounting invariants are covered by the service unit tests, the
+//! coalesce test, and the harness oracle.
+
+use hetgrid_serve::proto::{Kernel, PlanSpec, Request, RequestBody, Response, SolveSpec};
+use hetgrid_serve::{spawn, Client, QuotaConfig, ServiceConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn plan_request(tenant: &str, seed: usize) -> Request {
+    Request {
+        tenant: tenant.into(),
+        body: RequestBody::Plan(PlanSpec {
+            solve: SolveSpec {
+                p: 2,
+                q: 2,
+                times: vec![1.0 + seed as f64, 2.0, 3.0, 5.0],
+            },
+            kernel: Kernel::Lu,
+            nb: 8,
+        }),
+    }
+}
+
+fn meta_request(body: RequestBody) -> Request {
+    Request {
+        tenant: "test".into(),
+        body,
+    }
+}
+
+#[test]
+fn concurrent_clients_with_hostile_traffic_never_panic_the_server() {
+    const CLIENTS: usize = 12; // >= 8 per the acceptance criteria
+
+    let handle = spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for c in 0..CLIENTS {
+            joins.push(s.spawn(move || match c % 4 {
+                // Well-behaved clients: several requests on one stream.
+                0 => {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for r in 0..6 {
+                        let resp = client
+                            .request(&plan_request("good", r % 3))
+                            .expect("request");
+                        assert!(
+                            matches!(resp, Response::Plan(_)),
+                            "expected Plan, got {resp:?}"
+                        );
+                    }
+                }
+                // Malformed payloads inside well-formed frames: the
+                // server answers BadRequest and the connection lives.
+                1 => {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for garbage in [
+                        &b""[..],                         // empty payload
+                        &b"xx"[..],                       // wrong magic
+                        &b"hg\x01\x09"[..],               // unknown request kind
+                        &b"hg\x63\x01"[..],               // unsupported version
+                        &b"hg\x01\x01\xff\xff"[..],       // tenant length overruns
+                        &[b'h', b'g', 1, 1, 0, 0, 7][..], // truncated solve body
+                    ] {
+                        let frame = client.request_raw(garbage).expect("response frame");
+                        let resp = hetgrid_serve::proto::decode_response(&frame).expect("decodes");
+                        assert!(
+                            matches!(resp, Response::BadRequest(_)),
+                            "expected BadRequest for {garbage:?}, got {resp:?}"
+                        );
+                    }
+                    // The same connection still serves valid requests.
+                    let resp = client
+                        .request(&plan_request("recovered", 0))
+                        .expect("request");
+                    assert!(matches!(resp, Response::Plan(_)));
+                }
+                // Oversize length prefix: the server must refuse to
+                // allocate and drop the connection, nothing worse.
+                2 => {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    stream.write_all(&u32::MAX.to_be_bytes()).expect("write");
+                    // Connection is dropped: read sees EOF or a reset.
+                    let mut buf = [0u8; 16];
+                    let _ = std::io::Read::read(&mut stream, &mut buf);
+                }
+                // Truncated frame: promise 64 bytes, send 7, hang up.
+                _ => {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.write_all(&64u32.to_be_bytes()).expect("write");
+                    stream.write_all(b"partial").expect("write");
+                    drop(stream); // server's read_full sees Closed
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+    });
+
+    // The server survived the abuse: it still answers cleanly.
+    let resp = hetgrid_serve::submit(addr, &plan_request("after", 1)).expect("submit");
+    assert!(matches!(resp, Response::Plan(_)));
+
+    // Local shutdown: joins the accept thread and every connection
+    // thread; a panic in any of them propagates here.
+    handle.shutdown();
+}
+
+#[test]
+fn zero_queue_limit_sheds_every_data_request_with_busy() {
+    let handle = spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            queue_limit: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    for r in 0..3 {
+        let resp = client
+            .request(&plan_request("shed-me", r))
+            .expect("request");
+        assert_eq!(resp, Response::Busy, "queue_limit=0 must shed");
+    }
+    // Meta endpoints bypass admission and still work while shedding.
+    let resp = client
+        .request(&meta_request(RequestBody::Metrics))
+        .expect("request");
+    assert!(matches!(resp, Response::Metrics(_)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn exhausted_token_bucket_denies_the_tenant_but_not_others() {
+    let handle = spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            quota: QuotaConfig {
+                rate_per_sec: 1e-9, // effectively never refills
+                burst: 1.0,
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let first = client
+        .request(&plan_request("tenant-a", 0))
+        .expect("request");
+    assert!(matches!(first, Response::Plan(_)), "burst of 1 admits once");
+    let second = client
+        .request(&plan_request("tenant-a", 1))
+        .expect("request");
+    assert_eq!(second, Response::QuotaExceeded, "bucket is empty");
+
+    // Buckets are per tenant: a different tenant still gets through.
+    let other = client
+        .request(&plan_request("tenant-b", 0))
+        .expect("request");
+    assert!(matches!(other, Response::Plan(_)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn remote_shutdown_request_drains_the_server() {
+    let handle = spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let resp = hetgrid_serve::submit(addr, &meta_request(RequestBody::Shutdown)).expect("submit");
+    assert_eq!(resp, Response::ShuttingDown);
+
+    // The accept loop notices and exits; join returns instead of
+    // blocking forever, and no thread panicked.
+    handle.join();
+
+    // Data requests after the drain fail to connect or to converse —
+    // either way, no response arrives.
+    assert!(hetgrid_serve::submit(addr, &plan_request("late", 0)).is_err());
+}

@@ -75,7 +75,7 @@ fn main() {
             )),
         ),
     ] {
-        let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &weights);
+        let (c, report) = run_mm(&a, &b, dist.as_ref(), nb, r, &weights).unwrap();
         assert!(
             c.approx_eq(&reference, 1e-8),
             "distributed result diverged from sequential GEMM"
@@ -97,7 +97,7 @@ fn main() {
         8,
         PanelOrdering::Interleaved,
     );
-    let (f, report) = run_lu(&ad, &panel, nb, r, &weights);
+    let (f, report) = run_lu(&ad, &panel, nb, r, &weights).unwrap();
     let l = unit_lower_from_packed(&f);
     let u = upper_from_packed(&f);
     let err = matmul(&l, &u).sub(&ad).max_abs();

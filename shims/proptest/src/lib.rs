@@ -331,6 +331,13 @@ macro_rules! prop_assert_eq {
     ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
 }
 
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
 /// Assumption filter: a failed assumption skips the remainder of the
 /// current case (the generated per-case loop body) without counting as
 /// a failure.
@@ -346,7 +353,7 @@ macro_rules! prop_assume {
 /// Glob-import surface mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{Just, ProptestConfig, Strategy};
 }
 

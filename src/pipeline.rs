@@ -214,6 +214,7 @@ impl Session {
         let weights = slowdown_weights(&plan.solution.arrangement);
         let (ga, gb) = (self.a.gather(), self.b.gather());
         hetgrid_exec::run_mm(&ga, &gb, &plan.dist, self.controller.nb(), self.r, &weights)
+            .expect("pipeline executor run aborted (dropped peer)")
     }
 
     fn finish_step(

@@ -74,7 +74,7 @@ fn paper_pipeline_2x2() {
     let a = random_matrix(nb * r, 0xE2E, false);
     let b = random_matrix(nb * r, 0xE2F, false);
     let w = slowdown_weights(&best.arrangement);
-    let (c, report) = run_mm(&a, &b, &panel, nb, r, &w);
+    let (c, report) = run_mm(&a, &b, &panel, nb, r, &w).unwrap();
     assert!(c.approx_eq(&matmul(&a, &b), 1e-9));
     assert!(report.work_imbalance() < 1.8);
 }
@@ -189,7 +189,7 @@ fn lu_pipeline_fig4() {
     let r = 3;
     let a = random_matrix(nb * r, 0x10, true);
     let w = slowdown_weights(&arr);
-    let (f, _) = run_lu(&a, &panel, nb, r, &w);
+    let (f, _) = run_lu(&a, &panel, nb, r, &w).unwrap();
     let l = unit_lower_from_packed(&f);
     let u = upper_from_packed(&f);
     assert!(matmul(&l, &u).approx_eq(&a, 1e-7));
