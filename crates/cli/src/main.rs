@@ -6,6 +6,7 @@
 //! hetgrid distribute --times 1,2,3,5 --grid 2x2 --panel 8x6 [--scheme panel|kl|cyclic]
 //! hetgrid run        --times 1,2,3,5 --grid 2x2 --kernel mm|lu|cholesky|qr [--nb 8] [--block 8]
 //!                    [--method heuristic|exact] [--scheme panel|kl|cyclic] [--seed 0]
+//!                    [--lookahead 2]   (0 = strict in-order execution)
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
@@ -77,7 +78,8 @@ fn print_usage() {
     println!("             [--ordering interleaved|contiguous|columns]");
     println!("  run        --times .. --grid PxQ --kernel mm|lu|cholesky|qr [--nb 8] [--block 8]");
     println!("             [--method heuristic|exact] [--scheme panel|kl|cyclic] [--panel BPxBQ]");
-    println!("             [--seed 0]   (threaded executor on real data)");
+    println!("             [--seed 0] [--lookahead 2]   (threaded executor on real data;");
+    println!("             --lookahead 0 forces strict in-order step execution)");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
     println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
     println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
@@ -540,7 +542,10 @@ fn build_dist(
 /// trace has one track per processor and the metrics carry the
 /// per-processor / per-edge message and work counters.
 fn cmd_run(args: &Args) -> Result<(), String> {
-    use hetgrid_exec::{run_cholesky, run_lu, run_mm, run_qr, slowdown_weights};
+    use hetgrid_exec::{
+        run_cholesky_on_cfg, run_lu_on_cfg, run_mm_on_cfg, run_qr_on_cfg, slowdown_weights,
+        ChannelTransport, ExecConfig, DEFAULT_LOOKAHEAD,
+    };
     use hetgrid_linalg::gemm::matmul;
     use hetgrid_linalg::tri::{unit_lower_from_packed, upper_from_packed};
     use rand::rngs::StdRng;
@@ -555,6 +560,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let r: usize = args.get_parse("block", 8)?;
     let seed: u64 = args.get_parse("seed", 0)?;
     let kernel = args.get("kernel").unwrap_or("mm");
+    let cfg = ExecConfig {
+        lookahead: args.get_parse("lookahead", DEFAULT_LOOKAHEAD)?,
+    };
 
     let method = args.get("method").unwrap_or("heuristic");
     let (arr, alloc) = match method {
@@ -594,15 +602,25 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "mm" => {
             let a = random_matrix(&mut rng, n, n);
             let b = random_matrix(&mut rng, n, n);
-            let (c, report) =
-                run_mm(&a, &b, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
+            let (c, report) = run_mm_on_cfg(
+                &ChannelTransport,
+                &a,
+                &b,
+                dist.as_ref(),
+                nb,
+                r,
+                &weights,
+                cfg,
+            )
+            .map_err(|e| e.to_string())?;
             let err = c.sub(&matmul(&a, &b)).max_abs();
             (report, format!("max |C - A*B|    = {:.3e}", err))
         }
         "lu" => {
             let a = dominant_matrix(&mut rng, n);
             let (packed, report) =
-                run_lu(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
+                run_lu_on_cfg(&ChannelTransport, &a, dist.as_ref(), nb, r, &weights, cfg)
+                    .map_err(|e| e.to_string())?;
             let lu = matmul(
                 &unit_lower_from_packed(&packed),
                 &upper_from_packed(&packed),
@@ -613,14 +631,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "cholesky" => {
             let a = spd_matrix(&mut rng, n);
             let (l, report) =
-                run_cholesky(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
+                run_cholesky_on_cfg(&ChannelTransport, &a, dist.as_ref(), nb, r, &weights, cfg)
+                    .map_err(|e| e.to_string())?;
             let err = matmul(&l, &l.transpose()).sub(&a).max_abs();
             (report, format!("max |L*L^T - A|  = {:.3e}", err))
         }
         "qr" => {
             let a = random_matrix(&mut rng, n, n);
             let (packed, taus, report) =
-                run_qr(&a, dist.as_ref(), nb, r, &weights).map_err(|e| e.to_string())?;
+                run_qr_on_cfg(&ChannelTransport, &a, dist.as_ref(), nb, r, &weights, cfg)
+                    .map_err(|e| e.to_string())?;
             let (qm, rm) = hetgrid_exec::qr_unpack(&packed, &taus, nb, r);
             let err = matmul(&qm, &rm).sub(&a).max_abs();
             (report, format!("max |Q*R - A|    = {:.3e}", err))
@@ -646,6 +666,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         n,
         n
     );
+    println!("lookahead depth  : {}", cfg.lookahead);
     println!("wall time        : {:.4} s", report.wall_seconds);
     println!("{}", check);
     println!("messages sent    : {}", report.total_messages());

@@ -106,6 +106,25 @@ impl<T> Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Non-blocking receive: `Ok(Some(v))` if a message was queued,
+    /// `Ok(None)` if the channel is currently empty but could still be
+    /// refilled, `Err` when the channel is drained and dead (every
+    /// sender gone) or poisoned — the same failure condition as
+    /// [`recv`](Receiver::recv).
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut st = self.0.lock();
+        if st.poisoned {
+            return Err(RecvError);
+        }
+        if let Some(v) = st.queue.pop_front() {
+            return Ok(Some(v));
+        }
+        if st.senders == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
     /// Blocks for the next message; fails when the channel is drained
     /// and every sender was dropped, or the channel was poisoned.
     pub fn recv(&self) -> Result<T, RecvError> {

@@ -10,9 +10,15 @@
 //! per-block destination lists to the trailing lower-triangle owners
 //! (each block `L(bi, k)` serves both as the left factor for row `bi`
 //! and, transposed, as the right factor for column `bi`); the trailing
-//! lower-triangle blocks are then updated.
+//! lower-triangle blocks are then updated. Under the lookahead driver
+//! the factor/solve actions are critical and each trailing block is an
+//! independent action, column `k + 1` first, so the next panel starts
+//! while this step's updates drain.
 
-use crate::step::{check_weights, run_grid, Courier, WorkClock};
+use crate::pool::PoolClone;
+use crate::step::{
+    check_weights, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp, WorkClock,
+};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
@@ -59,13 +65,47 @@ pub fn run_cholesky_on(
     r: usize,
     weights: &[Vec<u64>],
 ) -> Result<(Matrix, ExecReport), ExecError> {
+    run_cholesky_on_cfg(transport, a, dist, nb, r, weights, ExecConfig::default())
+}
+
+/// [`run_cholesky_on`] with explicit executor tuning (lookahead depth).
+///
+/// # Panics
+/// Panics like [`run_cholesky`].
+pub fn run_cholesky_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_cholesky");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
     let plan = hetgrid_plan::cholesky_plan(dist, nb);
+    let owned: Vec<Vec<(usize, usize)>> = da
+        .stores
+        .iter()
+        .map(|s| {
+            let mut v: Vec<(usize, usize)> = s.keys().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
-        worker(&plan, r, me, da.stores[me].clone(), courier, clock)
+        let mut interp = ChInterp {
+            plan: &plan,
+            my: (me / q, me % q),
+            owned: &owned[me],
+            blocks: da.stores[me].clone(),
+            scratch: Matrix::zeros(r, r),
+            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
+        };
+        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        Ok(interp.blocks)
     })?;
 
     let mut l = Matrix::zeros(nb * r, nb * r);
@@ -90,127 +130,216 @@ pub fn run_cholesky_on(
     Ok((l, report))
 }
 
-fn worker(
-    plan: &Plan,
-    r: usize,
-    me: usize,
-    mut blocks: BlockStore,
-    courier: &mut Courier<Matrix>,
-    clock: &mut WorkClock,
-) -> Result<BlockStore, Closed> {
-    let (_, q) = plan.grid;
-    let my = (me / q, me % q);
-    let nb = plan.steps.len();
-    let mut scratch = Matrix::zeros(r, r);
-    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
+/// One processor's Cholesky actions for `step`, in program order:
+/// diagonal factorization, panel right-solves (critical), then one
+/// update action per owned trailing lower-triangle block with column
+/// `k + 1` first.
+pub(crate) fn cholesky_actions(
+    step: &Step,
+    my: (usize, usize),
+    owned: &[(usize, usize)],
+) -> Vec<Action> {
+    let Step::Cholesky {
+        k,
+        diag,
+        panel_bcasts,
+        ..
+    } = step
+    else {
+        panic!("run_cholesky: non-Cholesky step in plan")
+    };
+    let k = *k;
+    let is_mine = |blk: (usize, usize)| owned.binary_search(&blk).is_ok();
+    let mut out = Vec::new();
+    if *diag == my {
+        out.push(Action {
+            step: k,
+            op: Op::ChFactor,
+            blk: (k, k),
+            crit: true,
+            needs: vec![],
+            reads: vec![],
+            writes: vec![(0, k, k)],
+        });
+    }
+    for bc in panel_bcasts {
+        if bc.src != my {
+            continue;
+        }
+        let (mut needs, mut reads) = (vec![], vec![]);
+        if *diag == my {
+            reads.push((0, k, k));
+        } else {
+            needs.push((k, TAG_DIAG, (k, k)));
+        }
+        out.push(Action {
+            step: k,
+            op: Op::ChSolve,
+            blk: bc.block,
+            crit: true,
+            needs,
+            reads,
+            writes: vec![(0, bc.block.0, k)],
+        });
+    }
+    let mut trailing: Vec<(usize, usize)> = owned
+        .iter()
+        .copied()
+        .filter(|&(bi, bj)| bi > k && bj > k && bj <= bi)
+        .collect();
+    // Column k+1 feeds step k+1's panel: update it first.
+    trailing.sort_unstable_by_key(|&(bi, bj)| (usize::from(bj != k + 1), bi, bj));
+    for (bi, bj) in trailing {
+        let (mut needs, mut reads) = (vec![], vec![]);
+        for b in [bi, bj] {
+            if is_mine((b, k)) {
+                if !reads.contains(&(0, b, k)) {
+                    reads.push((0, b, k));
+                }
+            } else if !needs.contains(&(k, TAG_L, (b, k))) {
+                needs.push((k, TAG_L, (b, k)));
+            }
+        }
+        out.push(Action {
+            step: k,
+            op: Op::ChUpdate,
+            blk: (bi, bj),
+            crit: false,
+            needs,
+            reads,
+            writes: vec![(0, bi, bj)],
+        });
+    }
+    out
+}
 
-    for step in &plan.steps {
+struct ChInterp<'a> {
+    plan: &'a Plan,
+    my: (usize, usize),
+    owned: &'a [(usize, usize)],
+    blocks: BlockStore,
+    scratch: Matrix,
+    block_bytes: u64,
+}
+
+impl StepInterp for ChInterp<'_> {
+    type P = Matrix;
+
+    fn n_steps(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    fn emit(&self, k: usize, out: &mut Vec<Action>) {
+        out.extend(cholesky_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn execute(
+        &mut self,
+        a: &Action,
+        courier: &mut Courier<Matrix>,
+        clock: &mut WorkClock,
+    ) -> Result<(), Closed> {
         let Step::Cholesky {
             k,
             diag,
             diag_dests,
             panel_bcasts,
             ..
-        } = step
+        } = &self.plan.steps[a.step]
         else {
-            panic!("run_cholesky: non-Cholesky step in plan")
+            unreachable!("emit checked the step kind")
         };
         let k = *k;
-
-        // --- 1. Diagonal factorization and send to panel owners.
-        if *diag == my {
-            let _factor_span = courier.span(format!("factor {k}"));
-            let lkk = clock.run(
-                1,
-                || cholesky(&blocks[&(k, k)]).expect("diagonal block not SPD"),
-                || {
-                    cholesky(&blocks[&(k, k)]).expect("diagonal block not SPD");
-                },
-            );
-            blocks.insert((k, k), lkk.clone());
-            courier.bcast(diag_dests, k, TAG_DIAG, (k, k), &lkk, block_bytes)?;
-        }
-        if k + 1 == nb {
-            continue;
-        }
-
-        // --- 2. Panel right-solves: A_ik := A_ik * L_kk^{-T}.
-        let i_own_panel = panel_bcasts.iter().any(|bc| bc.src == my);
-        if i_own_panel {
-            let _panel_span = courier.span(format!("panel {k}"));
-            let lkk = if *diag == my {
-                blocks[&(k, k)].clone()
-            } else {
-                courier.obtain(k, TAG_DIAG, (k, k))?.clone()
-            };
-            for bc in panel_bcasts {
-                if bc.src != my {
-                    continue;
-                }
-                // X * L^T = A  <=>  L * X^T = A^T.
-                let solved = clock.run(
+        match a.op {
+            // Diagonal factorization and send to panel owners.
+            Op::ChFactor => {
+                let _span = courier.span_with(|| format!("factor {k}"));
+                let lkk = clock.run(
                     1,
-                    || solve_lower(&lkk, &blocks[&bc.block].transpose(), false).transpose(),
+                    || cholesky(&self.blocks[&(k, k)]).expect("diagonal block not SPD"),
                     || {
-                        solve_lower(&lkk, &blocks[&bc.block].transpose(), false).transpose();
+                        cholesky(&self.blocks[&(k, k)]).expect("diagonal block not SPD");
                     },
                 );
-                blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes)?;
+                if let Some(old) = self.blocks.insert((k, k), lkk) {
+                    old.reclaim(courier.pool_mut());
+                }
+                courier.bcast(
+                    diag_dests,
+                    k,
+                    TAG_DIAG,
+                    (k, k),
+                    &self.blocks[&(k, k)],
+                    self.block_bytes,
+                )?;
             }
-        }
-
-        // --- 3. Trailing symmetric update of my lower-triangle blocks.
-        let mut trailing: Vec<(usize, usize)> = blocks
-            .keys()
-            .copied()
-            .filter(|&(bi, bj)| bi > k && bj > k && bj <= bi)
-            .collect();
-        trailing.sort_unstable();
-        if !trailing.is_empty() {
-            {
-                let _wait_span = courier.span(format!("wait {k}"));
-                let mut need: Vec<usize> = Vec::new();
-                for &(bi, bj) in &trailing {
-                    for b in [bi, bj] {
-                        if !blocks.contains_key(&(b, k)) && !need.contains(&b) {
-                            need.push(b);
-                        }
+            // Panel right-solve: A_ik := A_ik * L_kk^{-T}.
+            Op::ChSolve => {
+                let _span = courier.span_with(|| format!("panel {k}"));
+                let solved = {
+                    let lkk: &Matrix = if *diag == self.my {
+                        &self.blocks[&(k, k)]
+                    } else {
+                        courier.obtain(k, TAG_DIAG, (k, k))?
+                    };
+                    // X * L^T = A  <=>  L * X^T = A^T.
+                    clock.run(
+                        1,
+                        || solve_lower(lkk, &self.blocks[&a.blk].transpose(), false).transpose(),
+                        || {
+                            solve_lower(lkk, &self.blocks[&a.blk].transpose(), false).transpose();
+                        },
+                    )
+                };
+                if let Some(old) = self.blocks.insert(a.blk, solved) {
+                    old.reclaim(courier.pool_mut());
+                }
+                let bc = panel_bcasts
+                    .iter()
+                    .find(|bc| bc.block == a.blk)
+                    .expect("solve action without a plan bcast");
+                courier.bcast(
+                    &bc.dests,
+                    k,
+                    TAG_L,
+                    a.blk,
+                    &self.blocks[&a.blk],
+                    self.block_bytes,
+                )?;
+            }
+            // Symmetric trailing update of one owned lower block:
+            // A_ij -= L_ik * L_jk^T.
+            Op::ChUpdate => {
+                let (bi, bj) = a.blk;
+                let mut c = self.blocks.remove(&a.blk).expect("trailing block missing");
+                let t0 = Instant::now();
+                let rt = {
+                    let right: &Matrix = match self.blocks.get(&(bj, k)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_L, (bj, k)),
+                    };
+                    right.transpose()
+                };
+                {
+                    let left: &Matrix = match self.blocks.get(&(bi, k)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_L, (bi, k)),
+                    };
+                    gemm(-1.0, left, &rt, 1.0, &mut c);
+                    for _ in 1..clock.weight() {
+                        gemm(-1.0, left, &rt, 0.0, &mut self.scratch);
                     }
                 }
-                courier.wait_all(need.into_iter().map(|b| (k, TAG_L, (b, k))))?;
+                clock.add_busy(t0.elapsed().as_secs_f64());
+                clock.charge(1);
+                courier.step_done(t0.elapsed().as_secs_f64());
+                self.blocks.insert(a.blk, c);
+                rt.reclaim(courier.pool_mut());
             }
-            let mut update_span = courier.span(format!("update {k}"));
-            let units_before = clock.units;
-            let t_update = Instant::now();
-            for &(bi, bj) in &trailing {
-                let left = match blocks.get(&(bi, k)) {
-                    Some(m) => m.clone(),
-                    None => courier.get(k, TAG_L, (bi, k)).clone(),
-                };
-                let right = match blocks.get(&(bj, k)) {
-                    Some(m) => m.clone(),
-                    None => courier.get(k, TAG_L, (bj, k)).clone(),
-                };
-                let rt = right.transpose();
-                clock.run(
-                    1,
-                    || {
-                        let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
-                        gemm(-1.0, &left, &rt, 1.0, c);
-                    },
-                    || gemm(-1.0, &left, &rt, 0.0, &mut scratch),
-                );
-            }
-            courier.step_done(t_update.elapsed().as_secs_f64());
-            if let Some(g) = update_span.as_mut() {
-                g.arg_u64("units", clock.units - units_before);
-            }
+            op => unreachable!("non-Cholesky action {op:?} in Cholesky plan"),
         }
-        courier.end_step(k);
+        Ok(())
     }
-
-    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -277,6 +406,30 @@ mod tests {
         let (l, _) = run_cholesky(&a, &dist, nb, r, &[vec![1; 2]]).unwrap();
         let seq = hetgrid_linalg::cholesky::cholesky_blocked(&a, r).unwrap();
         assert!(l.approx_eq(&seq, 1e-8));
+    }
+
+    #[test]
+    fn lookahead_is_bit_exact_with_in_order() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = spd_matrix(nb * r, 0xC4);
+        let w = crate::store::slowdown_weights(&arr);
+        let t = ChannelTransport;
+        let run = |lookahead| {
+            run_cholesky_on_cfg(&t, &a, &dist, nb, r, &w, ExecConfig { lookahead })
+                .unwrap()
+                .0
+        };
+        let inorder = run(0);
+        for depth in [1, 3] {
+            assert!(
+                run(depth).approx_eq(&inorder, 0.0),
+                "depth {depth} diverged from in-order"
+            );
+        }
     }
 
     #[test]

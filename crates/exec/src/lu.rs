@@ -5,13 +5,24 @@
 //! row, broadcast them along the plan's destination lists, rank-`r`
 //! update the trailing submatrix.
 //!
+//! Under the lookahead driver the factorization/solve/send actions are
+//! critical (they feed the whole grid) and each trailing-update block
+//! is its own non-critical action, ordered so the blocks feeding step
+//! `k + 1`'s panel — column `k + 1` first, then pivot row `k + 1` —
+//! update first. That lets the next panel factorize and its broadcasts
+//! depart while the rest of this step's trailing updates drain.
+//!
 //! Pivoting is omitted (the executor demonstrates distribution
 //! correctness and load balance; feed it diagonally dominant matrices).
 //! The invariant checked by the tests is the factorization itself:
 //! gathering the in-place result and splitting it into unit-lower `L`
 //! and upper `U` must reproduce the input, `A = L * U`.
 
-use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
+use crate::pool::PoolClone;
+use crate::step::{
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
+    WorkClock,
+};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
@@ -60,13 +71,47 @@ pub fn run_lu_on(
     r: usize,
     weights: &[Vec<u64>],
 ) -> Result<(Matrix, ExecReport), ExecError> {
+    run_lu_on_cfg(transport, a, dist, nb, r, weights, ExecConfig::default())
+}
+
+/// [`run_lu_on`] with explicit executor tuning (lookahead depth).
+///
+/// # Panics
+/// Panics like [`run_lu`].
+pub fn run_lu_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_lu");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
     let plan = hetgrid_plan::factor_plan(dist, nb);
+    let owned: Vec<Vec<(usize, usize)>> = da
+        .stores
+        .iter()
+        .map(|s| {
+            let mut v: Vec<(usize, usize)> = s.keys().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
-        worker(&plan, r, me, da.stores[me].clone(), courier, clock)
+        let mut interp = LuInterp {
+            plan: &plan,
+            my: (me / q, me % q),
+            owned: &owned[me],
+            blocks: da.stores[me].clone(),
+            scratch: Matrix::zeros(r, r),
+            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
+        };
+        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        Ok(interp.blocks)
     })?;
     let f = gather_result(stores, (nb, nb), r, "run_lu");
     Ok((f, report))
@@ -92,161 +137,292 @@ fn lu_block_nopivot(a: &mut Matrix) {
     }
 }
 
-fn worker(
-    plan: &Plan,
-    r: usize,
-    me: usize,
-    mut blocks: BlockStore,
-    courier: &mut Courier<Matrix>,
-    clock: &mut WorkClock,
-) -> Result<BlockStore, Closed> {
-    let (_, q) = plan.grid;
-    let my = (me / q, me % q);
-    let mut scratch = Matrix::zeros(r, r);
-    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
+/// One processor's LU actions for `step`, in program order: diagonal
+/// factorization, panel-column solves, pivot-row solves (all critical),
+/// then one update action per owned trailing block with the blocks
+/// feeding step `k + 1` first.
+pub(crate) fn lu_actions(step: &Step, my: (usize, usize), owned: &[(usize, usize)]) -> Vec<Action> {
+    let Step::Factor {
+        k,
+        diag,
+        diag_col_dests: _,
+        l_bcasts,
+        trsm: _,
+        u_bcasts,
+        ..
+    } = step
+    else {
+        panic!("run_lu: non-factor step in plan")
+    };
+    let k = *k;
+    let is_mine = |blk: (usize, usize)| owned.binary_search(&blk).is_ok();
+    let diag_dep = |needs: &mut Vec<(usize, u8, (usize, usize))>,
+                    reads: &mut Vec<(u8, usize, usize)>| {
+        if *diag == my {
+            reads.push((0, k, k));
+        } else {
+            needs.push((k, TAG_DIAG, (k, k)));
+        }
+    };
+    let mut out = Vec::new();
+    if *diag == my {
+        out.push(Action {
+            step: k,
+            op: Op::LuFactor,
+            blk: (k, k),
+            crit: true,
+            needs: vec![],
+            reads: vec![],
+            writes: vec![(0, k, k)],
+        });
+    }
+    for bc in &l_bcasts[1..] {
+        if bc.src != my {
+            continue;
+        }
+        let (mut needs, mut reads) = (vec![], vec![]);
+        diag_dep(&mut needs, &mut reads);
+        out.push(Action {
+            step: k,
+            op: Op::LuSolveL,
+            blk: bc.block,
+            crit: true,
+            needs,
+            reads,
+            writes: vec![(0, bc.block.0, k)],
+        });
+    }
+    for bc in u_bcasts {
+        if bc.src != my {
+            continue;
+        }
+        let (mut needs, mut reads) = (vec![], vec![]);
+        diag_dep(&mut needs, &mut reads);
+        out.push(Action {
+            step: k,
+            op: Op::LuSolveU,
+            blk: bc.block,
+            crit: true,
+            needs,
+            reads,
+            writes: vec![(0, k, bc.block.1)],
+        });
+    }
+    let mut trailing: Vec<(usize, usize)> = owned
+        .iter()
+        .copied()
+        .filter(|&(bi, bj)| bi > k && bj > k)
+        .collect();
+    // Step k+1's panel column, then its pivot row, then the rest: the
+    // sooner those blocks finish, the sooner the next panel starts.
+    trailing.sort_unstable_by_key(|&(bi, bj)| {
+        let tier = if bj == k + 1 {
+            0
+        } else if bi == k + 1 {
+            1
+        } else {
+            2
+        };
+        (tier, bi, bj)
+    });
+    for (bi, bj) in trailing {
+        let (mut needs, mut reads) = (vec![], vec![]);
+        if is_mine((bi, k)) {
+            reads.push((0, bi, k));
+        } else {
+            needs.push((k, TAG_L, (bi, k)));
+        }
+        if is_mine((k, bj)) {
+            reads.push((0, k, bj));
+        } else {
+            needs.push((k, TAG_U, (k, bj)));
+        }
+        out.push(Action {
+            step: k,
+            op: Op::LuUpdate,
+            blk: (bi, bj),
+            crit: false,
+            needs,
+            reads,
+            writes: vec![(0, bi, bj)],
+        });
+    }
+    out
+}
 
-    for step in &plan.steps {
+struct LuInterp<'a> {
+    plan: &'a Plan,
+    my: (usize, usize),
+    owned: &'a [(usize, usize)],
+    blocks: BlockStore,
+    scratch: Matrix,
+    block_bytes: u64,
+}
+
+impl StepInterp for LuInterp<'_> {
+    type P = Matrix;
+
+    fn n_steps(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    fn emit(&self, k: usize, out: &mut Vec<Action>) {
+        out.extend(lu_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn execute(
+        &mut self,
+        a: &Action,
+        courier: &mut Courier<Matrix>,
+        clock: &mut WorkClock,
+    ) -> Result<(), Closed> {
         let Step::Factor {
             k,
             diag,
             diag_col_dests,
             l_bcasts,
-            trsm,
             u_bcasts,
             ..
-        } = step
+        } = &self.plan.steps[a.step]
         else {
-            panic!("run_lu: non-factor step in plan")
+            unreachable!("emit checked the step kind")
         };
         let k = *k;
-
-        // --- 1. Diagonal block factorization; the packed factors go to
-        // the panel-column owners (for the L solves) and the pivot-row
-        // owners (for the U solves), one message per distinct owner.
-        if *diag == my {
-            let _factor_span = courier.span(format!("factor {k}"));
-            let original = blocks[&(k, k)].clone();
-            clock.run(
-                1,
-                || lu_block_nopivot(blocks.get_mut(&(k, k)).expect("diag block missing")),
-                || {
-                    let mut copy = original.clone();
-                    lu_block_nopivot(&mut copy);
-                },
-            );
-            let packed = blocks[&(k, k)].clone();
-            let mut dests = diag_col_dests.clone();
-            for d in &l_bcasts[0].dests {
-                if !dests.contains(d) {
-                    dests.push(*d);
+        match a.op {
+            // Factor the diagonal block in place; the packed factors go
+            // to the panel-column owners (for the L solves) and the
+            // pivot-row owners (for the U solves), one message per
+            // distinct owner.
+            Op::LuFactor => {
+                let _span = courier.span_with(|| format!("factor {k}"));
+                let t0 = Instant::now();
+                if clock.weight() > 1 {
+                    let original = self.blocks[&(k, k)].pool_clone(courier.pool_mut());
+                    lu_block_nopivot(self.blocks.get_mut(&(k, k)).expect("diag block missing"));
+                    for _ in 1..clock.weight() {
+                        let mut copy = original.pool_clone(courier.pool_mut());
+                        lu_block_nopivot(&mut copy);
+                        copy.reclaim(courier.pool_mut());
+                    }
+                    original.reclaim(courier.pool_mut());
+                } else {
+                    lu_block_nopivot(self.blocks.get_mut(&(k, k)).expect("diag block missing"));
                 }
-            }
-            courier.bcast(&dests, k, TAG_DIAG, (k, k), &packed, block_bytes)?;
-        }
-
-        // --- 2. Get the diagonal factors if I need them this step.
-        let i_own_col = l_bcasts[1..].iter().any(|bc| bc.src == my);
-        let i_own_row = trsm.iter().any(|w| w.owner == my);
-        let packed_diag: Option<Matrix> = if *diag == my {
-            Some(blocks[&(k, k)].clone())
-        } else if i_own_col || i_own_row {
-            Some(courier.obtain(k, TAG_DIAG, (k, k))?.clone())
-        } else {
-            None
-        };
-
-        // --- 3. Solve and broadcast my L blocks of column k.
-        if i_own_col {
-            let _panel_span = courier.span(format!("panelL {k}"));
-            let u11 = upper_from_packed(packed_diag.as_ref().expect("diag needed"));
-            for bc in &l_bcasts[1..] {
-                if bc.src != my {
-                    continue;
+                clock.add_busy(t0.elapsed().as_secs_f64());
+                clock.charge(1);
+                let mut dests = diag_col_dests.clone();
+                for d in &l_bcasts[0].dests {
+                    if !dests.contains(d) {
+                        dests.push(*d);
+                    }
                 }
-                let solved = clock.run(
-                    1,
-                    || solve_right_upper(&u11, &blocks[&bc.block]),
-                    || {
-                        solve_right_upper(&u11, &blocks[&bc.block]);
-                    },
-                );
-                blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_L, bc.block, &solved, block_bytes)?;
+                courier.bcast(
+                    &dests,
+                    k,
+                    TAG_DIAG,
+                    (k, k),
+                    &self.blocks[&(k, k)],
+                    self.block_bytes,
+                )?;
             }
-        }
-
-        // --- 4. Solve and broadcast my U blocks of row k.
-        if i_own_row {
-            let _panel_span = courier.span(format!("panelU {k}"));
-            let l11 = unit_lower_from_packed(packed_diag.as_ref().expect("diag needed"));
-            for bc in u_bcasts {
-                if bc.src != my {
-                    continue;
-                }
-                let solved = clock.run(
-                    1,
-                    || solve_lower(&l11, &blocks[&bc.block], true),
-                    || {
-                        solve_lower(&l11, &blocks[&bc.block], true);
-                    },
-                );
-                blocks.insert(bc.block, solved.clone());
-                courier.bcast(&bc.dests, k, TAG_U, bc.block, &solved, block_bytes)?;
-            }
-        }
-
-        // --- 5. Trailing update of my blocks.
-        let mut trailing: Vec<(usize, usize)> = blocks
-            .keys()
-            .copied()
-            .filter(|&(bi, bj)| bi > k && bj > k)
-            .collect();
-        trailing.sort_unstable();
-        if !trailing.is_empty() {
-            {
-                let _wait_span = courier.span(format!("wait {k}"));
-                let need_l = trailing
-                    .iter()
-                    .map(|&(bi, _)| bi)
-                    .filter(|&bi| !blocks.contains_key(&(bi, k)))
-                    .map(|bi| (k, TAG_L, (bi, k)));
-                let need_u = trailing
-                    .iter()
-                    .map(|&(_, bj)| bj)
-                    .filter(|&bj| !blocks.contains_key(&(k, bj)))
-                    .map(|bj| (k, TAG_U, (k, bj)));
-                courier.wait_all(need_l.chain(need_u))?;
-            }
-            let mut update_span = courier.span(format!("update {k}"));
-            let units_before = clock.units;
-            let t_update = Instant::now();
-            for &(bi, bj) in &trailing {
-                let lblk = match blocks.get(&(bi, k)) {
-                    Some(m) => m.clone(),
-                    None => courier.get(k, TAG_L, (bi, k)).clone(),
+            // Solve one panel block of column k against U11 and
+            // broadcast it across its grid row.
+            Op::LuSolveL => {
+                let _span = courier.span_with(|| format!("panelL {k}"));
+                let solved = {
+                    let packed: &Matrix = if *diag == self.my {
+                        &self.blocks[&(k, k)]
+                    } else {
+                        courier.obtain(k, TAG_DIAG, (k, k))?
+                    };
+                    let u11 = upper_from_packed(packed);
+                    clock.run(
+                        1,
+                        || solve_right_upper(&u11, &self.blocks[&a.blk]),
+                        || {
+                            solve_right_upper(&u11, &self.blocks[&a.blk]);
+                        },
+                    )
                 };
-                let ublk = match blocks.get(&(k, bj)) {
-                    Some(m) => m.clone(),
-                    None => courier.get(k, TAG_U, (k, bj)).clone(),
+                if let Some(old) = self.blocks.insert(a.blk, solved) {
+                    old.reclaim(courier.pool_mut());
+                }
+                let bc = l_bcasts[1..]
+                    .iter()
+                    .find(|bc| bc.block == a.blk)
+                    .expect("solve action without a plan bcast");
+                courier.bcast(
+                    &bc.dests,
+                    k,
+                    TAG_L,
+                    a.blk,
+                    &self.blocks[&a.blk],
+                    self.block_bytes,
+                )?;
+            }
+            // Solve one pivot-row block against L11 and broadcast it
+            // down its grid column.
+            Op::LuSolveU => {
+                let _span = courier.span_with(|| format!("panelU {k}"));
+                let solved = {
+                    let packed: &Matrix = if *diag == self.my {
+                        &self.blocks[&(k, k)]
+                    } else {
+                        courier.obtain(k, TAG_DIAG, (k, k))?
+                    };
+                    let l11 = unit_lower_from_packed(packed);
+                    clock.run(
+                        1,
+                        || solve_lower(&l11, &self.blocks[&a.blk], true),
+                        || {
+                            solve_lower(&l11, &self.blocks[&a.blk], true);
+                        },
+                    )
                 };
-                clock.run(
-                    1,
-                    || {
-                        let c = blocks.get_mut(&(bi, bj)).expect("trailing block missing");
-                        gemm(-1.0, &lblk, &ublk, 1.0, c);
-                    },
-                    || gemm(-1.0, &lblk, &ublk, 0.0, &mut scratch),
-                );
+                if let Some(old) = self.blocks.insert(a.blk, solved) {
+                    old.reclaim(courier.pool_mut());
+                }
+                let bc = u_bcasts
+                    .iter()
+                    .find(|bc| bc.block == a.blk)
+                    .expect("solve action without a plan bcast");
+                courier.bcast(
+                    &bc.dests,
+                    k,
+                    TAG_U,
+                    a.blk,
+                    &self.blocks[&a.blk],
+                    self.block_bytes,
+                )?;
             }
-            courier.step_done(t_update.elapsed().as_secs_f64());
-            if let Some(g) = update_span.as_mut() {
-                g.arg_u64("units", clock.units - units_before);
+            // GEMM update of one owned trailing block.
+            Op::LuUpdate => {
+                let (bi, bj) = a.blk;
+                let mut c = self.blocks.remove(&a.blk).expect("trailing block missing");
+                let t0 = Instant::now();
+                {
+                    let lblk: &Matrix = match self.blocks.get(&(bi, k)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_L, (bi, k)),
+                    };
+                    let ublk: &Matrix = match self.blocks.get(&(k, bj)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_U, (k, bj)),
+                    };
+                    gemm(-1.0, lblk, ublk, 1.0, &mut c);
+                    for _ in 1..clock.weight() {
+                        gemm(-1.0, lblk, ublk, 0.0, &mut self.scratch);
+                    }
+                }
+                clock.add_busy(t0.elapsed().as_secs_f64());
+                clock.charge(1);
+                courier.step_done(t0.elapsed().as_secs_f64());
+                self.blocks.insert(a.blk, c);
             }
+            op => unreachable!("non-LU action {op:?} in LU plan"),
         }
-        courier.end_step(k);
+        Ok(())
     }
-
-    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -318,6 +494,30 @@ mod tests {
         let seq = hetgrid_linalg::lu::lu_factor(&a).unwrap();
         assert_eq!(seq.swaps, 0, "test premise: no pivoting happened");
         assert!(f.approx_eq(&seq.lu, 1e-8));
+    }
+
+    #[test]
+    fn lookahead_is_bit_exact_with_in_order() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = dominant_matrix(nb * r, 9);
+        let w = crate::store::slowdown_weights(&arr);
+        let t = ChannelTransport;
+        let run = |lookahead| {
+            run_lu_on_cfg(&t, &a, &dist, nb, r, &w, ExecConfig { lookahead })
+                .unwrap()
+                .0
+        };
+        let inorder = run(0);
+        for depth in [1, 3] {
+            assert!(
+                run(depth).approx_eq(&inorder, 0.0),
+                "depth {depth} diverged from in-order"
+            );
+        }
     }
 
     #[test]

@@ -4,8 +4,18 @@
 //! vertical broadcasts of the pivot block row of `B`, Section 3.1.1).
 //! Heterogeneity is emulated by integer *slowdown weights*: processor
 //! `(i, j)` repeats every block kernel `w_ij` times.
+//!
+//! Under the lookahead driver each step is two actions: a critical
+//! `MmSend` (no dependencies — the pivot panels of step `k + 1` can go
+//! out while step `k`'s update still runs) and one `MmUpdate` touching
+//! every owned C block, so updates of consecutive steps stay in order
+//! per block while communication overlaps compute.
 
-use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
+use crate::pool::PoolClone;
+use crate::step::{
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
+    WorkClock,
+};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
@@ -60,6 +70,23 @@ pub fn run_mm_on(
     run_mm_rect_on(transport, a, b, dist, (nb, nb, nb), r, weights)
 }
 
+/// [`run_mm_on`] with explicit executor tuning (lookahead depth).
+///
+/// # Panics
+/// Panics on size mismatches, like [`run_mm`].
+pub fn run_mm_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    b: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+) -> Result<(Matrix, ExecReport), ExecError> {
+    run_mm_rect_on_cfg(transport, a, b, dist, (nb, nb, nb), r, weights, cfg)
+}
+
 /// Rectangular variant: `C(mb x nb) = A(mb x kb) * B(kb x nb)` in `r`-sized
 /// blocks, all three matrices laid out by the same distribution.
 ///
@@ -85,9 +112,35 @@ pub fn run_mm_rect_on(
     a: &Matrix,
     b: &Matrix,
     dist: &(dyn BlockDist + Sync),
+    dims: (usize, usize, usize),
+    r: usize,
+    weights: &[Vec<u64>],
+) -> Result<(Matrix, ExecReport), ExecError> {
+    run_mm_rect_on_cfg(
+        transport,
+        a,
+        b,
+        dist,
+        dims,
+        r,
+        weights,
+        ExecConfig::default(),
+    )
+}
+
+/// [`run_mm_rect_on`] with explicit executor tuning (lookahead depth).
+///
+/// # Panics
+/// Panics on size mismatches, like [`run_mm`].
+pub fn run_mm_rect_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    b: &Matrix,
+    dist: &(dyn BlockDist + Sync),
     (mb, nb, kb): (usize, usize, usize),
     r: usize,
     weights: &[Vec<u64>],
+    cfg: ExecConfig,
 ) -> Result<(Matrix, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_mm");
@@ -112,118 +165,167 @@ pub fn run_mm_rect_on(
         .collect();
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
-        worker(
-            &plan,
-            r,
-            me,
-            &owned_c[me],
-            &da.stores[me],
-            &db.stores[me],
-            courier,
-            clock,
-        )
+        let my = (me / q, me % q);
+        let mut interp = MmInterp {
+            plan: &plan,
+            my,
+            owned: &owned_c[me],
+            my_a: &da.stores[me],
+            my_b: &db.stores[me],
+            c_blocks: owned_c[me]
+                .iter()
+                .map(|&key| (key, Matrix::zeros(r, r)))
+                .collect(),
+            scratch: Matrix::zeros(r, r),
+            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
+        };
+        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        Ok(interp.c_blocks)
     })?;
     let c = gather_result(stores, (mb, nb), r, "run_mm");
     Ok((c, report))
 }
 
-fn worker(
-    plan: &Plan,
-    r: usize,
-    me: usize,
-    owned: &[(usize, usize)],
-    my_a: &BlockStore,
-    my_b: &BlockStore,
-    courier: &mut Courier<Arc<Matrix>>,
-    clock: &mut WorkClock,
-) -> Result<BlockStore, Closed> {
-    let (_, q) = plan.grid;
-    let my = (me / q, me % q);
-    let mut c_blocks: BlockStore = owned
+/// One processor's MM actions for `step`: a critical dependency-free
+/// broadcast of its pivot panel blocks, then one update of every owned
+/// C block needing the foreign pivot blocks of this step.
+pub(crate) fn mm_actions(step: &Step, my: (usize, usize), owned: &[(usize, usize)]) -> Vec<Action> {
+    let Step::Mm {
+        k,
+        a_bcasts,
+        b_bcasts,
+    } = step
+    else {
+        panic!("run_mm: non-MM step in plan")
+    };
+    let k = *k;
+    let mut out = Vec::new();
+    if [a_bcasts, b_bcasts]
         .iter()
-        .map(|&key| (key, Matrix::zeros(r, r)))
-        .collect();
-    let mut scratch = Matrix::zeros(r, r);
-    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
+        .any(|bcs| bcs.iter().any(|bc| bc.src == my && !bc.dests.is_empty()))
+    {
+        out.push(Action {
+            step: k,
+            op: Op::MmSend,
+            blk: (k, k),
+            crit: true,
+            needs: vec![],
+            // A/B panel blocks are never written; no conflicts to track.
+            reads: vec![],
+            writes: vec![],
+        });
+    }
+    if !owned.is_empty() {
+        out.push(Action {
+            step: k,
+            op: Op::MmUpdate,
+            blk: (k, k),
+            crit: false,
+            needs: a_bcasts
+                .iter()
+                .filter(|bc| bc.dests.contains(&my))
+                .map(|bc| (k, TAG_A, bc.block))
+                .chain(
+                    b_bcasts
+                        .iter()
+                        .filter(|bc| bc.dests.contains(&my))
+                        .map(|bc| (k, TAG_B, bc.block)),
+                )
+                .collect(),
+            reads: vec![],
+            writes: owned.iter().map(|&(bi, bj)| (0, bi, bj)).collect(),
+        });
+    }
+    out
+}
 
-    for step in &plan.steps {
+struct MmInterp<'a> {
+    plan: &'a Plan,
+    my: (usize, usize),
+    owned: &'a [(usize, usize)],
+    my_a: &'a BlockStore,
+    my_b: &'a BlockStore,
+    c_blocks: BlockStore,
+    scratch: Matrix,
+    block_bytes: u64,
+}
+
+impl StepInterp for MmInterp<'_> {
+    type P = Arc<Matrix>;
+
+    fn n_steps(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    fn emit(&self, k: usize, out: &mut Vec<Action>) {
+        out.extend(mm_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn execute(
+        &mut self,
+        a: &Action,
+        courier: &mut Courier<Arc<Matrix>>,
+        clock: &mut WorkClock,
+    ) -> Result<(), Closed> {
         let Step::Mm {
             k,
             a_bcasts,
             b_bcasts,
-        } = step
+        } = &self.plan.steps[a.step]
         else {
-            panic!("run_mm: non-MM step in plan")
+            unreachable!("emit checked the step kind")
         };
         let k = *k;
-
-        // --- Send phase: my A blocks of column k, my B blocks of row k.
-        let mut bcast_span = courier.span(format!("bcast {k}"));
-        let sent_before = courier.sent();
-        for (tag, bcasts) in [(TAG_A, a_bcasts), (TAG_B, b_bcasts)] {
-            for bc in bcasts {
-                if bc.src != my || bc.dests.is_empty() {
-                    continue;
+        match a.op {
+            Op::MmSend => {
+                let mut bcast_span = courier.span_with(|| format!("bcast {k}"));
+                let sent_before = courier.sent();
+                for (tag, bcasts) in [(TAG_A, a_bcasts), (TAG_B, b_bcasts)] {
+                    for bc in bcasts {
+                        if bc.src != self.my || bc.dests.is_empty() {
+                            continue;
+                        }
+                        let store = if tag == TAG_A { self.my_a } else { self.my_b };
+                        // One pool-backed copy; recipients share it via
+                        // the Arc and the last drop reshelves it.
+                        let payload = Arc::new(store[&bc.block].pool_clone(courier.pool_mut()));
+                        courier.bcast(&bc.dests, k, tag, bc.block, &payload, self.block_bytes)?;
+                    }
                 }
-                let store = if tag == TAG_A { my_a } else { my_b };
-                // One deep copy; recipients share it via the Arc.
-                let payload = Arc::new(store[&bc.block].clone());
-                courier.bcast(&bc.dests, k, tag, bc.block, &payload, block_bytes)?;
+                if let Some(g) = bcast_span.as_mut() {
+                    g.arg_u64("msgs", courier.sent() - sent_before);
+                }
             }
-        }
-        if let Some(g) = bcast_span.as_mut() {
-            g.arg_u64("msgs", courier.sent() - sent_before);
-        }
-        drop(bcast_span);
-
-        // --- Receive phase: wait for every foreign block this step needs.
-        {
-            let _wait_span = courier.span(format!("wait {k}"));
-            courier.wait_all(
-                a_bcasts
-                    .iter()
-                    .filter(|bc| bc.dests.contains(&my))
-                    .map(|bc| (k, TAG_A, bc.block))
-                    .chain(
-                        b_bcasts
-                            .iter()
-                            .filter(|bc| bc.dests.contains(&my))
-                            .map(|bc| (k, TAG_B, bc.block)),
-                    ),
-            )?;
-        }
-
-        // --- Compute phase: C_bi,bj += A_bi,k * B_k,bj (repeated for
-        // the slowdown weight).
-        let mut compute_span = courier.span(format!("compute {k}"));
-        let units_before = clock.units;
-        let t0 = Instant::now();
-        for &(bi, bj) in owned {
-            let ablk: &Matrix = match my_a.get(&(bi, k)) {
-                Some(m) => m,
-                None => courier.get(k, TAG_A, (bi, k)),
-            };
-            let bblk: &Matrix = match my_b.get(&(k, bj)) {
-                Some(m) => m,
-                None => courier.get(k, TAG_B, (k, bj)),
-            };
-            let c = c_blocks.get_mut(&(bi, bj)).expect("C block missing");
-            gemm(1.0, ablk, bblk, 1.0, c);
-            for _ in 1..clock.weight() {
-                gemm(1.0, ablk, bblk, 0.0, &mut scratch);
+            Op::MmUpdate => {
+                let mut compute_span = courier.span_with(|| format!("compute {k}"));
+                let units_before = clock.units;
+                let t0 = Instant::now();
+                for &(bi, bj) in self.owned {
+                    let ablk: &Matrix = match self.my_a.get(&(bi, k)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_A, (bi, k)),
+                    };
+                    let bblk: &Matrix = match self.my_b.get(&(k, bj)) {
+                        Some(m) => m,
+                        None => courier.get(k, TAG_B, (k, bj)),
+                    };
+                    let c = self.c_blocks.get_mut(&(bi, bj)).expect("C block missing");
+                    gemm(1.0, ablk, bblk, 1.0, c);
+                    for _ in 1..clock.weight() {
+                        gemm(1.0, ablk, bblk, 0.0, &mut self.scratch);
+                    }
+                    clock.charge(1);
+                }
+                clock.add_busy(t0.elapsed().as_secs_f64());
+                courier.step_done(t0.elapsed().as_secs_f64());
+                if let Some(g) = compute_span.as_mut() {
+                    g.arg_u64("units", clock.units - units_before);
+                }
             }
-            clock.charge(1);
+            op => unreachable!("non-MM action {op:?} in MM plan"),
         }
-        clock.add_busy(t0.elapsed().as_secs_f64());
-        courier.step_done(t0.elapsed().as_secs_f64());
-        if let Some(g) = compute_span.as_mut() {
-            g.arg_u64("units", clock.units - units_before);
-        }
-        drop(compute_span);
-        courier.end_step(k);
+        Ok(())
     }
-
-    Ok(c_blocks)
 }
 
 #[cfg(test)]
@@ -292,6 +394,31 @@ mod tests {
         let b = test_matrix(nb * r, 6);
         let (c, _) = run_mm(&a, &b, &dist, nb, r, &uniform_weights(2, 2)).unwrap();
         assert!(c.approx_eq(&matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn lookahead_is_bit_exact_with_in_order() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 4, 3, PanelOrdering::Contiguous);
+        let nb = 8;
+        let r = 2;
+        let a = test_matrix(nb * r, 11);
+        let b = test_matrix(nb * r, 12);
+        let w = crate::store::slowdown_weights(&arr);
+        let t = ChannelTransport;
+        let run = |lookahead| {
+            run_mm_on_cfg(&t, &a, &b, &dist, nb, r, &w, ExecConfig { lookahead })
+                .unwrap()
+                .0
+        };
+        let inorder = run(0);
+        for depth in [1, 3] {
+            assert!(
+                run(depth).approx_eq(&inorder, 0.0),
+                "depth {depth} diverged from in-order"
+            );
+        }
     }
 
     #[test]

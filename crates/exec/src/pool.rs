@@ -1,0 +1,166 @@
+//! Scratch/receive buffer pooling for the step driver's hot path.
+//!
+//! Every broadcast used to clone its payload per destination and every
+//! retired step dropped its received block buffers on the floor; with
+//! the lookahead driver keeping more messages in flight, that
+//! allocation churn would grow with the window. [`BufferPool`] shelves
+//! retired [`Matrix`] buffers by shape so the next same-shaped clone or
+//! receive staging reuses the allocation, and [`PoolClone`] is the
+//! pool-aware replacement for `clone()` on payload types.
+//!
+//! The pool is strictly thread-local (one per worker's
+//! [`Courier`](crate::step::Courier)): no locks, no cross-thread
+//! traffic. Hit/miss totals are published to `obs` at run end.
+
+use hetgrid_linalg::Matrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-shape shelf capacity: buffers returned beyond this are simply
+/// dropped, bounding the pool's footprint at a handful of windows'
+/// worth of blocks per shape.
+const SHELF_CAP: usize = 32;
+
+/// A by-shape free list of matrix buffers.
+///
+/// `take` hands out a buffer with **stale contents** — callers
+/// overwrite it entirely (via [`Matrix::copy_from`] or by writing every
+/// block of a stacked panel) before reading, exactly as they would fill
+/// a freshly cloned buffer.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    shelves: HashMap<(usize, usize), Vec<Matrix>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A `rows x cols` buffer: reused from the shelf when one is
+    /// available (stale contents!), freshly allocated otherwise.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.shelves.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            Some(m) => {
+                self.hits += 1;
+                m
+            }
+            None => {
+                self.misses += 1;
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Returns a retired buffer to its shape's shelf (dropped when the
+    /// shelf is full).
+    pub fn put(&mut self, m: Matrix) {
+        let shelf = self.shelves.entry(m.shape()).or_default();
+        if shelf.len() < SHELF_CAP {
+            shelf.push(m);
+        }
+    }
+
+    /// Takes met from the shelf so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Pool-aware duplication and retirement for message payload types —
+/// the replacement for the `payload.clone()` per broadcast destination
+/// and the silent drop of consumed receive buffers.
+pub trait PoolClone: Sized {
+    /// Duplicates `self`, drawing any backing buffer from `pool`.
+    fn pool_clone(&self, pool: &mut BufferPool) -> Self;
+    /// Retires `self`, returning any exclusively-owned backing buffer
+    /// to `pool`.
+    fn reclaim(self, pool: &mut BufferPool);
+}
+
+impl PoolClone for Matrix {
+    fn pool_clone(&self, pool: &mut BufferPool) -> Self {
+        let (r, c) = self.shape();
+        let mut m = pool.take(r, c);
+        m.copy_from(self);
+        m
+    }
+
+    fn reclaim(self, pool: &mut BufferPool) {
+        pool.put(self);
+    }
+}
+
+impl PoolClone for Arc<Matrix> {
+    fn pool_clone(&self, _pool: &mut BufferPool) -> Self {
+        // Arc payloads are shared, not copied; nothing to pool on the
+        // way out.
+        Arc::clone(self)
+    }
+
+    fn reclaim(self, pool: &mut BufferPool) {
+        // Only the last holder gets the buffer back.
+        if let Ok(m) = Arc::try_unwrap(self) {
+            pool.put(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_matching_shape_only() {
+        let mut pool = BufferPool::new();
+        pool.put(Matrix::filled(2, 3, 7.0));
+        let m = pool.take(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(pool.misses(), 1);
+        let m2 = pool.take(2, 3);
+        assert_eq!(m2.shape(), (2, 3));
+        assert_eq!(pool.hits(), 1);
+        drop((m, m2));
+    }
+
+    #[test]
+    fn pool_clone_matrix_is_bitwise_equal() {
+        let mut pool = BufferPool::new();
+        pool.put(Matrix::filled(2, 2, 9.0)); // stale shelf entry
+        let src = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let dup = src.pool_clone(&mut pool);
+        assert!(dup.approx_eq(&src, 0.0));
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn arc_reclaim_recovers_buffer_only_when_unique() {
+        let mut pool = BufferPool::new();
+        let a = Arc::new(Matrix::zeros(4, 4));
+        let b = Arc::clone(&a);
+        a.reclaim(&mut pool);
+        assert_eq!(pool.take(4, 4).shape(), (4, 4));
+        assert_eq!(pool.misses(), 1, "shared Arc must not be shelved");
+        b.reclaim(&mut pool);
+        pool.take(4, 4);
+        assert_eq!(pool.hits(), 1, "unique Arc returns its buffer");
+    }
+
+    #[test]
+    fn shelf_is_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..2 * SHELF_CAP {
+            pool.put(Matrix::zeros(1, 1));
+        }
+        let shelved = pool.shelves[&(1, 1)].len();
+        assert_eq!(shelved, SHELF_CAP);
+    }
+}

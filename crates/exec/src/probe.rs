@@ -26,11 +26,17 @@ use hetgrid_obs::trace::{self, SpanGuard, TrackId};
 /// Compute-chunk duration buckets, microseconds.
 const STEP_US_BOUNDS: [f64; 6] = [10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
 
+/// Realized lookahead-depth buckets: the `.5` edges put each integer
+/// step distance (0, 1, 2, 3, 4+) in its own bucket.
+const DEPTH_BOUNDS: [f64; 5] = [0.5, 1.5, 2.5, 3.5, 7.5];
+
 pub(crate) struct Probe {
     track: TrackId,
     msgs: Counter,
     step_us: Histogram,
     work: Counter,
+    stalls: Counter,
+    depth: Histogram,
     /// Per-edge state, indexed by destination linear id, interned on
     /// the first message along that edge.
     edges: Vec<Option<EdgeProbe>>,
@@ -56,7 +62,9 @@ impl Probe {
             track: trace::track(&format!("P({},{})", i + 1, j + 1)),
             msgs: m.counter(&format!("exec.p{i}_{j}.msgs")),
             work: m.counter(&format!("exec.p{i}_{j}.work")),
+            stalls: m.counter(&format!("exec.p{i}_{j}.stalls")),
             step_us: m.histogram("exec.step.compute_us", &STEP_US_BOUNDS),
+            depth: m.histogram("exec.lookahead.depth", &DEPTH_BOUNDS),
             edges: (0..p * q).map(|_| None).collect(),
             me: (i, j),
             q,
@@ -105,10 +113,22 @@ impl Probe {
         self.step_us.observe(dur_seconds * 1e6);
     }
 
-    /// Publishes the worker's total weighted work and flushes this
+    /// Records the realized lookahead depth (step distance from the
+    /// window front) of one scheduled action.
+    pub fn depth(&self, d: u64) {
+        self.depth.observe(d as f64);
+    }
+
+    /// Publishes the worker's total weighted work, its scheduler stall
+    /// count, and its buffer-pool hit/miss totals (the pool counters
+    /// are process-global, summed across workers), then flushes this
     /// thread's trace buffer (the worker is about to exit).
-    pub fn finish(&self, total_units: u64) {
+    pub fn finish(&self, total_units: u64, stalls: u64, pool_hits: u64, pool_misses: u64) {
         self.work.add(total_units);
+        self.stalls.add(stalls);
+        let m = hetgrid_obs::metrics();
+        m.counter("exec.pool.hits").add(pool_hits);
+        m.counter("exec.pool.misses").add(pool_misses);
         trace::flush_thread();
     }
 }

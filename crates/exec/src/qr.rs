@@ -11,17 +11,30 @@
 //! the trailing column heads; each head gathers its column, applies
 //! `Q^T` to the stacked column, and scatters the updated blocks back.
 //!
+//! Under the lookahead driver the fan-in sends, the panel
+//! factorization, and the segment receives are critical actions; each
+//! trailing column's `Q^T` application is an independent non-critical
+//! action, so step `k + 1`'s fan-in begins while step `k`'s columns
+//! still update. The packed panel factors of step `k` are modeled as a
+//! pseudo-resource `(3, k, 0)` so column applications on the diagonal
+//! owner order after its factorization.
+//!
 //! The gathered result is the *globally packed* factorization:
 //! Householder vectors below the block diagonal of each panel column,
 //! `R` on and above. [`qr_unpack`] rebuilds `(Q, R)` from it.
 
-use crate::step::{check_weights, gather_result, run_grid, Courier, WorkClock};
+use crate::pool::{BufferPool, PoolClone};
+use crate::step::{
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
+    WorkClock,
+};
 use crate::store::{BlockStore, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::qr::{qr_factor, QrFactors};
 use hetgrid_linalg::Matrix;
 use hetgrid_plan::{Plan, Step};
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -46,6 +59,24 @@ impl QrPayload {
         match self {
             QrPayload::Block(m) => m,
             QrPayload::Factors { .. } => panic!("run_qr: expected block payload"),
+        }
+    }
+}
+
+impl PoolClone for QrPayload {
+    fn pool_clone(&self, pool: &mut BufferPool) -> Self {
+        match self {
+            QrPayload::Block(m) => QrPayload::Block(m.pool_clone(pool)),
+            QrPayload::Factors { packed, taus } => QrPayload::Factors {
+                packed: packed.pool_clone(pool),
+                taus: taus.clone(),
+            },
+        }
+    }
+
+    fn reclaim(self, pool: &mut BufferPool) {
+        match self {
+            QrPayload::Block(m) | QrPayload::Factors { packed: m, .. } => pool.put(m),
         }
     }
 }
@@ -81,6 +112,22 @@ pub fn run_qr_on(
     r: usize,
     weights: &[Vec<u64>],
 ) -> Result<(Matrix, Vec<f64>, ExecReport), ExecError> {
+    run_qr_on_cfg(transport, a, dist, nb, r, weights, ExecConfig::default())
+}
+
+/// [`run_qr_on`] with explicit executor tuning (lookahead depth).
+///
+/// # Panics
+/// Panics like [`run_qr`].
+pub fn run_qr_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+) -> Result<(Matrix, Vec<f64>, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_qr");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
@@ -91,15 +138,17 @@ pub fn run_qr_on(
     let taus_acc: Mutex<Vec<Vec<f64>>> = Mutex::new(vec![Vec::new(); nb]);
 
     let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
-        worker(
-            &plan,
+        let mut interp = QrInterp {
+            plan: &plan,
             r,
-            me,
-            da.stores[me].clone(),
-            &taus_acc,
-            courier,
-            clock,
-        )
+            my: (me / q, me % q),
+            blocks: da.stores[me].clone(),
+            taus_acc: &taus_acc,
+            factors: HashMap::new(),
+            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
+        };
+        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        Ok(interp.blocks)
     })?;
 
     let packed = gather_result(stores, (nb, nb), r, "run_qr");
@@ -139,157 +188,286 @@ pub fn qr_unpack(packed: &Matrix, taus: &[f64], nb: usize, r: usize) -> (Matrix,
     (qfull, rmat)
 }
 
-fn worker(
-    plan: &Plan,
-    r: usize,
-    me: usize,
-    mut blocks: BlockStore,
-    taus_acc: &Mutex<Vec<Vec<f64>>>,
-    courier: &mut Courier<QrPayload>,
-    clock: &mut WorkClock,
-) -> Result<BlockStore, Closed> {
-    let (_, q) = plan.grid;
-    let my = (me / q, me % q);
-    let block_bytes = (r * r * std::mem::size_of::<f64>()) as u64;
+/// One processor's QR actions for `step`, in program order: fan-in
+/// sends first (panel blocks to the diagonal owner, column members to
+/// their heads — before any receive, so the step's send/receive graph
+/// stays acyclic), then factor / take-segment, then the column
+/// applications, then the updated-column receives.
+pub(crate) fn qr_actions(step: &Step, my: (usize, usize)) -> Vec<Action> {
+    let Step::Qr {
+        k,
+        diag,
+        panel,
+        reflector_dests: _,
+        columns,
+    } = step
+    else {
+        panic!("run_qr: non-QR step in plan")
+    };
+    let k = *k;
+    let mut out = Vec::new();
+    if *diag != my {
+        for &((bi, bk), owner) in panel {
+            if owner == my {
+                out.push(Action {
+                    step: k,
+                    op: Op::QrSendPanel,
+                    blk: (bi, bk),
+                    crit: true,
+                    needs: vec![],
+                    reads: vec![(0, bi, bk)],
+                    writes: vec![],
+                });
+            }
+        }
+    }
+    for col in columns {
+        if col.head == my {
+            continue;
+        }
+        for &((bi, bj), owner) in &col.members {
+            if owner == my {
+                out.push(Action {
+                    step: k,
+                    op: Op::QrSendCol,
+                    blk: (bi, bj),
+                    crit: true,
+                    needs: vec![],
+                    reads: vec![(0, bi, bj)],
+                    writes: vec![],
+                });
+            }
+        }
+    }
+    if *diag == my {
+        let mut needs = vec![];
+        let mut writes = vec![(3, k, 0)];
+        for &((bi, _), owner) in panel {
+            if owner == my {
+                writes.push((0, bi, k));
+            } else {
+                needs.push((k, TAG_PANEL, (bi, k)));
+            }
+        }
+        out.push(Action {
+            step: k,
+            op: Op::QrFactor,
+            blk: (k, k),
+            crit: true,
+            needs,
+            reads: vec![],
+            writes,
+        });
+    } else {
+        for &((bi, _), owner) in panel {
+            if owner == my {
+                out.push(Action {
+                    step: k,
+                    op: Op::QrTakeSeg,
+                    blk: (bi, k),
+                    crit: true,
+                    needs: vec![(k, TAG_SEG, (bi, k))],
+                    reads: vec![],
+                    writes: vec![(0, bi, k)],
+                });
+            }
+        }
+    }
+    for col in columns {
+        if col.head != my {
+            continue;
+        }
+        let (mut needs, mut reads) = (vec![], vec![]);
+        if *diag == my {
+            reads.push((3, k, 0));
+        } else {
+            needs.push((k, TAG_REFL, (k, k)));
+        }
+        let mut writes = vec![(0, k, col.bj)];
+        for &((bi, bj), owner) in &col.members {
+            if owner == my {
+                writes.push((0, bi, bj));
+            } else {
+                needs.push((k, TAG_COL, (bi, bj)));
+            }
+        }
+        out.push(Action {
+            step: k,
+            op: Op::QrColUpdate,
+            blk: (k, col.bj),
+            crit: false,
+            needs,
+            reads,
+            writes,
+        });
+    }
+    for col in columns {
+        if col.head == my {
+            continue;
+        }
+        for &((bi, bj), owner) in &col.members {
+            if owner == my {
+                out.push(Action {
+                    step: k,
+                    op: Op::QrTakeColRet,
+                    blk: (bi, bj),
+                    crit: true,
+                    needs: vec![(k, TAG_COLRET, (bi, bj))],
+                    reads: vec![],
+                    writes: vec![(0, bi, bj)],
+                });
+            }
+        }
+    }
+    out
+}
 
-    for step in &plan.steps {
+struct QrInterp<'a> {
+    plan: &'a Plan,
+    r: usize,
+    my: (usize, usize),
+    blocks: BlockStore,
+    taus_acc: &'a Mutex<Vec<Vec<f64>>>,
+    /// Packed panel factors by step, kept while the step's column
+    /// applications may still run; dropped on retire.
+    factors: HashMap<usize, QrFactors>,
+    block_bytes: u64,
+}
+
+impl StepInterp for QrInterp<'_> {
+    type P = QrPayload;
+
+    fn n_steps(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    fn emit(&self, k: usize, out: &mut Vec<Action>) {
+        out.extend(qr_actions(&self.plan.steps[k], self.my));
+    }
+
+    fn execute(
+        &mut self,
+        a: &Action,
+        courier: &mut Courier<QrPayload>,
+        clock: &mut WorkClock,
+    ) -> Result<(), Closed> {
         let Step::Qr {
             k,
             diag,
             panel,
             reflector_dests,
             columns,
-        } = step
+        } = &self.plan.steps[a.step]
         else {
-            panic!("run_qr: non-QR step in plan")
+            unreachable!("emit checked the step kind")
         };
         let k = *k;
+        let r = self.r;
         let nk = panel.len(); // nb - k stacked panel blocks
-
-        // --- 1. All fan-in sends first (before any receive, so the
-        // step's send/receive graph is acyclic): my foreign panel
-        // blocks to the diagonal owner, my foreign column members to
-        // their heads.
-        if *diag != my {
-            for &((bi, bk), owner) in panel {
-                if owner == my {
-                    let blk = blocks[&(bi, bk)].clone();
-                    courier.send(
-                        *diag,
-                        k,
-                        TAG_PANEL,
-                        (bi, bk),
-                        QrPayload::Block(blk),
-                        block_bytes,
-                    )?;
-                }
+        match a.op {
+            Op::QrSendPanel => {
+                let payload = QrPayload::Block(self.blocks[&a.blk].pool_clone(courier.pool_mut()));
+                courier.send(*diag, k, TAG_PANEL, a.blk, payload, self.block_bytes)?;
             }
-        }
-        for col in columns {
-            if col.head == my {
-                continue;
+            Op::QrSendCol => {
+                let col = columns
+                    .iter()
+                    .find(|c| c.bj == a.blk.1)
+                    .expect("column for fan-in send");
+                let payload = QrPayload::Block(self.blocks[&a.blk].pool_clone(courier.pool_mut()));
+                courier.send(col.head, k, TAG_COL, a.blk, payload, self.block_bytes)?;
             }
-            for &((bi, bj), owner) in &col.members {
-                if owner == my {
-                    let blk = blocks[&(bi, bj)].clone();
-                    courier.send(
-                        col.head,
-                        k,
-                        TAG_COL,
-                        (bi, bj),
-                        QrPayload::Block(blk),
-                        block_bytes,
-                    )?;
-                }
-            }
-        }
-
-        // --- 2. Diagonal owner: stack the panel, factor it, scatter
-        // the packed reflector segments back, broadcast the factors to
-        // the trailing column heads.
-        let mut my_factors: Option<QrFactors> = None;
-        if *diag == my {
-            let _factor_span = courier.span(format!("factor {k}"));
-            let mut stacked = Matrix::zeros(nk * r, r);
-            for &((bi, _), owner) in panel {
-                let blk = if owner == my {
-                    blocks[&(bi, k)].clone()
-                } else {
-                    courier.take(k, TAG_PANEL, (bi, k))?.into_block()
-                };
-                stacked.set_block((bi - k) * r, 0, &blk);
-            }
-            let pf = clock.run(
-                2 * nk as u64,
-                || qr_factor(&stacked),
-                || {
-                    qr_factor(&stacked);
-                },
-            );
-            for &((bi, _), owner) in panel {
-                let seg = pf.packed().block((bi - k) * r, 0, r, r);
-                if owner == my {
-                    blocks.insert((bi, k), seg);
-                } else {
-                    courier.send(
-                        owner,
-                        k,
-                        TAG_SEG,
-                        (bi, k),
-                        QrPayload::Block(seg),
-                        block_bytes,
-                    )?;
-                }
-            }
-            taus_acc.lock().unwrap_or_else(|p| p.into_inner())[k] = pf.taus().to_vec();
-            let factors = QrPayload::Factors {
-                packed: pf.packed().clone(),
-                taus: pf.taus().to_vec(),
-            };
-            let refl_bytes = (nk * r * r + r) as u64 * std::mem::size_of::<f64>() as u64;
-            courier.bcast(reflector_dests, k, TAG_REFL, (k, k), &factors, refl_bytes)?;
-            my_factors = Some(pf);
-        } else {
-            // --- 3. Foreign panel owners take their reflector segments.
-            for &((bi, _), owner) in panel {
-                if owner == my {
-                    let seg = courier.take(k, TAG_SEG, (bi, k))?.into_block();
-                    blocks.insert((bi, k), seg);
-                }
-            }
-        }
-
-        // --- 4. Column heads: gather each owned trailing column, apply
-        // Q^T of the stacked panel, scatter the updated blocks back.
-        let i_am_head = columns.iter().any(|c| c.head == my);
-        if i_am_head {
-            let mut apply_span = courier.span(format!("apply {k}"));
-            let pf: QrFactors = if *diag == my {
-                my_factors.take().expect("factored above")
-            } else {
-                match courier.obtain(k, TAG_REFL, (k, k))? {
-                    QrPayload::Factors { packed, taus } => {
-                        QrFactors::from_parts(packed.clone(), taus.clone())
-                    }
-                    QrPayload::Block(_) => panic!("run_qr: expected factors payload"),
-                }
-            };
-            let units_before = clock.units;
-            let t_apply = Instant::now();
-            for col in columns {
-                if col.head != my {
-                    continue;
-                }
-                let mut stacked = Matrix::zeros(nk * r, r);
-                stacked.set_block(0, 0, &blocks[&(k, col.bj)]);
-                for &((bi, bj), owner) in &col.members {
-                    let blk = if owner == my {
-                        blocks[&(bi, bj)].clone()
+            // Stack the panel, factor it, scatter the packed reflector
+            // segments back, broadcast the factors to the column heads.
+            Op::QrFactor => {
+                let _span = courier.span_with(|| format!("factor {k}"));
+                // Pool buffer with stale contents: the loop below
+                // writes every row block (bi ranges over k..nb).
+                let mut stacked = courier.pool_mut().take(nk * r, r);
+                for &((bi, _), owner) in panel {
+                    if owner == self.my {
+                        stacked.set_block((bi - k) * r, 0, &self.blocks[&(bi, k)]);
                     } else {
-                        courier.take(k, TAG_COL, (bi, bj))?.into_block()
-                    };
-                    stacked.set_block((bi - k) * r, 0, &blk);
+                        let blk = courier.take(k, TAG_PANEL, (bi, k))?.into_block();
+                        stacked.set_block((bi - k) * r, 0, &blk);
+                        blk.reclaim(courier.pool_mut());
+                    }
                 }
+                let pf = clock.run(
+                    2 * nk as u64,
+                    || qr_factor(&stacked),
+                    || {
+                        qr_factor(&stacked);
+                    },
+                );
+                stacked.reclaim(courier.pool_mut());
+                for &((bi, _), owner) in panel {
+                    let seg = pf.packed().block((bi - k) * r, 0, r, r);
+                    if owner == self.my {
+                        if let Some(old) = self.blocks.insert((bi, k), seg) {
+                            old.reclaim(courier.pool_mut());
+                        }
+                    } else {
+                        courier.send(
+                            owner,
+                            k,
+                            TAG_SEG,
+                            (bi, k),
+                            QrPayload::Block(seg),
+                            self.block_bytes,
+                        )?;
+                    }
+                }
+                self.taus_acc.lock().unwrap_or_else(|p| p.into_inner())[k] = pf.taus().to_vec();
+                if !reflector_dests.is_empty() {
+                    let factors = QrPayload::Factors {
+                        packed: pf.packed().clone(),
+                        taus: pf.taus().to_vec(),
+                    };
+                    let refl_bytes = (nk * r * r + r) as u64 * std::mem::size_of::<f64>() as u64;
+                    courier.bcast(reflector_dests, k, TAG_REFL, (k, k), &factors, refl_bytes)?;
+                    factors.reclaim(courier.pool_mut());
+                }
+                self.factors.insert(k, pf);
+            }
+            Op::QrTakeSeg => {
+                let seg = courier.take(k, TAG_SEG, a.blk)?.into_block();
+                if let Some(old) = self.blocks.insert(a.blk, seg) {
+                    old.reclaim(courier.pool_mut());
+                }
+            }
+            // Gather one owned trailing column, apply Q^T of the
+            // stacked panel, scatter the updated blocks back.
+            Op::QrColUpdate => {
+                let _span = courier.span_with(|| format!("apply {k}"));
+                let col = columns
+                    .iter()
+                    .find(|c| c.bj == a.blk.1)
+                    .expect("column for update");
+                if let std::collections::hash_map::Entry::Vacant(slot) = self.factors.entry(k) {
+                    let pf = match courier.obtain(k, TAG_REFL, (k, k))? {
+                        QrPayload::Factors { packed, taus } => {
+                            QrFactors::from_parts(packed.clone(), taus.clone())
+                        }
+                        QrPayload::Block(_) => panic!("run_qr: expected factors payload"),
+                    };
+                    slot.insert(pf);
+                }
+                let t0 = Instant::now();
+                // Pool buffer with stale contents: head block fills row
+                // 0, the members fill every remaining row block.
+                let mut stacked = courier.pool_mut().take(nk * r, r);
+                stacked.set_block(0, 0, &self.blocks[&(k, col.bj)]);
+                for &((bi, bj), owner) in &col.members {
+                    if owner == self.my {
+                        stacked.set_block((bi - k) * r, 0, &self.blocks[&(bi, bj)]);
+                    } else {
+                        let blk = courier.take(k, TAG_COL, (bi, bj))?.into_block();
+                        stacked.set_block((bi - k) * r, 0, &blk);
+                        blk.reclaim(courier.pool_mut());
+                    }
+                }
+                let pf = &self.factors[&k];
                 let col_blocks = col.members.len() as u64 + 1;
                 let updated = clock.run(
                     2 * col_blocks,
@@ -298,11 +476,16 @@ fn worker(
                         pf.qt_mul(&stacked);
                     },
                 );
-                blocks.insert((k, col.bj), updated.block(0, 0, r, r));
+                stacked.reclaim(courier.pool_mut());
+                if let Some(old) = self.blocks.insert((k, col.bj), updated.block(0, 0, r, r)) {
+                    old.reclaim(courier.pool_mut());
+                }
                 for &((bi, bj), owner) in &col.members {
                     let blk = updated.block((bi - k) * r, 0, r, r);
-                    if owner == my {
-                        blocks.insert((bi, bj), blk);
+                    if owner == self.my {
+                        if let Some(old) = self.blocks.insert((bi, bj), blk) {
+                            old.reclaim(courier.pool_mut());
+                        }
                     } else {
                         courier.send(
                             owner,
@@ -310,33 +493,27 @@ fn worker(
                             TAG_COLRET,
                             (bi, bj),
                             QrPayload::Block(blk),
-                            block_bytes,
+                            self.block_bytes,
                         )?;
                     }
                 }
+                updated.reclaim(courier.pool_mut());
+                courier.step_done(t0.elapsed().as_secs_f64());
             }
-            courier.step_done(t_apply.elapsed().as_secs_f64());
-            if let Some(g) = apply_span.as_mut() {
-                g.arg_u64("units", clock.units - units_before);
-            }
-        }
-
-        // --- 5. Foreign column members take their updated blocks back.
-        for col in columns {
-            if col.head == my {
-                continue;
-            }
-            for &((bi, bj), owner) in &col.members {
-                if owner == my {
-                    let blk = courier.take(k, TAG_COLRET, (bi, bj))?.into_block();
-                    blocks.insert((bi, bj), blk);
+            Op::QrTakeColRet => {
+                let blk = courier.take(k, TAG_COLRET, a.blk)?.into_block();
+                if let Some(old) = self.blocks.insert(a.blk, blk) {
+                    old.reclaim(courier.pool_mut());
                 }
             }
+            op => unreachable!("non-QR action {op:?} in QR plan"),
         }
-        courier.end_step(k);
+        Ok(())
     }
 
-    Ok(blocks)
+    fn retire(&mut self, k: usize) {
+        self.factors.remove(&k);
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +593,32 @@ mod tests {
         check_qr(&a, &packed, &taus, nb, r, 1e-8);
         assert!(report.work_units.iter().flatten().sum::<u64>() > 0);
         assert!(report.messages_sent.iter().flatten().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn lookahead_is_bit_exact_with_in_order() {
+        let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let sol = exact::solve_arrangement(&arr);
+        let dist = PanelDist::from_allocation(&arr, &sol.alloc, 8, 6, PanelOrdering::Interleaved);
+        let nb = 8;
+        let r = 2;
+        let a = test_matrix(nb * r, 0xA5);
+        let w = crate::store::slowdown_weights(&arr);
+        let t = ChannelTransport;
+        let run = |lookahead| {
+            let (packed, taus, _) =
+                run_qr_on_cfg(&t, &a, &dist, nb, r, &w, ExecConfig { lookahead }).unwrap();
+            (packed, taus)
+        };
+        let (packed0, taus0) = run(0);
+        for depth in [1, 3] {
+            let (packed, taus) = run(depth);
+            assert!(
+                packed.approx_eq(&packed0, 0.0),
+                "depth {depth} packed factors diverged from in-order"
+            );
+            assert_eq!(taus, taus0, "depth {depth} taus diverged from in-order");
+        }
     }
 
     #[test]

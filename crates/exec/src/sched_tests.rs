@@ -1,0 +1,263 @@
+//! Property tests for the lookahead scheduler: random plans, random
+//! message-arrival orders, random window depths — the out-of-order
+//! pick must never reorder two conflicting actions, and the
+//! per-processor action sets must agree with the plan-level dependency
+//! analysis in `hetgrid_plan::deps`.
+//!
+//! These drive [`pick_action`] and the window bookkeeping directly (a
+//! single-processor discrete simulation of `run_steps`' loop), so
+//! arrival orders that real channel timing would almost never produce
+//! are exercised deterministically.
+
+use crate::cholesky::cholesky_actions;
+use crate::lu::lu_actions;
+use crate::mm::mm_actions;
+use crate::qr::qr_actions;
+use crate::step::{conflicts, pick_action, Action, MsgKey};
+use hetgrid_core::{exact, Arrangement};
+use hetgrid_dist::{BlockCyclic, BlockDist, PanelDist, PanelOrdering};
+use hetgrid_plan::deps::{step_access, Operand};
+use hetgrid_plan::Plan;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+const KERNELS: [&str; 4] = ["mm", "lu", "cholesky", "qr"];
+
+fn make_dist(choice: usize, nb: usize) -> Box<dyn BlockDist + Sync> {
+    match choice {
+        0 => Box::new(BlockCyclic::new(2, 2)),
+        1 => Box::new(BlockCyclic::new(2, 3)),
+        _ => {
+            let arr = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+            let sol = exact::solve_arrangement(&arr);
+            Box::new(PanelDist::from_allocation(
+                &arr,
+                &sol.alloc,
+                nb,
+                nb,
+                PanelOrdering::Interleaved,
+            ))
+        }
+    }
+}
+
+fn make_plan(kernel: &str, dist: &(dyn BlockDist + Sync), nb: usize) -> Plan {
+    match kernel {
+        "mm" => hetgrid_plan::mm_plan(dist, nb),
+        "lu" => hetgrid_plan::factor_plan(dist, nb),
+        "cholesky" => hetgrid_plan::cholesky_plan(dist, nb),
+        "qr" => hetgrid_plan::qr_plan(dist, nb),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+fn owned_blocks(
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    my: (usize, usize),
+) -> Vec<(usize, usize)> {
+    let mut owned: Vec<(usize, usize)> = (0..nb)
+        .flat_map(|bi| (0..nb).map(move |bj| (bi, bj)))
+        .filter(|&(bi, bj)| dist.owner(bi, bj) == my)
+        .collect();
+    owned.sort_unstable();
+    owned
+}
+
+fn proc_actions(
+    kernel: &str,
+    plan: &Plan,
+    k: usize,
+    my: (usize, usize),
+    owned: &[(usize, usize)],
+) -> Vec<Action> {
+    let step = &plan.steps[k];
+    match kernel {
+        "mm" => mm_actions(step, my, owned),
+        "lu" => lu_actions(step, my, owned),
+        "cholesky" => cholesky_actions(step, my, owned),
+        "qr" => qr_actions(step, my),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Single-processor replay of the `run_steps` window loop: emit up to
+/// the lookahead horizon, execute whatever [`pick_action`] chooses,
+/// deliver one pending message (in a shuffled order) when nothing is
+/// runnable, retire the front step once its actions finish. Returns the
+/// program-order indices in execution order.
+fn simulate(per_step: &[Vec<Action>], lookahead: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = per_step.len();
+    // Global program order and each action's index within it.
+    let program: Vec<&Action> = per_step.iter().flatten().collect();
+    let mut gid_base = vec![0usize; n];
+    for k in 1..n {
+        gid_base[k] = gid_base[k - 1] + per_step[k - 1].len();
+    }
+    // Every message any action waits on, in a random arrival order.
+    let mut arrivals: Vec<MsgKey> = {
+        let mut seen = HashSet::new();
+        program
+            .iter()
+            .flat_map(|a| a.needs.iter().copied())
+            .filter(|k| seen.insert(*k))
+            .collect()
+    };
+    for i in (1..arrivals.len()).rev() {
+        arrivals.swap(i, rng.gen_range(0..=i));
+    }
+    let mut arrivals = VecDeque::from(arrivals);
+
+    let mut arrived: HashSet<MsgKey> = HashSet::new();
+    let mut win: VecDeque<(Action, bool)> = VecDeque::new();
+    let mut gids: VecDeque<usize> = VecDeque::new();
+    let (mut emitted, mut front) = (0usize, 0usize);
+    let mut order = Vec::new();
+    loop {
+        while emitted < n && emitted <= front + lookahead {
+            for (i, a) in per_step[emitted].iter().enumerate() {
+                win.push_back((a.clone(), false));
+                gids.push_back(gid_base[emitted] + i);
+            }
+            emitted += 1;
+        }
+        if front < n && win.iter().filter(|(a, _)| a.step == front).all(|(_, d)| *d) {
+            let keep: Vec<bool> = win.iter().map(|(a, _)| a.step != front).collect();
+            let mut it = keep.iter();
+            win.retain(|_| *it.next().unwrap());
+            let mut it = keep.iter();
+            gids.retain(|_| *it.next().unwrap());
+            front += 1;
+            continue;
+        }
+        if front >= n {
+            break;
+        }
+        if let Some(i) = pick_action(&win, |key| arrived.contains(key)) {
+            win[i].1 = true;
+            order.push(gids[i]);
+        } else {
+            let key = arrivals
+                .pop_front()
+                .expect("scheduler deadlocked: nothing runnable, no message pending");
+            arrived.insert(key);
+        }
+    }
+    assert_eq!(order.len(), program.len(), "not every action executed");
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core safety property of the lookahead executor: however
+    /// messages arrive and however deep the window, two actions that
+    /// touch the same block (and at least one writes it) execute in
+    /// program order on their processor. Combined with owner-local
+    /// writes this is exactly the bit-exactness argument of
+    /// `crate::step`'s module docs.
+    #[test]
+    fn out_of_order_pick_preserves_hazard_order(
+        kernel_idx in 0usize..4,
+        dist_choice in 0usize..3,
+        nb in 3usize..7,
+        lookahead in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let kernel = KERNELS[kernel_idx];
+        let dist = make_dist(dist_choice, nb);
+        let plan = make_plan(kernel, dist.as_ref(), nb);
+        let (p, q) = dist.grid();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for pi in 0..p {
+            for pj in 0..q {
+                let my = (pi, pj);
+                let owned = owned_blocks(dist.as_ref(), nb, my);
+                let per_step: Vec<Vec<Action>> = (0..plan.steps.len())
+                    .map(|k| proc_actions(kernel, &plan, k, my, &owned))
+                    .collect();
+                let order = simulate(&per_step, lookahead, &mut rng);
+                let program: Vec<&Action> = per_step.iter().flatten().collect();
+                let mut pos = vec![0usize; program.len()];
+                for (t, &g) in order.iter().enumerate() {
+                    pos[g] = t;
+                }
+                for i in 0..program.len() {
+                    for j in i + 1..program.len() {
+                        if conflicts(program[i], program[j]) {
+                            prop_assert!(
+                                pos[i] < pos[j],
+                                "{kernel} p{pi}{pj} depth {lookahead}: action {i} \
+                                 ({:?} step {}) ran after conflicting action {j} \
+                                 ({:?} step {})",
+                                program[i].op, program[i].step,
+                                program[j].op, program[j].step,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cross-checks the per-processor action emitters against the
+/// plan-level dependency analysis: per step, the union of action writes
+/// in the matrix namespace over all processors is exactly the step's
+/// write set from [`step_access`], no block is written by two
+/// processors, and every tracked read is a block the step also writes
+/// (the IR's writes are read-modify-writes).
+#[test]
+fn actions_agree_with_plan_deps() {
+    for kernel in KERNELS {
+        for dist_choice in 0..3 {
+            let nb = 5;
+            let dist = make_dist(dist_choice, nb);
+            let plan = make_plan(kernel, dist.as_ref(), nb);
+            let (p, q) = dist.grid();
+            for (k, step) in plan.steps.iter().enumerate() {
+                let acc = step_access(step);
+                let want: BTreeSet<(usize, usize)> = acc
+                    .writes
+                    .iter()
+                    .filter(|w| w.op == Operand::C)
+                    .map(|w| w.block)
+                    .collect();
+                let mut got = BTreeSet::new();
+                for pi in 0..p {
+                    for pj in 0..q {
+                        let my = (pi, pj);
+                        let owned = owned_blocks(dist.as_ref(), nb, my);
+                        for a in proc_actions(kernel, &plan, k, my, &owned) {
+                            for &(ns, bi, bj) in &a.writes {
+                                if ns == 0 {
+                                    assert!(
+                                        got.insert((bi, bj)),
+                                        "{kernel} step {k}: block ({bi},{bj}) \
+                                         written by two actions/processors"
+                                    );
+                                }
+                            }
+                            for &(ns, bi, bj) in &a.reads {
+                                if ns == 0 {
+                                    assert!(
+                                        want.contains(&(bi, bj)),
+                                        "{kernel} step {k}: read ({bi},{bj}) \
+                                         outside the step's access set"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                assert_eq!(
+                    got, want,
+                    "{kernel} step {k} (dist {dist_choice}): action writes \
+                     disagree with hetgrid_plan::deps::step_access"
+                );
+            }
+        }
+    }
+}

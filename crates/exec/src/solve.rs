@@ -4,6 +4,7 @@
 //! solves run on the gathered factors — the standard split for a
 //! library whose expensive phase is the factorization.
 
+use crate::step::ExecConfig;
 use crate::store::ExecReport;
 use crate::transport::{ChannelTransport, ExecError, Transport};
 use hetgrid_dist::BlockDist;
@@ -54,19 +55,49 @@ pub fn run_solve_on(
     weights: &[Vec<u64>],
     kind: SolveKind,
 ) -> Result<(Vec<f64>, ExecReport), ExecError> {
+    run_solve_on_cfg(
+        transport,
+        a,
+        b,
+        dist,
+        nb,
+        r,
+        weights,
+        kind,
+        ExecConfig::default(),
+    )
+}
+
+/// [`run_solve_on`] with explicit executor tuning (lookahead depth) for
+/// the distributed factorization phase.
+///
+/// # Panics
+/// Panics like [`run_solve`].
+pub fn run_solve_on_cfg(
+    transport: &impl Transport,
+    a: &Matrix,
+    b: &[f64],
+    dist: &(dyn BlockDist + Sync),
+    nb: usize,
+    r: usize,
+    weights: &[Vec<u64>],
+    kind: SolveKind,
+    cfg: ExecConfig,
+) -> Result<(Vec<f64>, ExecReport), ExecError> {
     let n = nb * r;
     assert_eq!(a.shape(), (n, n), "run_solve: matrix size mismatch");
     assert_eq!(b.len(), n, "run_solve: rhs length mismatch");
     let bm = Matrix::from_fn(n, 1, |i, _| b[i]);
     match kind {
         SolveKind::Lu => {
-            let (f, report) = crate::lu::run_lu_on(transport, a, dist, nb, r, weights)?;
+            let (f, report) = crate::lu::run_lu_on_cfg(transport, a, dist, nb, r, weights, cfg)?;
             let y = solve_lower(&f, &bm, true);
             let x = solve_upper(&f, &y);
             Ok(((0..n).map(|i| x[(i, 0)]).collect(), report))
         }
         SolveKind::Cholesky => {
-            let (l, report) = crate::cholesky::run_cholesky_on(transport, a, dist, nb, r, weights)?;
+            let (l, report) =
+                crate::cholesky::run_cholesky_on_cfg(transport, a, dist, nb, r, weights, cfg)?;
             let y = solve_lower(&l, &bm, false);
             let x = solve_upper(&l.transpose(), &y);
             Ok(((0..n).map(|i| x[(i, 0)]).collect(), report))

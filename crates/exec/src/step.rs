@@ -5,29 +5,75 @@
 //! `pump` loop buffering early arrivals, destination-list recomputation
 //! from the distribution, a `weighted!` slowdown macro, and a ~40-line
 //! spawn/collect/report block. This module factors all of it out so a
-//! kernel worker is only the algorithm: iterate the
-//! [`hetgrid_plan::Plan`] steps, send along the plan's broadcast lists,
-//! wait on the plan's receive sets, and run block kernels under the
-//! [`WorkClock`].
+//! kernel worker is only the algorithm, expressed as a [`StepInterp`]:
+//! a pure [`StepInterp::emit`] that turns one plan step into this
+//! processor's [`Action`]s (each declaring the messages it needs and
+//! the blocks it reads/writes), and an [`StepInterp::execute`] that
+//! runs one action's sends and block kernels under the [`WorkClock`].
 //!
 //! * [`WireMsg`] — the one wire format: `(step, tag, block index)`
 //!   routing plus a kernel-chosen payload;
 //! * [`Courier`] — owns the endpoint, the pending-message buffer, the
-//!   observability [`Probe`](crate::probe::Probe), and the sent-message
-//!   counter; all sends and receives go through it so the `ExecReport`
-//!   and the obs counters can never disagree about what was sent;
+//!   scratch [`BufferPool`], the observability
+//!   [`Probe`](crate::probe::Probe), and the sent-message counter; all
+//!   sends and receives go through it so the `ExecReport` and the obs
+//!   counters can never disagree about what was sent;
 //! * [`WorkClock`] — the slowdown-weight compute timer (first run is
 //!   the real one, repeats emulate the slower processor);
+//! * [`run_steps`] — the dependency-aware out-of-order driver: keeps a
+//!   window of [`ExecConfig::lookahead`]` + 1` consecutive steps open
+//!   and runs any action whose messages have arrived and whose block
+//!   conflicts with *earlier* unfinished actions are clear, so step
+//!   `k + 1`'s panel factorization and broadcasts overlap step `k`'s
+//!   trailing updates;
 //! * [`run_grid`] — spawns one thread per virtual processor over a
 //!   [`Transport`], hands each a courier and a clock, and assembles the
 //!   [`ExecReport`] from what they return.
+//!
+//! # Why out-of-order execution is bit-exact
+//!
+//! Floating-point addition is not associative, so reordering *updates
+//! to the same block* would change results. The driver never does:
+//! every block write is owner-local, [`conflicts`] forbids running an
+//! action while an earlier-in-program-order unfinished action touches
+//! any of the same blocks (RAW, WAW, *and* WAR), and within one step a
+//! processor's actions write disjoint blocks. Every block therefore
+//! receives exactly the in-order sequence of arithmetic, and any
+//! lookahead depth produces bit-identical output — only the schedule
+//! around the dependence chains moves.
 
+use crate::pool::{BufferPool, PoolClone};
 use crate::probe::Probe;
 use crate::store::{BlockStore, ExecReport};
 use crate::transport::{Closed, Endpoint, ExecError, Transport};
 use hetgrid_obs::trace::SpanGuard;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
+
+/// Default lookahead window depth: how many steps past the oldest
+/// unfinished one a worker may pull work from. Depth 0 is the legacy
+/// strictly-in-order schedule; depth 2 covers the panel-factorization
+/// latency of the next two steps without holding block buffers much
+/// longer than the in-order schedule would.
+pub const DEFAULT_LOOKAHEAD: usize = 2;
+
+/// Tuning knobs for an executor run, accepted by the `*_on_cfg` entry
+/// points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Out-of-order window depth: a worker may execute actions of steps
+    /// `front ..= front + lookahead` where `front` is its oldest
+    /// incomplete step. `0` reproduces the in-order driver exactly.
+    pub lookahead: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            lookahead: DEFAULT_LOOKAHEAD,
+        }
+    }
+}
 
 /// One wire message: payload `P` routed by `(step, tag, idx)`, where
 /// `tag` distinguishes a kernel's message kinds (diagonal factors, L
@@ -39,14 +85,229 @@ pub(crate) struct WireMsg<P> {
     payload: P,
 }
 
-/// Per-worker communication handle: endpoint + pending buffer + probe +
-/// sent counter. Messages that arrive ahead of their step are buffered
-/// and dropped by [`Courier::end_step`] once their step completes.
+/// A message routing key: `(step, tag, block index)`.
+pub(crate) type MsgKey = (usize, u8, (usize, usize));
+
+/// A block-level resource an [`Action`] reads or writes:
+/// `(namespace, bi, bj)`. Namespace 0 is the main matrix (the factored
+/// matrix, or C for MM); kernels may use other namespaces for
+/// step-local pseudo-resources (QR uses 3 for the packed reflector
+/// factors of step `k`, keyed `(3, k, 0)`).
+pub(crate) type Res = (u8, usize, usize);
+
+/// What a schedulable action does, for tracing and for the per-kernel
+/// `execute` dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// MM: broadcast this processor's A/B panel blocks for step k.
+    MmSend,
+    /// MM: rank-r update of every owned C block with step k's panels.
+    MmUpdate,
+    /// LU: factor the diagonal block and broadcast the packed factors.
+    LuFactor,
+    /// LU: solve one panel block against U11 and broadcast it.
+    LuSolveL,
+    /// LU: solve one pivot-row block against L11 and broadcast it.
+    LuSolveU,
+    /// LU: GEMM update of one owned trailing block.
+    LuUpdate,
+    /// Cholesky: factor the diagonal block and broadcast L(k,k).
+    ChFactor,
+    /// Cholesky: solve one panel block and broadcast it.
+    ChSolve,
+    /// Cholesky: symmetric-rank update of one owned trailing block.
+    ChUpdate,
+    /// QR: send an owned panel block to the diagonal owner.
+    QrSendPanel,
+    /// QR: send an owned column segment to its column head.
+    QrSendCol,
+    /// QR: stack the panel, factor it, scatter segments, broadcast the
+    /// reflectors.
+    QrFactor,
+    /// QR: receive this processor's factored panel segment back.
+    QrTakeSeg,
+    /// QR: apply Qᵀ to one trailing column and scatter the result.
+    QrColUpdate,
+    /// QR: receive an updated column segment back from its head.
+    QrTakeColRet,
+}
+
+/// One schedulable unit of a processor's per-step work.
+///
+/// `needs` are the wire messages that must have arrived before the
+/// action can run; `reads`/`writes` are the block resources it touches,
+/// used by [`conflicts`] to keep every block's update sequence in
+/// program order (see the module docs for why that makes any schedule
+/// bit-exact).
+#[derive(Clone, Debug)]
+pub(crate) struct Action {
+    /// Plan step this action belongs to.
+    pub step: usize,
+    /// What the action does (kernel-interpreted).
+    pub op: Op,
+    /// Primary block coordinate, disambiguating same-`op` actions
+    /// within a step.
+    pub blk: (usize, usize),
+    /// Critical-path hint: prefer this action over non-critical ones
+    /// (panel factorizations, solves, and sends unblock other
+    /// processors; trailing updates only fill local time).
+    pub crit: bool,
+    /// Messages that must be present in the courier buffer first.
+    pub needs: Vec<MsgKey>,
+    /// Locally owned blocks read (messages are covered by `needs`).
+    pub reads: Vec<Res>,
+    /// Locally owned blocks written. Disjoint across one step's actions
+    /// on one processor.
+    pub writes: Vec<Res>,
+}
+
+/// A kernel's per-processor plan interpreter: `emit` is the pure
+/// planning half (no side effects, deterministic), `execute` the doing
+/// half. The driver guarantees `execute` is called exactly once per
+/// emitted action, with all `needs` messages buffered, and never while
+/// an earlier conflicting action of the window is unfinished.
+pub(crate) trait StepInterp {
+    /// Wire payload type of this kernel.
+    type P;
+
+    /// Steps in the plan.
+    fn n_steps(&self) -> usize;
+
+    /// Appends this processor's actions for step `k` to `out`, in the
+    /// kernel's preferred (program) order: earlier actions are
+    /// preferred by the scheduler and define the conflict baseline.
+    fn emit(&self, k: usize, out: &mut Vec<Action>);
+
+    /// Runs one action: its sends, receives of `needs` payloads (all
+    /// already buffered), and block kernels under `clock`.
+    fn execute(
+        &mut self,
+        a: &Action,
+        courier: &mut Courier<Self::P>,
+        clock: &mut WorkClock,
+    ) -> Result<(), Closed>;
+
+    /// Called when step `k` fully retires; drop step-local caches.
+    fn retire(&mut self, _k: usize) {}
+}
+
+/// `true` when `later` must wait for `earlier` (program order): any
+/// write/write, write/read, or read/write block overlap.
+pub(crate) fn conflicts(earlier: &Action, later: &Action) -> bool {
+    let hit = |xs: &[Res], ys: &[Res]| xs.iter().any(|x| ys.contains(x));
+    hit(&earlier.writes, &later.writes)
+        || hit(&earlier.writes, &later.reads)
+        || hit(&earlier.reads, &later.writes)
+}
+
+/// Picks the next runnable action of the window, by index: the first
+/// critical one in program order, else the first runnable at all.
+/// Runnable = not done, every needed message arrived (`has`), and no
+/// earlier unfinished action conflicts. Returns `None` when nothing is
+/// runnable (the caller then blocks on the transport).
+pub(crate) fn pick_action(
+    win: &VecDeque<(Action, bool)>,
+    has: impl Fn(&MsgKey) -> bool,
+) -> Option<usize> {
+    let mut fallback = None;
+    'actions: for i in 0..win.len() {
+        let (a, done) = &win[i];
+        if *done || !a.needs.iter().all(&has) {
+            continue;
+        }
+        for (e, edone) in win.iter().take(i) {
+            if !*edone && conflicts(e, a) {
+                continue 'actions;
+            }
+        }
+        if a.crit {
+            return Some(i);
+        }
+        fallback.get_or_insert(i);
+    }
+    fallback
+}
+
+/// The out-of-order step driver: runs `interp`'s plan with a window of
+/// `lookahead + 1` consecutive steps open at a time.
+///
+/// The loop invariantly (1) emits steps into the window while the
+/// budget allows, (2) retires fully-done front steps (freeing budget
+/// and buffered messages), (3) drains the mailbox without blocking,
+/// then (4) executes one runnable action — or, when data dependencies
+/// and missing messages block everything, (5) records a stall and
+/// blocks on the transport.
+///
+/// Deadlock-free by induction: the oldest not-done action in the window
+/// has no earlier unfinished action to conflict with, so once its
+/// messages arrive it is runnable; its messages are sent by actions
+/// that precede it in the global in-order schedule, which by induction
+/// all eventually run on their owners.
+pub(crate) fn run_steps<I>(
+    interp: &mut I,
+    courier: &mut Courier<I::P>,
+    clock: &mut WorkClock,
+    lookahead: usize,
+) -> Result<(), Closed>
+where
+    I: StepInterp,
+    I::P: PoolClone,
+{
+    let n = interp.n_steps();
+    let mut win: VecDeque<(Action, bool)> = VecDeque::new();
+    let mut front = 0usize; // oldest unretired step
+    let mut emitted = 0usize; // steps emitted into the window so far
+    let mut buf: Vec<Action> = Vec::new();
+    loop {
+        while emitted < n && emitted <= front + lookahead {
+            buf.clear();
+            interp.emit(emitted, &mut buf);
+            debug_assert!(buf.iter().all(|a| a.step == emitted));
+            win.extend(buf.drain(..).map(|a| (a, false)));
+            emitted += 1;
+        }
+        // Retire before picking: a step this processor has no actions
+        // for must advance `front` (and the emit budget) immediately,
+        // or the loop would stall forever on an empty window.
+        let mut retired = false;
+        while front < emitted && win.iter().all(|(a, done)| a.step != front || *done) {
+            win.retain(|(a, _)| a.step != front);
+            interp.retire(front);
+            courier.end_step(front);
+            front += 1;
+            retired = true;
+        }
+        if retired {
+            continue; // refill the window before scheduling
+        }
+        if front >= n {
+            break;
+        }
+        courier.drain();
+        match pick_action(&win, |key| courier.has(*key)) {
+            Some(i) => {
+                let action = win[i].0.clone();
+                courier.note_depth((action.step - front) as u64);
+                interp.execute(&action, courier, clock)?;
+                win[i].1 = true;
+            }
+            None => courier.stall()?,
+        }
+    }
+    Ok(())
+}
+
+/// Per-worker communication handle: endpoint + pending buffer + buffer
+/// pool + probe + sent counter. Messages that arrive ahead of their
+/// step are buffered; [`Courier::end_step`] reclaims the buffers of a
+/// retired step's leftovers into the pool.
 pub(crate) struct Courier<P> {
     ep: Box<dyn Endpoint<WireMsg<P>>>,
-    pending: HashMap<(usize, u8, (usize, usize)), P>,
+    pending: HashMap<MsgKey, P>,
+    pool: BufferPool,
     probe: Option<Probe>,
     sent: u64,
+    stalls: u64,
     q: usize,
 }
 
@@ -55,8 +316,10 @@ impl<P> Courier<P> {
         Courier {
             ep,
             pending: HashMap::new(),
+            pool: BufferPool::new(),
             probe: Probe::new(me, grid),
             sent: 0,
+            stalls: 0,
             q: grid.1,
         }
     }
@@ -90,8 +353,8 @@ impl<P> Courier<P> {
         Ok(())
     }
 
-    /// Sends one clone of `payload` to every destination of a plan
-    /// broadcast list.
+    /// Sends one pool-backed duplicate of `payload` to every
+    /// destination of a plan broadcast list.
     pub fn bcast(
         &mut self,
         dests: &[(usize, usize)],
@@ -102,10 +365,11 @@ impl<P> Courier<P> {
         bytes: u64,
     ) -> Result<(), Closed>
     where
-        P: Clone,
+        P: PoolClone,
     {
         for &dest in dests {
-            self.send(dest, step, tag, idx, payload.clone(), bytes)?;
+            let dup = payload.pool_clone(&mut self.pool);
+            self.send(dest, step, tag, idx, dup, bytes)?;
         }
         Ok(())
     }
@@ -115,7 +379,12 @@ impl<P> Courier<P> {
         self.sent
     }
 
-    fn pump_until(&mut self, key: (usize, u8, (usize, usize))) -> Result<(), Closed> {
+    /// The worker's scratch/receive buffer pool.
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    fn pump_until(&mut self, key: MsgKey) -> Result<(), Closed> {
         while !self.pending.contains_key(&key) {
             let m = self.ep.recv()?;
             self.pending.insert((m.step, m.tag, m.idx), m.payload);
@@ -124,7 +393,7 @@ impl<P> Courier<P> {
     }
 
     /// Blocks until the message is here, leaving it buffered (for
-    /// payloads read by several phases, e.g. diagonal factors). Fails
+    /// payloads read by several actions, e.g. diagonal factors). Fails
     /// with [`Closed`] when delivery has become impossible.
     pub fn obtain(&mut self, step: usize, tag: u8, idx: (usize, usize)) -> Result<&P, Closed> {
         self.pump_until((step, tag, idx))?;
@@ -140,35 +409,71 @@ impl<P> Courier<P> {
             .expect("pumped above"))
     }
 
-    /// Blocks until every listed message has arrived (they stay
-    /// buffered; read them with [`Courier::get`]). Keeps the wait phase
-    /// separate from the timed compute phase.
-    pub fn wait_all(
-        &mut self,
-        keys: impl Iterator<Item = (usize, u8, (usize, usize))>,
-    ) -> Result<(), Closed> {
-        for key in keys {
-            self.pump_until(key)?;
-        }
-        Ok(())
-    }
-
-    /// A buffered message that [`Courier::wait_all`] already collected.
+    /// A buffered message that an action's `needs` already guaranteed.
     pub fn get(&self, step: usize, tag: u8, idx: (usize, usize)) -> &P {
         self.pending
             .get(&(step, tag, idx))
-            .expect("message missing (not waited for)")
+            .expect("message missing (not in the action's needs)")
     }
 
-    /// Drops every buffered message of step `k` and earlier.
-    pub fn end_step(&mut self, k: usize) {
-        self.pending.retain(|&(s, _, _), _| s > k);
+    /// Whether a message is already buffered (the scheduler's `needs`
+    /// check; never blocks).
+    pub fn has(&self, key: MsgKey) -> bool {
+        self.pending.contains_key(&key)
     }
 
-    /// Opens a named span on this processor's trace track (no-op while
-    /// tracing is disabled).
-    pub fn span(&self, name: String) -> Option<SpanGuard> {
-        self.probe.as_ref().map(|pr| pr.span(name))
+    /// Buffers everything already waiting in the mailbox, without
+    /// blocking. A `Closed` is swallowed deliberately: the last
+    /// surviving worker polls an empty sender-less mailbox while
+    /// finishing purely local work, and that is not an error — closure
+    /// surfaces through [`Courier::stall`] or a send the moment
+    /// progress actually requires a peer.
+    pub fn drain(&mut self) {
+        while let Ok(Some(m)) = self.ep.try_recv() {
+            self.pending.insert((m.step, m.tag, m.idx), m.payload);
+        }
+    }
+
+    /// Nothing runnable: count the stall and block for one message.
+    pub fn stall(&mut self) -> Result<(), Closed> {
+        self.stalls += 1;
+        let m = self.ep.recv()?;
+        self.pending.insert((m.step, m.tag, m.idx), m.payload);
+        Ok(())
+    }
+
+    /// Records the step distance `d = action.step - front` of a
+    /// scheduled action in the lookahead-depth histogram.
+    pub fn note_depth(&mut self, d: u64) {
+        if let Some(pr) = &self.probe {
+            pr.depth(d);
+        }
+    }
+
+    /// Reclaims every leftover buffered message of step `k` and earlier
+    /// into the pool (receivers consumed what they needed; broadcast
+    /// overshoot ends here).
+    pub fn end_step(&mut self, k: usize)
+    where
+        P: PoolClone,
+    {
+        if self.pending.keys().all(|&(s, _, _)| s > k) {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for (key, payload) in pending {
+            if key.0 > k {
+                self.pending.insert(key, payload);
+            } else {
+                payload.reclaim(&mut self.pool);
+            }
+        }
+    }
+
+    /// Opens a named span on this processor's trace track, building the
+    /// name only when tracing is enabled.
+    pub fn span_with(&self, name: impl FnOnce() -> String) -> Option<SpanGuard> {
+        self.probe.as_ref().map(|pr| pr.span(name()))
     }
 
     /// Records one compute chunk's duration in the obs histogram.
@@ -180,7 +485,12 @@ impl<P> Courier<P> {
 
     fn finish(&self, total_units: u64) {
         if let Some(pr) = &self.probe {
-            pr.finish(total_units);
+            pr.finish(
+                total_units,
+                self.stalls,
+                self.pool.hits(),
+                self.pool.misses(),
+            );
         }
     }
 }
@@ -350,4 +660,112 @@ pub(crate) fn gather_result(
         "{kernel}: missing result blocks"
     );
     m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn action(
+        step: usize,
+        crit: bool,
+        needs: Vec<MsgKey>,
+        reads: Vec<Res>,
+        writes: Vec<Res>,
+    ) -> Action {
+        Action {
+            step,
+            op: Op::MmUpdate,
+            blk: (0, 0),
+            crit,
+            needs,
+            reads,
+            writes,
+        }
+    }
+
+    #[test]
+    fn pick_prefers_critical_over_earlier_noncritical() {
+        let win: VecDeque<(Action, bool)> = vec![
+            (action(0, false, vec![], vec![], vec![(0, 1, 1)]), false),
+            (action(0, true, vec![], vec![], vec![(0, 2, 2)]), false),
+        ]
+        .into();
+        assert_eq!(pick_action(&win, |_| true), Some(1));
+    }
+
+    #[test]
+    fn pick_respects_needs_and_falls_back_in_order() {
+        let win: VecDeque<(Action, bool)> = vec![
+            (
+                action(0, true, vec![(0, 0, (0, 0))], vec![], vec![(0, 1, 1)]),
+                false,
+            ),
+            (action(0, false, vec![], vec![], vec![(0, 2, 2)]), false),
+            (action(0, false, vec![], vec![], vec![(0, 3, 3)]), false),
+        ]
+        .into();
+        // The critical action's message is missing; the first runnable
+        // non-critical action wins.
+        assert_eq!(pick_action(&win, |_| false), Some(1));
+    }
+
+    #[test]
+    fn pick_blocks_on_block_conflicts_with_earlier_unfinished_work() {
+        let w = (0u8, 4usize, 4usize);
+        let win: VecDeque<(Action, bool)> = vec![
+            (
+                action(0, false, vec![(0, 0, (0, 0))], vec![], vec![w]),
+                false,
+            ),
+            (action(1, true, vec![], vec![w], vec![(0, 5, 5)]), false),
+            (action(1, false, vec![], vec![], vec![(0, 6, 6)]), false),
+        ]
+        .into();
+        // Step 1's critical action reads the block step 0 still has to
+        // write (RAW): it must wait even though its messages are in.
+        assert_eq!(pick_action(&win, |_| false), Some(2));
+        // Once the writer is done, the critical reader is free.
+        let mut win = win;
+        win[0].1 = true;
+        assert_eq!(pick_action(&win, |_| false), Some(1));
+    }
+
+    #[test]
+    fn pick_returns_none_when_everything_waits_on_messages() {
+        let win: VecDeque<(Action, bool)> = vec![
+            (action(0, true, vec![(0, 0, (0, 0))], vec![], vec![]), false),
+            (
+                action(0, false, vec![(0, 1, (0, 1))], vec![], vec![]),
+                false,
+            ),
+        ]
+        .into();
+        assert_eq!(pick_action(&win, |_| false), None);
+    }
+
+    #[test]
+    fn conflict_covers_waw_raw_and_war() {
+        let r = (0u8, 2usize, 3usize);
+        let waw = (
+            action(0, false, vec![], vec![], vec![r]),
+            action(1, false, vec![], vec![], vec![r]),
+        );
+        let raw = (
+            action(0, false, vec![], vec![], vec![r]),
+            action(1, false, vec![], vec![r], vec![]),
+        );
+        let war = (
+            action(0, false, vec![], vec![r], vec![]),
+            action(1, false, vec![], vec![], vec![r]),
+        );
+        assert!(conflicts(&waw.0, &waw.1));
+        assert!(conflicts(&raw.0, &raw.1));
+        assert!(conflicts(&war.0, &war.1));
+        let disjoint = (
+            action(0, false, vec![], vec![r], vec![(0, 9, 9)]),
+            action(1, false, vec![], vec![r], vec![(0, 8, 8)]),
+        );
+        assert!(!conflicts(&disjoint.0, &disjoint.1), "read/read is free");
+    }
 }

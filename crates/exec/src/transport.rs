@@ -90,6 +90,16 @@ pub trait Endpoint<T>: Send {
     /// mailbox is drained and no live endpoint can refill it.
     fn recv(&self) -> Result<T, Closed>;
 
+    /// Non-blocking receive: `Ok(Some(msg))` if a message was already
+    /// waiting, `Ok(None)` if the mailbox is currently empty, `Err`
+    /// under the same conditions [`recv`](Endpoint::recv) fails. The
+    /// out-of-order step driver polls this to overlap communication
+    /// with compute; the default (always empty) degrades such a driver
+    /// to blocking receives, which is correct for any transport.
+    fn try_recv(&self) -> Result<Option<T>, Closed> {
+        Ok(None)
+    }
+
     /// Best-effort abort of the whole run this endpoint belongs to:
     /// marks every peer mailbox as doomed so blocked receivers fail
     /// fast with [`Closed`] instead of deadlocking on messages that
@@ -130,6 +140,10 @@ impl<T: Send> Endpoint<T> for ChannelEndpoint<T> {
 
     fn recv(&self) -> Result<T, Closed> {
         self.rx.recv().map_err(|_| Closed)
+    }
+
+    fn try_recv(&self) -> Result<Option<T>, Closed> {
+        self.rx.try_recv().map_err(|_| Closed)
     }
 
     fn abort(&self) {

@@ -12,7 +12,8 @@ use crate::scenario::{
 use crate::vtransport::VirtualTransport;
 use hetgrid_adapt::{ControllerConfig, Outcome, Scenario};
 use hetgrid_exec::{
-    run_cholesky_on, run_lu_on, run_mm_on, run_qr_on, run_solve_on, ExecReport, SolveKind,
+    run_cholesky_on_cfg, run_lu_on_cfg, run_mm_on_cfg, run_qr_on_cfg, run_solve_on_cfg, ExecConfig,
+    ExecReport, SolveKind,
 };
 use hetgrid_linalg::gemm::matvec;
 use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts, qr_counts};
@@ -64,6 +65,9 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_5EA5_E000_0000);
     let n = sc.nb * sc.r;
     let dist = sc.dist.as_ref();
+    let cfg = ExecConfig {
+        lookahead: sc.lookahead,
+    };
 
     let check = |result: Result<(), String>| {
         if let Err(msg) = result {
@@ -75,8 +79,9 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         Kernel::Mm => {
             let a = general_matrix(&mut rng, n, n);
             let b = general_matrix(&mut rng, n, n);
-            let (c, report) = run_mm_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights)
-                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
+            let (c, report) =
+                run_mm_on_cfg(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, cfg)
+                    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_mm(&a, &b, &c, 1e-9));
             check(oracles::check_counts(
                 &report,
@@ -86,7 +91,7 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Lu => {
             let a = dominant_matrix(&mut rng, n);
-            let (f, report) = run_lu_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
+            let (f, report) = run_lu_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg)
                 .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_lu(&a, &f, 1e-8));
             check(oracles::check_counts(
@@ -97,8 +102,9 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Cholesky => {
             let a = spd_matrix(&mut rng, n);
-            let (l, report) = run_cholesky_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
-                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
+            let (l, report) =
+                run_cholesky_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg)
+                    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_cholesky(&a, &l, 1e-8));
             check(oracles::check_counts(
                 &report,
@@ -108,8 +114,9 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
         }
         Kernel::Qr => {
             let a = general_matrix(&mut rng, n, n);
-            let (packed, taus, report) = run_qr_on(&transport, &a, dist, sc.nb, sc.r, &sc.weights)
-                .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
+            let (packed, taus, report) =
+                run_qr_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg)
+                    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_qr(&a, &packed, &taus, sc.nb, sc.r, 1e-8));
             check(oracles::check_counts(
                 &report,
@@ -125,9 +132,18 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
             };
             let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let b = matvec(&a, &x0);
-            let (x, report) =
-                run_solve_on(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, kind)
-                    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
+            let (x, report) = run_solve_on_cfg(
+                &transport,
+                &a,
+                &b,
+                dist,
+                sc.nb,
+                sc.r,
+                &sc.weights,
+                kind,
+                cfg,
+            )
+            .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
             check(oracles::check_solve(&a, &x, &b, 1e-6));
             let predicted = match kind {
                 SolveKind::Lu => lu_counts(dist, sc.nb, &sc.weights),

@@ -34,6 +34,8 @@ pub struct ExecScenario {
     /// processor `(i, j)` runs `factor` times slower than its
     /// arrangement says.
     pub slowdown: Option<(usize, usize, u64)>,
+    /// Executor lookahead window depth (0 = strict in-order).
+    pub lookahead: usize,
 }
 
 impl ExecScenario {
@@ -46,8 +48,8 @@ impl ExecScenario {
     pub fn describe(&self) -> String {
         let (p, q) = self.grid();
         format!(
-            "{}x{} grid, {} dist, nb={}, r={}, slowdown={:?}",
-            p, q, self.dist_name, self.nb, self.r, self.slowdown
+            "{}x{} grid, {} dist, nb={}, r={}, slowdown={:?}, lookahead={}",
+            p, q, self.dist_name, self.nb, self.r, self.slowdown, self.lookahead
         )
     }
 }
@@ -75,6 +77,18 @@ pub fn exec_scenario(seed: u64) -> ExecScenario {
         None
     };
 
+    // Drawn last so the seeds 0..N corpus keeps the exact grids,
+    // distributions, and matrices it had before lookahead existed.
+    // Biased toward the default depth, with in-order and deeper windows
+    // represented; HARNESS_LOOKAHEAD pins every scenario to one depth.
+    let lookahead = match std::env::var("HARNESS_LOOKAHEAD") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .expect("HARNESS_LOOKAHEAD must be a non-negative integer"),
+        Err(_) => [0, 1, 2, 2, 3][rng.gen_range(0..5usize)],
+    };
+
     ExecScenario {
         arr,
         dist,
@@ -83,6 +97,7 @@ pub fn exec_scenario(seed: u64) -> ExecScenario {
         r,
         weights,
         slowdown,
+        lookahead,
     }
 }
 

@@ -162,6 +162,32 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
         Ok(())
     }
 
+    fn try_recv(&self) -> Result<Option<T>, Closed> {
+        let mb = &self.shared.boxes[self.me];
+        let mut st = mb.lock();
+        if !st.ready.is_empty() {
+            let n = self.received.get();
+            self.received.set(n + 1);
+            let idx = self
+                .shared
+                .profile
+                .pick(self.shared.seed, self.me, n, st.ready.len());
+            if idx != 0 {
+                self.shared.faults.reordered.inc();
+            }
+            return Ok(Some(st.ready.remove(idx).unwrap()));
+        }
+        // Deliberately no held-message promotion here: promotion exists
+        // so a *blocked* receiver is never starved by the fault
+        // injector. A poll that came up empty just goes back to
+        // computing — promoting on polls would defeat the delay fault
+        // entirely for a polling driver.
+        if st.held.is_empty() && self.shared.live.load(Ordering::SeqCst) <= 1 {
+            return Err(Closed);
+        }
+        Ok(None)
+    }
+
     fn recv(&self) -> Result<T, Closed> {
         let mb = &self.shared.boxes[self.me];
         let mut st = mb.lock();

@@ -92,6 +92,109 @@ fn same_seed_same_profile_reports_identically() {
     }
 }
 
+/// The lookahead executor's core promise, checked end-to-end: with the
+/// window open (depth 2) the numerics are *bit-identical* to strict
+/// in-order execution (depth 0), for every kernel, under fault profiles
+/// that delay and reorder messages arbitrarily. Same-block updates
+/// always replay in program order, so accumulation order — and thus
+/// every last ulp — is preserved no matter how the window reorders
+/// independent work.
+mod lookahead_equivalence {
+    use super::*;
+    use hetgrid_exec::{
+        run_cholesky_on_cfg, run_lu_on_cfg, run_mm_on_cfg, run_qr_on_cfg, ExecConfig,
+    };
+    use hetgrid_harness::scenario::{dominant_matrix, exec_scenario, general_matrix, spd_matrix};
+    use hetgrid_harness::VirtualTransport;
+    use hetgrid_linalg::Matrix;
+    use rand::prelude::*;
+
+    fn run_with_depth(
+        kernel: Kernel,
+        profile: FaultProfile,
+        seed: u64,
+        depth: usize,
+    ) -> (Matrix, Vec<f64>) {
+        let sc = exec_scenario(seed);
+        let transport = VirtualTransport::new(seed, profile);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_5EA5_E000_0000);
+        let n = sc.nb * sc.r;
+        let dist = sc.dist.as_ref();
+        let cfg = ExecConfig { lookahead: depth };
+        match kernel {
+            Kernel::Mm => {
+                let a = general_matrix(&mut rng, n, n);
+                let b = general_matrix(&mut rng, n, n);
+                let (c, _) =
+                    run_mm_on_cfg(&transport, &a, &b, dist, sc.nb, sc.r, &sc.weights, cfg).unwrap();
+                (c, Vec::new())
+            }
+            Kernel::Lu => {
+                let a = dominant_matrix(&mut rng, n);
+                let (f, _) =
+                    run_lu_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg).unwrap();
+                (f, Vec::new())
+            }
+            Kernel::Cholesky => {
+                let a = spd_matrix(&mut rng, n);
+                let (l, _) =
+                    run_cholesky_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg)
+                        .unwrap();
+                (l, Vec::new())
+            }
+            Kernel::Qr => {
+                let a = general_matrix(&mut rng, n, n);
+                let (packed, taus, _) =
+                    run_qr_on_cfg(&transport, &a, dist, sc.nb, sc.r, &sc.weights, cfg).unwrap();
+                (packed, taus)
+            }
+            Kernel::Solve => unreachable!("solve delegates to LU/Cholesky"),
+        }
+    }
+
+    fn assert_bit_exact(kernel: Kernel, profile: FaultProfile) {
+        for seed in seed_corpus().into_iter().take(4) {
+            let (m0, t0) = run_with_depth(kernel, profile, seed, 0);
+            let (m2, t2) = run_with_depth(kernel, profile, seed, 2);
+            assert!(
+                m2.approx_eq(&m0, 0.0),
+                "{kernel:?} under '{}': lookahead 2 diverged from in-order — replay: \
+                 HARNESS_SEED={seed} cargo test -p hetgrid-harness",
+                profile.name
+            );
+            assert_eq!(
+                t2, t0,
+                "{kernel:?} under '{}': taus diverged (seed {seed})",
+                profile.name
+            );
+        }
+    }
+
+    macro_rules! equivalence_cases {
+        ($($name:ident: $kernel:expr, $profile:expr;)*) => {$(
+            #[test]
+            fn $name() {
+                assert_bit_exact($kernel, $profile);
+            }
+        )*};
+    }
+
+    equivalence_cases! {
+        mm_bit_exact_under_delay:         Kernel::Mm,       FaultProfile::DELAY;
+        mm_bit_exact_under_reorder:       Kernel::Mm,       FaultProfile::REORDER;
+        mm_bit_exact_under_chaos:         Kernel::Mm,       FaultProfile::CHAOS;
+        lu_bit_exact_under_delay:         Kernel::Lu,       FaultProfile::DELAY;
+        lu_bit_exact_under_reorder:       Kernel::Lu,       FaultProfile::REORDER;
+        lu_bit_exact_under_chaos:         Kernel::Lu,       FaultProfile::CHAOS;
+        cholesky_bit_exact_under_delay:   Kernel::Cholesky, FaultProfile::DELAY;
+        cholesky_bit_exact_under_reorder: Kernel::Cholesky, FaultProfile::REORDER;
+        cholesky_bit_exact_under_chaos:   Kernel::Cholesky, FaultProfile::CHAOS;
+        qr_bit_exact_under_delay:         Kernel::Qr,       FaultProfile::DELAY;
+        qr_bit_exact_under_reorder:       Kernel::Qr,       FaultProfile::REORDER;
+        qr_bit_exact_under_chaos:         Kernel::Qr,       FaultProfile::CHAOS;
+    }
+}
+
 mod properties {
     use super::*;
     use proptest::prelude::*;

@@ -188,6 +188,16 @@ impl Matrix {
         }
     }
 
+    /// Overwrites this matrix with the contents of `src` without
+    /// reallocating — the pooled-buffer analogue of `clone()`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Element-wise map producing a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix {

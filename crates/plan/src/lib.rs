@@ -37,6 +37,7 @@
 
 use hetgrid_dist::BlockDist;
 
+pub mod deps;
 pub mod wire;
 
 /// One block broadcast: the owner of `block` sends it to each processor

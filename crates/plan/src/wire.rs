@@ -97,10 +97,19 @@ fn put_table(out: &mut Vec<u8>, table: &[Vec<usize>]) {
 /// Serializes a plan to its canonical byte form.
 pub fn encode(plan: &Plan) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + plan.steps.len() * 64);
+    encode_into(plan, &mut out);
+    out
+}
+
+/// Serializes a plan into a caller-provided buffer, appending the
+/// canonical byte form. Clearing and reusing one buffer across many
+/// encodes (the serve cache's hot path) avoids a fresh allocation per
+/// plan; the bytes appended are identical to [`encode`]'s.
+pub fn encode_into(plan: &Plan, out: &mut Vec<u8>) {
     out.push(WIRE_VERSION);
-    put_pair(&mut out, plan.grid);
-    put_table(&mut out, &plan.owned);
-    put_u32(&mut out, plan.steps.len());
+    put_pair(out, plan.grid);
+    put_table(out, &plan.owned);
+    put_u32(out, plan.steps.len());
     for step in &plan.steps {
         match step {
             Step::Mm {
@@ -109,9 +118,9 @@ pub fn encode(plan: &Plan) -> Vec<u8> {
                 b_bcasts,
             } => {
                 out.push(0);
-                put_u32(&mut out, *k);
-                put_bcasts(&mut out, a_bcasts);
-                put_bcasts(&mut out, b_bcasts);
+                put_u32(out, *k);
+                put_bcasts(out, a_bcasts);
+                put_bcasts(out, b_bcasts);
             }
             Step::Factor {
                 k,
@@ -124,14 +133,14 @@ pub fn encode(plan: &Plan) -> Vec<u8> {
                 trailing,
             } => {
                 out.push(1);
-                put_u32(&mut out, *k);
-                put_pair(&mut out, *diag);
-                put_work(&mut out, panel);
-                put_pairs(&mut out, diag_col_dests);
-                put_bcasts(&mut out, l_bcasts);
-                put_work(&mut out, trsm);
-                put_bcasts(&mut out, u_bcasts);
-                put_table(&mut out, trailing);
+                put_u32(out, *k);
+                put_pair(out, *diag);
+                put_work(out, panel);
+                put_pairs(out, diag_col_dests);
+                put_bcasts(out, l_bcasts);
+                put_work(out, trsm);
+                put_bcasts(out, u_bcasts);
+                put_table(out, trailing);
             }
             Step::Cholesky {
                 k,
@@ -142,12 +151,12 @@ pub fn encode(plan: &Plan) -> Vec<u8> {
                 trailing,
             } => {
                 out.push(2);
-                put_u32(&mut out, *k);
-                put_pair(&mut out, *diag);
-                put_pairs(&mut out, diag_dests);
-                put_work(&mut out, panel);
-                put_bcasts(&mut out, panel_bcasts);
-                put_work(&mut out, trailing);
+                put_u32(out, *k);
+                put_pair(out, *diag);
+                put_pairs(out, diag_dests);
+                put_work(out, panel);
+                put_bcasts(out, panel_bcasts);
+                put_work(out, trailing);
             }
             Step::Qr {
                 k,
@@ -157,28 +166,27 @@ pub fn encode(plan: &Plan) -> Vec<u8> {
                 columns,
             } => {
                 out.push(3);
-                put_u32(&mut out, *k);
-                put_pair(&mut out, *diag);
-                put_u32(&mut out, panel.len());
+                put_u32(out, *k);
+                put_pair(out, *diag);
+                put_u32(out, panel.len());
                 for (block, owner) in panel {
-                    put_pair(&mut out, *block);
-                    put_pair(&mut out, *owner);
+                    put_pair(out, *block);
+                    put_pair(out, *owner);
                 }
-                put_pairs(&mut out, reflector_dests);
-                put_u32(&mut out, columns.len());
+                put_pairs(out, reflector_dests);
+                put_u32(out, columns.len());
                 for col in columns {
-                    put_u32(&mut out, col.bj);
-                    put_pair(&mut out, col.head);
-                    put_u32(&mut out, col.members.len());
+                    put_u32(out, col.bj);
+                    put_pair(out, col.head);
+                    put_u32(out, col.members.len());
                     for (block, owner) in &col.members {
-                        put_pair(&mut out, *block);
-                        put_pair(&mut out, *owner);
+                        put_pair(out, *block);
+                        put_pair(out, *owner);
                     }
                 }
             }
         }
     }
-    out
 }
 
 // ---------------------------------------------------------------------
@@ -368,6 +376,16 @@ mod tests {
                 steps: vec![],
             },
         ]
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_matches_encode() {
+        let mut buf = Vec::new();
+        for plan in all_plans() {
+            buf.clear();
+            encode_into(&plan, &mut buf);
+            assert_eq!(buf, encode(&plan));
+        }
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub struct Session {
     iters_total: usize,
     iters_done: usize,
     blocks_moved: usize,
+    lookahead: usize,
 }
 
 impl Session {
@@ -167,7 +168,14 @@ impl Session {
             iters_total: iters,
             iters_done: 0,
             blocks_moved: 0,
+            lookahead: hetgrid_exec::DEFAULT_LOOKAHEAD,
         }
+    }
+
+    /// Sets the executor's lookahead window depth for subsequent steps
+    /// (0 = strict in-order execution).
+    pub fn set_lookahead(&mut self, depth: usize) {
+        self.lookahead = depth;
     }
 
     /// The controller driving this session.
@@ -213,8 +221,19 @@ impl Session {
         let plan = self.controller.plan();
         let weights = slowdown_weights(&plan.solution.arrangement);
         let (ga, gb) = (self.a.gather(), self.b.gather());
-        hetgrid_exec::run_mm(&ga, &gb, &plan.dist, self.controller.nb(), self.r, &weights)
-            .expect("pipeline executor run aborted (dropped peer)")
+        hetgrid_exec::run_mm_on_cfg(
+            &hetgrid_exec::ChannelTransport,
+            &ga,
+            &gb,
+            &plan.dist,
+            self.controller.nb(),
+            self.r,
+            &weights,
+            hetgrid_exec::ExecConfig {
+                lookahead: self.lookahead,
+            },
+        )
+        .expect("pipeline executor run aborted (dropped peer)")
     }
 
     fn finish_step(
