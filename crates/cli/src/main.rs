@@ -7,6 +7,7 @@
 //! hetgrid run        --times 1,2,3,5 --grid 2x2 --kernel mm|lu|cholesky|qr [--nb 8] [--block 8]
 //!                    [--method heuristic|exact] [--scheme panel|kl|cyclic] [--seed 0]
 //!                    [--lookahead 2]   (0 = strict in-order execution)
+//!                    [--crash P@S]     (kill processor P at step S, recover, verify)
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
@@ -80,6 +81,8 @@ fn print_usage() {
     println!("             [--method heuristic|exact] [--scheme panel|kl|cyclic] [--panel BPxBQ]");
     println!("             [--seed 0] [--lookahead 2]   (threaded executor on real data;");
     println!("             --lookahead 0 forces strict in-order step execution)");
+    println!("             [--crash P@S]  kill processor P at step S, then recover from the");
+    println!("             checkpoint log on the re-solved survivor grid and verify the result");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
     println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
     println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
@@ -598,6 +601,138 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
     let session = ObsSession::begin(args);
     let mut rng = StdRng::seed_from_u64(seed);
+
+    // `--crash PROC@STEP` routes the run through the elastic-grid
+    // recovery driver: the named processor is killed at that retirement
+    // boundary, the survivor grid is re-solved (dropping the victim's
+    // weakest grid line), lost blocks are restored from the checkpoint
+    // log, and the plan resumes — the result is still verified against
+    // the sequential reference.
+    if let Some(spec) = args.get("crash") {
+        use hetgrid_exec::{run_recovery, GridFault, RecoveryHooks, RecoveryInput};
+        use hetgrid_harness::{resolve_grid_fault, FaultProfile, KillSchedule, VirtualTransport};
+
+        let (cproc, cstep) = spec
+            .split_once('@')
+            .and_then(|(x, y)| Some((x.parse::<usize>().ok()?, y.parse::<usize>().ok()?)))
+            .ok_or_else(|| format!("invalid --crash (want PROC@STEP, e.g. 2@3): {}", spec))?;
+        if cproc >= p * q {
+            return Err(format!(
+                "--crash processor {} outside the {}x{} grid",
+                cproc, p, q
+            ));
+        }
+        if cstep >= nb {
+            return Err(format!(
+                "--crash step {} outside the {}-step plan",
+                cstep, nb
+            ));
+        }
+
+        let schedule = KillSchedule {
+            events: vec![GridFault::Crash {
+                proc: cproc,
+                at_step: cstep,
+            }],
+        };
+        let transport = VirtualTransport::new(seed, FaultProfile::FIFO).with_kills(&schedule);
+        let hooks = RecoveryHooks {
+            events: Box::new(|| transport.fault_events()),
+            resolve: Box::new(|fault| resolve_grid_fault(&arr, &weights, fault)),
+            redistribute: Box::new(|dm, from, to| hetgrid_adapt::redistribute(dm, from, to)),
+        };
+
+        let a: hetgrid_linalg::Matrix;
+        let mut b2: Option<hetgrid_linalg::Matrix> = None;
+        let input = match kernel {
+            "mm" => {
+                a = random_matrix(&mut rng, n, n);
+                b2 = Some(random_matrix(&mut rng, n, n));
+                RecoveryInput::Mm {
+                    a: &a,
+                    b: b2.as_ref().expect("just set"),
+                }
+            }
+            "lu" => {
+                a = dominant_matrix(&mut rng, n);
+                RecoveryInput::Lu { a: &a }
+            }
+            "cholesky" => {
+                a = spd_matrix(&mut rng, n);
+                RecoveryInput::Cholesky { a: &a }
+            }
+            "qr" => {
+                a = random_matrix(&mut rng, n, n);
+                RecoveryInput::Qr { a: &a }
+            }
+            other => {
+                return Err(format!(
+                    "unknown kernel: {} (run supports mm, lu, cholesky, qr)",
+                    other
+                ))
+            }
+        };
+        let out = run_recovery(
+            &transport,
+            input,
+            dist.as_ref(),
+            nb,
+            r,
+            &weights,
+            cfg,
+            &hooks,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let check = match kernel {
+            "mm" => {
+                let prod = matmul(&a, b2.as_ref().expect("mm has two operands"));
+                format!("max |C - A*B|    = {:.3e}", out.result.sub(&prod).max_abs())
+            }
+            "lu" => {
+                let lu = matmul(
+                    &unit_lower_from_packed(&out.result),
+                    &upper_from_packed(&out.result),
+                );
+                format!("max |L*U - A|    = {:.3e}", lu.sub(&a).max_abs())
+            }
+            "cholesky" => {
+                let err = matmul(&out.result, &out.result.transpose())
+                    .sub(&a)
+                    .max_abs();
+                format!("max |L*L^T - A|  = {:.3e}", err)
+            }
+            "qr" => {
+                let taus = out.taus.as_deref().expect("qr returns taus");
+                let (qm, rm) = hetgrid_exec::qr_unpack(&out.result, taus, nb, r);
+                format!(
+                    "max |Q*R - A|    = {:.3e}",
+                    matmul(&qm, &rm).sub(&a).max_abs()
+                )
+            }
+            _ => unreachable!(),
+        };
+        session.finish()?;
+
+        println!(
+            "kernel {} on a {}x{} grid: processor {} crashed at step {}, run recovered",
+            kernel, p, q, cproc, cstep
+        );
+        println!(
+            "recovery         : resumed at step {}, {} dead blocks restored, \
+             {} blocks moved, {} steps replayed",
+            out.stats.frontier,
+            out.stats.dead_blocks,
+            out.stats.blocks_moved,
+            out.stats.replayed_steps
+        );
+        println!("lookahead depth  : {}", cfg.lookahead);
+        println!("wall time        : {:.4} s", out.report.wall_seconds);
+        println!("{}", check);
+        println!("messages sent    : {}", out.report.total_messages());
+        return Ok(());
+    }
+
     let (report, check) = match kernel {
         "mm" => {
             let a = random_matrix(&mut rng, n, n);

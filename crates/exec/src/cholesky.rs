@@ -17,9 +17,10 @@
 
 use crate::pool::PoolClone;
 use crate::step::{
-    check_weights, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp, WorkClock,
+    check_weights, run_grid, run_steps, Action, Courier, ExecConfig, Journal, Op, StepInterp,
+    WorkClock,
 };
-use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::store::{BlockStore, CheckpointLog, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::cholesky::cholesky;
@@ -81,9 +82,28 @@ pub fn run_cholesky_on_cfg(
     weights: &[Vec<u64>],
     cfg: ExecConfig,
 ) -> Result<(Matrix, ExecReport), ExecError> {
+    let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let (stores, report) = cholesky_seg(transport, &da, dist, weights, cfg, 0, None)?;
+    Ok((gather_cholesky(stores, nb, r), report))
+}
+
+/// The resumable core of [`run_cholesky_on_cfg`]: interprets the
+/// Cholesky plan over an already-scattered matrix from plan step
+/// `start` (with `da` holding the consistent state of that retirement
+/// frontier), journaling block writes into `journal` when given.
+/// Returns the raw per-processor stores; [`gather_cholesky`] folds them.
+pub(crate) fn cholesky_seg(
+    transport: &impl Transport,
+    da: &DistributedMatrix,
+    dist: &(dyn BlockDist + Sync),
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+    start: usize,
+    journal: Option<&CheckpointLog>,
+) -> Result<(Vec<BlockStore>, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_cholesky");
-    let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let (nb, r) = (da.nb_rows, da.r);
     let plan = hetgrid_plan::cholesky_plan(dist, nb);
     let owned: Vec<Vec<(usize, usize)>> = da
         .stores
@@ -95,7 +115,7 @@ pub fn run_cholesky_on_cfg(
         })
         .collect();
 
-    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+    run_grid(transport, (p, q), weights, |me, courier, clock| {
         let mut interp = ChInterp {
             plan: &plan,
             my: (me / q, me % q),
@@ -104,10 +124,24 @@ pub fn run_cholesky_on_cfg(
             scratch: Matrix::zeros(r, r),
             block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
         };
-        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        let j = journal.map(|log| Journal { log, me });
+        run_steps(
+            &mut interp,
+            courier,
+            clock,
+            cfg.lookahead,
+            start,
+            j.as_ref(),
+        )?;
         Ok(interp.blocks)
-    })?;
+    })
+}
 
+/// Folds worker stores into the lower factor `L`: keeps the lower block
+/// triangle and zeroes the strict upper triangle of the diagonal
+/// blocks (the in-place factorization leaves the original upper content
+/// there).
+pub(crate) fn gather_cholesky(stores: Vec<BlockStore>, nb: usize, r: usize) -> Matrix {
     let mut l = Matrix::zeros(nb * r, nb * r);
     let mut blocks_seen = 0usize;
     for store in stores {
@@ -127,7 +161,7 @@ pub fn run_cholesky_on_cfg(
             l[(i, j)] = 0.0;
         }
     }
-    Ok((l, report))
+    l
 }
 
 /// One processor's Cholesky actions for `step`, in program order:
@@ -231,6 +265,10 @@ impl StepInterp for ChInterp<'_> {
 
     fn emit(&self, k: usize, out: &mut Vec<Action>) {
         out.extend(cholesky_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn peek(&self, blk: (usize, usize)) -> Option<&Matrix> {
+        self.blocks.get(&blk)
     }
 
     fn execute(

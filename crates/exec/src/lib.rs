@@ -76,6 +76,7 @@ pub mod mm;
 pub mod pool;
 mod probe;
 pub mod qr;
+pub mod recovery;
 #[cfg(test)]
 mod sched_tests;
 pub mod solve;
@@ -87,7 +88,11 @@ pub use cholesky::{run_cholesky, run_cholesky_on, run_cholesky_on_cfg};
 pub use lu::{run_lu, run_lu_on, run_lu_on_cfg};
 pub use mm::{run_mm, run_mm_on, run_mm_on_cfg, run_mm_rect, run_mm_rect_on, run_mm_rect_on_cfg};
 pub use qr::{qr_unpack, run_qr, run_qr_on, run_qr_on_cfg};
+pub use recovery::{
+    run_recovery, GridFault, RecoveryHooks, RecoveryInput, RecoveryOutput, RecoveryStats,
+    SurvivorGrid,
+};
 pub use solve::{run_solve, run_solve_on, run_solve_on_cfg, SolveKind};
 pub use step::{ExecConfig, DEFAULT_LOOKAHEAD};
-pub use store::{slowdown_weights, DistributedMatrix, ExecReport};
+pub use store::{slowdown_weights, CheckpointLog, DistributedMatrix, ExecReport};
 pub use transport::{ChannelTransport, Closed, Endpoint, ExecError, Transport};

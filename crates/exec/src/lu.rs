@@ -20,10 +20,10 @@
 
 use crate::pool::PoolClone;
 use crate::step::{
-    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
-    WorkClock,
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Journal, Op,
+    StepInterp, WorkClock,
 };
-use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::store::{BlockStore, CheckpointLog, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
@@ -87,10 +87,57 @@ pub fn run_lu_on_cfg(
     weights: &[Vec<u64>],
     cfg: ExecConfig,
 ) -> Result<(Matrix, ExecReport), ExecError> {
+    let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let (stores, report) = lu_seg(transport, &da, dist, weights, cfg, 0, None)?;
+    let f = gather_result(stores, (nb, nb), r, "run_lu");
+    Ok((f, report))
+}
+
+/// Skew threshold above which LU falls back to the in-order schedule.
+///
+/// BENCH_exec.json pins `lu/skewed-2x2` (hetero ratio 5.0) at 0.883x
+/// for every depth > 0: on a strongly skewed grid the window keeps the
+/// fast processors busy with trailing updates whose blocks the slow
+/// processors' panel work will need buffered for longer, so lookahead
+/// buys nothing and pays buffer churn. Clamping to the in-order
+/// schedule when `max weight >= 4 * min weight` restores the depth-0
+/// time for exactly that regime while leaving balanced and mildly
+/// heterogeneous grids (all speedups > 1.0 in the bench table) at the
+/// requested depth. Results are unaffected either way — every depth is
+/// bit-exact by construction.
+const LU_SKEW_CLAMP: u64 = 4;
+
+/// The lookahead depth LU actually runs at: the requested depth, or 0
+/// when the slowdown-weight skew crosses [`LU_SKEW_CLAMP`].
+pub(crate) fn effective_lu_lookahead(requested: usize, weights: &[Vec<u64>]) -> usize {
+    let max = weights.iter().flatten().copied().max().unwrap_or(1);
+    let min = weights.iter().flatten().copied().min().unwrap_or(1).max(1);
+    if max >= LU_SKEW_CLAMP * min {
+        0
+    } else {
+        requested
+    }
+}
+
+/// The resumable core of [`run_lu_on_cfg`]: interprets the factor plan
+/// over an already-scattered matrix, starting at plan step `start`
+/// (with `da` holding the consistent state of that retirement
+/// frontier), journaling every block write into `journal` when given.
+/// Returns the raw per-processor stores; the caller gathers.
+pub(crate) fn lu_seg(
+    transport: &impl Transport,
+    da: &DistributedMatrix,
+    dist: &(dyn BlockDist + Sync),
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+    start: usize,
+    journal: Option<&CheckpointLog>,
+) -> Result<(Vec<BlockStore>, ExecReport), ExecError> {
     let (p, q) = dist.grid();
     check_weights(weights, (p, q), "run_lu");
-    let da = DistributedMatrix::scatter(a, dist, nb, r);
+    let (nb, r) = (da.nb_rows, da.r);
     let plan = hetgrid_plan::factor_plan(dist, nb);
+    let lookahead = effective_lu_lookahead(cfg.lookahead, weights);
     let owned: Vec<Vec<(usize, usize)>> = da
         .stores
         .iter()
@@ -101,7 +148,7 @@ pub fn run_lu_on_cfg(
         })
         .collect();
 
-    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+    run_grid(transport, (p, q), weights, |me, courier, clock| {
         let mut interp = LuInterp {
             plan: &plan,
             my: (me / q, me % q),
@@ -110,11 +157,10 @@ pub fn run_lu_on_cfg(
             scratch: Matrix::zeros(r, r),
             block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
         };
-        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        let j = journal.map(|log| Journal { log, me });
+        run_steps(&mut interp, courier, clock, lookahead, start, j.as_ref())?;
         Ok(interp.blocks)
-    })?;
-    let f = gather_result(stores, (nb, nb), r, "run_lu");
-    Ok((f, report))
+    })
 }
 
 /// Unblocked LU without pivoting of a single block, in place, packed.
@@ -268,6 +314,10 @@ impl StepInterp for LuInterp<'_> {
 
     fn emit(&self, k: usize, out: &mut Vec<Action>) {
         out.extend(lu_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn peek(&self, blk: (usize, usize)) -> Option<&Matrix> {
+        self.blocks.get(&blk)
     }
 
     fn execute(
@@ -518,6 +568,44 @@ mod tests {
                 "depth {depth} diverged from in-order"
             );
         }
+    }
+
+    /// Bench guard for the `lu/skewed-2x2` regression (BENCH_exec.json:
+    /// 0.883x best speedup for every depth > 0): the skewed bench grid
+    /// must clamp to the in-order schedule, and the clamp must not leak
+    /// into the balanced or mildly heterogeneous configurations whose
+    /// lookahead speedups the bench table certifies.
+    #[test]
+    fn skewed_grid_clamps_lu_lookahead() {
+        // The bench's skewed-2x2 arrangement: hetero ratio 5.0.
+        let skewed = Arrangement::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        let w = crate::store::slowdown_weights(&skewed);
+        for depth in [1, 2, 4] {
+            assert_eq!(effective_lu_lookahead(depth, &w), 0, "depth {depth}");
+        }
+        // Balanced and mildly heterogeneous grids keep their window.
+        let uniform = vec![vec![1u64; 2]; 2];
+        let mild = vec![vec![1, 2], vec![2, 3]];
+        for depth in [0, 1, 2, 4] {
+            assert_eq!(effective_lu_lookahead(depth, &uniform), depth);
+            assert_eq!(effective_lu_lookahead(depth, &mild), depth);
+        }
+        // The clamped run still factors correctly.
+        let nb = 4;
+        let r = 2;
+        let a = dominant_matrix(nb * r, 11);
+        let dist = BlockCyclic::new(2, 2);
+        let (f, _) = run_lu_on_cfg(
+            &ChannelTransport,
+            &a,
+            &dist,
+            nb,
+            r,
+            &w,
+            ExecConfig { lookahead: 4 },
+        )
+        .unwrap();
+        check_lu(&a, &f, 1e-8);
     }
 
     #[test]

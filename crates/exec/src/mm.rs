@@ -13,10 +13,10 @@
 
 use crate::pool::PoolClone;
 use crate::step::{
-    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
-    WorkClock,
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Journal, Op,
+    StepInterp, WorkClock,
 };
-use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::store::{BlockStore, CheckpointLog, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::gemm::gemm;
@@ -148,23 +148,46 @@ pub fn run_mm_rect_on_cfg(
     assert_eq!(b.shape(), (kb * r, nb * r), "run_mm: B shape mismatch");
     let da = DistributedMatrix::scatter_rect(a, dist, mb, kb, r);
     let db = DistributedMatrix::scatter_rect(b, dist, kb, nb, r);
+    let dc = DistributedMatrix::zeros_rect(dist, mb, nb, r);
+    let (stores, report) = mm_seg(transport, &da, &db, &dc, dist, weights, cfg, 0, None)?;
+    let c = gather_result(stores, (mb, nb), r, "run_mm");
+    Ok((c, report))
+}
+
+/// One *epoch* of the MM execution: runs the step plan from `start` to
+/// completion over an already-scattered `A`, `B` and a C *baseline*
+/// (`dc` — zeros for a fresh run, the checkpointed state when resuming
+/// after a grid fault), optionally journaling every C-block write into
+/// `journal`. The fresh-run entry points wrap this with `start = 0`, a
+/// zero baseline and no journal.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mm_seg(
+    transport: &impl Transport,
+    da: &DistributedMatrix,
+    db: &DistributedMatrix,
+    dc: &DistributedMatrix,
+    dist: &(dyn BlockDist + Sync),
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+    start: usize,
+    journal: Option<&CheckpointLog>,
+) -> Result<(Vec<BlockStore>, ExecReport), ExecError> {
+    let (p, q) = dist.grid();
+    check_weights(weights, (p, q), "run_mm");
+    let (mb, kb) = (da.nb_rows, da.nb_cols);
+    let nb = db.nb_cols;
+    let r = da.r;
     let plan = hetgrid_plan::mm_rect_plan(dist, (mb, nb, kb));
     // Owned C blocks per processor (same layout as A and B).
     let owned_c: Vec<Vec<(usize, usize)>> = (0..p * q)
         .map(|me| {
-            let mut v: Vec<(usize, usize)> = (0..mb)
-                .flat_map(|bi| (0..nb).map(move |bj| (bi, bj)))
-                .filter(|&(bi, bj)| {
-                    let (oi, oj) = dist.owner(bi, bj);
-                    oi * q + oj == me
-                })
-                .collect();
+            let mut v: Vec<(usize, usize)> = dc.stores[me].keys().copied().collect();
             v.sort_unstable();
             v
         })
         .collect();
 
-    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
+    run_grid(transport, (p, q), weights, |me, courier, clock| {
         let my = (me / q, me % q);
         let mut interp = MmInterp {
             plan: &plan,
@@ -172,18 +195,21 @@ pub fn run_mm_rect_on_cfg(
             owned: &owned_c[me],
             my_a: &da.stores[me],
             my_b: &db.stores[me],
-            c_blocks: owned_c[me]
-                .iter()
-                .map(|&key| (key, Matrix::zeros(r, r)))
-                .collect(),
+            c_blocks: dc.stores[me].clone(),
             scratch: Matrix::zeros(r, r),
             block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
         };
-        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
+        let j = journal.map(|log| Journal { log, me });
+        run_steps(
+            &mut interp,
+            courier,
+            clock,
+            cfg.lookahead,
+            start,
+            j.as_ref(),
+        )?;
         Ok(interp.c_blocks)
-    })?;
-    let c = gather_result(stores, (mb, nb), r, "run_mm");
-    Ok((c, report))
+    })
 }
 
 /// One processor's MM actions for `step`: a critical dependency-free
@@ -259,6 +285,10 @@ impl StepInterp for MmInterp<'_> {
 
     fn emit(&self, k: usize, out: &mut Vec<Action>) {
         out.extend(mm_actions(&self.plan.steps[k], self.my, self.owned));
+    }
+
+    fn peek(&self, blk: (usize, usize)) -> Option<&Matrix> {
+        self.c_blocks.get(&blk)
     }
 
     fn execute(

@@ -25,10 +25,10 @@
 
 use crate::pool::{BufferPool, PoolClone};
 use crate::step::{
-    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Op, StepInterp,
-    WorkClock,
+    check_weights, gather_result, run_grid, run_steps, Action, Courier, ExecConfig, Journal, Op,
+    StepInterp, WorkClock,
 };
-use crate::store::{BlockStore, DistributedMatrix, ExecReport};
+use crate::store::{BlockStore, CheckpointLog, DistributedMatrix, ExecReport};
 use crate::transport::{ChannelTransport, Closed, ExecError, Transport};
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::qr::{qr_factor, QrFactors};
@@ -128,29 +128,10 @@ pub fn run_qr_on_cfg(
     weights: &[Vec<u64>],
     cfg: ExecConfig,
 ) -> Result<(Matrix, Vec<f64>, ExecReport), ExecError> {
-    let (p, q) = dist.grid();
-    check_weights(weights, (p, q), "run_qr");
     let da = DistributedMatrix::scatter(a, dist, nb, r);
-    let plan = hetgrid_plan::qr_plan(dist, nb);
-
-    // Each step's Householder scalars, reported by whichever worker
-    // owned that step's diagonal block.
+    let nb = da.nb_rows;
     let taus_acc: Mutex<Vec<Vec<f64>>> = Mutex::new(vec![Vec::new(); nb]);
-
-    let (stores, report) = run_grid(transport, (p, q), weights, |me, courier, clock| {
-        let mut interp = QrInterp {
-            plan: &plan,
-            r,
-            my: (me / q, me % q),
-            blocks: da.stores[me].clone(),
-            taus_acc: &taus_acc,
-            factors: HashMap::new(),
-            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
-        };
-        run_steps(&mut interp, courier, clock, cfg.lookahead)?;
-        Ok(interp.blocks)
-    })?;
-
+    let (stores, report) = qr_seg(transport, &da, dist, weights, cfg, 0, None, &taus_acc)?;
     let packed = gather_result(stores, (nb, nb), r, "run_qr");
     let taus: Vec<f64> = taus_acc
         .into_inner()
@@ -160,6 +141,55 @@ pub fn run_qr_on_cfg(
         .collect();
     assert_eq!(taus.len(), nb * r, "run_qr: missing Householder scalars");
     Ok((packed, taus, report))
+}
+
+/// One *epoch* of the QR execution: runs the step plan from `start` to
+/// completion over already-scattered blocks, optionally journaling
+/// every packed-factor block write into `journal`.
+///
+/// `taus_acc` collects each step's Householder scalars, reported by
+/// whichever worker owned that step's diagonal block. The caller keeps
+/// it across epochs: a resumed epoch re-runs steps `start..` and
+/// *overwrites* (not appends) each step's slot, so replayed work lands
+/// bit-identically and scalars from steps retired before the fault
+/// survive untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qr_seg(
+    transport: &impl Transport,
+    da: &DistributedMatrix,
+    dist: &(dyn BlockDist + Sync),
+    weights: &[Vec<u64>],
+    cfg: ExecConfig,
+    start: usize,
+    journal: Option<&CheckpointLog>,
+    taus_acc: &Mutex<Vec<Vec<f64>>>,
+) -> Result<(Vec<BlockStore>, ExecReport), ExecError> {
+    let (p, q) = dist.grid();
+    check_weights(weights, (p, q), "run_qr");
+    let (nb, r) = (da.nb_rows, da.r);
+    let plan = hetgrid_plan::qr_plan(dist, nb);
+
+    run_grid(transport, (p, q), weights, |me, courier, clock| {
+        let mut interp = QrInterp {
+            plan: &plan,
+            r,
+            my: (me / q, me % q),
+            blocks: da.stores[me].clone(),
+            taus_acc,
+            factors: HashMap::new(),
+            block_bytes: (r * r * std::mem::size_of::<f64>()) as u64,
+        };
+        let j = journal.map(|log| Journal { log, me });
+        run_steps(
+            &mut interp,
+            courier,
+            clock,
+            cfg.lookahead,
+            start,
+            j.as_ref(),
+        )?;
+        Ok(interp.blocks)
+    })
 }
 
 /// Rebuilds `(Q, R)` from [`run_qr`]'s globally packed factors: `Q` is
@@ -343,6 +373,10 @@ impl StepInterp for QrInterp<'_> {
 
     fn emit(&self, k: usize, out: &mut Vec<Action>) {
         out.extend(qr_actions(&self.plan.steps[k], self.my));
+    }
+
+    fn peek(&self, blk: (usize, usize)) -> Option<&Matrix> {
+        self.blocks.get(&blk)
     }
 
     fn execute(

@@ -88,7 +88,17 @@ fn proc_actions(
 /// deliver one pending message (in a shuffled order) when nothing is
 /// runnable, retire the front step once its actions finish. Returns the
 /// program-order indices in execution order.
-fn simulate(per_step: &[Vec<Action>], lookahead: usize, rng: &mut StdRng) -> Vec<usize> {
+///
+/// Stops as soon as `stop_front` steps are retired — pass
+/// `per_step.len()` for a full run, or a crash frontier to model a
+/// processor dying at that retirement beacon (with the lookahead window
+/// possibly having executed work past it).
+fn simulate(
+    per_step: &[Vec<Action>],
+    lookahead: usize,
+    rng: &mut StdRng,
+    stop_front: usize,
+) -> Vec<usize> {
     let n = per_step.len();
     // Global program order and each action's index within it.
     let program: Vec<&Action> = per_step.iter().flatten().collect();
@@ -123,7 +133,10 @@ fn simulate(per_step: &[Vec<Action>], lookahead: usize, rng: &mut StdRng) -> Vec
             }
             emitted += 1;
         }
-        if front < n && win.iter().filter(|(a, _)| a.step == front).all(|(_, d)| *d) {
+        if front < n
+            && front < stop_front
+            && win.iter().filter(|(a, _)| a.step == front).all(|(_, d)| *d)
+        {
             let keep: Vec<bool> = win.iter().map(|(a, _)| a.step != front).collect();
             let mut it = keep.iter();
             win.retain(|_| *it.next().unwrap());
@@ -132,7 +145,7 @@ fn simulate(per_step: &[Vec<Action>], lookahead: usize, rng: &mut StdRng) -> Vec
             front += 1;
             continue;
         }
-        if front >= n {
+        if front >= n || front >= stop_front {
             break;
         }
         if let Some(i) = pick_action(&win, |key| arrived.contains(key)) {
@@ -145,7 +158,9 @@ fn simulate(per_step: &[Vec<Action>], lookahead: usize, rng: &mut StdRng) -> Vec
             arrived.insert(key);
         }
     }
-    assert_eq!(order.len(), program.len(), "not every action executed");
+    if stop_front >= n {
+        assert_eq!(order.len(), program.len(), "not every action executed");
+    }
     order
 }
 
@@ -178,7 +193,7 @@ proptest! {
                 let per_step: Vec<Vec<Action>> = (0..plan.steps.len())
                     .map(|k| proc_actions(kernel, &plan, k, my, &owned))
                     .collect();
-                let order = simulate(&per_step, lookahead, &mut rng);
+                let order = simulate(&per_step, lookahead, &mut rng, per_step.len());
                 let program: Vec<&Action> = per_step.iter().flatten().collect();
                 let mut pos = vec![0usize; program.len()];
                 for (t, &g) in order.iter().enumerate() {
@@ -198,6 +213,121 @@ proptest! {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Crash-point consistency, the property elastic-grid recovery
+    /// rests on: run every processor *out of order* until it has
+    /// retired `f` steps (the crash beacon), journaling each
+    /// matrix-namespace write with its step — the lookahead window will
+    /// have executed and journaled work *past* the crash point. Then:
+    ///
+    /// 1. the journal truncated at the cut (`step < f`) must hold, for
+    ///    every block, exactly the last plan-order writer below `f`
+    ///    from [`step_access`] — retirement guarantees completeness
+    ///    below the cut, the truncation discards the over-execution;
+    /// 2. a resumed epoch on a *different* distribution replays steps
+    ///    `f..n`: its per-step access sets must equal the original
+    ///    plan's (the access pattern is distribution-independent, which
+    ///    is what lets recovery swap grids), and no step may ever read
+    ///    a block whose restored version is not its last plan-order
+    ///    writer — i.e. never a dead, un-restored block and never a
+    ///    leaked write from the aborted epoch's future.
+    #[test]
+    fn crash_cut_restores_exactly_the_plan_state(
+        kernel_idx in 0usize..4,
+        dist_choice in 0usize..3,
+        dist2_choice in 0usize..3,
+        nb in 3usize..7,
+        lookahead in 0usize..4,
+        crash in 0usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        let kernel = KERNELS[kernel_idx];
+        let dist = make_dist(dist_choice, nb);
+        let plan = make_plan(kernel, dist.as_ref(), nb);
+        let n = plan.steps.len();
+        let f = crash.min(n);
+        let (p, q) = dist.grid();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Epoch 1: out-of-order execution to the crash beacon.
+        let mut journal: std::collections::HashMap<(usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for pi in 0..p {
+            for pj in 0..q {
+                let my = (pi, pj);
+                let owned = owned_blocks(dist.as_ref(), nb, my);
+                let per_step: Vec<Vec<Action>> = (0..n)
+                    .map(|k| proc_actions(kernel, &plan, k, my, &owned))
+                    .collect();
+                let order = simulate(&per_step, lookahead, &mut rng, f);
+                let program: Vec<&Action> = per_step.iter().flatten().collect();
+                for &g in &order {
+                    for &(ns, bi, bj) in &program[g].writes {
+                        if ns == 0 {
+                            journal.entry((bi, bj)).or_default().push(program[g].step);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The last plan-order writer of each block below the cut.
+        let mut last_writer: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for k in 0..f {
+            for w in step_access(&plan.steps[k]).writes.iter() {
+                if w.op == Operand::C {
+                    last_writer.insert(w.block, k);
+                }
+            }
+        }
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let cut = journal
+                    .get(&(bi, bj))
+                    .and_then(|v| v.iter().filter(|&&s| s < f).max())
+                    .copied();
+                prop_assert_eq!(
+                    cut,
+                    last_writer.get(&(bi, bj)).copied(),
+                    "{} crash at {}: cut version of block ({},{}) diverges from the \
+                     plan's last writer below the cut",
+                    kernel, f, bi, bj
+                );
+            }
+        }
+
+        // Epoch 2: resume at `f` on a re-solved distribution.
+        let dist2 = make_dist(dist2_choice, nb);
+        let plan2 = make_plan(kernel, dist2.as_ref(), nb);
+        prop_assert_eq!(plan2.steps.len(), n, "{} plans disagree on step count", kernel);
+        let mut version = last_writer; // block -> step of its live version
+        for k in f..n {
+            let acc1 = step_access(&plan.steps[k]);
+            let acc2 = step_access(&plan2.steps[k]);
+            let w1: BTreeSet<_> = acc1.writes.iter().filter(|x| x.op == Operand::C).map(|x| x.block).collect();
+            let w2: BTreeSet<_> = acc2.writes.iter().filter(|x| x.op == Operand::C).map(|x| x.block).collect();
+            prop_assert_eq!(&w1, &w2, "{} step {}: write set depends on the distribution", kernel, k);
+            let r1: BTreeSet<_> = acc1.reads.iter().filter(|x| x.op == Operand::C).map(|x| x.block).collect();
+            let r2: BTreeSet<_> = acc2.reads.iter().filter(|x| x.op == Operand::C).map(|x| x.block).collect();
+            prop_assert_eq!(&r1, &r2, "{} step {}: read set depends on the distribution", kernel, k);
+            for b in &r2 {
+                // A read in the resumed epoch observes either the
+                // restored cut (< f), a version this epoch recomputed
+                // ([f, k)), or the scattered base (never written) —
+                // and always the *latest* plan-order writer below k.
+                let live = version.get(b).copied();
+                prop_assert!(
+                    live.is_none() || live.unwrap() < k,
+                    "{} step {}: read of ({},{}) observes a future version {:?}",
+                    kernel, k, b.0, b.1, live
+                );
+            }
+            for b in &w2 {
+                version.insert(*b, k);
             }
         }
     }

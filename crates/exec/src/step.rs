@@ -44,8 +44,9 @@
 
 use crate::pool::{BufferPool, PoolClone};
 use crate::probe::Probe;
-use crate::store::{BlockStore, ExecReport};
+use crate::store::{BlockStore, CheckpointLog, ExecReport};
 use crate::transport::{Closed, Endpoint, ExecError, Transport};
+use hetgrid_linalg::Matrix;
 use hetgrid_obs::trace::SpanGuard;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -189,6 +190,25 @@ pub(crate) trait StepInterp {
 
     /// Called when step `k` fully retires; drop step-local caches.
     fn retire(&mut self, _k: usize) {}
+
+    /// The current content of namespace-0 block `blk`, if this
+    /// processor owns it — the checkpoint journal's window into the
+    /// kernel's local state. Kernels that support elastic recovery
+    /// override this with a one-line store lookup; the default opts out
+    /// of journaling.
+    fn peek(&self, _blk: (usize, usize)) -> Option<&Matrix> {
+        None
+    }
+}
+
+/// One worker's handle on the shared [`CheckpointLog`]: which processor
+/// it journals as. Passing `None` to [`run_steps`] disables journaling
+/// entirely (the fault-free fast path).
+pub(crate) struct Journal<'a> {
+    /// The epoch's shared block-version log.
+    pub log: &'a CheckpointLog,
+    /// This worker's linear processor id.
+    pub me: usize,
 }
 
 /// `true` when `later` must wait for `earlier` (program order): any
@@ -248,6 +268,8 @@ pub(crate) fn run_steps<I>(
     courier: &mut Courier<I::P>,
     clock: &mut WorkClock,
     lookahead: usize,
+    start: usize,
+    journal: Option<&Journal<'_>>,
 ) -> Result<(), Closed>
 where
     I: StepInterp,
@@ -255,8 +277,8 @@ where
 {
     let n = interp.n_steps();
     let mut win: VecDeque<(Action, bool)> = VecDeque::new();
-    let mut front = 0usize; // oldest unretired step
-    let mut emitted = 0usize; // steps emitted into the window so far
+    let mut front = start; // oldest unretired step
+    let mut emitted = start; // steps emitted into the window so far
     let mut buf: Vec<Action> = Vec::new();
     loop {
         while emitted < n && emitted <= front + lookahead {
@@ -274,6 +296,14 @@ where
             win.retain(|(a, _)| a.step != front);
             interp.retire(front);
             courier.end_step(front);
+            if let Some(j) = journal {
+                j.log.note_retired(j.me, front);
+            }
+            // The retirement beacon: a fault-injecting transport may
+            // kill this worker here — the only place a processor can
+            // die, which is exactly what makes every crash land on a
+            // consistent retirement frontier.
+            courier.mark(front)?;
             front += 1;
             retired = true;
         }
@@ -289,6 +319,15 @@ where
                 let action = win[i].0.clone();
                 courier.note_depth((action.step - front) as u64);
                 interp.execute(&action, courier, clock)?;
+                if let Some(j) = journal {
+                    for &(ns, bi, bj) in &action.writes {
+                        if ns == 0 {
+                            if let Some(data) = interp.peek((bi, bj)) {
+                                j.log.record(j.me, action.step, (bi, bj), data);
+                            }
+                        }
+                    }
+                }
                 win[i].1 = true;
             }
             None => courier.stall()?,
@@ -432,6 +471,13 @@ impl<P> Courier<P> {
         while let Ok(Some(m)) = self.ep.try_recv() {
             self.pending.insert((m.step, m.tag, m.idx), m.payload);
         }
+    }
+
+    /// Fires the retirement beacon for step `step` on the endpoint. A
+    /// fault-injecting transport may answer [`Closed`] to kill this
+    /// worker at the boundary.
+    pub fn mark(&mut self, step: usize) -> Result<(), Closed> {
+        self.ep.mark(step)
     }
 
     /// Nothing runnable: count the stall and block for one message.

@@ -5,6 +5,7 @@
 use hetgrid_dist::BlockDist;
 use hetgrid_linalg::Matrix;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The blocks of one processor, keyed by global block coordinates.
 pub type BlockStore = HashMap<(usize, usize), Matrix>;
@@ -72,6 +73,12 @@ impl DistributedMatrix {
         Self::scatter(&z, dist, nb, r)
     }
 
+    /// Creates an all-zero rectangular distributed matrix.
+    pub fn zeros_rect(dist: &dyn BlockDist, nb_rows: usize, nb_cols: usize, r: usize) -> Self {
+        let z = Matrix::zeros(nb_rows * r, nb_cols * r);
+        Self::scatter_rect(&z, dist, nb_rows, nb_cols, r)
+    }
+
     /// Gathers the blocks back into a global matrix.
     ///
     /// # Panics
@@ -92,6 +99,168 @@ impl DistributedMatrix {
     /// The store of processor `(i, j)`.
     pub fn store(&self, i: usize, j: usize) -> &BlockStore {
         &self.stores[i * self.grid.1 + j]
+    }
+}
+
+/// One journaled block version: during plan step `step`, processor
+/// `proc` (linear id) left `data` in global block `block`.
+#[derive(Clone, Debug)]
+struct LogEntry {
+    proc: usize,
+    step: usize,
+    data: Matrix,
+}
+
+struct LogInner {
+    /// Versions per global block, in append order. Within one step a
+    /// block is written by exactly one action of its owner, so the
+    /// `(block, step)` pairs are unique and "latest version below a
+    /// step" is well defined no matter how worker threads interleaved
+    /// their appends.
+    entries: HashMap<(usize, usize), Vec<LogEntry>>,
+    /// Per-processor retirement frontier: the number of plan steps the
+    /// processor has fully retired (all its local actions done).
+    retired: Vec<usize>,
+}
+
+/// An incremental block-version log — the checkpoint store behind
+/// elastic-grid recovery.
+///
+/// Workers journal every namespace-0 block they write, tagged with the
+/// plan step, and report each retired step. Because a step is only
+/// retired once all of its local actions completed, the *global
+/// frontier* `F = min_i retired_i` is a consistent cut: every write of
+/// every step `< F` has been journaled on every processor, while the
+/// in-flight writes of steps `>= F` are simply ignored by
+/// [`CheckpointLog::state_at`]. Snapshots therefore always land on a
+/// panel-retirement boundary — the executor's natural quiescent points.
+///
+/// The log is shared (`&self` everywhere, internal mutex) so one
+/// instance can be journaled into by all workers of a run.
+pub struct CheckpointLog {
+    inner: Mutex<LogInner>,
+    start: usize,
+}
+
+impl CheckpointLog {
+    /// A fresh log for an epoch of `n_procs` workers whose step plan
+    /// resumes at step `start` (0 for a from-scratch run). All
+    /// retirement frontiers begin at `start`.
+    pub fn new(n_procs: usize, start: usize) -> Self {
+        CheckpointLog {
+            inner: Mutex::new(LogInner {
+                entries: HashMap::new(),
+                retired: vec![start; n_procs],
+            }),
+            start,
+        }
+    }
+
+    /// The step this epoch's plan resumed at.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LogInner> {
+        // A worker that panicked (harness watchdog) poisons the mutex;
+        // the log stays readable for the recovery driver.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Journals one block version: `proc` wrote `data` into `block`
+    /// during step `step`.
+    pub fn record(&self, proc: usize, step: usize, block: (usize, usize), data: &Matrix) {
+        self.lock()
+            .entries
+            .entry(block)
+            .or_default()
+            .push(LogEntry {
+                proc,
+                step,
+                data: data.clone(),
+            });
+    }
+
+    /// Marks step `front` retired on `proc`: its frontier moves to
+    /// `front + 1`.
+    pub fn note_retired(&self, proc: usize, front: usize) {
+        let mut inner = self.lock();
+        inner.retired[proc] = inner.retired[proc].max(front + 1);
+    }
+
+    /// The global retirement frontier `F = min_i retired_i`: every step
+    /// `< F` is fully executed on every processor.
+    pub fn frontier(&self) -> usize {
+        self.lock()
+            .retired
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.start)
+    }
+
+    /// Total number of journaled block versions.
+    pub fn len(&self) -> usize {
+        self.lock().entries.values().map(Vec::len).sum()
+    }
+
+    /// `true` if nothing has been journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks whose *latest* journaled version (at any step) was written
+    /// by `proc` — the blocks that die with that processor if nothing
+    /// below the cut supersedes them. Sorted for deterministic reports.
+    pub fn written_last_by(&self, proc: usize) -> Vec<(usize, usize)> {
+        let inner = self.lock();
+        let mut blocks: Vec<(usize, usize)> = inner
+            .entries
+            .iter()
+            .filter(|(_, versions)| {
+                versions
+                    .iter()
+                    .max_by_key(|e| e.step)
+                    .is_some_and(|e| e.proc == proc)
+            })
+            .map(|(&b, _)| b)
+            .collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
+    /// Materializes the consistent state at cut `f`: for every block in
+    /// `base` (the epoch's starting content), the latest journaled
+    /// version with `step < f`, or the base content when no step below
+    /// the cut wrote it.
+    ///
+    /// # Panics
+    /// Panics if the log journaled a block that `base` does not know —
+    /// that would mean the epoch wrote outside its matrix.
+    pub fn state_at(&self, f: usize, base: &BlockStore) -> BlockStore {
+        let inner = self.lock();
+        for block in inner.entries.keys() {
+            assert!(
+                base.contains_key(block),
+                "CheckpointLog::state_at: journaled block {block:?} missing from base"
+            );
+        }
+        base.iter()
+            .map(|(&block, base_data)| {
+                let data = inner
+                    .entries
+                    .get(&block)
+                    .and_then(|versions| {
+                        versions
+                            .iter()
+                            .filter(|e| e.step < f)
+                            .max_by_key(|e| e.step)
+                    })
+                    .map(|e| e.data.clone())
+                    .unwrap_or_else(|| base_data.clone());
+                (block, data)
+            })
+            .collect()
     }
 }
 
@@ -214,6 +383,47 @@ mod tests {
         assert!(!d.store(0, 0).contains_key(&(1, 3)));
         // Each store holds nb^2 / (p*q) blocks here.
         assert_eq!(d.store(0, 0).len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_frontier_is_min_over_procs() {
+        let log = CheckpointLog::new(3, 0);
+        assert_eq!(log.frontier(), 0);
+        log.note_retired(0, 0);
+        log.note_retired(1, 2);
+        assert_eq!(log.frontier(), 0); // proc 2 has retired nothing
+        log.note_retired(2, 1);
+        assert_eq!(log.frontier(), 1); // proc 0 is the laggard now
+    }
+
+    #[test]
+    fn checkpoint_state_picks_latest_version_below_cut() {
+        let log = CheckpointLog::new(2, 0);
+        let base: BlockStore = [((0, 0), Matrix::zeros(2, 2)), ((0, 1), Matrix::zeros(2, 2))]
+            .into_iter()
+            .collect();
+        let v = |x: f64| Matrix::from_fn(2, 2, |_, _| x);
+        // Appends arrive out of step order, as racing workers produce.
+        log.record(0, 2, (0, 0), &v(3.0));
+        log.record(0, 0, (0, 0), &v(1.0));
+        log.record(1, 1, (0, 0), &v(2.0));
+        let cut = log.state_at(2, &base);
+        assert!(cut[&(0, 0)].approx_eq(&v(2.0), 0.0)); // step 2 is above the cut
+        assert!(cut[&(0, 1)].approx_eq(&Matrix::zeros(2, 2), 0.0)); // untouched -> base
+                                                                    // Cut at the start falls back to the base everywhere.
+        let fresh = log.state_at(0, &base);
+        assert!(fresh[&(0, 0)].approx_eq(&Matrix::zeros(2, 2), 0.0));
+        // The proc that last touched (0, 0) is the one that would lose it.
+        assert_eq!(log.written_last_by(0), vec![(0, 0)]);
+        assert_eq!(log.written_last_by(1), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from base")]
+    fn checkpoint_state_rejects_foreign_blocks() {
+        let log = CheckpointLog::new(1, 0);
+        log.record(0, 0, (5, 5), &Matrix::zeros(2, 2));
+        log.state_at(1, &BlockStore::new());
     }
 
     #[test]

@@ -100,6 +100,20 @@ pub trait Endpoint<T>: Send {
         Ok(None)
     }
 
+    /// Progress beacon: the step driver calls `mark(step)` every time
+    /// this processor retires a step (all of the step's local actions
+    /// are done). A transport may use it to observe the retirement
+    /// frontier or — like the harness's virtual transport — to inject
+    /// grid-membership faults at an exact, replayable boundary:
+    /// returning `Err(Closed)` makes the worker abandon the run as if
+    /// its processor had died (or, for a voluntary pause, as if it had
+    /// agreed to stop at this frontier). The default ignores the beacon
+    /// and always succeeds.
+    fn mark(&self, step: usize) -> Result<(), Closed> {
+        let _ = step;
+        Ok(())
+    }
+
     /// Best-effort abort of the whole run this endpoint belongs to:
     /// marks every peer mailbox as doomed so blocked receivers fail
     /// fast with [`Closed`] instead of deadlocking on messages that

@@ -8,6 +8,15 @@
 //! interleaves the threads: replaying a seed replays exactly the same
 //! per-message decisions, which is what makes a harness failure
 //! reproducible.
+//!
+//! [`KillSchedule`]s extend the same discipline to *grid-membership*
+//! faults: which processor crashes (or when a joiner arrives), and at
+//! which retirement boundary, are drawn with [`roll`] directly — never
+//! from a scenario's RNG stream, so adding kills to a seed never
+//! perturbs the matrices, distribution, or message faults that seed
+//! already generates.
+
+use hetgrid_exec::recovery::GridFault;
 
 /// `splitmix64`-style finalizer: avalanches one word.
 fn mix(mut x: u64) -> u64 {
@@ -107,9 +116,108 @@ impl FaultProfile {
     }
 }
 
+/// A seeded schedule of grid-membership faults for one run.
+///
+/// The virtual transport arms the schedule and fires each event exactly
+/// once, at the [`Endpoint::mark`](hetgrid_exec::Endpoint::mark)
+/// retirement beacon of the named boundary — so a crash always lands on
+/// a consistent retirement frontier, and the same seed/variant pair
+/// always kills the same processor at the same step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KillSchedule {
+    /// The grid faults to inject, in no particular order (each is
+    /// anchored to its own retirement boundary).
+    pub events: Vec<GridFault>,
+}
+
+/// Domain separator for kill-schedule rolls, so kill draws can never
+/// collide with the message-fault rolls of the same seed.
+const KILL_SALT: u64 = 0x6B69_6C6C_5F73_6368;
+
+impl KillSchedule {
+    /// The empty schedule: no grid faults.
+    pub fn none() -> Self {
+        KillSchedule::default()
+    }
+
+    /// One crash, drawn from `(seed, variant)`: a victim among
+    /// `n_procs` processors and a retirement boundary among `n_steps`
+    /// plan steps.
+    pub fn single_crash(seed: u64, variant: u64, n_procs: usize, n_steps: usize) -> Self {
+        let r = roll(seed, KILL_SALT, variant, 0);
+        KillSchedule {
+            events: vec![GridFault::Crash {
+                proc: (r % n_procs.max(1) as u64) as usize,
+                at_step: ((r >> 32) % n_steps.max(1) as u64) as usize,
+            }],
+        }
+    }
+
+    /// One join request, drawn from `(seed, variant)`: the grid pauses
+    /// at a retirement boundary among `n_steps` plan steps to admit the
+    /// newcomer.
+    pub fn single_join(seed: u64, variant: u64, n_steps: usize) -> Self {
+        let r = roll(seed, KILL_SALT, variant, 1);
+        KillSchedule {
+            events: vec![GridFault::Join {
+                at_step: (r % n_steps.max(1) as u64) as usize,
+            }],
+        }
+    }
+}
+
+/// Number of kill-schedule variants to exercise per corpus seed: the
+/// `HARNESS_KILLS` environment variable, defaulting to 1. Mirrors
+/// `HARNESS_SEEDS` — nightly CI raises it to sweep many crash points
+/// per scenario.
+pub fn kill_variants() -> usize {
+    std::env::var("HARNESS_KILLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kill_schedules_are_reproducible_and_in_range() {
+        for seed in 0..64u64 {
+            for variant in 0..4u64 {
+                let a = KillSchedule::single_crash(seed, variant, 6, 9);
+                assert_eq!(a, KillSchedule::single_crash(seed, variant, 6, 9));
+                let [GridFault::Crash { proc, at_step }] = a.events[..] else {
+                    panic!("expected one crash event");
+                };
+                assert!(proc < 6);
+                assert!(at_step < 9);
+                let j = KillSchedule::single_join(seed, variant, 9);
+                let [GridFault::Join { at_step }] = j.events[..] else {
+                    panic!("expected one join event");
+                };
+                assert!(at_step < 9);
+            }
+        }
+    }
+
+    #[test]
+    fn kill_variants_cover_distinct_crash_points() {
+        // Different variants of one seed must actually spread over the
+        // (proc, step) space, or HARNESS_KILLS sweeps would be vacuous.
+        let points: std::collections::HashSet<(usize, usize)> = (0..16)
+            .map(|v| {
+                let [GridFault::Crash { proc, at_step }] =
+                    KillSchedule::single_crash(7, v, 6, 9).events[..]
+                else {
+                    panic!("expected one crash event");
+                };
+                (proc, at_step)
+            })
+            .collect();
+        assert!(points.len() > 8, "only {} distinct points", points.len());
+    }
 
     #[test]
     fn decisions_are_reproducible() {

@@ -42,8 +42,11 @@ pub mod runner;
 pub mod scenario;
 pub mod vtransport;
 
-pub use faults::FaultProfile;
-pub use runner::{run_adapt_case, run_exec_case, run_redistribution_case, Kernel};
+pub use faults::{kill_variants, FaultProfile, KillSchedule};
+pub use runner::{
+    resolve_grid_fault, run_adapt_case, run_exec_case, run_recovery_case, run_recovery_join_case,
+    run_redistribution_case, Kernel,
+};
 pub use vtransport::VirtualTransport;
 
 /// The seed corpus for a test run.

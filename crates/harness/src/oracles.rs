@@ -17,7 +17,7 @@
 //! replayable.
 
 use hetgrid_dist::{redistribution, BlockDist};
-use hetgrid_exec::{DistributedMatrix, ExecReport};
+use hetgrid_exec::{DistributedMatrix, ExecReport, RecoveryStats};
 use hetgrid_linalg::gemm::matmul;
 use hetgrid_linalg::tri::{unit_lower_from_packed, upper_from_packed};
 use hetgrid_linalg::Matrix;
@@ -216,6 +216,71 @@ pub fn check_serve_cache(delta: &hetgrid_obs::MetricsSnapshot) -> Result<(), Str
     if coalesced > hits {
         return Err(format!(
             "serve coalesced {coalesced} requests but only {hits} hits were recorded"
+        ));
+    }
+    Ok(())
+}
+
+/// Differential oracle for elastic-grid recovery: a run that survived a
+/// crash (or absorbed a join) must be **indistinguishable** from the
+/// fault-free run of the same scenario.
+///
+/// * the recovered result must equal the fault-free reference
+///   *bit-exactly* (tolerance zero) — checkpoint replay re-executes the
+///   same per-block arithmetic in the same order, so even the rounding
+///   must agree;
+/// * QR's Householder scalars must match exactly as well;
+/// * the driver must have attributed every scheduled fault — an epoch
+///   that aborted and silently restarted without accounting a crash or
+///   join fails here.
+///
+/// Block conservation across the grid change is asserted inside
+/// `run_recovery` itself (the gather panics on any missing block), so a
+/// run that reaches this oracle has already proven it.
+pub fn check_recovery(
+    reference: &Matrix,
+    recovered: &Matrix,
+    reference_taus: Option<&[f64]>,
+    recovered_taus: Option<&[f64]>,
+    stats: &RecoveryStats,
+    expected_faults: usize,
+) -> Result<(), String> {
+    if !recovered.approx_eq(reference, 0.0) {
+        return Err(format!(
+            "recovered result is not bit-exact vs the fault-free run: max err {:.3e} \
+             (stats: {stats:?})",
+            recovered.sub(reference).max_abs()
+        ));
+    }
+    match (reference_taus, recovered_taus) {
+        (None, None) => {}
+        (Some(a), Some(b)) if a == b => {}
+        (Some(a), Some(b)) => {
+            let max_err = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            return Err(format!(
+                "recovered Householder scalars diverge from the fault-free run: \
+                 lengths {} vs {}, max err {max_err:.3e}",
+                a.len(),
+                b.len()
+            ));
+        }
+        (a, b) => {
+            return Err(format!(
+                "Householder scalars present/absent mismatch: reference {}, recovered {}",
+                a.is_some(),
+                b.is_some()
+            ));
+        }
+    }
+    let handled = stats.crashes + stats.joins;
+    if handled != expected_faults {
+        return Err(format!(
+            "recovery driver handled {handled} grid faults, schedule injected {expected_faults} \
+             (stats: {stats:?})"
         ));
     }
     Ok(())

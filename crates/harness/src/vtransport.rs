@@ -20,11 +20,12 @@
 //! arriving within the watchdog window — the transport panics with the
 //! seed rather than hanging the test suite.
 
-use crate::faults::FaultProfile;
+use crate::faults::{FaultProfile, KillSchedule};
+use hetgrid_exec::recovery::GridFault;
 use hetgrid_exec::transport::{Closed, Endpoint, Transport};
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -32,19 +33,90 @@ use std::time::Duration;
 /// still alive) before declaring the run wedged.
 const WATCHDOG: Duration = Duration::from_secs(10);
 
+/// The armed grid-membership faults, shared by every endpoint of every
+/// epoch a transport connects. Each entry fires at most once across the
+/// whole transport lifetime — a crash consumed by epoch 1 must not
+/// re-kill the (renumbered) grid of epoch 2.
+struct KillState {
+    entries: Vec<(GridFault, AtomicBool)>,
+    /// Faults that actually fired, in firing order — the recovery
+    /// driver's authoritative record of *who* died (the executor's own
+    /// error reports the first worker to notice, not the victim).
+    fired: Mutex<Vec<GridFault>>,
+}
+
+impl KillState {
+    fn fired(&self) -> Vec<GridFault> {
+        self.fired.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
 /// A [`Transport`] whose endpoints misbehave according to a
-/// [`FaultProfile`], deterministically per `seed`.
-#[derive(Clone, Copy, Debug)]
+/// [`FaultProfile`], deterministically per `seed` — and, when armed
+/// with a [`KillSchedule`], kill or pause processors at exact
+/// retirement boundaries.
+#[derive(Clone, Debug)]
 pub struct VirtualTransport {
     seed: u64,
     profile: FaultProfile,
+    kills: Arc<KillState>,
+    watchdog: Duration,
+}
+
+impl std::fmt::Debug for KillState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KillState")
+            .field(
+                "entries",
+                &self.entries.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            )
+            .field("fired", &self.fired())
+            .finish()
+    }
 }
 
 impl VirtualTransport {
     /// A transport injecting `profile`'s faults with decisions derived
     /// from `seed`.
     pub fn new(seed: u64, profile: FaultProfile) -> Self {
-        VirtualTransport { seed, profile }
+        VirtualTransport {
+            seed,
+            profile,
+            kills: Arc::new(KillState {
+                entries: Vec::new(),
+                fired: Mutex::new(Vec::new()),
+            }),
+            watchdog: WATCHDOG,
+        }
+    }
+
+    /// Arms a grid-fault schedule: each event fires once, at the
+    /// retirement beacon of its boundary, and is recorded in
+    /// [`VirtualTransport::fault_events`].
+    pub fn with_kills(mut self, schedule: &KillSchedule) -> Self {
+        self.kills = Arc::new(KillState {
+            entries: schedule
+                .events
+                .iter()
+                .map(|&e| (e, AtomicBool::new(false)))
+                .collect(),
+            fired: Mutex::new(Vec::new()),
+        });
+        self
+    }
+
+    /// Overrides the starvation watchdog window (tests of the watchdog
+    /// itself shrink it; the env-free builder keeps parallel test runs
+    /// deterministic).
+    pub fn with_watchdog(mut self, window: Duration) -> Self {
+        self.watchdog = window;
+        self
+    }
+
+    /// The grid faults that have fired so far, in firing order. This is
+    /// the `events` hook of `hetgrid_exec::recovery::RecoveryHooks`.
+    pub fn fault_events(&self) -> Vec<GridFault> {
+        self.kills.fired()
     }
 
     /// The run seed (reported in failure messages).
@@ -107,6 +179,14 @@ struct Shared<T> {
     /// Endpoints still alive; a lone survivor's empty recv fails
     /// instead of blocking.
     live: AtomicUsize,
+    /// Set by [`Endpoint::abort`] after a worker dies: every blocked or
+    /// future operation on this epoch's endpoints fails fast with
+    /// [`Closed`] instead of waiting for messages a dead peer will
+    /// never send.
+    doomed: AtomicBool,
+    /// Armed grid faults, shared across epochs (fire-once per entry).
+    kills: Arc<KillState>,
+    watchdog: Duration,
     seed: u64,
     profile: FaultProfile,
     faults: FaultCounters,
@@ -124,6 +204,9 @@ struct VirtualEndpoint<T> {
 
 impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
     fn send(&self, dest: usize, msg: T) -> Result<(), Closed> {
+        if self.shared.doomed.load(Ordering::SeqCst) {
+            return Err(Closed);
+        }
         let n = self.sent[dest].get();
         self.sent[dest].set(n + 1);
         let hold = self
@@ -163,6 +246,9 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
     }
 
     fn try_recv(&self) -> Result<Option<T>, Closed> {
+        if self.shared.doomed.load(Ordering::SeqCst) {
+            return Err(Closed);
+        }
         let mb = &self.shared.boxes[self.me];
         let mut st = mb.lock();
         if !st.ready.is_empty() {
@@ -192,6 +278,9 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
         let mb = &self.shared.boxes[self.me];
         let mut st = mb.lock();
         loop {
+            if self.shared.doomed.load(Ordering::SeqCst) {
+                return Err(Closed);
+            }
             if !st.ready.is_empty() {
                 let n = self.received.get();
                 self.received.set(n + 1);
@@ -216,20 +305,64 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
             }
             let (guard, timeout) = mb
                 .cv
-                .wait_timeout(st, WATCHDOG)
+                .wait_timeout(st, self.shared.watchdog)
                 .unwrap_or_else(|p| p.into_inner());
             st = guard;
             if timeout.timed_out() && st.ready.is_empty() && st.held.is_empty() {
                 if self.shared.live.load(Ordering::SeqCst) <= 1 {
                     return Err(Closed);
                 }
+                if self.shared.doomed.load(Ordering::SeqCst) {
+                    return Err(Closed);
+                }
                 drop(st); // do not poison the mailbox the panic abandons
+                let fired = self.shared.kills.fired();
+                let cause = if fired.is_empty() {
+                    "genuine starvation, no grid fault fired".to_string()
+                } else {
+                    format!("un-recovered grid fault(s) {fired:?} — a peer was crashed by the kill schedule and nobody resumed the run")
+                };
                 panic!(
                     "harness watchdog: processor {} starved for {:?} \
-                     (profile '{}', seed {}) — replay with HARNESS_SEED={}",
-                    self.me, WATCHDOG, self.shared.profile.name, self.shared.seed, self.shared.seed
+                     ({cause}; profile '{}', seed {}) — replay with HARNESS_SEED={}",
+                    self.me,
+                    self.shared.watchdog,
+                    self.shared.profile.name,
+                    self.shared.seed,
+                    self.shared.seed
                 );
             }
+        }
+    }
+
+    fn mark(&self, step: usize) -> Result<(), Closed> {
+        if self.shared.doomed.load(Ordering::SeqCst) {
+            return Err(Closed);
+        }
+        for (event, armed) in &self.shared.kills.entries {
+            let hits = match *event {
+                GridFault::Crash { proc, at_step } => proc == self.me && at_step == step,
+                // A join pauses the whole grid; one designated endpoint
+                // (linear 0 exists in every grid shape) reports it.
+                GridFault::Join { at_step } => self.me == 0 && at_step == step,
+            };
+            if hits && !armed.swap(true, Ordering::SeqCst) {
+                self.shared
+                    .kills
+                    .fired
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(*event);
+                return Err(Closed);
+            }
+        }
+        Ok(())
+    }
+
+    fn abort(&self) {
+        self.shared.doomed.store(true, Ordering::SeqCst);
+        for mb in &self.shared.boxes {
+            mb.cv.notify_all();
         }
     }
 }
@@ -259,6 +392,9 @@ impl Transport for VirtualTransport {
                 })
                 .collect(),
             live: AtomicUsize::new(n),
+            doomed: AtomicBool::new(false),
+            kills: Arc::clone(&self.kills),
+            watchdog: self.watchdog,
             seed: self.seed,
             profile: self.profile,
             faults: FaultCounters::new(),

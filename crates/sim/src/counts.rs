@@ -72,9 +72,21 @@ pub fn mm_counts(
 /// # Panics
 /// Panics if the plan contains non-MM steps.
 pub fn mm_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    mm_counts_from(plan, 0, weights)
+}
+
+/// [`mm_counts`] over the suffix `plan.steps[from..]` — the exact
+/// predicted counts for an executor epoch resumed at step `from`
+/// (elastic-grid recovery replays a plan from its checkpoint frontier).
+/// `from == 0` is the whole plan, and prefix + suffix folds always sum
+/// to the full-plan counts.
+///
+/// # Panics
+/// Panics if the plan contains non-MM steps.
+pub fn mm_counts_from(plan: &Plan, from: usize, weights: &[Vec<u64>]) -> KernelCounts {
     let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    for step in &plan.steps {
+    for step in &plan.steps[from.min(plan.steps.len())..] {
         let Step::Mm {
             a_bcasts, b_bcasts, ..
         } = step
@@ -112,9 +124,24 @@ pub fn lu_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> Kerne
 /// # Panics
 /// Panics if the plan contains non-factor steps.
 pub fn factor_counts_from_plan(plan: &Plan, unit_scale: u64, weights: &[Vec<u64>]) -> KernelCounts {
+    factor_counts_from(plan, 0, unit_scale, weights)
+}
+
+/// [`factor_counts_from_plan`] over the suffix `plan.steps[from..]` —
+/// the predicted counts for an LU epoch resumed at step `from` (see
+/// [`mm_counts_from`]).
+///
+/// # Panics
+/// Panics if the plan contains non-factor steps.
+pub fn factor_counts_from(
+    plan: &Plan,
+    from: usize,
+    unit_scale: u64,
+    weights: &[Vec<u64>],
+) -> KernelCounts {
     let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    for step in &plan.steps {
+    for step in &plan.steps[from.min(plan.steps.len())..] {
         let Step::Factor {
             diag,
             panel,
@@ -177,9 +204,19 @@ pub fn cholesky_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) ->
 /// # Panics
 /// Panics if the plan contains non-Cholesky steps.
 pub fn cholesky_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    cholesky_counts_from(plan, 0, weights)
+}
+
+/// [`cholesky_counts`] over the suffix `plan.steps[from..]` — the
+/// predicted counts for a Cholesky epoch resumed at step `from` (see
+/// [`mm_counts_from`]).
+///
+/// # Panics
+/// Panics if the plan contains non-Cholesky steps.
+pub fn cholesky_counts_from(plan: &Plan, from: usize, weights: &[Vec<u64>]) -> KernelCounts {
     let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    for step in &plan.steps {
+    for step in &plan.steps[from.min(plan.steps.len())..] {
         let Step::Cholesky {
             diag,
             diag_dests,
@@ -226,9 +263,19 @@ pub fn qr_counts(dist: &dyn BlockDist, nb: usize, weights: &[Vec<u64>]) -> Kerne
 /// # Panics
 /// Panics if the plan contains non-QR steps.
 pub fn qr_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    qr_counts_from(plan, 0, weights)
+}
+
+/// [`qr_counts`] over the suffix `plan.steps[from..]` — the predicted
+/// counts for a QR epoch resumed at step `from` (see
+/// [`mm_counts_from`]).
+///
+/// # Panics
+/// Panics if the plan contains non-QR steps.
+pub fn qr_counts_from(plan: &Plan, from: usize, weights: &[Vec<u64>]) -> KernelCounts {
     let (p, q) = plan.grid;
     let mut c = KernelCounts::zeros(p, q);
-    for step in &plan.steps {
+    for step in &plan.steps[from.min(plan.steps.len())..] {
         let Step::Qr {
             diag,
             panel,
@@ -281,6 +328,58 @@ mod tests {
         assert_eq!(lu_counts(&dist, 4, &w).total_messages(), 0);
         assert_eq!(cholesky_counts(&dist, 4, &w).total_messages(), 0);
         assert_eq!(qr_counts(&dist, 4, &w).total_messages(), 0);
+    }
+
+    /// For every cut point `f`, the fold over `steps[..f]` plus the
+    /// fold over `steps[f..]` equals the full fold, elementwise — the
+    /// property that makes `*_counts_from` an exact count oracle for a
+    /// recovery epoch resumed at `f`.
+    #[test]
+    fn suffix_counts_partition_the_full_fold() {
+        let add = |a: &KernelCounts, b: &KernelCounts| KernelCounts {
+            messages: a
+                .messages
+                .iter()
+                .zip(&b.messages)
+                .map(|(r1, r2)| r1.iter().zip(r2).map(|(x, y)| x + y).collect())
+                .collect(),
+            work_units: a
+                .work_units
+                .iter()
+                .zip(&b.work_units)
+                .map(|(r1, r2)| r1.iter().zip(r2).map(|(x, y)| x + y).collect())
+                .collect(),
+        };
+        let dist = BlockCyclic::new(2, 3);
+        let w = vec![vec![1, 2, 1], vec![3, 1, 2]];
+        let nb = 5;
+        let cases: Vec<(Plan, Box<dyn Fn(&Plan, usize) -> KernelCounts>)> = vec![
+            (
+                hetgrid_plan::mm_rect_plan(&dist, (nb, nb, nb)),
+                Box::new(|p: &Plan, f| mm_counts_from(p, f, &w)),
+            ),
+            (
+                hetgrid_plan::factor_plan(&dist, nb),
+                Box::new(|p: &Plan, f| factor_counts_from(p, f, 1, &w)),
+            ),
+            (
+                hetgrid_plan::cholesky_plan(&dist, nb),
+                Box::new(|p: &Plan, f| cholesky_counts_from(p, f, &w)),
+            ),
+            (
+                hetgrid_plan::qr_plan(&dist, nb),
+                Box::new(|p: &Plan, f| qr_counts_from(p, f, &w)),
+            ),
+        ];
+        for (plan, counts_from) in &cases {
+            let full = counts_from(plan, 0);
+            for f in 0..=plan.steps.len() {
+                let mut prefix = plan.clone();
+                prefix.steps.truncate(f);
+                let parts = add(&counts_from(&prefix, 0), &counts_from(plan, f));
+                assert_eq!(parts, full, "prefix + suffix != full at cut {f}");
+            }
+        }
     }
 
     #[test]
