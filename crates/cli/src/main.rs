@@ -8,6 +8,7 @@
 //!                    [--method heuristic|exact] [--scheme panel|kl|cyclic] [--seed 0]
 //!                    [--lookahead 2]   (0 = strict in-order execution)
 //!                    [--crash P@S]     (kill processor P at step S, recover, verify)
+//!                    [--flight-recorder [FILE]]  (crash ring; dump on faults/run end)
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
@@ -56,6 +57,7 @@ fn main() {
         Some("adapt") => cmd_adapt(&args),
         Some("serve") => cmd_serve(&args),
         Some("submit") => cmd_submit(&args),
+        Some("top") => cmd_top(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -83,6 +85,9 @@ fn print_usage() {
     println!("             --lookahead 0 forces strict in-order step execution)");
     println!("             [--crash P@S]  kill processor P at step S, then recover from the");
     println!("             checkpoint log on the re-solved survivor grid and verify the result");
+    println!("             [--flight-recorder [FILE]]  keep the last spans per thread in a");
+    println!("             crash ring (even with tracing off) and dump a Chrome trace on");
+    println!("             faults and at run end (default FILE: hetgrid-flight.json)");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
     println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
     println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
@@ -100,7 +105,12 @@ fn print_usage() {
     println!("             until a client sends --op shutdown)");
     println!("  submit     --addr HOST:PORT [--op solve|plan|simulate|metrics|shutdown]");
     println!("             [--times .. --grid PxQ] [--kernel mm|lu|cholesky|qr] [--nb 8]");
-    println!("             [--tenant NAME] [--repeat 1]   (client for a running serve)");
+    println!("             [--tenant NAME] [--repeat 1] [--format json|expo|series]");
+    println!("             (client for a running serve; prints the trace id of each");
+    println!("             request on stderr — correlate with the server's --trace-out)");
+    println!("  top        --addr HOST:PORT [--interval 2] [--once]   (live dashboard");
+    println!("             over a running serve: per-tenant qps, cache hit ratio, quota");
+    println!("             rejections, pool hit rate, recovery counters, latency p50/95/99)");
     println!();
     println!("global options:");
     println!("  --trace-out FILE    Chrome trace-event JSON (run/adapt/solve/simulate);");
@@ -599,6 +609,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         n
     );
 
+    // `--flight-recorder [FILE]` arms the always-on crash ring: spans
+    // are retained per thread (last 4096) even with tracing export
+    // off, and dumped as a Chrome trace when a fault path fires (peer
+    // drop, watchdog, recovery epoch) and again when the run ends.
+    let flight = args.flag("flight-recorder") || args.get("flight-recorder").is_some();
+    if flight {
+        let path = args.get("flight-recorder").unwrap_or("hetgrid-flight.json");
+        hetgrid_obs::trace::set_flight(true);
+        hetgrid_obs::flight::arm(path);
+    }
+
     let session = ObsSession::begin(args);
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -730,6 +751,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("wall time        : {:.4} s", out.report.wall_seconds);
         println!("{}", check);
         println!("messages sent    : {}", out.report.total_messages());
+        finish_flight(flight);
         return Ok(());
     }
 
@@ -811,7 +833,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     for row in &report.work_units {
         println!("  {:?}", row);
     }
+    finish_flight(flight);
     Ok(())
+}
+
+/// End-of-run flight dump: re-dumps the rings so the file on disk
+/// covers the whole run (a mid-run fault dump, if any, recorded the
+/// same rings at an earlier point and is superseded).
+fn finish_flight(armed: bool) {
+    if !armed {
+        return;
+    }
+    if let Some(path) = hetgrid_obs::flight::dump("run complete") {
+        hetgrid_obs::diag!("wrote flight-recorder dump to {}", path.display());
+    }
 }
 
 /// A dense matrix with entries in `[-1, 1)`.
@@ -1054,7 +1089,15 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     let repeat: usize = args.get_parse("repeat", 1usize)?;
 
     let body = match op {
-        "metrics" => RequestBody::Metrics,
+        "metrics" => {
+            use hetgrid_serve::proto::MetricsFormat;
+            RequestBody::Metrics(match args.get("format").unwrap_or("json") {
+                "json" => MetricsFormat::Json,
+                "expo" => MetricsFormat::Expo,
+                "series" => MetricsFormat::Series,
+                other => return Err(format!("unknown --format: {}", other)),
+            })
+        }
         "shutdown" => RequestBody::Shutdown,
         "solve" | "plan" | "simulate" => {
             let times = args.times()?;
@@ -1088,9 +1131,179 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
                 body: body.clone(),
             })
             .map_err(|e| format!("request {} failed: {}", i, e))?;
+        // The echoed trace id goes to stderr (stdout stays
+        // machine-readable): grep for it in the server's --trace-out
+        // export to find this request's span tree.
+        if let Some(id) = client.last_trace_id() {
+            hetgrid_obs::diag!("trace id: {:032x}", id);
+        }
         print_response(&resp, args.verbosity());
     }
     Ok(())
+}
+
+/// Live in-terminal dashboard over a running `hetgrid serve`: polls
+/// the metrics endpoint (text exposition format), derives rates from
+/// successive snapshots, and redraws. `--once` prints a single frame
+/// (totals instead of rates) and exits — the CI smoke job uses it.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use hetgrid_serve::proto::{MetricsFormat, Request, RequestBody, Response};
+    use hetgrid_serve::Client;
+
+    let addr = args.require("addr")?;
+    let once = args.flag("once");
+    let interval: f64 = args.get_parse("interval", 2.0)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(format!("--interval must be positive, got {}", interval));
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {}: {}", addr, e))?;
+    let mut prev: Option<(std::time::Instant, hetgrid_obs::MetricsSnapshot)> = None;
+    loop {
+        let resp = client
+            .request(&Request {
+                tenant: "top".into(),
+                body: RequestBody::Metrics(MetricsFormat::Expo),
+            })
+            .map_err(|e| format!("polling {}: {}", addr, e))?;
+        let text = match resp {
+            Response::Metrics(text) => text,
+            other => return Err(format!("unexpected response: {:?}", other.status())),
+        };
+        let snap = hetgrid_obs::expo::parse(&text)
+            .map_err(|e| format!("server exposition did not parse: {}", e))?;
+        let now = std::time::Instant::now();
+        let frame = render_top(
+            addr,
+            &snap,
+            prev.as_ref()
+                .map(|(t, s)| (now.duration_since(*t).as_secs_f64(), s)),
+        );
+        if once {
+            print!("{}", frame);
+            return Ok(());
+        }
+        // Clear + home, then redraw in place.
+        print!("\x1b[2J\x1b[H{}", frame);
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        prev = Some((now, snap));
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+/// One dashboard frame. `prev` is `(seconds_since, snapshot)` of the
+/// previous poll: present, counters render as rates; absent (first
+/// frame, `--once`), they render as totals.
+fn render_top(
+    addr: &str,
+    snap: &hetgrid_obs::MetricsSnapshot,
+    prev: Option<(f64, &hetgrid_obs::MetricsSnapshot)>,
+) -> String {
+    use std::fmt::Write as _;
+
+    let rate = |name: &str| -> (f64, &'static str) {
+        match prev {
+            Some((dt, p)) if dt > 0.0 => (
+                (snap.counter(name).saturating_sub(p.counter(name))) as f64 / dt,
+                "/s",
+            ),
+            _ => (snap.counter(name) as f64, " total"),
+        }
+    };
+    let ratio = |num: u64, den: u64| -> String {
+        if den == 0 {
+            "  n/a".to_string()
+        } else {
+            format!("{:5.1}%", 100.0 * num as f64 / den as f64)
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "hetgrid top — {}", addr);
+    let (qps, unit) = rate("serve.requests.admitted");
+    let _ = writeln!(
+        out,
+        "requests   admitted {:8.1}{}   shed {}   quota-denied {}   malformed {}",
+        qps,
+        unit,
+        snap.counter("serve.shed"),
+        snap.counter("serve.quota.denied"),
+        snap.counter("serve.requests.malformed"),
+    );
+
+    let hits = snap.counter("serve.cache.hits");
+    let misses = snap.counter("serve.cache.misses");
+    let _ = writeln!(
+        out,
+        "cache      hit ratio {}   hits {}   misses {}   coalesced {}   evictions {}",
+        ratio(hits, hits + misses),
+        hits,
+        misses,
+        snap.counter("serve.cache.coalesced"),
+        snap.counter("serve.cache.evictions"),
+    );
+
+    let ph = snap.counter("exec.pool.hits");
+    let pm = snap.counter("exec.pool.misses");
+    let _ = writeln!(
+        out,
+        "exec       pool hit rate {}   recovery crashes {} joins {} blocks-moved {} replayed {}",
+        ratio(ph, ph + pm),
+        snap.counter("exec.recovery.crashes"),
+        snap.counter("exec.recovery.joins"),
+        snap.counter("exec.recovery.blocks_moved"),
+        snap.counter("exec.recovery.replayed_steps"),
+    );
+
+    // Latency quantiles per endpoint, interpolated from the histogram
+    // buckets the exposition carries.
+    for (name, h) in &snap.histograms {
+        let Some(endpoint) = name.strip_prefix("serve.latency.") else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "latency    {:9} p50 {:9.6}s  p95 {:9.6}s  p99 {:9.6}s  ({} reqs)",
+            endpoint,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.count,
+        );
+    }
+    if let Some(h) = snap.histograms.get("exec.step.compute_us") {
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "compute    step p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  ({} chunks)",
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.count,
+            );
+        }
+    }
+
+    // Per-tenant admission, busiest first.
+    let mut tenants: Vec<(&str, f64, &'static str)> = snap
+        .counters
+        .keys()
+        .filter_map(|name| {
+            let t = name
+                .strip_prefix("serve.tenant.")?
+                .strip_suffix(".admitted")?;
+            let (r, unit) = rate(name);
+            Some((t, r, unit))
+        })
+        .collect();
+    tenants.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    for (tenant, r, unit) in tenants.iter().take(8) {
+        let _ = writeln!(out, "tenant     {:24} {:8.1}{}", tenant, r, unit);
+    }
+    out
 }
 
 fn print_response(resp: &hetgrid_serve::Response, verbosity: i32) {

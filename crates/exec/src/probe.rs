@@ -1,9 +1,9 @@
 //! Per-worker observability probe for the executor kernels.
 //!
 //! A [`Probe`] is created once per worker thread and is `None` while
-//! tracing is disabled ([`hetgrid_obs::trace::enabled`]), so an
-//! uninstrumented run pays exactly one relaxed atomic load per worker.
-//! When enabled it owns:
+//! both tracing export and the flight recorder are off
+//! ([`hetgrid_obs::trace::active`]), so an uninstrumented run pays
+//! exactly one relaxed atomic load per worker. When active it owns:
 //!
 //! * this processor's timeline track `P(i,j)` (1-based, matching
 //!   `hetgrid_sim::trace::grid_labels`) for per-step compute/broadcast
@@ -52,9 +52,11 @@ struct EdgeProbe {
 
 impl Probe {
     /// The probe for grid position `(i, j)` on a `p x q` grid, or
-    /// `None` while tracing is disabled.
+    /// `None` while neither tracing export nor the flight recorder is
+    /// on (spans recorded while only the flight bit is set go to the
+    /// crash ring, not the export buffer).
     pub fn new((i, j): (usize, usize), (p, q): (usize, usize)) -> Option<Probe> {
-        if !trace::enabled() {
+        if !trace::active() {
             return None;
         }
         let m = hetgrid_obs::metrics();
@@ -121,14 +123,32 @@ impl Probe {
 
     /// Publishes the worker's total weighted work, its scheduler stall
     /// count, and its buffer-pool hit/miss totals (the pool counters
-    /// are process-global, summed across workers), then flushes this
-    /// thread's trace buffer (the worker is about to exit).
+    /// are process-global, summed across workers), refreshes the
+    /// quantile gauges derived from the shared histograms, then
+    /// flushes this thread's trace buffer (the worker is about to
+    /// exit).
     pub fn finish(&self, total_units: u64, stalls: u64, pool_hits: u64, pool_misses: u64) {
         self.work.add(total_units);
         self.stalls.add(stalls);
         let m = hetgrid_obs::metrics();
         m.counter("exec.pool.hits").add(pool_hits);
         m.counter("exec.pool.misses").add(pool_misses);
+        // Interpolated quantiles as gauges: `hetgrid top` and the
+        // metrics delta read p50/p95/p99 directly instead of
+        // re-deriving them from bucket counts. Last finisher wins,
+        // which is fine — the histograms are process-global, so every
+        // worker computes the same totals at the end of a run.
+        for (hist, family) in [
+            (&self.step_us, "exec.step.compute_us"),
+            (&self.depth, "exec.lookahead.depth"),
+        ] {
+            if hist.count() == 0 {
+                continue;
+            }
+            for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                m.gauge(&format!("{family}.{tag}")).set(hist.quantile(q));
+            }
+        }
         trace::flush_thread();
     }
 }

@@ -454,6 +454,22 @@ pub fn run_recovery(
             .add(stats.blocks_moved as u64);
         m.counter("exec.recovery.replayed_steps")
             .add((at_step + 1).saturating_sub(frontier) as u64);
+        // Mark the epoch boundary on the recovery track and dump the
+        // flight rings: the spans leading up to the fault are exactly
+        // the forensics a postmortem wants, and the rings record them
+        // even when tracing export was never enabled.
+        let note = format!(
+            "recovery epoch: {} -> {}x{} grid, resume at step {}",
+            match fault {
+                GridFault::Crash { proc, .. } => format!("crash of proc {proc}"),
+                GridFault::Join { .. } => "join".to_string(),
+            },
+            np,
+            nq,
+            frontier
+        );
+        hetgrid_obs::event!(hetgrid_obs::trace::track("recovery"), "{}", note);
+        hetgrid_obs::flight::dump(&note);
 
         *state.journaled_mut() = placed;
         // MM's operands are read-only: re-scatter them on the new

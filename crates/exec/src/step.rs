@@ -669,6 +669,14 @@ where
         }
     }
     if let Some(me) = failed {
+        // An abort cascade is exactly what the flight recorder exists
+        // for: dump the retained span rings before the error surfaces
+        // (a no-op unless `--flight-recorder` armed a destination).
+        hetgrid_obs::flight::dump(&format!(
+            "peer dropped: P({},{}) abort cascade",
+            me / q + 1,
+            me % q + 1
+        ));
         return Err(ExecError::PeerDropped {
             proc: (me / q, me % q),
         });

@@ -163,6 +163,13 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
     if p * q > 1 && report.total_messages() == 0 {
         panic!("harness oracle failed: no messages on a {p}x{q} grid\n  case: {ctx}");
     }
+
+    // Fifth oracle: the telemetry codec. The live registry (with
+    // whatever per-processor / per-edge names this run interned) must
+    // survive the text exposition round trip bit-exactly.
+    check(oracles::check_expo_roundtrip(
+        &hetgrid_obs::metrics().snapshot(),
+    ));
 }
 
 /// Solves the post-fault load-balancing problem for a grid fault — the

@@ -316,6 +316,13 @@ impl<T: Send> Endpoint<T> for VirtualEndpoint<T> {
                     return Err(Closed);
                 }
                 drop(st); // do not poison the mailbox the panic abandons
+                          // Dump the flight-recorder rings before panicking: the
+                          // spans leading into the starvation are the evidence
+                          // (no-op unless a dump destination is armed).
+                hetgrid_obs::flight::dump(&format!(
+                    "harness watchdog: processor {} starved for {:?}",
+                    self.me, self.shared.watchdog
+                ));
                 let fired = self.shared.kills.fired();
                 let cause = if fired.is_empty() {
                     "genuine starvation, no grid fault fired".to_string()

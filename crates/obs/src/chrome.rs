@@ -134,6 +134,28 @@ impl ChromeTrace {
         self.record("i", tid, name, ts_us, None, args);
     }
 
+    /// Appends a flow record: `ph` is `"s"` (start), `"t"` (step), or
+    /// `"f"` (finish, with binding point `"e"` so it attaches to the
+    /// enclosing slice). Records sharing `cat:"trace"` and `id` are
+    /// drawn as one arrowed flow across tracks.
+    pub fn flow(&mut self, ph: &str, tid: u64, name: &str, ts_us: f64, id: u64) {
+        self.sep();
+        let _ = write!(
+            self.body,
+            "{{\"ph\":\"{}\",\"cat\":\"trace\",\"id\":{},\"name\":\"",
+            ph, id
+        );
+        escape_into(&mut self.body, name);
+        self.body.push_str("\",\"pid\":1,\"tid\":");
+        let _ = write!(self.body, "{}", tid);
+        self.body.push_str(",\"ts\":");
+        write_f64(&mut self.body, ts_us);
+        if ph == "f" {
+            self.body.push_str(",\"bp\":\"e\"");
+        }
+        self.body.push('}');
+    }
+
     fn record(
         &mut self,
         ph: &str,
@@ -177,16 +199,62 @@ impl ChromeTrace {
 /// Renders collected [`crate::trace`] events (as returned by
 /// [`crate::trace::take`]) into a Chrome trace: one named track per
 /// interned track id.
+///
+/// Events stamped with a [`crate::ctx::SpanCtx`] gain `trace` / `span`
+/// / `parent` args, and every trace id whose events span at least two
+/// tracks also gets flow records (`"s"` → `"t"` → `"f"` in time order)
+/// so the viewer draws the request as one connected arrowed tree —
+/// serve admission on the connection track, the solve on a pool
+/// track, and so on.
 pub fn export(tracks: &[String], events: &[TraceEvent]) -> String {
+    use std::collections::BTreeMap;
+
     let mut ct = ChromeTrace::new();
     for (tid, name) in tracks.iter().enumerate() {
         ct.thread_name(tid as u64, name);
     }
     for ev in events {
         let tid = ev.track.index() as u64;
+        let mut args: Vec<(&str, Arg)> = ev.args.clone();
+        if let Some(c) = ev.ctx {
+            args.push(("trace", Arg::Str(format!("{:032x}", c.trace_id))));
+            args.push(("span", Arg::U64(c.span_id)));
+            args.push(("parent", Arg::U64(c.parent_span)));
+        }
         match ev.dur_us {
-            Some(d) => ct.complete(tid, &ev.name, ev.start_us, d, &ev.args),
-            None => ct.instant(tid, &ev.name, ev.start_us, &ev.args),
+            Some(d) => ct.complete(tid, &ev.name, ev.start_us, d, &args),
+            None => ct.instant(tid, &ev.name, ev.start_us, &args),
+        }
+    }
+
+    let mut by_trace: BTreeMap<u128, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        if let Some(c) = ev.ctx {
+            by_trace.entry(c.trace_id).or_default().push(ev);
+        }
+    }
+    for (trace_id, mut evs) in by_trace {
+        let first_track = evs[0].track;
+        if evs.iter().all(|e| e.track == first_track) {
+            continue; // single-track request: slices already nest
+        }
+        evs.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        let last = evs.len() - 1;
+        for (i, ev) in evs.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            ct.flow(
+                ph,
+                ev.track.index() as u64,
+                "req",
+                ev.start_us,
+                trace_id as u64,
+            );
         }
     }
     ct.finish()

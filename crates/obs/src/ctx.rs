@@ -1,0 +1,181 @@
+//! Request-scoped trace context.
+//!
+//! A [`TraceCtx`] names one logical request: a 128-bit trace id (minted
+//! once, at the edge that first sees the request) plus the span id that
+//! is the current parent for new work on this thread. `hetgrid serve`
+//! mints one per admitted request and the context rides the wire as an
+//! optional header frame, so every span the request touches — admission
+//! on the connection thread, the solve on a pool thread, the plan
+//! emission — carries the same trace id and a parent link, and the
+//! Chrome export can stitch them into one connected tree (see
+//! [`crate::chrome::export`]'s flow events).
+//!
+//! Propagation rules:
+//!
+//! * The context is **thread-local**. [`install`] scopes it: the guard
+//!   restores the previous context on drop, so nested requests on one
+//!   thread (or none at all) behave.
+//! * Crossing a thread boundary is **explicit**: capture [`current`] on
+//!   the sending side and [`install`] it inside the closure on the
+//!   receiving side. Nothing is inherited implicitly by spawned
+//!   threads.
+//! * [`crate::trace::span_at`] consumes the context automatically:
+//!   while one is installed, each new span mints a child span id,
+//!   stamps `(trace, span, parent)` on its event, and becomes the
+//!   parent for spans opened inside it.
+//!
+//! Trace ids are minted without any RNG dependency: a mixed timestamp
+//! distinguishes processes, a bijectively mixed per-process counter
+//! guarantees uniqueness within one.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One request's identity: the trace id plus the span that is the
+/// current parent for new work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// 128-bit trace id shared by every span of the request.
+    pub trace_id: u128,
+    /// The span id new child spans attach to.
+    pub span_id: u64,
+}
+
+/// The identity stamped on one recorded event (see
+/// [`crate::trace::TraceEvent::ctx`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Trace id of the owning request.
+    pub trace_id: u128,
+    /// This event's own span id.
+    pub span_id: u64,
+    /// Span id of the enclosing parent (0 for a root span).
+    pub parent_span: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The context installed on this thread, if any.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Replaces this thread's context, returning the previous one. Prefer
+/// [`install`], which restores automatically.
+pub fn set_current(ctx: Option<TraceCtx>) -> Option<TraceCtx> {
+    CURRENT.with(|c| c.replace(ctx))
+}
+
+/// Installs `ctx` as this thread's context until the returned guard
+/// drops (which restores whatever was installed before).
+pub fn install(ctx: TraceCtx) -> CtxGuard {
+    CtxGuard {
+        prev: set_current(Some(ctx)),
+    }
+}
+
+/// Restores the previously installed context on drop (see [`install`]).
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        set_current(self.prev);
+    }
+}
+
+static SPAN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique span id (never 0; 0 means "no parent").
+pub fn next_span_id() -> u64 {
+    SPAN_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// splitmix64 finalizer: a bijection on `u64` with good avalanche, so
+/// sequential counters come out looking uniform while staying unique.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Mints a fresh 128-bit trace id (never 0; 0 on the wire means "no
+/// context").
+///
+/// The low half is a bijectively mixed per-process counter — two mints
+/// in one process can never collide. The counter is offset by the
+/// splitmix64 gamma before mixing because the finalizer fixes 0, and a
+/// zero low half would make every process's *first* trace id collapse
+/// to flow id 0 in the Chrome export. The high half mixes the wall
+/// clock with a code address (ASLR entropy), distinguishing processes
+/// without a random-number dependency.
+pub fn mint_trace_id() -> u128 {
+    static MINTED: AtomicU64 = AtomicU64::new(0);
+    let count = MINTED
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_add(0x9e3779b97f4a7c15);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let aslr = mint_trace_id as *const () as usize as u64;
+    let hi = mix(nanos ^ aslr.rotate_left(17));
+    let lo = mix(count);
+    let id = ((hi as u128) << 64) | lo as u128;
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = mint_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "trace id collided");
+        }
+    }
+
+    #[test]
+    fn install_scopes_and_restores() {
+        assert_eq!(current(), None);
+        let outer = TraceCtx {
+            trace_id: 7,
+            span_id: 1,
+        };
+        let g = install(outer);
+        assert_eq!(current(), Some(outer));
+        {
+            let inner = TraceCtx {
+                trace_id: 7,
+                span_id: 2,
+            };
+            let _g2 = install(inner);
+            assert_eq!(current(), Some(inner));
+        }
+        assert_eq!(current(), Some(outer));
+        drop(g);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn contexts_do_not_leak_across_threads() {
+        let _g = install(TraceCtx {
+            trace_id: 9,
+            span_id: 1,
+        });
+        std::thread::spawn(|| assert_eq!(current(), None))
+            .join()
+            .unwrap();
+    }
+}

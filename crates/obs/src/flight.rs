@@ -1,0 +1,155 @@
+//! Black-box flight recorder: bounded per-thread rings of the most
+//! recent trace events, recorded independently of the export sink and
+//! dumped to a Chrome trace when a fault fires.
+//!
+//! [`arm`] stores a dump destination and turns on the flight bit of
+//! the trace flags; from then on every span/event any thread records
+//! is also copied into that thread's ring, keeping only the last
+//! [`RING_CAP`] events. When something goes wrong — the harness
+//! watchdog fires, a `PeerDropped` abort cascades, a recovery epoch
+//! begins — the fault path calls [`dump`], which merges all rings into
+//! one chronologically sorted Chrome trace and writes it to the armed
+//! path. Dumping never consumes the rings, so repeated faults just
+//! overwrite the file with a fresher view (last dump wins).
+//!
+//! ## Memory bound
+//!
+//! Each thread that records at least one event while armed owns one
+//! ring of at most [`RING_CAP`] events; rings outlive their threads on
+//! purpose (a crashed worker's final moments are exactly what the
+//! black box is for), so the bound is `RING_CAP × threads-ever-seen`.
+//! That is fine for the bounded-thread kernels and the CLI; a server
+//! that spawns a thread per connection should not stay armed
+//! indefinitely.
+//!
+//! ## Write-path contention
+//!
+//! The crate forbids `unsafe`, so the rings are `Mutex`-guarded rather
+//! than genuinely lock-free; the recording thread is the only writer
+//! and uses `try_lock`, so the mutex is uncontended except while a
+//! concurrent [`dump`] is snapshotting that ring — in which case the
+//! record is dropped rather than blocking the hot path.
+
+use crate::trace::{self, TraceEvent};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Maximum events retained per thread.
+pub const RING_CAP: usize = 4096;
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < RING_CAP {
+            self.buf.push(ev);
+        } else {
+            let i = self.next;
+            self.buf[i] = ev;
+        }
+        self.next = (self.next + 1) % RING_CAP;
+    }
+}
+
+struct Recorder {
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+    dest: Mutex<Option<PathBuf>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        rings: Mutex::new(Vec::new()),
+        dest: Mutex::new(None),
+    })
+}
+
+thread_local! {
+    static MY_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring { buf: Vec::new(), next: 0 }));
+        lock(&recorder().rings).push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Copies one event into the calling thread's ring. Called from the
+/// trace push path while the flight bit is set.
+pub(crate) fn record(ev: &TraceEvent) {
+    MY_RING.with(|r| {
+        if let Ok(mut ring) = r.try_lock() {
+            ring.push(ev.clone());
+        }
+    });
+}
+
+/// Arms the recorder: future events are ring-buffered and [`dump`]
+/// writes to `path`.
+pub fn arm(path: impl Into<PathBuf>) {
+    *lock(&recorder().dest) = Some(path.into());
+    trace::set_flight(true);
+}
+
+/// Disarms the recorder and clears the dump destination. Ring contents
+/// are kept (a final explicit [`dump`] before disarming is the usual
+/// sequence).
+pub fn disarm() {
+    trace::set_flight(false);
+    *lock(&recorder().dest) = None;
+}
+
+/// The armed dump destination, if any.
+pub fn armed() -> Option<PathBuf> {
+    lock(&recorder().dest).clone()
+}
+
+/// Events currently retained across all rings (test/diagnostic
+/// helper).
+pub fn retained() -> usize {
+    lock(&recorder().rings)
+        .iter()
+        .map(|r| lock(r).buf.len())
+        .sum()
+}
+
+/// Discards every ring's contents (test helper; the rings themselves
+/// and the armed state persist).
+pub fn clear() {
+    for ring in lock(&recorder().rings).iter() {
+        let mut ring = lock(ring);
+        ring.buf.clear();
+        ring.next = 0;
+    }
+}
+
+/// Merges all rings into one Chrome trace, appends a `flight dump:
+/// <reason>` marker, and writes it to the armed path. Returns the path
+/// written, or `None` when unarmed or the write failed — a fault path
+/// must never gain a second failure mode from its black box.
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    let path = armed()?;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for ring in lock(&recorder().rings).iter() {
+        events.extend(lock(ring).buf.iter().cloned());
+    }
+    events.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+    events.push(TraceEvent {
+        name: format!("flight dump: {reason}"),
+        track: trace::track("flight"),
+        start_us: trace::now_us(),
+        dur_us: None,
+        args: Vec::new(),
+        ctx: None,
+    });
+    let out = crate::chrome::export(&trace::tracks_snapshot(), &events);
+    match std::fs::write(&path, out) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}

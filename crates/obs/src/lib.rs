@@ -24,14 +24,28 @@
 //! diagnostics ([`diag!`] / [`vdiag!`]) so machine-readable output on
 //! stdout is never interleaved with progress chatter.
 //!
+//! Growing out of those legs, the *telemetry plane*:
+//!
+//! * [`ctx`] — request-scoped trace contexts (128-bit trace id +
+//!   parent span), stamped on events so one serve request exports as
+//!   one connected tree;
+//! * [`flight`] — a black-box recorder: bounded per-thread rings of
+//!   the latest events, recording even while export is off, dumped to
+//!   a Chrome trace when a fault fires;
+//! * [`series`] — a ring of periodic metrics-snapshot deltas (the
+//!   data behind `hetgrid top`);
+//! * [`expo`] — Prometheus-style text exposition of a snapshot, with
+//!   a bit-exact parser back.
+//!
 //! ## Overhead strategy
 //!
-//! Instrumentation in the hot kernels is guarded by [`trace::enabled`]
-//! (one relaxed `AtomicBool` load). When disabled, the [`span!`] macro
-//! does not even format its name. When enabled, a span costs two
-//! `Instant::now()` calls and a push onto a thread-local `Vec`; the
-//! global mutex is taken only when a buffer fills
-//! ([`trace::FLUSH_AT`] events) or at an explicit
+//! Instrumentation in the hot kernels is guarded by [`trace::active`]
+//! (one relaxed atomic load of a bitmask whose bits are the export and
+//! flight sinks). When both sinks are off, the [`span!`] macro does
+//! not even format its name. When a sink is on, a span costs two
+//! `Instant::now()` calls and a push onto a thread-local `Vec` (export)
+//! and/or ring (flight); the global mutex is taken only when a buffer
+//! fills ([`trace::FLUSH_AT`] events) or at an explicit
 //! [`trace::flush_thread`]. Instrumented worker threads flush at their
 //! natural join points (end of a kernel run), never mid-computation.
 
@@ -39,18 +53,24 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod ctx;
 pub mod diag;
+pub mod expo;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod series;
 pub mod trace;
 
 pub use chrome::{Arg, ChromeTrace};
+pub use ctx::TraceCtx;
 pub use metrics::{metrics, Counter, Gauge, Histogram, MetricsSnapshot};
 pub use trace::{enabled, set_enabled, SpanGuard, TrackId};
 
 /// Opens a span on `track` that closes (records a complete event) when
 /// the returned guard drops. Evaluates to `Option<SpanGuard>`: `None`
-/// — without formatting the name — while tracing is disabled.
+/// — without formatting the name — while no trace sink (export or
+/// flight recorder) is active.
 ///
 /// ```
 /// let track = hetgrid_obs::trace::track("P(1,1)");
@@ -59,7 +79,7 @@ pub use trace::{enabled, set_enabled, SpanGuard, TrackId};
 #[macro_export]
 macro_rules! span {
     ($track:expr, $($fmt:tt)*) => {
-        if $crate::trace::enabled() {
+        if $crate::trace::active() {
             Some($crate::trace::span_at($track, format!($($fmt)*)))
         } else {
             None
@@ -68,11 +88,11 @@ macro_rules! span {
 }
 
 /// Records an instant event on `track`. A no-op (name unformatted)
-/// while tracing is disabled.
+/// while no trace sink is active.
 #[macro_export]
 macro_rules! event {
     ($track:expr, $($fmt:tt)*) => {
-        if $crate::trace::enabled() {
+        if $crate::trace::active() {
             $crate::trace::instant($track, format!($($fmt)*));
         }
     };
@@ -189,6 +209,134 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("compute")));
+    }
+
+    #[test]
+    fn trace_flag_bits_are_independent() {
+        let _g = global_state_lock();
+        set_enabled(false);
+        trace::set_flight(false);
+        assert!(!trace::active());
+        trace::set_flight(true);
+        assert!(trace::active() && trace::flight_on() && !enabled());
+        set_enabled(true);
+        assert!(trace::active() && trace::flight_on() && enabled());
+        trace::set_flight(false);
+        assert!(trace::active() && !trace::flight_on() && enabled());
+        set_enabled(false);
+        assert!(!trace::active());
+    }
+
+    #[test]
+    fn flight_recorder_records_while_export_is_off() {
+        let _g = global_state_lock();
+        set_enabled(false);
+        trace::clear();
+        flight::clear();
+        let dir = std::env::temp_dir().join("hetgrid-obs-flight-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        flight::arm(&path);
+        let track = trace::track("flight-test");
+        drop(span!(track, "black box span"));
+        event!(track, "black box marker");
+        let written = flight::dump("unit test").expect("armed dump must write");
+        flight::disarm();
+        assert_eq!(written, path);
+        // Export stayed empty: the flight sink is independent.
+        let (_, events) = trace::take();
+        assert!(events.is_empty(), "export sink must not see flight events");
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let names: Vec<_> = evs
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+            .collect();
+        assert!(names.contains(&"black box span"));
+        assert!(names.contains(&"black box marker"));
+        assert!(names.contains(&"flight dump: unit test"));
+        flight::clear();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flight_ring_keeps_only_the_last_records() {
+        let _g = global_state_lock();
+        set_enabled(false);
+        flight::clear();
+        trace::set_flight(true);
+        let track = trace::track("flight-ring-test");
+        for i in 0..trace::FLUSH_AT + flight::RING_CAP + 50 {
+            event!(track, "ev {}", i);
+        }
+        trace::set_flight(false);
+        assert_eq!(flight::retained(), flight::RING_CAP);
+        flight::clear();
+    }
+
+    #[test]
+    fn ctx_spans_export_as_one_connected_tree_with_flows() {
+        let _g = global_state_lock();
+        set_enabled(true);
+        trace::clear();
+        let t_serve = trace::track("ctx-serve");
+        let t_pool = trace::track("ctx-pool");
+        let trace_id = ctx::mint_trace_id();
+        let root_ctx = TraceCtx {
+            trace_id,
+            span_id: ctx::next_span_id(),
+        };
+        {
+            let _req = ctx::install(root_ctx);
+            let _admission = span!(t_serve, "request").unwrap();
+            let inner = ctx::current().expect("span installed itself as parent");
+            assert_eq!(inner.trace_id, trace_id);
+            assert_ne!(inner.span_id, root_ctx.span_id);
+            // Hop to a "pool" thread: explicit capture + install.
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _g = ctx::install(inner);
+                    drop(span!(t_pool, "solve"));
+                    trace::flush_thread();
+                });
+            });
+        }
+        set_enabled(false);
+        let (tracks, events) = trace::take();
+        assert_eq!(events.len(), 2);
+        let solve = events.iter().find(|e| e.name == "solve").unwrap();
+        let request = events.iter().find(|e| e.name == "request").unwrap();
+        let (sc, rc) = (solve.ctx.unwrap(), request.ctx.unwrap());
+        assert_eq!(sc.trace_id, trace_id);
+        assert_eq!(rc.trace_id, trace_id);
+        assert_eq!(
+            sc.parent_span, rc.span_id,
+            "solve must be a child of request"
+        );
+        assert_eq!(rc.parent_span, root_ctx.span_id);
+        let out = chrome::export(&tracks, &events);
+        let doc = json::parse(&out).expect("export must parse");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let hex = format!("{:032x}", trace_id);
+        // Both spans carry the trace id arg…
+        let stamped = evs
+            .iter()
+            .filter(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("trace"))
+                    .and_then(|v| v.as_str())
+                    == Some(hex.as_str())
+            })
+            .count();
+        assert_eq!(stamped, 2);
+        // …and the two tracks are joined by a flow start and finish.
+        for ph in ["s", "f"] {
+            assert!(
+                evs.iter()
+                    .any(|e| e.get("ph").and_then(|v| v.as_str()) == Some(ph)),
+                "missing flow record ph={ph}"
+            );
+        }
     }
 
     #[test]

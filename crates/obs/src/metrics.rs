@@ -137,6 +137,11 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// The `q`-quantile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.0.bounds.clone(),
@@ -255,6 +260,40 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observations.
     pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) assuming
+    /// observations are uniform *within* each bucket: the continuous
+    /// rank `q·count` is located in the cumulative distribution and
+    /// interpolated linearly between the bucket's lower and upper
+    /// bounds (the first bucket's lower bound is 0 — every recorded
+    /// quantity here is nonnegative).
+    ///
+    /// Returns NaN for an empty histogram. Ranks landing in the
+    /// unbounded overflow bucket report the largest finite bound — a
+    /// deliberate underestimate flagged by `p99 == bounds.last()`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let prev = cum as f64;
+            cum += c;
+            if c > 0 && cum as f64 >= rank {
+                if i >= self.bounds.len() {
+                    break; // overflow bucket
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
 }
 
 /// A point-in-time copy of the registry (see [`Registry::snapshot`]).
@@ -512,6 +551,55 @@ mod tests {
             Some(3)
         );
         assert!(hist.get("count").and_then(|v| v.as_f64()).unwrap() >= 2.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly_to_exact_values() {
+        // 2 obs in (0,1], 2 in (1,2]: the CDF is a straight line from
+        // 0 at x=0 to 4 at x=2, so quantiles are exactly q*2.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.25, 0.75, 1.25, 1.75] {
+            h.observe(v);
+        }
+        for (q, want) in [
+            (0.0, 0.0),
+            (0.25, 0.5),
+            (0.5, 1.0),
+            (0.75, 1.5),
+            (0.95, 1.9),
+            (1.0, 2.0),
+        ] {
+            let got = h.quantile(q);
+            assert!((got - want).abs() < 1e-12, "q={q}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn quantiles_skip_empty_buckets_and_handle_skew() {
+        // 1 obs in (0,10], 9 in (100,1000]; nothing in (10,100].
+        let h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        h.observe(5.0);
+        for _ in 0..9 {
+            h.observe(500.0);
+        }
+        // rank(0.05) = 0.5 -> halfway through the first bucket.
+        assert!((h.quantile(0.05) - 5.0).abs() < 1e-12);
+        // rank(0.5) = 5 -> 4 of 9 through (100,1000].
+        let want = 100.0 + 900.0 * (4.0 / 9.0);
+        assert!((h.quantile(0.5) - want).abs() < 1e-9);
+        // rank(1.0) = 10 -> upper edge of the last occupied bucket.
+        assert!((h.quantile(1.0) - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantiles");
+        h.observe(100.0); // overflow bucket only
+        assert_eq!(h.quantile(0.5), 2.0, "overflow reports the last bound");
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(7.0), 2.0);
+        assert_eq!(h.quantile(-1.0), 2.0);
     }
 
     #[test]

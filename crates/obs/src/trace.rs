@@ -8,28 +8,80 @@
 //! buffer fills or at an explicit [`flush_thread`]; [`take`] collects
 //! everything for export.
 //!
-//! The whole module is inert until [`set_enabled`]`(true)`: the
-//! [`crate::span!`] / [`crate::event!`] macros check [`enabled`] (one
-//! relaxed atomic load) before formatting anything.
+//! Two independent sinks share the instrumentation points, switched by
+//! one atomic bitmask:
+//!
+//! * **export** ([`set_enabled`]) — the original buffer-and-export
+//!   path feeding [`take`] / [`crate::chrome::export`];
+//! * **flight** ([`set_flight`], normally via [`crate::flight::arm`])
+//!   — per-thread black-box rings that keep only the last N events,
+//!   for post-mortem dumps on faults.
+//!
+//! The whole module is inert until at least one sink is on: the
+//! [`crate::span!`] / [`crate::event!`] macros check [`active`] (one
+//! relaxed atomic load) before formatting anything, and [`enabled`]
+//! keeps its historical meaning of "the export sink specifically".
+//!
+//! While a [`crate::ctx::TraceCtx`] is installed on the thread, every
+//! recorded event is stamped with `(trace, span, parent)` ids and each
+//! open span becomes the parent of spans opened inside it — see
+//! [`crate::ctx`] for the propagation rules.
 
 use crate::chrome::Arg;
+use crate::ctx::{self, SpanCtx, TraceCtx};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0 of [`FLAGS`]: the buffer-and-export sink.
+const EXPORT: u8 = 1;
+/// Bit 1 of [`FLAGS`]: the flight-recorder sink.
+const FLIGHT: u8 = 2;
 
-/// Is tracing globally enabled? Instrumented hot paths call this first
-/// and skip all other work when it returns `false`.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+/// Is the *export* sink enabled? Exporters ([`take`]) only see events
+/// recorded while this is on.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & EXPORT != 0
 }
 
-/// Turns trace collection on or off (off is the default).
+/// Is *any* sink on? Instrumented hot paths call this first and skip
+/// all other work (including name formatting) when it returns `false`.
+/// This is the single relaxed load the ≤2 ns disabled-probe budget is
+/// measured on.
+#[inline(always)]
+pub fn active() -> bool {
+    FLAGS.load(Ordering::Relaxed) != 0
+}
+
+/// Is the flight-recorder sink on? (See [`crate::flight`].)
+#[inline(always)]
+pub fn flight_on() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLIGHT != 0
+}
+
+/// Turns the export sink on or off (off is the default). The flight
+/// recorder is unaffected.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    if on {
+        FLAGS.fetch_or(EXPORT, Ordering::SeqCst);
+    } else {
+        FLAGS.fetch_and(!EXPORT, Ordering::SeqCst);
+    }
+}
+
+/// Turns the flight-recorder sink on or off. Normally driven by
+/// [`crate::flight::arm`] / [`crate::flight::disarm`], which also set
+/// the dump destination.
+pub fn set_flight(on: bool) {
+    if on {
+        FLAGS.fetch_or(FLIGHT, Ordering::SeqCst);
+    } else {
+        FLAGS.fetch_and(!FLIGHT, Ordering::SeqCst);
+    }
 }
 
 /// A thread-local buffer drains to the collector once it holds this
@@ -62,6 +114,9 @@ pub struct TraceEvent {
     pub dur_us: Option<f64>,
     /// Structured arguments attached to the event.
     pub args: Vec<(&'static str, Arg)>,
+    /// Request identity, when a [`TraceCtx`] was installed on the
+    /// recording thread.
+    pub ctx: Option<SpanCtx>,
 }
 
 struct Collector {
@@ -105,11 +160,24 @@ pub fn track(name: &str) -> TrackId {
     TrackId((tracks.len() - 1) as u32)
 }
 
+/// A copy of the current track-name table (indexed by
+/// [`TrackId::index`]) without draining any events — the flight
+/// recorder needs it to render a dump mid-run.
+pub fn tracks_snapshot() -> Vec<String> {
+    lock(&collector().tracks).clone()
+}
+
 thread_local! {
     static BUFFER: RefCell<Vec<TraceEvent>> = const { RefCell::new(Vec::new()) };
 }
 
 fn push(ev: TraceEvent) {
+    if flight_on() {
+        crate::flight::record(&ev);
+    }
+    if !enabled() {
+        return;
+    }
     let full = BUFFER.with(|b| {
         let mut b = b.borrow_mut();
         b.push(ev);
@@ -149,55 +217,101 @@ pub fn clear() {
     lock(&collector().events).clear();
 }
 
+/// Stamps the current context on a new event: mints a child span id
+/// under the installed [`TraceCtx`], or returns `None` outside any
+/// request.
+fn stamp() -> Option<SpanCtx> {
+    ctx::current().map(|parent| SpanCtx {
+        trace_id: parent.trace_id,
+        span_id: ctx::next_span_id(),
+        parent_span: parent.span_id,
+    })
+}
+
 /// An open span; records a complete event over its lifetime when
 /// dropped. Obtain via [`crate::span!`] (or [`span_at`] when the
-/// enabled check has already been done).
-pub struct SpanGuard {
+/// active check has already been done).
+///
+/// The state lives behind a `Box` so that `Option<SpanGuard>` — what
+/// the `span!` macro evaluates to — is a single nullable pointer. The
+/// disabled fast path materializes and drops that `None` on every
+/// probe, so its size is what the zero-cost-when-off budget in
+/// `obs_overhead` actually measures; the active path already allocates
+/// for the span name, so one more allocation there is noise.
+pub struct SpanGuard(Box<SpanInner>);
+
+struct SpanInner {
     name: String,
     track: TrackId,
     start_us: f64,
     args: Vec<(&'static str, Arg)>,
+    ctx: Option<SpanCtx>,
+    prev: Option<TraceCtx>,
+    restore: bool,
 }
 
 impl SpanGuard {
     /// Attaches an integer argument.
     pub fn arg_u64(&mut self, key: &'static str, value: u64) {
-        self.args.push((key, Arg::U64(value)));
+        self.0.args.push((key, Arg::U64(value)));
     }
 
     /// Attaches a float argument.
     pub fn arg_f64(&mut self, key: &'static str, value: f64) {
-        self.args.push((key, Arg::F64(value)));
+        self.0.args.push((key, Arg::F64(value)));
     }
 
     /// Attaches a string argument.
     pub fn arg_str(&mut self, key: &'static str, value: impl Into<String>) {
-        self.args.push((key, Arg::Str(value.into())));
+        self.0.args.push((key, Arg::Str(value.into())));
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let dur = now_us() - self.start_us;
+        let inner = &mut *self.0;
+        if inner.restore {
+            ctx::set_current(inner.prev);
+        }
+        let dur = now_us() - inner.start_us;
         push(TraceEvent {
-            name: std::mem::take(&mut self.name),
-            track: self.track,
-            start_us: self.start_us,
+            name: std::mem::take(&mut inner.name),
+            track: inner.track,
+            start_us: inner.start_us,
             dur_us: Some(dur),
-            args: std::mem::take(&mut self.args),
+            args: std::mem::take(&mut inner.args),
+            ctx: inner.ctx,
         });
     }
 }
 
 /// Opens a span unconditionally (the caller — normally the
-/// [`crate::span!`] macro — has already checked [`enabled`]).
+/// [`crate::span!`] macro — has already checked [`active`]).
+///
+/// While a [`TraceCtx`] is installed, the span is stamped as a child
+/// of the current parent and installs itself as the parent for its
+/// lifetime; guards must therefore drop in LIFO order per thread (the
+/// natural scoping).
 pub fn span_at(track: TrackId, name: String) -> SpanGuard {
-    SpanGuard {
+    let (sc, prev, restore) = match stamp() {
+        Some(sc) => {
+            let prev = ctx::set_current(Some(TraceCtx {
+                trace_id: sc.trace_id,
+                span_id: sc.span_id,
+            }));
+            (Some(sc), prev, true)
+        }
+        None => (None, None, false),
+    };
+    SpanGuard(Box::new(SpanInner {
         name,
         track,
         start_us: now_us(),
         args: Vec::new(),
-    }
+        ctx: sc,
+        prev,
+        restore,
+    }))
 }
 
 /// Records an instant event now.
@@ -213,6 +327,7 @@ pub fn instant_with(track: TrackId, name: String, args: Vec<(&'static str, Arg)>
         start_us: now_us(),
         dur_us: None,
         args,
+        ctx: stamp(),
     });
 }
 
@@ -231,6 +346,7 @@ pub fn complete(
         start_us,
         dur_us: Some(dur_us),
         args,
+        ctx: stamp(),
     });
 }
 

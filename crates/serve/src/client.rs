@@ -1,7 +1,18 @@
 //! A minimal blocking client for the serve wire protocol, shared by
 //! `hetgrid submit`, the benches, and the integration tests.
+//!
+//! Every request travels under a trace context: if the calling thread
+//! has one installed ([`hetgrid_obs::ctx`]) its trace id is reused
+//! (the request joins the caller's trace); otherwise a fresh id is
+//! minted per request. The context rides ahead of the request as a
+//! header frame, and the server echoes it back ahead of the response —
+//! [`Client::last_trace_id`] exposes the echo, so even a `Busy` or
+//! error response is attributable to a specific trace.
 
-use crate::proto::{decode_response, encode_request, ProtoError, Request, Response};
+use crate::proto::{
+    decode_response, decode_trace_header, encode_request, encode_trace_header, is_trace_header,
+    ProtoError, Request, Response,
+};
 use crate::wire::{read_frame, write_frame, WireError};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -32,6 +43,7 @@ impl std::error::Error for ClientError {}
 /// A connected client; reusable for many requests over one stream.
 pub struct Client {
     stream: TcpStream,
+    last_trace_id: Option<u128>,
 }
 
 impl Client {
@@ -40,18 +52,47 @@ impl Client {
         let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.kind()))?;
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            last_trace_id: None,
+        })
     }
 
     /// Sends one request and waits for its response.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let ctx = match hetgrid_obs::ctx::current() {
+            Some(c) => c,
+            None => hetgrid_obs::TraceCtx {
+                trace_id: hetgrid_obs::ctx::mint_trace_id(),
+                span_id: 0,
+            },
+        };
+        self.last_trace_id = None;
+        write_frame(
+            &mut self.stream,
+            &encode_trace_header(ctx.trace_id, ctx.span_id),
+        )
+        .map_err(ClientError::Wire)?;
         write_frame(&mut self.stream, &encode_request(req)).map_err(ClientError::Wire)?;
-        let frame = read_frame(&mut self.stream).map_err(ClientError::Wire)?;
+        let mut frame = read_frame(&mut self.stream).map_err(ClientError::Wire)?;
+        if is_trace_header(&frame) {
+            let (trace_id, _) = decode_trace_header(&frame).map_err(ClientError::Proto)?;
+            self.last_trace_id = Some(trace_id);
+            frame = read_frame(&mut self.stream).map_err(ClientError::Wire)?;
+        }
         decode_response(&frame).map_err(ClientError::Proto)
     }
 
+    /// The trace id the server echoed for the most recent
+    /// [`Client::request`] (`None` before any request, or if the
+    /// server sent no echo).
+    pub fn last_trace_id(&self) -> Option<u128> {
+        self.last_trace_id
+    }
+
     /// Sends pre-encoded payload bytes (test hook for malformed
-    /// traffic) and reads back one frame.
+    /// traffic) and reads back one frame. No trace header is sent —
+    /// the conversation is exactly the bytes given.
     pub fn request_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
         write_frame(&mut self.stream, payload).map_err(ClientError::Wire)?;
         read_frame(&mut self.stream).map_err(ClientError::Wire)

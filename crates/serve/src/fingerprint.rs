@@ -83,7 +83,7 @@ pub fn cache_key(body: &RequestBody) -> Option<Vec<u8>> {
             out.extend_from_slice(&(plan.nb as u32).to_le_bytes());
             push_spec(&mut out, &plan.solve);
         }
-        RequestBody::Metrics | RequestBody::Shutdown => return None,
+        RequestBody::Metrics(_) | RequestBody::Shutdown => return None,
     }
     Some(out)
 }
@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn uncacheable_kinds_have_no_key() {
-        assert_eq!(cache_key(&RequestBody::Metrics), None);
+        assert_eq!(
+            cache_key(&RequestBody::Metrics(crate::proto::MetricsFormat::Json)),
+            None
+        );
         assert_eq!(cache_key(&RequestBody::Shutdown), None);
     }
 }

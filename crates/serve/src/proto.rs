@@ -12,13 +12,20 @@
 //! | 1 `Solve`    | `u16 p, u16 q, p*q x f64` |
 //! | 2 `Plan`     | `u8 kernel, u32 nb, u16 p, u16 q, p*q x f64` |
 //! | 3 `Simulate` | same as `Plan` |
-//! | 4 `Metrics`  | empty |
+//! | 4 `Metrics`  | `u8 format` (absent ⇒ `0` = JSON, for v1 clients) |
 //! | 5 `Shutdown` | empty |
 //!
 //! A `u16` tenant-id length plus UTF-8 bytes (max [`MAX_TENANT`])
 //! precedes every body. The tenant id scopes quota buckets only — it
 //! is deliberately *excluded* from the cache fingerprint, so tenants
 //! share the plan cache (the solver is a pure function of the spec).
+//!
+//! Kind 6 ([`TRACE_HEADER_KIND`]) is not a request: it is an optional
+//! *header frame* a client may send immediately before a request frame
+//! to propagate its trace context (`u128` trace id + `u64` parent span
+//! id, little-endian, both nonzero). A server that admits the request
+//! under that context echoes the header frame back before the response
+//! frame — and only then, so v1 clients never see an unexpected frame.
 //!
 //! Decoding is total: malformed bytes produce a typed [`ProtoError`],
 //! never a panic, and the decoders bound every length field before
@@ -37,6 +44,9 @@ pub const MAX_GRID_SIDE: usize = 1024;
 /// Largest accepted block count per matrix side (plan generation is
 /// super-linear in `nb`; this bounds the work one request can demand).
 pub const MAX_NB: usize = 4096;
+/// Kind byte of the optional trace-context header frame (not a
+/// request kind; see the module docs).
+pub const TRACE_HEADER_KIND: u8 = 6;
 
 /// A malformed protocol payload: what and where.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -140,6 +150,42 @@ pub struct PlanSpec {
     pub nb: usize,
 }
 
+/// Which rendering of the server's metrics a `Metrics` request wants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// `serve.*` counters/gauges as a JSON document (the v1 behavior;
+    /// an absent format byte decodes to this).
+    #[default]
+    Json,
+    /// The full metrics snapshot in the Prometheus-style text
+    /// exposition format (see `hetgrid_obs::expo`).
+    Expo,
+    /// The time-series ring of recent snapshot deltas as JSON (see
+    /// `hetgrid_obs::series`).
+    Series,
+}
+
+impl MetricsFormat {
+    /// Wire byte for this format.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            MetricsFormat::Json => 0,
+            MetricsFormat::Expo => 1,
+            MetricsFormat::Series => 2,
+        }
+    }
+
+    /// Format for a wire byte.
+    pub fn from_u8(b: u8) -> Option<MetricsFormat> {
+        Some(match b {
+            0 => MetricsFormat::Json,
+            1 => MetricsFormat::Expo,
+            2 => MetricsFormat::Series,
+            _ => return None,
+        })
+    }
+}
+
 /// A decoded request body.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RequestBody {
@@ -149,8 +195,8 @@ pub enum RequestBody {
     Plan(PlanSpec),
     /// Solve, then predict per-processor message/work totals.
     Simulate(PlanSpec),
-    /// Report the server's `serve.*` metrics as JSON.
-    Metrics,
+    /// Report the server's metrics in the requested rendering.
+    Metrics(MetricsFormat),
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -161,7 +207,7 @@ impl RequestBody {
             RequestBody::Solve(_) => 1,
             RequestBody::Plan(_) => 2,
             RequestBody::Simulate(_) => 3,
-            RequestBody::Metrics => 4,
+            RequestBody::Metrics(_) => 4,
             RequestBody::Shutdown => 5,
         }
     }
@@ -172,7 +218,7 @@ impl RequestBody {
             RequestBody::Solve(_) => "solve",
             RequestBody::Plan(_) => "plan",
             RequestBody::Simulate(_) => "simulate",
-            RequestBody::Metrics => "metrics",
+            RequestBody::Metrics(_) => "metrics",
             RequestBody::Shutdown => "shutdown",
         }
     }
@@ -338,9 +384,50 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut out, p.nb);
             put_solve_spec(&mut out, &p.solve);
         }
-        RequestBody::Metrics | RequestBody::Shutdown => {}
+        RequestBody::Metrics(fmt) => out.push(fmt.as_u8()),
+        RequestBody::Shutdown => {}
     }
     out
+}
+
+/// Serializes a trace-context header frame (sent before a request, or
+/// echoed before the response it contextualizes).
+pub fn encode_trace_header(trace_id: u128, span_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    put_header(&mut out, TRACE_HEADER_KIND);
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    out.extend_from_slice(&span_id.to_le_bytes());
+    out
+}
+
+/// True if `buf` looks like a trace-context header frame (magic,
+/// version, and kind byte match). Used to decide whether a received
+/// frame is the optional header or the request/response itself.
+pub fn is_trace_header(buf: &[u8]) -> bool {
+    buf.len() >= 4 && buf[..2] == MAGIC && buf[2] == PROTO_VERSION && buf[3] == TRACE_HEADER_KIND
+}
+
+/// Decodes a trace-context header frame into `(trace_id, span_id)`.
+/// Total over arbitrary bytes; a zero trace id is malformed (zero
+/// means "no context" and must be expressed by omitting the frame).
+pub fn decode_trace_header(buf: &[u8]) -> Result<(u128, u64), ProtoError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let kind = c.header("trace header kind")?;
+    if kind != TRACE_HEADER_KIND {
+        return Err(c.err("not a trace header"));
+    }
+    let lo = c.u64("trace id")? as u128;
+    let hi = c.u64("trace id")? as u128;
+    let trace_id = (hi << 64) | lo;
+    let span_id = c.u64("span id")?;
+    c.done()?;
+    if trace_id == 0 {
+        return Err(ProtoError {
+            offset: 4,
+            what: "zero trace id",
+        });
+    }
+    Ok((trace_id, span_id))
 }
 
 /// Serializes a response to its canonical payload bytes.
@@ -540,7 +627,12 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
         1 => RequestBody::Solve(c.solve_spec()?),
         2 => RequestBody::Plan(c.plan_spec()?),
         3 => RequestBody::Simulate(c.plan_spec()?),
-        4 => RequestBody::Metrics,
+        // A v1 client sends no format byte: empty body means JSON.
+        4 if c.pos == buf.len() => RequestBody::Metrics(MetricsFormat::Json),
+        4 => RequestBody::Metrics(
+            MetricsFormat::from_u8(c.u8("metrics format")?)
+                .ok_or_else(|| c.err("unknown metrics format"))?,
+        ),
         5 => RequestBody::Shutdown,
         _ => return Err(c.err("unknown request kind")),
     };
@@ -612,7 +704,15 @@ mod tests {
             },
             Request {
                 tenant: "ops".into(),
-                body: RequestBody::Metrics,
+                body: RequestBody::Metrics(MetricsFormat::Json),
+            },
+            Request {
+                tenant: "ops".into(),
+                body: RequestBody::Metrics(MetricsFormat::Expo),
+            },
+            Request {
+                tenant: "ops".into(),
+                body: RequestBody::Metrics(MetricsFormat::Series),
             },
             Request {
                 tenant: "ops".into(),
@@ -669,12 +769,62 @@ mod tests {
         for req in sample_requests() {
             let bytes = encode_request(&req);
             for len in 0..bytes.len() {
+                // The one legal truncation: a Metrics frame minus its
+                // format byte is a valid v1 (JSON-format) request.
+                if matches!(req.body, RequestBody::Metrics(_)) && len == bytes.len() - 1 {
+                    assert_eq!(
+                        decode_request(&bytes[..len]).unwrap().body,
+                        RequestBody::Metrics(MetricsFormat::Json)
+                    );
+                    continue;
+                }
                 assert!(
                     decode_request(&bytes[..len]).is_err(),
                     "prefix of {len} bytes decoded"
                 );
             }
         }
+    }
+
+    #[test]
+    fn metrics_format_bounds_and_back_compat() {
+        // Unknown format byte errors.
+        let mut bytes = encode_request(&Request {
+            tenant: String::new(),
+            body: RequestBody::Metrics(MetricsFormat::Json),
+        });
+        *bytes.last_mut().unwrap() = 9;
+        assert!(decode_request(&bytes).is_err());
+        // A v1 frame (no format byte at all) decodes as JSON.
+        bytes.pop();
+        assert_eq!(
+            decode_request(&bytes).unwrap().body,
+            RequestBody::Metrics(MetricsFormat::Json)
+        );
+    }
+
+    #[test]
+    fn trace_headers_round_trip_and_reject_garbage() {
+        let buf = encode_trace_header(0xdead_beef_cafe_f00d_0123_4567_89ab_cdef, 42);
+        assert!(is_trace_header(&buf));
+        assert_eq!(
+            decode_trace_header(&buf).unwrap(),
+            (0xdead_beef_cafe_f00d_0123_4567_89ab_cdef, 42)
+        );
+        // Request frames are not headers.
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            assert!(!is_trace_header(&bytes));
+            assert!(decode_trace_header(&bytes).is_err());
+        }
+        // Zero trace id, truncation, trailing bytes: all typed errors.
+        assert!(decode_trace_header(&encode_trace_header(0, 1)).is_err());
+        for len in 0..buf.len() {
+            assert!(decode_trace_header(&buf[..len]).is_err());
+        }
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(decode_trace_header(&long).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! thread is left behind and every accepted connection saw its stream
 //! closed, never a panic.
 
+use crate::proto;
 use crate::service::{Service, ServiceConfig};
 use crate::wire::{read_frame, write_frame, WireError};
 use hetgrid_obs::vdiag;
@@ -31,6 +32,7 @@ pub struct ServerHandle {
     service: Arc<Service>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -60,12 +62,18 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
     }
 
     /// Waits for the server to stop on its own (a remote `Shutdown`
     /// request) and joins everything it started.
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.take() {
             let _ = h.join();
         }
     }
@@ -76,6 +84,10 @@ impl Drop for ServerHandle {
         if let Some(h) = self.accept.take() {
             self.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.take() {
+            self.stop.store(true, Ordering::SeqCst);
             let _ = h.join();
         }
     }
@@ -96,12 +108,35 @@ pub fn spawn(addr: &str, cfg: ServiceConfig) -> io::Result<ServerHandle> {
             .spawn(move || accept_loop(listener, addr, service, stop))
             .expect("spawning the accept thread")
     };
+    // Time-series sampler: one MetricsSnapshot delta per second into
+    // the `hetgrid_obs::series` ring, which `Metrics(Series)` serves
+    // and `hetgrid top` plots. Polls the stop flag at POLL_INTERVAL so
+    // shutdown never waits out a full sample period.
+    let sampler = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("serve-sampler".into())
+            .spawn(move || {
+                let ticks_per_sample = (1000 / POLL_INTERVAL.as_millis().max(1)).max(1);
+                let mut tick = 0u128;
+                while !stop.load(Ordering::SeqCst) && !service.shutdown_requested() {
+                    std::thread::sleep(POLL_INTERVAL);
+                    tick += 1;
+                    if tick.is_multiple_of(ticks_per_sample) {
+                        hetgrid_obs::series::sample();
+                    }
+                }
+            })
+            .expect("spawning the sampler thread")
+    };
     vdiag!("serve: listening on {}", addr);
     Ok(ServerHandle {
         addr,
         service,
         stop,
         accept: Some(accept),
+        sampler: Some(sampler),
     })
 }
 
@@ -153,9 +188,19 @@ fn accept_loop(
 /// connection — the stream cannot be trusted to be frame-aligned —
 /// while malformed *payloads* in well-formed frames get a typed
 /// `BadRequest` response and the connection lives on.
+///
+/// A trace-context header frame ([`proto::TRACE_HEADER_KIND`]) gets no
+/// response of its own: it sets the context for the *next* request on
+/// this connection, whose response is then preceded by an echo of the
+/// header so the client can attribute even a `Busy` or error response
+/// to its trace. Requests without a header still run under a
+/// freshly-minted server-side trace id — every admitted request is
+/// traceable — but nothing extra is written to the stream, so v1
+/// clients see exactly the v1 conversation.
 fn connection(mut stream: TcpStream, addr: SocketAddr, service: &Service, stop: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
+    let mut pending: Option<(u128, u64)> = None;
     loop {
         if stop.load(Ordering::SeqCst) || service.shutdown_requested() {
             return;
@@ -166,7 +211,47 @@ fn connection(mut stream: TcpStream, addr: SocketAddr, service: &Service, stop: 
             Err(WireError::Closed) => return,
             Err(_) => return,
         };
-        let resp = service.handle(&frame);
+        if proto::is_trace_header(&frame) {
+            match proto::decode_trace_header(&frame) {
+                Ok(hdr) => {
+                    pending = Some(hdr);
+                    continue;
+                }
+                Err(e) => {
+                    // Well-formed frame, malformed payload: typed
+                    // response, connection lives on, context cleared.
+                    pending = None;
+                    hetgrid_obs::metrics()
+                        .counter("serve.requests.malformed")
+                        .inc();
+                    let resp = crate::proto::encode_response(&crate::proto::Response::BadRequest(
+                        e.to_string(),
+                    ));
+                    if write_frame(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            }
+        }
+        let hdr = pending.take();
+        let ctx = match hdr {
+            Some((trace_id, span_id)) => hetgrid_obs::TraceCtx { trace_id, span_id },
+            None => hetgrid_obs::TraceCtx {
+                trace_id: hetgrid_obs::ctx::mint_trace_id(),
+                span_id: 0,
+            },
+        };
+        let resp = {
+            let _g = hetgrid_obs::ctx::install(ctx);
+            service.handle(&frame)
+        };
+        if hdr.is_some() {
+            let echo = proto::encode_trace_header(ctx.trace_id, ctx.span_id);
+            if write_frame(&mut stream, &echo).is_err() {
+                return;
+            }
+        }
         if write_frame(&mut stream, &resp).is_err() {
             return;
         }

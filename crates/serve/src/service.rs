@@ -35,8 +35,8 @@
 use crate::cache::PlanCache;
 use crate::fingerprint::{cache_key, fingerprint};
 use crate::proto::{
-    decode_request, encode_response, Kernel, PlanSpec, Request, RequestBody, Response, SolveResult,
-    SolveSpec,
+    decode_request, encode_response, Kernel, MetricsFormat, PlanSpec, Request, RequestBody,
+    Response, SolveResult, SolveSpec,
 };
 use crate::quota::{QuotaConfig, QuotaTable};
 use hetgrid_core::{heuristic, validate_times, Arrangement};
@@ -94,6 +94,11 @@ pub struct Service {
 fn serve_track() -> hetgrid_obs::trace::TrackId {
     static TRACK: OnceLock<hetgrid_obs::trace::TrackId> = OnceLock::new();
     *TRACK.get_or_init(|| hetgrid_obs::trace::track("serve"))
+}
+
+fn pool_track() -> hetgrid_obs::trace::TrackId {
+    static TRACK: OnceLock<hetgrid_obs::trace::TrackId> = OnceLock::new();
+    *TRACK.get_or_init(|| hetgrid_obs::trace::track("serve-pool"))
 }
 
 impl Service {
@@ -158,10 +163,17 @@ impl Service {
             req.tenant
         );
         match &req.body {
-            RequestBody::Metrics => {
+            RequestBody::Metrics(fmt) => {
                 m.counter("serve.requests.meta").inc();
-                let json = m.snapshot().filtered("serve.").to_json();
-                Arc::new(encode_response(&Response::Metrics(json)))
+                let text = match fmt {
+                    // v1 behavior: serve-scoped counters as JSON.
+                    MetricsFormat::Json => m.snapshot().filtered("serve.").to_json(),
+                    // The whole registry, parse-back-exact (the top
+                    // dashboard wants exec/pool/recovery families too).
+                    MetricsFormat::Expo => hetgrid_obs::expo::write(&m.snapshot()),
+                    MetricsFormat::Series => hetgrid_obs::series::to_json(),
+                };
+                Arc::new(encode_response(&Response::Metrics(text)))
             }
             RequestBody::Shutdown => {
                 m.counter("serve.requests.meta").inc();
@@ -192,6 +204,12 @@ impl Service {
                 }
                 m.gauge("serve.queue.depth").set(active as f64);
                 m.counter("serve.requests.admitted").inc();
+                let tenant = if req.tenant.is_empty() {
+                    "anon"
+                } else {
+                    req.tenant.as_str()
+                };
+                m.counter(&format!("serve.tenant.{tenant}.admitted")).inc();
                 let t0 = Instant::now();
                 let resp_bytes = self.cached_compute(body);
                 m.histogram(
@@ -253,10 +271,19 @@ impl Service {
         m.counter("serve.solver.invocations").inc();
         // Run the solve on the shared worker pool (bounds CPU-bound
         // concurrency to the pool width) and absorb any panic into a
-        // typed, uncached ServerError.
+        // typed, uncached ServerError. The trace context is captured
+        // here and re-installed inside the pool closure — crossing a
+        // thread boundary is always explicit (see `hetgrid_obs::ctx`) —
+        // so the solve span lands in the same trace tree as admission.
+        let ctx = hetgrid_obs::ctx::current();
+        let endpoint = body.endpoint();
         let computed = catch_unwind(AssertUnwindSafe(|| {
             hetgrid_par::global()
-                .parallel_map(vec![body.clone()], |b| compute(&b))
+                .parallel_map(vec![body.clone()], move |b| {
+                    let _g = ctx.map(hetgrid_obs::ctx::install);
+                    let _span = hetgrid_obs::span!(pool_track(), "solve {}", endpoint);
+                    compute(&b)
+                })
                 .pop()
                 .expect("one result for one item")
         }));
@@ -392,7 +419,7 @@ fn compute(body: &RequestBody) -> Response {
                 work: counts.work_units.iter().flatten().copied().collect(),
             })
         }
-        RequestBody::Metrics | RequestBody::Shutdown => {
+        RequestBody::Metrics(_) | RequestBody::Shutdown => {
             unreachable!("meta endpoints are handled before compute")
         }
     }
@@ -551,12 +578,48 @@ mod tests {
         svc.respond(&plan_request("t", &[2.0, 2.0, 3.0, 5.0]));
         let resp = svc.respond(&Request {
             tenant: "ops".into(),
-            body: RequestBody::Metrics,
+            body: RequestBody::Metrics(MetricsFormat::Json),
         });
         let Response::Metrics(json) = resp else {
             panic!("expected metrics")
         };
         assert!(json.contains("serve.requests.admitted"));
+        assert!(json.contains("serve.tenant.t.admitted"));
         assert!(!json.contains("exec."), "non-serve metrics leaked");
+    }
+
+    #[test]
+    fn metrics_exposition_format_parses_back_exactly() {
+        let _g = obs_lock();
+        let svc = Service::new(ServiceConfig::default());
+        svc.respond(&plan_request("expo-t", &[1.0, 2.0, 4.0, 5.0]));
+        let Response::Metrics(text) = svc.respond(&Request {
+            tenant: "ops".into(),
+            body: RequestBody::Metrics(MetricsFormat::Expo),
+        }) else {
+            panic!("expected metrics")
+        };
+        let back = hetgrid_obs::expo::parse(&text).expect("served exposition parses");
+        assert!(back.counter("serve.requests.admitted") >= 1);
+        assert!(back.counter("serve.tenant.expo-t.admitted") >= 1);
+        // The exposition is the whole registry and its own writer's
+        // fixed point.
+        assert_eq!(hetgrid_obs::expo::write(&back), text);
+    }
+
+    #[test]
+    fn metrics_series_format_returns_the_ring_json() {
+        let _g = obs_lock();
+        let svc = Service::new(ServiceConfig::default());
+        hetgrid_obs::series::clear();
+        hetgrid_obs::series::sample();
+        let Response::Metrics(json) = svc.respond(&Request {
+            tenant: String::new(),
+            body: RequestBody::Metrics(MetricsFormat::Series),
+        }) else {
+            panic!("expected metrics")
+        };
+        assert!(json.starts_with("{\"series\": ["), "got {json}");
+        assert!(json.contains("\"t_us\": "), "got {json}");
     }
 }

@@ -11,7 +11,9 @@
 //! accounting invariants are covered by the service unit tests, the
 //! coalesce test, and the harness oracle.
 
-use hetgrid_serve::proto::{Kernel, PlanSpec, Request, RequestBody, Response, SolveSpec};
+use hetgrid_serve::proto::{
+    Kernel, MetricsFormat, PlanSpec, Request, RequestBody, Response, SolveSpec,
+};
 use hetgrid_serve::{spawn, Client, QuotaConfig, ServiceConfig};
 use std::io::Write;
 use std::net::TcpStream;
@@ -144,10 +146,51 @@ fn zero_queue_limit_sheds_every_data_request_with_busy() {
     }
     // Meta endpoints bypass admission and still work while shedding.
     let resp = client
-        .request(&meta_request(RequestBody::Metrics))
+        .request(&meta_request(RequestBody::Metrics(MetricsFormat::Json)))
         .expect("request");
     assert!(matches!(resp, Response::Metrics(_)));
+    // Even the Busy responses above were attributable: each carried an
+    // echoed trace header.
+    assert!(client.last_trace_id().is_some());
 
+    handle.shutdown();
+}
+
+#[test]
+fn every_admitted_request_carries_a_unique_trace_id() {
+    let handle = spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let mut seen = std::collections::HashSet::new();
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for c in 0..4 {
+            joins.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut ids = Vec::new();
+                for r in 0..8 {
+                    // Mix statuses: even some hostile traffic between
+                    // real requests must not confuse attribution.
+                    if r % 4 == 3 {
+                        let frame = client.request_raw(b"xx").expect("response frame");
+                        assert!(!hetgrid_serve::proto::is_trace_header(&frame));
+                    }
+                    let resp = client
+                        .request(&plan_request("traced", c * 8 + r))
+                        .expect("request");
+                    assert!(matches!(resp, Response::Plan(_)));
+                    ids.push(client.last_trace_id().expect("echoed trace id"));
+                }
+                ids
+            }));
+        }
+        for j in joins {
+            for id in j.join().expect("client thread") {
+                assert_ne!(id, 0);
+                assert!(seen.insert(id), "trace id {id:#x} reused across requests");
+            }
+        }
+    });
     handle.shutdown();
 }
 
