@@ -22,6 +22,7 @@
 //! sizes so CI exercises the full path in seconds (timings on shared
 //! runners are reported, not asserted).
 
+use hetgrid_bench::report::{write_bench, JsonWriter};
 use hetgrid_core::{exact, Arrangement};
 use hetgrid_dist::{PanelDist, PanelOrdering};
 use hetgrid_exec::channel::{unbounded, Receiver, Sender};
@@ -34,7 +35,6 @@ use hetgrid_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -199,18 +199,15 @@ fn main() {
         latency: Duration::from_micros(latency_us),
     };
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"smoke\": {},", smoke);
-    let _ = writeln!(
-        json,
-        "  \"nb\": {}, \"r\": {}, \"latency_us\": {},",
-        nb, r, latency_us
-    );
-    let _ = writeln!(json, "  \"depths\": [0, 1, 2, 4],");
-    let _ = writeln!(json, "  \"configs\": [");
+    let mut json = JsonWriter::new();
+    json.bool_field("smoke", smoke)
+        .int("nb", nb as u64)
+        .int("r", r as u64)
+        .int("latency_us", latency_us)
+        .int_array("depths", &[0, 1, 2, 4])
+        .open_array("configs");
 
     let cases = grid_cases();
-    let mut lines = Vec::new();
     let mut best_overall: (f64, String) = (0.0, String::new());
     for case in &cases {
         let arr = Arrangement::from_rows(&case.rows);
@@ -278,38 +275,22 @@ fn main() {
             if speedup > best_overall.0 {
                 best_overall = (speedup, format!("{kernel} on {}", case.name));
             }
-            lines.push(format!(
-                "    {{ \"kernel\": \"{}\", \"grid\": \"{}\", \"hetero_ratio\": {:.2}, \
-                 \"ms_by_depth\": [{:.3}, {:.3}, {:.3}, {:.3}], \"speedup_best\": {:.3} }}",
-                kernel,
-                case.name,
-                ratio,
-                times_ms[0],
-                times_ms[1],
-                times_ms[2],
-                times_ms[3],
-                speedup
-            ));
+            json.open_element()
+                .str_field("kernel", kernel)
+                .str_field("grid", case.name)
+                .num("hetero_ratio", ratio, 2)
+                .num_array("ms_by_depth", &times_ms, 3)
+                .num("speedup_best", speedup, 3)
+                .close();
         }
     }
-    json.push_str(&lines.join(",\n"));
-    json.push('\n');
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(
-        json,
-        "  \"best_speedup\": {:.3}, \"best_config\": \"{}\"",
-        best_overall.0, best_overall.1
-    );
-    json.push_str("}\n");
+    json.close();
+    json.num("best_speedup", best_overall.0, 3)
+        .str_field("best_config", &best_overall.1);
     println!(
         "best lookahead speedup: {:.2}x ({})",
         best_overall.0, best_overall.1
     );
 
-    // BENCH_exec.json lives at the repo root, two levels above this
-    // crate's manifest.
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_exec.json");
-    std::fs::write(&path, json).expect("writing BENCH_exec.json");
-    println!("wrote {path}");
+    write_bench("BENCH_exec.json", &json.finish());
 }

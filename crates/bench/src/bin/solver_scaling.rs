@@ -18,11 +18,11 @@
 //! CI can exercise the whole path in a few seconds; the JSON records
 //! which mode produced it.
 
+use hetgrid_bench::report::{write_bench, JsonWriter};
 use hetgrid_core::exact;
 use hetgrid_core::sorted_row_major;
 use hetgrid_linalg::gemm::{gemm, gemm_blocked, par_gemm};
 use hetgrid_linalg::Matrix;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The pre-PR exact solver, vendored so the comparison survives the
@@ -238,13 +238,9 @@ fn time_avg<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"smoke\": {},", smoke);
-    let _ = writeln!(
-        json,
-        "  \"host_threads\": {},",
-        hetgrid_par::global().threads()
-    );
+    let mut json = JsonWriter::new();
+    json.bool_field("smoke", smoke);
+    json.int("host_threads", hetgrid_par::global().threads() as u64);
 
     // --- 1. solve_global 3x3: branch-and-bound vs pre-PR enumerator ---
     let times: Vec<f64> = (1..=9).map(|x| x as f64).collect();
@@ -272,14 +268,12 @@ fn main() {
         speedup,
         check_bnb.obj2
     );
-    let _ = writeln!(
-        json,
-        "  \"solve_global_3x3\": {{ \"baseline_ms\": {:.4}, \"bnb_ms\": {:.4}, \"speedup\": {:.2}, \"obj2\": {:.6} }},",
-        base_s * 1e3,
-        bnb_s * 1e3,
-        speedup,
-        check_bnb.obj2
-    );
+    json.open_object("solve_global_3x3")
+        .num("baseline_ms", base_s * 1e3, 4)
+        .num("bnb_ms", bnb_s * 1e3, 4)
+        .num("speedup", speedup, 2)
+        .num("obj2", check_bnb.obj2, 6)
+        .close();
 
     // --- 2. solve_arrangement scaling (spread family) ---
     let grids: &[(usize, usize)] = if smoke {
@@ -287,8 +281,8 @@ fn main() {
     } else {
         &[(4, 4), (5, 5), (6, 6), (7, 7), (8, 8), (9, 9)]
     };
-    let _ = writeln!(json, "  \"solve_arrangement\": [");
-    for (idx, &(p, q)) in grids.iter().enumerate() {
+    json.open_array("solve_arrangement");
+    for &(p, q) in grids.iter() {
         let times = spread_times(p, q);
         let arr = sorted_row_major(&times, p, q);
         let t0 = Instant::now();
@@ -319,26 +313,20 @@ fn main() {
                 None => "not measured".to_string(),
             }
         );
+        json.open_element()
+            .str_field("grid", &format!("{p}x{q}"))
+            .num("ms", dt * 1e3, 3)
+            .int("trees_examined", s.trees_examined)
+            .int("trees_pruned", s.trees_pruned);
         // "baseline_ms" appears only when the baseline actually ran;
         // consumers treat a missing key as "not measured" rather than
         // parsing a null.
-        let baseline_field = match base_ms {
-            Some(ms) => format!(", \"baseline_ms\": {ms:.3}"),
-            None => String::new(),
-        };
-        let _ = writeln!(
-            json,
-            "    {{ \"grid\": \"{}x{}\", \"ms\": {:.3}, \"trees_examined\": {}, \"trees_pruned\": {}{} }}{}",
-            p,
-            q,
-            dt * 1e3,
-            s.trees_examined,
-            s.trees_pruned,
-            baseline_field,
-            if idx + 1 == grids.len() { "" } else { "," }
-        );
+        if let Some(ms) = base_ms {
+            json.num("baseline_ms", ms, 3);
+        }
+        json.close();
     }
-    let _ = writeln!(json, "  ],");
+    json.close();
 
     // --- 3. GEMM: packed + parallel vs pre-PR blocked kernel ---
     let n = if smoke { 192 } else { 512 };
@@ -361,21 +349,14 @@ fn main() {
         gemm_speedup,
         flops / par_s / 1e9
     );
-    let _ = writeln!(
-        json,
-        "  \"gemm\": {{ \"n\": {}, \"blocked_ms\": {:.3}, \"packed_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup_par_vs_blocked\": {:.2}, \"gflops_par\": {:.2} }}",
-        n,
-        blocked_s * 1e3,
-        packed_s * 1e3,
-        par_s * 1e3,
-        gemm_speedup,
-        flops / par_s / 1e9
-    );
-    json.push_str("}\n");
+    json.open_object("gemm")
+        .int("n", n as u64)
+        .num("blocked_ms", blocked_s * 1e3, 3)
+        .num("packed_ms", packed_s * 1e3, 3)
+        .num("par_ms", par_s * 1e3, 3)
+        .num("speedup_par_vs_blocked", gemm_speedup, 2)
+        .num("gflops_par", flops / par_s / 1e9, 2)
+        .close();
 
-    // BENCH_solver.json lives at the repo root, two levels above this
-    // crate's manifest.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
-    std::fs::write(path, &json).expect("write BENCH_solver.json");
-    println!("wrote {}", path);
+    write_bench("BENCH_solver.json", &json.finish());
 }

@@ -16,6 +16,7 @@
     clippy::too_many_arguments
 )]
 
+pub mod report;
 pub mod workloads;
 
 use hetgrid_core::heuristic::{self, HeuristicOptions};

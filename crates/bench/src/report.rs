@@ -1,0 +1,203 @@
+//! Shared emission for the `BENCH_*.json` artifacts.
+//!
+//! Every experiment binary writes a small JSON report at the repo root
+//! that CI loads and asserts structure on. The writers used to be
+//! hand-interleaved `writeln!` calls per binary — comma placement,
+//! indentation, and the repo-root path logic each re-derived; this
+//! module centralizes the schema mechanics so a binary only states
+//! fields and values.
+//!
+//! [`JsonWriter`] is deliberately tiny: objects, arrays, and scalar
+//! fields with explicit decimal precision (benchmarks round their
+//! timings, so emission is precision-aware rather than `f64::to_string`
+//! dumping 17 digits). It is not a general serializer — keys are
+//! written in call order, which is exactly what keeps the published
+//! schemas stable and diffs readable.
+
+use std::fmt::Write as _;
+
+/// An in-order JSON document builder rooted at one object.
+pub struct JsonWriter {
+    buf: String,
+    /// Open containers: `(closer, item_count)`.
+    stack: Vec<(char, usize)>,
+}
+
+impl JsonWriter {
+    /// Starts the root object.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        JsonWriter {
+            buf: String::from("{"),
+            stack: vec![('}', 0)],
+        }
+    }
+
+    fn indent(&mut self) {
+        self.buf.push('\n');
+        for _ in 0..self.stack.len() {
+            self.buf.push_str("  ");
+        }
+    }
+
+    fn pre_item(&mut self) {
+        let top = self.stack.last_mut().expect("document already finished");
+        if top.1 > 0 {
+            self.buf.push(',');
+        }
+        top.1 += 1;
+        self.indent();
+    }
+
+    fn key(&mut self, name: &str) {
+        self.pre_item();
+        let _ = write!(self.buf, "\"{name}\": ");
+    }
+
+    /// A boolean field.
+    pub fn bool_field(&mut self, name: &str, v: bool) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// An integer field.
+    pub fn int(&mut self, name: &str, v: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// A float field rounded to `decimals` places.
+    pub fn num(&mut self, name: &str, v: f64, decimals: usize) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v:.decimals$}");
+        self
+    }
+
+    /// A string field (the value must not need escaping — bench labels
+    /// are static identifiers).
+    pub fn str_field(&mut self, name: &str, v: &str) -> &mut Self {
+        debug_assert!(!v.contains(['"', '\\']), "bench labels are plain");
+        self.key(name);
+        let _ = write!(self.buf, "\"{v}\"");
+        self
+    }
+
+    /// An array of floats, each rounded to `decimals` places.
+    pub fn num_array(&mut self, name: &str, vs: &[f64], decimals: usize) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            let _ = write!(self.buf, "{v:.decimals$}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// An array of integers.
+    pub fn int_array(&mut self, name: &str, vs: &[u64]) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Opens a named array of objects; close with [`JsonWriter::close`].
+    pub fn open_array(&mut self, name: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        self.stack.push((']', 0));
+        self
+    }
+
+    /// Opens a named nested object; close with [`JsonWriter::close`].
+    pub fn open_object(&mut self, name: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('{');
+        self.stack.push(('}', 0));
+        self
+    }
+
+    /// Opens an anonymous object (an array element).
+    pub fn open_element(&mut self) -> &mut Self {
+        self.pre_item();
+        self.buf.push('{');
+        self.stack.push(('}', 0));
+        self
+    }
+
+    /// Closes the innermost open array or object.
+    pub fn close(&mut self) -> &mut Self {
+        let (closer, items) = self.stack.pop().expect("no open container");
+        assert!(!self.stack.is_empty(), "cannot close the root explicitly");
+        if items > 0 {
+            self.indent();
+        }
+        self.buf.push(closer);
+        self
+    }
+
+    /// Closes the root object and returns the document.
+    pub fn finish(mut self) -> String {
+        assert_eq!(self.stack.len(), 1, "unclosed containers at finish");
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
+/// Writes a finished report to `<repo root>/<file>` (the root is two
+/// levels above this crate's manifest) and prints the path, as every
+/// bench binary does.
+///
+/// # Panics
+/// Panics if the file cannot be written.
+pub fn write_bench(file: &str, contents: &str) {
+    let path = format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_shape() {
+        let mut w = JsonWriter::new();
+        w.bool_field("smoke", true).int("n", 3);
+        w.open_array("rows");
+        for i in 0..2u64 {
+            w.open_element().int("i", i).num("v", 1.5, 2).close();
+        }
+        w.close();
+        w.open_object("summary")
+            .str_field("best", "mm")
+            .num_array("ms", &[1.0, 2.25], 1)
+            .close();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\n  \"smoke\": true,\n  \"n\": 3,\n  \"rows\": [\n    {\n      \"i\": 0,\n      \
+             \"v\": 1.50\n    },\n    {\n      \"i\": 1,\n      \"v\": 1.50\n    }\n  ],\n  \
+             \"summary\": {\n    \"best\": \"mm\",\n    \"ms\": [1.0, 2.2]\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_container_is_caught() {
+        let mut w = JsonWriter::new();
+        w.open_array("xs");
+        let _ = w.finish();
+    }
+}

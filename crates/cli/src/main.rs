@@ -9,6 +9,8 @@
 //!                    [--lookahead 2]   (0 = strict in-order execution)
 //!                    [--crash P@S]     (kill processor P at step S, recover, verify)
 //!                    [--flight-recorder [FILE]]  (crash ring; dump on faults/run end)
+//! hetgrid run        --topology star --workers 4 --worker-mem 7 [--nb 8] [--block 8]
+//!                    (master-worker MM: one-port master, memory-bounded workers)
 //! hetgrid simulate   --times 1,2,3,5 --grid 2x2 --nb 32 --kernel mm|lu|qr|cholesky
 //!                    [--scheme panel|kl|cyclic] [--network switched|bus]
 //!                    [--latency 0.2] [--transfer 0.02] [--broadcast direct|ring|tree] [--gantt]
@@ -88,6 +90,9 @@ fn print_usage() {
     println!("             [--flight-recorder [FILE]]  keep the last spans per thread in a");
     println!("             crash ring (even with tracing off) and dump a Chrome trace on");
     println!("             faults and at run end (default FILE: hetgrid-flight.json)");
+    println!("             [--topology star --workers W --worker-mem M]  master-worker MM:");
+    println!("             the master streams blocks over its one-port link to W workers");
+    println!("             holding at most M resident blocks (maximum-reuse schedule)");
     println!("  simulate   --times .. --grid PxQ --nb N --kernel mm|lu|qr|cholesky");
     println!("             [--scheme panel|kl|cyclic] [--network switched|bus]");
     println!("             [--latency L] [--transfer B] [--broadcast direct|ring|tree] [--gantt]");
@@ -564,6 +569,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    // `--topology star` switches to the master-worker platform model:
+    // no 2D grid, no distribution — a bandwidth-bound master streaming
+    // blocks to memory-bounded workers.
+    match args.get("topology").unwrap_or("grid") {
+        "grid" => {}
+        "star" => return cmd_run_star(args),
+        other => return Err(format!("unknown topology: {} (grid or star)", other)),
+    }
+
     let times = args.times()?;
     let (p, q) = args.grid()?;
     if times.len() != p * q {
@@ -834,6 +848,111 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("  {:?}", row);
     }
     finish_flight(flight);
+    Ok(())
+}
+
+/// `hetgrid run --topology star`: matrix multiplication on the
+/// master-worker platform — the maximum-reuse streaming schedule over
+/// the threaded executor, verified against the sequential reference and
+/// cross-checked against the closed-form one-port traffic and the
+/// per-worker residency bound.
+fn cmd_run_star(args: &Args) -> Result<(), String> {
+    use hetgrid_exec::{run_star_mm_on_cfg, ChannelTransport, ExecConfig, DEFAULT_LOOKAHEAD};
+    use hetgrid_linalg::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let kernel = args.get("kernel").unwrap_or("mm");
+    if kernel != "mm" {
+        return Err(format!(
+            "kernel {} not supported on the star topology (only mm)",
+            kernel
+        ));
+    }
+    let workers: usize = args.get_parse("workers", 4)?;
+    let worker_mem: usize = args.get_parse("worker-mem", 7)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if worker_mem < 3 {
+        return Err(format!(
+            "--worker-mem {} too small: streaming MM needs at least 3 resident blocks",
+            worker_mem
+        ));
+    }
+    let nb: usize = args.get_parse("nb", 8)?;
+    let r: usize = args.get_parse("block", 8)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let cfg = ExecConfig {
+        lookahead: args.get_parse("lookahead", DEFAULT_LOOKAHEAD)?,
+    };
+    let topo = hetgrid_core::Topology::Star {
+        workers,
+        worker_mem,
+        master_bw: 1.0,
+    };
+    let weights = vec![vec![1u64; workers + 1]];
+    let n = nb * r;
+    vdiag!(
+        "executor: star MM, {} workers, mem {} blocks, {} {}x{} blocks (matrix {}x{})",
+        workers,
+        worker_mem,
+        nb * nb,
+        r,
+        r,
+        n,
+        n
+    );
+
+    let session = ObsSession::begin(args);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = random_matrix(&mut rng, n, n);
+    let b = random_matrix(&mut rng, n, n);
+    let (c, report) = run_star_mm_on_cfg(
+        &ChannelTransport,
+        &a,
+        &b,
+        &topo,
+        (nb, nb, nb),
+        r,
+        &weights,
+        cfg,
+    )
+    .map_err(|e| e.to_string())?;
+    let err = c.sub(&matmul(&a, &b)).max_abs();
+    session.finish()?;
+
+    let plan = hetgrid_plan::star_mm_plan(&topo, (nb, nb, nb));
+    let peaks = hetgrid_sim::counts::star_residency_peaks(&plan);
+    let peak = peaks.iter().copied().max().unwrap_or(0);
+    let sends = report.messages_sent[0][0];
+    let returns: u64 = report.messages_sent[0][1..].iter().sum();
+
+    println!(
+        "kernel mm on {}: {}x{} blocks of order {} (matrix {}x{})",
+        topo, nb, nb, r, n, n
+    );
+    println!(
+        "tile side mu     : {}",
+        hetgrid_plan::star_tile_side(worker_mem)
+    );
+    println!("lookahead depth  : {}", cfg.lookahead);
+    println!("wall time        : {:.4} s", report.wall_seconds);
+    println!("max |C - A*B|    = {:.3e}", err);
+    println!(
+        "one-port traffic : {} sends + {} returns = {} messages",
+        sends,
+        returns,
+        report.total_messages()
+    );
+    println!(
+        "residency peak   : {} of {} blocks per worker",
+        peak, worker_mem
+    );
+    println!("per-worker work units:");
+    for row in &report.work_units {
+        println!("  {:?}", row);
+    }
     Ok(())
 }
 

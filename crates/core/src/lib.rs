@@ -64,9 +64,11 @@ pub mod problem;
 pub mod rank1;
 pub mod rounding;
 pub mod search;
+pub mod topology;
 
 pub use arrangement::{
     enumerate_nondecreasing, sorted_row_major, validate_times, Arrangement, TimesError,
 };
 pub use objective::Allocation;
 pub use problem::{Method, Problem, Solution};
+pub use topology::Topology;

@@ -39,6 +39,10 @@
 //! * [`qr::run_qr`] — fan-in Householder QR
 //!   ([`hetgrid_plan::qr_plan`]); unpack the packed result with
 //!   [`qr::qr_unpack`];
+//! * [`star::run_star_mm`] — memory-bounded master-worker `C = A * B`
+//!   on a [`hetgrid_core::Topology::Star`]: the master streams input
+//!   blocks over its one-port link, bounded-memory workers run the
+//!   maximum-reuse schedule ([`hetgrid_plan::star_mm_plan`]);
 //! * [`store`] — scatter/gather and the [`store::ExecReport`]
 //!   measurements (busy time, weighted work, imbalance);
 //! * [`transport`] — the pluggable message-transport trait. Every
@@ -80,6 +84,7 @@ pub mod recovery;
 #[cfg(test)]
 mod sched_tests;
 pub mod solve;
+pub mod star;
 mod step;
 pub mod store;
 pub mod transport;
@@ -93,6 +98,7 @@ pub use recovery::{
     SurvivorGrid,
 };
 pub use solve::{run_solve, run_solve_on, run_solve_on_cfg, SolveKind};
+pub use star::{run_star_mm, run_star_mm_on, run_star_mm_on_cfg};
 pub use step::{ExecConfig, DEFAULT_LOOKAHEAD};
 pub use store::{slowdown_weights, CheckpointLog, DistributedMatrix, ExecReport};
 pub use transport::{ChannelTransport, Closed, Endpoint, ExecError, Transport};

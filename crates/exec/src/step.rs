@@ -93,7 +93,12 @@ pub(crate) type MsgKey = (usize, u8, (usize, usize));
 /// `(namespace, bi, bj)`. Namespace 0 is the main matrix (the factored
 /// matrix, or C for MM); kernels may use other namespaces for
 /// step-local pseudo-resources (QR uses 3 for the packed reflector
-/// factors of step `k`, keyed `(3, k, 0)`).
+/// factors of step `k`, keyed `(3, k, 0)`; the star executor uses 1/2
+/// for resident A/B copies, 4 keyed `(4, 0, 0)` for the master's
+/// one-port link — every master send and receive writes it, so
+/// transfers serialize in program order — and 5 keyed `(5, 0, 0)` for
+/// a worker's memory budget, so residency transitions stay in program
+/// order and the runtime high-water mark equals the plan fold's).
 pub(crate) type Res = (u8, usize, usize);
 
 /// What a schedulable action does, for tracing and for the per-kernel
@@ -131,6 +136,18 @@ pub(crate) enum Op {
     QrColUpdate,
     /// QR: receive an updated column segment back from its head.
     QrTakeColRet,
+    /// Star master: send one input block over the one-port link.
+    StarFeed,
+    /// Star master: receive one finished C block over the one-port link.
+    StarRetire,
+    /// Star worker: materialize a resident block (from the master or a
+    /// fresh zero accumulator).
+    StarLoad,
+    /// Star worker: one `C += A * B` block update on resident copies.
+    StarCompute,
+    /// Star worker: drop a resident block, optionally returning it to
+    /// the master.
+    StarEvict,
 }
 
 /// One schedulable unit of a processor's per-step work.

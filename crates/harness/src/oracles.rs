@@ -126,6 +126,32 @@ pub fn check_counts(report: &ExecReport, predicted: &KernelCounts) -> Result<(),
     Ok(())
 }
 
+/// Memory-bound oracle for the master-worker platform: the per-worker
+/// residency high-water marks of the executed plan (the
+/// [`hetgrid_sim::counts::star_residency_peaks`] fold — exact for the
+/// executor, because residency transitions conflict on the worker's
+/// memory pseudo-resource and therefore replay in program order) must
+/// fit the star's per-worker budget, and the master must hold no
+/// resident worker blocks at all. The executor additionally asserts the
+/// live count after every load, so a violation trips twice: once at
+/// runtime, once here against the closed-form trace.
+pub fn check_star_memory(peaks: &[u64], worker_mem: usize) -> Result<(), String> {
+    if peaks.first() != Some(&0) {
+        return Err(format!(
+            "star master shows a resident-block peak of {:?} (must be 0)",
+            peaks.first()
+        ));
+    }
+    for (w, &peak) in peaks.iter().enumerate().skip(1) {
+        if peak > worker_mem as u64 {
+            return Err(format!(
+                "star worker {w} peaks at {peak} resident blocks, budget is {worker_mem}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Cross-checks the *metrics-layer* counters against the same
 /// closed-form [`hetgrid_sim::counts`] predictions the [`ExecReport`]
 /// oracle uses. `delta` must be a per-run snapshot delta taken around a

@@ -8,7 +8,7 @@ use crate::faults::{FaultProfile, KillSchedule};
 use crate::oracles;
 use crate::scenario::{
     dominant_matrix, exec_scenario, general_matrix, random_arrangement, random_dist, spd_matrix,
-    ExecScenario,
+    star_scenario, ExecScenario,
 };
 use crate::vtransport::VirtualTransport;
 use hetgrid_adapt::{ControllerConfig, Outcome, Scenario};
@@ -16,11 +16,13 @@ use hetgrid_core::{exact, Arrangement};
 use hetgrid_dist::{PanelDist, PanelOrdering};
 use hetgrid_exec::{
     run_cholesky_on_cfg, run_lu_on_cfg, run_mm_on_cfg, run_qr_on_cfg, run_recovery,
-    run_solve_on_cfg, ExecConfig, ExecReport, GridFault, RecoveryHooks, RecoveryInput, SolveKind,
-    SurvivorGrid,
+    run_solve_on_cfg, run_star_mm_on_cfg, ExecConfig, ExecReport, GridFault, RecoveryHooks,
+    RecoveryInput, SolveKind, SurvivorGrid,
 };
 use hetgrid_linalg::gemm::matvec;
-use hetgrid_sim::counts::{cholesky_counts, lu_counts, mm_counts, qr_counts};
+use hetgrid_sim::counts::{
+    cholesky_counts, lu_counts, mm_counts, qr_counts, star_mm_counts, star_residency_peaks,
+};
 use hetgrid_sim::DriftProfile;
 use rand::prelude::*;
 
@@ -167,6 +169,70 @@ pub fn run_exec_case(kernel: Kernel, profile: FaultProfile, seed: u64) {
     // Fifth oracle: the telemetry codec. The live registry (with
     // whatever per-processor / per-edge names this run interned) must
     // survive the text exposition round trip bit-exactly.
+    check(oracles::check_expo_roundtrip(
+        &hetgrid_obs::metrics().snapshot(),
+    ));
+}
+
+/// Runs one master-worker (star) case and validates it with the full
+/// oracle stack: the product against the `hetgrid-linalg` reference,
+/// the observed message/work tables against the
+/// [`hetgrid_sim::counts::star_mm_counts`] closed forms, the
+/// memory-bound oracle ([`oracles::check_star_memory`]) against the
+/// plan's residency fold, and the telemetry round trip.
+///
+/// # Panics
+/// Panics — with the seed, profile, and scenario in the message — when
+/// any oracle rejects the run.
+pub fn run_star_case(profile: FaultProfile, seed: u64) {
+    let sc = star_scenario(seed);
+    let ctx = format!(
+        "Star MM under '{}' on {} — replay: HARNESS_SEED={seed} cargo test -p hetgrid-harness",
+        profile.name,
+        sc.describe()
+    );
+    let transport = VirtualTransport::new(seed, profile);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_5EA5_E000_0000);
+    let (mb, nb, kb) = sc.dims;
+    let a = general_matrix(&mut rng, mb * sc.r, kb * sc.r);
+    let b = general_matrix(&mut rng, kb * sc.r, nb * sc.r);
+    let cfg = ExecConfig {
+        lookahead: sc.lookahead,
+    };
+
+    let check = |result: Result<(), String>| {
+        if let Err(msg) = result {
+            panic!("harness oracle failed: {msg}\n  case: {ctx}");
+        }
+    };
+
+    let (c, report) = run_star_mm_on_cfg(
+        &transport,
+        &a,
+        &b,
+        &sc.topo,
+        sc.dims,
+        sc.r,
+        &sc.weights,
+        cfg,
+    )
+    .unwrap_or_else(|e| panic!("harness: {e}\n  case: {ctx}"));
+    check(oracles::check_mm(&a, &b, &c, 1e-9));
+    check(oracles::check_counts(
+        &report,
+        &star_mm_counts(&sc.topo, sc.dims, &sc.weights),
+    ));
+    let hetgrid_core::Topology::Star { worker_mem, .. } = sc.topo else {
+        unreachable!("star_scenario draws a star topology")
+    };
+    let plan = hetgrid_plan::star_mm_plan(&sc.topo, sc.dims);
+    check(oracles::check_star_memory(
+        &star_residency_peaks(&plan),
+        worker_mem,
+    ));
+    if report.total_messages() == 0 {
+        panic!("harness oracle failed: a star run sent no messages\n  case: {ctx}");
+    }
     check(oracles::check_expo_roundtrip(
         &hetgrid_obs::metrics().snapshot(),
     ));

@@ -101,6 +101,75 @@ pub fn exec_scenario(seed: u64) -> ExecScenario {
     }
 }
 
+/// A fully determined master-worker (star) executor case.
+pub struct StarScenario {
+    /// The star platform: worker count, per-worker memory budget,
+    /// master link bandwidth.
+    pub topo: hetgrid_core::Topology,
+    /// Block-grid dimensions `(mb, nb, kb)` of `C = A * B`.
+    pub dims: (usize, usize, usize),
+    /// Block order.
+    pub r: usize,
+    /// Slowdown-weight table, `1 x (workers + 1)` (entry 0 is the
+    /// master, which performs no block work).
+    pub weights: Vec<Vec<u64>>,
+    /// Executor lookahead window depth (0 = strict in-order).
+    pub lookahead: usize,
+}
+
+impl StarScenario {
+    /// One-line description for failure messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}, dims={:?}, r={}, weights={:?}, lookahead={}",
+            self.topo, self.dims, self.r, self.weights, self.lookahead
+        )
+    }
+}
+
+/// Draws the master-worker scenario for `seed`: 1–4 workers with a
+/// memory budget in `3..=13` blocks, block-grid dimensions in `2..=5`,
+/// heterogeneous worker slowdowns in `1..=4`, and a lookahead depth
+/// drawn like [`exec_scenario`]'s (respecting `HARNESS_LOOKAHEAD`).
+///
+/// This is a separate draw from [`exec_scenario`] on purpose: the grid
+/// scenario's draw order is pinned by the existing corpus, and the star
+/// platform needs none of its grid/distribution machinery.
+pub fn star_scenario(seed: u64) -> StarScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A2_57A2_57A2_57A2);
+    let workers = rng.gen_range(1..=4usize);
+    let worker_mem = rng.gen_range(3..=13usize);
+    let topo = hetgrid_core::Topology::Star {
+        workers,
+        worker_mem,
+        master_bw: 1.0,
+    };
+    let dims = (
+        rng.gen_range(2..=5usize),
+        rng.gen_range(2..=5usize),
+        rng.gen_range(2..=5usize),
+    );
+    let r = rng.gen_range(2..=3usize);
+    let mut weights = vec![vec![1u64; workers + 1]];
+    for slot in weights[0].iter_mut().skip(1) {
+        *slot = rng.gen_range(1..=4u64);
+    }
+    let lookahead = match std::env::var("HARNESS_LOOKAHEAD") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .expect("HARNESS_LOOKAHEAD must be a non-negative integer"),
+        Err(_) => [0, 1, 2, 2, 3][rng.gen_range(0..5usize)],
+    };
+    StarScenario {
+        topo,
+        dims,
+        r,
+        weights,
+        lookahead,
+    }
+}
+
 /// Draws one of the four distribution families over `arr`.
 pub fn random_dist(
     rng: &mut StdRng,

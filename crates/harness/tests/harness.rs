@@ -7,7 +7,8 @@
 //! with `HARNESS_SEEDS=<count>` (the nightly CI job does).
 
 use hetgrid_harness::{
-    run_adapt_case, run_exec_case, run_redistribution_case, seed_corpus, FaultProfile, Kernel,
+    run_adapt_case, run_exec_case, run_redistribution_case, run_star_case, seed_corpus,
+    FaultProfile, Kernel,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -60,6 +61,22 @@ exec_cases! {
     solve_reorder:  Kernel::Solve,    FaultProfile::REORDER;
     solve_delay:    Kernel::Solve,    FaultProfile::DELAY;
     solve_chaos:    Kernel::Solve,    FaultProfile::CHAOS;
+}
+
+macro_rules! star_cases {
+    ($($name:ident: $profile:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            over_corpus(stringify!($name), |seed| run_star_case($profile, seed));
+        }
+    )*};
+}
+
+star_cases! {
+    star_fifo:    FaultProfile::FIFO;
+    star_reorder: FaultProfile::REORDER;
+    star_delay:   FaultProfile::DELAY;
+    star_chaos:   FaultProfile::CHAOS;
 }
 
 #[test]
@@ -179,6 +196,64 @@ mod lookahead_equivalence {
         )*};
     }
 
+    /// The same promise for the master-worker backend: the one-port
+    /// pseudo-resource and the residency hazards serialize everything
+    /// that touches accumulation order, so any window depth reproduces
+    /// in-order numerics bit-for-bit — and the fault-injecting virtual
+    /// transport reproduces the production channel transport exactly.
+    #[test]
+    fn star_bit_exact_across_depths_and_transports() {
+        use hetgrid_exec::{run_star_mm_on_cfg, ChannelTransport};
+        use hetgrid_harness::scenario::star_scenario;
+
+        for seed in seed_corpus().into_iter().take(4) {
+            let sc = star_scenario(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x00D1_5EA5_E000_0000);
+            let (mb, nb, kb) = sc.dims;
+            let a = general_matrix(&mut rng, mb * sc.r, kb * sc.r);
+            let b = general_matrix(&mut rng, kb * sc.r, nb * sc.r);
+            let on_virtual = |depth: usize| {
+                let t = VirtualTransport::new(seed, FaultProfile::CHAOS);
+                run_star_mm_on_cfg(
+                    &t,
+                    &a,
+                    &b,
+                    &sc.topo,
+                    sc.dims,
+                    sc.r,
+                    &sc.weights,
+                    ExecConfig { lookahead: depth },
+                )
+                .unwrap()
+                .0
+            };
+            let in_order = on_virtual(0);
+            for depth in [1, 2, 4] {
+                assert!(
+                    on_virtual(depth).approx_eq(&in_order, 0.0),
+                    "star MM: lookahead {depth} diverged from in-order — replay: \
+                     HARNESS_SEED={seed} cargo test -p hetgrid-harness"
+                );
+            }
+            let (channel, _) = run_star_mm_on_cfg(
+                &ChannelTransport,
+                &a,
+                &b,
+                &sc.topo,
+                sc.dims,
+                sc.r,
+                &sc.weights,
+                ExecConfig { lookahead: 2 },
+            )
+            .unwrap();
+            assert!(
+                channel.approx_eq(&in_order, 0.0),
+                "star MM: channel transport diverged from virtual — replay: \
+                 HARNESS_SEED={seed} cargo test -p hetgrid-harness"
+            );
+        }
+    }
+
     equivalence_cases! {
         mm_bit_exact_under_delay:         Kernel::Mm,       FaultProfile::DELAY;
         mm_bit_exact_under_reorder:       Kernel::Mm,       FaultProfile::REORDER;
@@ -213,6 +288,63 @@ mod properties {
         #[test]
         fn arbitrary_seeds_conserve_redistribution(seed in 0u64..1_000_000_000) {
             run_redistribution_case(seed);
+        }
+
+        /// The star backend under the adversarial profile, any seed.
+        #[test]
+        fn arbitrary_star_seeds_survive_chaos(seed in 0u64..1_000_000_000) {
+            run_star_case(FaultProfile::CHAOS, seed);
+        }
+
+        /// The maximum-reuse plan never over-fills a worker: for any
+        /// drawn scenario, the per-worker residency trace stays within
+        /// the memory budget the plan was generated for (and the master
+        /// holds nothing).
+        #[test]
+        fn star_residency_stays_within_budget(seed in 0u64..1_000_000_000) {
+            let sc = hetgrid_harness::scenario::star_scenario(seed);
+            let hetgrid_core::Topology::Star { worker_mem, .. } = sc.topo else {
+                unreachable!("star_scenario draws a star topology")
+            };
+            let plan = hetgrid_plan::star_mm_plan(&sc.topo, sc.dims);
+            let peaks = hetgrid_sim::counts::star_residency_peaks(&plan);
+            prop_assert_eq!(peaks[0], 0);
+            for (w, &peak) in peaks.iter().enumerate().skip(1) {
+                prop_assert!(
+                    peak <= worker_mem as u64,
+                    "worker {} peaks at {} with budget {} (seed {})",
+                    w, peak, worker_mem, seed
+                );
+            }
+        }
+
+        /// Counting a star plan's prefix and suffix separately must
+        /// partition the whole-plan fold, for any cut point.
+        #[test]
+        fn star_counts_prefix_suffix_partition(seed in 0u64..1_000_000_000, cut in 0.0f64..1.0) {
+            use hetgrid_sim::counts::{star_mm_counts_from, star_mm_counts_from_plan};
+            let sc = hetgrid_harness::scenario::star_scenario(seed);
+            let plan = hetgrid_plan::star_mm_plan(&sc.topo, sc.dims);
+            let from = (cut * plan.steps.len() as f64) as usize;
+            let whole = star_mm_counts_from_plan(&plan, &sc.weights);
+            let prefix = {
+                let mut head = plan.clone();
+                head.steps.truncate(from);
+                star_mm_counts_from_plan(&head, &sc.weights)
+            };
+            let suffix = star_mm_counts_from(&plan, from, &sc.weights);
+            for w in 0..whole.messages[0].len() {
+                prop_assert_eq!(
+                    prefix.messages[0][w] + suffix.messages[0][w],
+                    whole.messages[0][w],
+                    "messages at processor {} split at {} (seed {})", w, from, seed
+                );
+                prop_assert_eq!(
+                    prefix.work_units[0][w] + suffix.work_units[0][w],
+                    whole.work_units[0][w],
+                    "work at processor {} split at {} (seed {})", w, from, seed
+                );
+            }
         }
     }
 }

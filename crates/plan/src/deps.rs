@@ -25,7 +25,7 @@
 //!   block-labeled ground truth those per-processor action sets are
 //!   checked against.
 
-use crate::{Plan, Step};
+use crate::{LoadSrc, Mat, Plan, Step};
 use std::collections::HashMap;
 
 /// Which logical matrix a block belongs to.
@@ -40,13 +40,23 @@ pub enum Operand {
     C,
 }
 
-/// One block of one operand.
+/// One block of one operand at one site.
+///
+/// `site` distinguishes *copies* of a block: `0` is the authoritative
+/// copy (the distributed matrix on a grid, or the master's store on a
+/// star), `w >= 1` is worker `w`'s resident copy on a star. Grid steps
+/// only ever touch site 0, so grid hazard graphs are unchanged by the
+/// site dimension; star residency transitions (`Load`/`Evict`) write
+/// the worker-site copy, which is how block residency participates in
+/// the ordinary RAW/WAW/WAR machinery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockRef {
     /// Which matrix.
     pub op: Operand,
     /// Block index `(bi, bj)`.
     pub block: (usize, usize),
+    /// Which copy: `0` = authoritative, `w` = worker `w`'s resident copy.
+    pub site: usize,
 }
 
 impl BlockRef {
@@ -54,7 +64,20 @@ impl BlockRef {
         BlockRef {
             op: Operand::C,
             block,
+            site: 0,
         }
+    }
+
+    fn at(op: Operand, block: (usize, usize), site: usize) -> Self {
+        BlockRef { op, block, site }
+    }
+}
+
+fn operand_of(mat: Mat) -> Operand {
+    match mat {
+        Mat::A => Operand::A,
+        Mat::B => Operand::B,
+        Mat::C => Operand::C,
     }
 }
 
@@ -83,16 +106,10 @@ pub fn step_access(step: &Step) -> StepAccess {
             let mb = a_bcasts.len();
             let nb = b_bcasts.len();
             for bi in 0..mb {
-                acc.reads.push(BlockRef {
-                    op: Operand::A,
-                    block: (bi, *k),
-                });
+                acc.reads.push(BlockRef::at(Operand::A, (bi, *k), 0));
             }
             for bj in 0..nb {
-                acc.reads.push(BlockRef {
-                    op: Operand::B,
-                    block: (*k, bj),
-                });
+                acc.reads.push(BlockRef::at(Operand::B, (*k, bj), 0));
             }
             for bi in 0..mb {
                 for bj in 0..nb {
@@ -141,6 +158,46 @@ pub fn step_access(step: &Step) -> StepAccess {
                 for &(blk, _) in &col.members {
                     acc.writes.push(BlockRef::c(blk));
                 }
+            }
+        }
+        Step::Load {
+            worker,
+            mat,
+            block,
+            src,
+            ..
+        } => {
+            // Materializing a resident copy writes the worker site; a
+            // master-sourced load additionally reads the authoritative
+            // copy (RAW after anything that produced it).
+            if *src == LoadSrc::Master {
+                acc.reads.push(BlockRef::at(operand_of(*mat), *block, 0));
+            }
+            acc.writes
+                .push(BlockRef::at(operand_of(*mat), *block, *worker));
+        }
+        Step::Compute {
+            worker, c, a, b, ..
+        } => {
+            acc.reads.push(BlockRef::at(Operand::A, *a, *worker));
+            acc.reads.push(BlockRef::at(Operand::B, *b, *worker));
+            acc.writes.push(BlockRef::at(Operand::C, *c, *worker));
+        }
+        Step::Evict {
+            worker,
+            mat,
+            block,
+            send_back,
+            ..
+        } => {
+            // Dropping the resident copy WAW-orders against its Load
+            // and WAR-orders against every Compute that read it; a
+            // send-back also writes the authoritative copy, so the
+            // master-side result depends on the whole update chain.
+            acc.writes
+                .push(BlockRef::at(operand_of(*mat), *block, *worker));
+            if *send_back {
+                acc.writes.push(BlockRef::at(operand_of(*mat), *block, 0));
             }
         }
     }
@@ -400,6 +457,96 @@ mod tests {
             .iter()
             .filter(|e| e.from == from && e.block == block && e.kind == HazardKind::Waw)
             .any(|e| e.to <= to && waw_reaches(g, e.to, to, block))
+    }
+
+    #[test]
+    fn star_computes_raw_depend_on_their_loads() {
+        let topo = hetgrid_core::Topology::Star {
+            workers: 2,
+            worker_mem: 7,
+            master_bw: 1.0,
+        };
+        let plan = crate::star_mm_plan(&topo, (4, 3, 3));
+        let g = HazardGraph::build(&plan);
+        // For every Compute, find the latest prior Load of its a and b
+        // blocks on the same worker and demand a direct RAW edge.
+        for (s, step) in plan.steps.iter().enumerate() {
+            let Step::Compute { worker, a, b, .. } = *step else {
+                continue;
+            };
+            for (op, blk) in [(Operand::A, a), (Operand::B, b)] {
+                let feeder = plan.steps[..s]
+                    .iter()
+                    .rposition(|prev| {
+                        matches!(prev, Step::Load { worker: w, mat, block, .. }
+                            if *w == worker && operand_of(*mat) == op && *block == blk)
+                    })
+                    .unwrap_or_else(|| panic!("compute {s} has no load for {op:?} {blk:?}"));
+                assert!(
+                    g.edges.iter().any(|e| e.from == feeder
+                        && e.to == s
+                        && e.kind == HazardKind::Raw
+                        && e.block == BlockRef::at(op, blk, worker)),
+                    "no RAW {feeder}->{s} on {op:?} {blk:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_evicts_order_against_reuse() {
+        let topo = hetgrid_core::Topology::Star {
+            workers: 1,
+            worker_mem: 3,
+            master_bw: 1.0,
+        };
+        // mu = 1 and kb = 2: every A/B slot is reused, so each re-Load
+        // must WAW-order after the Evict that freed the slot's block.
+        let plan = crate::star_mm_plan(&topo, (2, 2, 2));
+        let g = HazardGraph::build(&plan);
+        for (s, step) in plan.steps.iter().enumerate() {
+            let Step::Evict {
+                worker, mat, block, ..
+            } = *step
+            else {
+                continue;
+            };
+            let site = BlockRef::at(operand_of(mat), block, worker);
+            // The Load that materialized this resident copy is WAW- or
+            // WAR-ordered before the Evict.
+            assert!(
+                g.edges
+                    .iter()
+                    .any(|e| e.to == s && e.block == site && e.kind != HazardKind::Raw),
+                "evict {s} unordered against its load"
+            );
+        }
+        // Grid hazard graphs are untouched by the site dimension.
+        let mm = HazardGraph::build(&mm_plan(&BlockCyclic::new(2, 2), 4));
+        for e in &mm.edges {
+            assert_eq!(e.block.site, 0);
+        }
+    }
+
+    #[test]
+    fn star_plan_respects_its_own_program_order() {
+        let topo = hetgrid_core::Topology::Star {
+            workers: 3,
+            worker_mem: 7,
+            master_bw: 1.0,
+        };
+        let plan = crate::star_mm_plan(&topo, (5, 4, 2));
+        let g = HazardGraph::build(&plan);
+        for e in &g.edges {
+            assert!(e.from < e.to, "{e:?}");
+        }
+        // Program order is a legal schedule of the hazard DAG.
+        let mut rs = g.ready_set();
+        for s in 0..g.n {
+            assert!(rs.ready().contains(&s), "step {s} not ready in order");
+            rs.complete(s);
+        }
+        assert!(rs.is_done());
     }
 
     #[test]

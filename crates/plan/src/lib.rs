@@ -35,10 +35,32 @@
 // paper's algorithms are written in.
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 
+use hetgrid_core::Topology;
 use hetgrid_dist::BlockDist;
 
 pub mod deps;
 pub mod wire;
+
+/// Which logical matrix a memory-aware step touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mat {
+    /// The `A` input.
+    A,
+    /// The `B` input.
+    B,
+    /// The `C` output.
+    C,
+}
+
+/// Where a [`Step::Load`]'s block comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadSrc {
+    /// The master sends the block over its one-port link (one message).
+    Master,
+    /// The worker materializes a zero block locally (no message) — how
+    /// `C` accumulators are born on a star platform.
+    Zero,
+}
 
 /// One block broadcast: the owner of `block` sends it to each processor
 /// in `dests` (insertion-order distinct, source excluded).
@@ -167,6 +189,58 @@ pub enum Step {
         reflector_dests: Vec<(usize, usize)>,
         /// Trailing column updates, in `bj` order.
         columns: Vec<QrColumn>,
+    },
+    /// Memory-aware star step: block `block` of `mat` becomes resident
+    /// on `worker`. A [`LoadSrc::Master`] load costs one message on the
+    /// master's one-port link; a [`LoadSrc::Zero`] load allocates a
+    /// zero block locally (fresh `C` accumulators). Residency counts
+    /// against the worker's memory bound until the matching
+    /// [`Step::Evict`].
+    Load {
+        /// Plan step index (steps are fine-grained on a star: one
+        /// load/compute/evict each).
+        k: usize,
+        /// Linear worker id (`1..=workers`; the master is 0).
+        worker: usize,
+        /// Which matrix the block belongs to.
+        mat: Mat,
+        /// Block index `(bi, bj)`.
+        block: (usize, usize),
+        /// Master send or local zero allocation.
+        src: LoadSrc,
+    },
+    /// Memory-aware star step: `worker` performs the one-block update
+    /// `C(c) += A(a) * B(b)`; all three blocks must be resident
+    /// (RAW-depends on their [`Step::Load`]s).
+    Compute {
+        /// Plan step index.
+        k: usize,
+        /// Linear worker id.
+        worker: usize,
+        /// The accumulator block of `C`.
+        c: (usize, usize),
+        /// The left-factor block of `A`.
+        a: (usize, usize),
+        /// The right-factor block of `B`.
+        b: (usize, usize),
+    },
+    /// Memory-aware star step: block `block` of `mat` leaves `worker`'s
+    /// memory. With `send_back` the block travels to the master first
+    /// (one message on the one-port link — how finished `C` blocks get
+    /// home); without, it is simply dropped (`A`/`B` blocks streamed
+    /// past their last use). WAW-orders against any reload of the same
+    /// block.
+    Evict {
+        /// Plan step index.
+        k: usize,
+        /// Linear worker id.
+        worker: usize,
+        /// Which matrix the block belongs to.
+        mat: Mat,
+        /// Block index `(bi, bj)`.
+        block: (usize, usize),
+        /// Return the block to the master (counts one message).
+        send_back: bool,
     },
 }
 
@@ -423,6 +497,159 @@ pub fn qr_plan(dist: &dyn BlockDist, nb: usize) -> Plan {
     }
 }
 
+/// Largest tile side `μ` a worker with `worker_mem` blocks of memory
+/// can run the maximum-reuse streaming schedule at: the schedule keeps
+/// `μ²` `C` accumulators, one row of `μ` `B` blocks and a single `A`
+/// block resident, so `μ² + μ + 1 <= worker_mem`.
+///
+/// # Panics
+/// Panics if `worker_mem < 3` (one `C`, one `B` and one `A` block is
+/// the minimum streaming footprint).
+pub fn star_tile_side(worker_mem: usize) -> usize {
+    assert!(
+        worker_mem >= 3,
+        "star_tile_side: worker_mem {worker_mem} < 3 cannot stream MM"
+    );
+    let mut mu = 1usize;
+    while (mu + 1) * (mu + 1) + (mu + 2) <= worker_mem {
+        mu += 1;
+    }
+    mu
+}
+
+/// Plan for square `C = A * B` on a master-worker star
+/// ([`star_mm_plan`] with `mb = nb = kb`).
+pub fn star_mm_square(topo: &Topology, nb: usize) -> Plan {
+    star_mm_plan(topo, (nb, nb, nb))
+}
+
+/// The maximum-reuse streaming schedule for
+/// `C(mb x nb) = A(mb x kb) * B(kb x nb)` on a master-worker star
+/// (*Revisiting Matrix Product on Master-Worker Platforms*): `C` is
+/// tiled into `μ x μ` tiles (`μ` from [`star_tile_side`], ragged at the
+/// edges) dealt round-robin to the workers. For its tile `I x J` a
+/// worker keeps all `|I| |J|` accumulators resident and streams the
+/// common dimension: per `k` it loads the `B` row slice `B(k, J)`, then
+/// for each `i in I` loads `A(i, k)`, updates the whole row of
+/// accumulators and drops the `A` block, finally dropping the `B`
+/// slice; finished `C` blocks travel back to the master. Per tile that
+/// is `kb (|I| + |J|)` master sends and `|I| |J|` returns against
+/// `kb |I| |J|` block updates — the communication-to-compute ratio
+/// `~2/μ` that maximum reuse buys.
+///
+/// Steps are fine-grained (one [`Step::Load`] / [`Step::Compute`] /
+/// [`Step::Evict`] each, `Step` field `k` == index in `steps`);
+/// `Plan::grid` is the executor layout `(1, workers + 1)` with the
+/// master at column 0, and `Plan::owned` records each worker's computed
+/// `C`-block count.
+///
+/// # Panics
+/// Panics if `topo` is not a [`Topology::Star`], if any dimension or
+/// the worker count is zero, or if `worker_mem < 3`.
+pub fn star_mm_plan(topo: &Topology, (mb, nb, kb): (usize, usize, usize)) -> Plan {
+    let Topology::Star {
+        workers,
+        worker_mem,
+        ..
+    } = *topo
+    else {
+        panic!("star_mm_plan: not a star topology: {topo}")
+    };
+    assert!(workers > 0, "star_mm_plan: no workers");
+    assert!(mb > 0 && nb > 0 && kb > 0, "star_mm_plan: empty shape");
+    let mu = star_tile_side(worker_mem);
+    let t_rows = mb.div_ceil(mu);
+    let t_cols = nb.div_ceil(mu);
+    let mut steps: Vec<Step> = Vec::new();
+    let mut owned = vec![vec![0usize; workers + 1]];
+    let push = |steps: &mut Vec<Step>, make: &dyn Fn(usize) -> Step| {
+        let k = steps.len();
+        steps.push(make(k));
+    };
+    for t in 0..t_rows * t_cols {
+        let (ti, tj) = (t / t_cols, t % t_cols);
+        let worker = 1 + t % workers;
+        let rows: Vec<usize> = (ti * mu..((ti + 1) * mu).min(mb)).collect();
+        let cols: Vec<usize> = (tj * mu..((tj + 1) * mu).min(nb)).collect();
+        owned[0][worker] += rows.len() * cols.len();
+        // Fresh accumulators: local zero blocks, no messages.
+        for &bi in &rows {
+            for &bj in &cols {
+                push(&mut steps, &|k| Step::Load {
+                    k,
+                    worker,
+                    mat: Mat::C,
+                    block: (bi, bj),
+                    src: LoadSrc::Zero,
+                });
+            }
+        }
+        // Stream the common dimension with maximum reuse.
+        for kk in 0..kb {
+            for &bj in &cols {
+                push(&mut steps, &|k| Step::Load {
+                    k,
+                    worker,
+                    mat: Mat::B,
+                    block: (kk, bj),
+                    src: LoadSrc::Master,
+                });
+            }
+            for &bi in &rows {
+                push(&mut steps, &|k| Step::Load {
+                    k,
+                    worker,
+                    mat: Mat::A,
+                    block: (bi, kk),
+                    src: LoadSrc::Master,
+                });
+                for &bj in &cols {
+                    push(&mut steps, &|k| Step::Compute {
+                        k,
+                        worker,
+                        c: (bi, bj),
+                        a: (bi, kk),
+                        b: (kk, bj),
+                    });
+                }
+                push(&mut steps, &|k| Step::Evict {
+                    k,
+                    worker,
+                    mat: Mat::A,
+                    block: (bi, kk),
+                    send_back: false,
+                });
+            }
+            for &bj in &cols {
+                push(&mut steps, &|k| Step::Evict {
+                    k,
+                    worker,
+                    mat: Mat::B,
+                    block: (kk, bj),
+                    send_back: false,
+                });
+            }
+        }
+        // Finished accumulators go home.
+        for &bi in &rows {
+            for &bj in &cols {
+                push(&mut steps, &|k| Step::Evict {
+                    k,
+                    worker,
+                    mat: Mat::C,
+                    block: (bi, bj),
+                    send_back: true,
+                });
+            }
+        }
+    }
+    Plan {
+        grid: (1, workers + 1),
+        owned,
+        steps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,7 +681,9 @@ mod tests {
                 l_bcasts, u_bcasts, ..
             } => l_bcasts.iter().chain(u_bcasts).collect(),
             Step::Cholesky { panel_bcasts, .. } => panel_bcasts.iter().collect(),
-            Step::Qr { .. } => Vec::new(),
+            Step::Qr { .. } | Step::Load { .. } | Step::Compute { .. } | Step::Evict { .. } => {
+                Vec::new()
+            }
         }
     }
 
@@ -548,5 +777,141 @@ mod tests {
             };
             assert!(reflector_dests.is_empty());
         }
+    }
+
+    fn star(workers: usize, worker_mem: usize) -> Topology {
+        Topology::Star {
+            workers,
+            worker_mem,
+            master_bw: 1.0,
+        }
+    }
+
+    #[test]
+    // Keep the literal `mu^2 + mu + 1 <= m` from the paper's feasibility
+    // condition rather than clippy's normalized form.
+    #[allow(clippy::int_plus_one)]
+    fn star_tile_side_is_maximal() {
+        assert_eq!(star_tile_side(3), 1);
+        assert_eq!(star_tile_side(6), 1);
+        assert_eq!(star_tile_side(7), 2); // 4 + 2 + 1
+        assert_eq!(star_tile_side(12), 2);
+        assert_eq!(star_tile_side(13), 3); // 9 + 3 + 1
+        for m in 3..200 {
+            let mu = star_tile_side(m);
+            assert!(mu * mu + mu + 1 <= m, "mem {m}: mu {mu} does not fit");
+            assert!(
+                (mu + 1) * (mu + 1) + (mu + 2) > m,
+                "mem {m}: mu {mu} not maximal"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stream")]
+    fn star_tile_side_rejects_tiny_memory() {
+        star_tile_side(2);
+    }
+
+    #[test]
+    fn star_steps_are_indexed_in_order() {
+        let plan = star_mm_plan(&star(3, 7), (5, 4, 3));
+        assert_eq!(plan.grid, (1, 4));
+        for (i, step) in plan.steps.iter().enumerate() {
+            let k = match *step {
+                Step::Load { k, .. } | Step::Compute { k, .. } | Step::Evict { k, .. } => k,
+                ref other => panic!("grid step in star plan: {other:?}"),
+            };
+            assert_eq!(k, i);
+        }
+    }
+
+    #[test]
+    fn star_plan_matches_closed_form_counts() {
+        // Per mu x mu tile I x J: kb (|I| + |J|) master sends, |I| |J|
+        // returns, kb |I| |J| updates; summed over the ragged tiling.
+        for (w, mem, (mb, nb, kb)) in [
+            (1usize, 3usize, (2usize, 2usize, 2usize)),
+            (2, 7, (4, 5, 3)),
+            (3, 13, (7, 6, 4)),
+            (4, 7, (3, 3, 5)),
+        ] {
+            let mu = star_tile_side(mem);
+            let (mut sends, mut returns, mut updates) = (0usize, 0usize, 0usize);
+            for ti in 0..mb.div_ceil(mu) {
+                for tj in 0..nb.div_ceil(mu) {
+                    let rows = ((ti + 1) * mu).min(mb) - ti * mu;
+                    let cols = ((tj + 1) * mu).min(nb) - tj * mu;
+                    sends += kb * (rows + cols);
+                    returns += rows * cols;
+                    updates += kb * rows * cols;
+                }
+            }
+            let plan = star_mm_plan(&star(w, mem), (mb, nb, kb));
+            let mut got = (0usize, 0usize, 0usize);
+            for step in &plan.steps {
+                match *step {
+                    Step::Load {
+                        src: LoadSrc::Master,
+                        ..
+                    } => got.0 += 1,
+                    Step::Evict {
+                        send_back: true, ..
+                    } => got.1 += 1,
+                    Step::Compute { .. } => got.2 += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(got, (sends, returns, updates), "w {w} mem {mem}");
+            assert_eq!(plan.owned[0].iter().sum::<usize>(), mb * nb);
+            assert_eq!(plan.owned[0][0], 0, "master computes nothing");
+        }
+    }
+
+    #[test]
+    fn star_residency_never_exceeds_worker_mem() {
+        for (w, mem, dims) in [(1, 3, (3, 3, 3)), (2, 7, (5, 4, 3)), (3, 13, (6, 7, 2))] {
+            let plan = star_mm_plan(&star(w, mem), dims);
+            let mut resident = vec![0usize; w + 1];
+            for step in &plan.steps {
+                match *step {
+                    Step::Load { worker, .. } => {
+                        resident[worker] += 1;
+                        assert!(
+                            resident[worker] <= mem,
+                            "worker {worker} over budget: {} > {mem}",
+                            resident[worker]
+                        );
+                    }
+                    Step::Evict { worker, .. } => resident[worker] -= 1,
+                    _ => {}
+                }
+            }
+            assert!(resident.iter().all(|&r| r == 0), "blocks left resident");
+        }
+    }
+
+    #[test]
+    fn star_computes_every_c_block_kb_times_in_k_order() {
+        let (mb, nb, kb) = (5, 4, 3);
+        let plan = star_mm_plan(&star(2, 7), (mb, nb, kb));
+        let mut next_k = vec![vec![0usize; nb]; mb];
+        for step in &plan.steps {
+            if let Step::Compute { c, a, b, .. } = *step {
+                assert_eq!(a.0, c.0);
+                assert_eq!(b.1, c.1);
+                assert_eq!(a.1, b.0);
+                assert_eq!(a.1, next_k[c.0][c.1], "out-of-order update on {c:?}");
+                next_k[c.0][c.1] += 1;
+            }
+        }
+        assert!(next_k.iter().flatten().all(|&k| k == kb));
+    }
+
+    #[test]
+    fn star_tiles_deal_round_robin() {
+        let plan = star_mm_plan(&star(3, 3), (4, 4, 2));
+        // mu = 1 -> 16 tiles over 3 workers: 6 / 5 / 5 blocks.
+        assert_eq!(plan.owned[0], vec![0, 6, 5, 5]);
     }
 }

@@ -15,19 +15,46 @@
 //! u32 p, u32 q                       grid shape
 //! u32 rows, then rows x cols x u32   owned-C table (0 rows when empty)
 //! u32 nsteps, then per step:
-//!   u8 tag: 0 Mm, 1 Factor, 2 Cholesky, 3 Qr
+//!   u8 tag: 0 Mm, 1 Factor, 2 Cholesky, 3 Qr,
+//!           4 Load, 5 Compute, 6 Evict (star steps)
 //!   tag-specific fields in declaration order; every Vec is a u32
-//!   count followed by its elements; a grid coordinate is two u32s.
+//!   count followed by its elements; a grid coordinate is two u32s;
+//!   a Mat is one byte (0 A, 1 B, 2 C), a LoadSrc one byte
+//!   (0 Master, 1 Zero), a bool one byte (0 / 1).
 //! ```
 //!
 //! Decoding is total: malformed input yields a typed [`DecodeError`]
 //! (never a panic), and trailing garbage after a well-formed plan is an
 //! error too, so a decoded plan always accounts for every input byte.
+//! The [`DecodeErrorKind`] distinguishes recoverable situations — a
+//! peer speaking a newer codec ([`DecodeErrorKind::UnknownStepTag`] /
+//! [`DecodeErrorKind::UnsupportedVersion`]) — from plain corruption, so
+//! callers can downgrade gracefully instead of treating every failure
+//! as data loss.
 
-use crate::{Bcast, OwnerWork, Plan, QrColumn, Step};
+use crate::{Bcast, LoadSrc, Mat, OwnerWork, Plan, QrColumn, Step};
 
 /// Codec version written by [`encode`] and required by [`decode`].
 pub const WIRE_VERSION: u8 = 1;
+
+/// Why a plan buffer failed to decode (see [`DecodeError`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The input ended mid-field, or a length prefix implied more bytes
+    /// than remain.
+    Truncated,
+    /// The version byte is not [`WIRE_VERSION`]; the payload may be a
+    /// valid plan from a different codec generation.
+    UnsupportedVersion(u8),
+    /// A step tag outside the known set — likely a plan from a newer
+    /// codec that added step kinds.
+    UnknownStepTag(u8),
+    /// An enum-coded field (`Mat`, `LoadSrc`, bool) held a byte outside
+    /// its valid range.
+    InvalidField,
+    /// Bytes left over after a complete plan.
+    TrailingBytes,
+}
 
 /// A malformed plan buffer: what went wrong and where.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +64,8 @@ pub struct DecodeError {
     /// What the decoder was reading when the input ran out or made no
     /// sense.
     pub what: &'static str,
+    /// Machine-checkable failure class.
+    pub kind: DecodeErrorKind,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -91,6 +120,21 @@ fn put_table(out: &mut Vec<u8>, table: &[Vec<usize>]) {
         for &v in row {
             put_u32(out, v);
         }
+    }
+}
+
+fn mat_byte(mat: Mat) -> u8 {
+    match mat {
+        Mat::A => 0,
+        Mat::B => 1,
+        Mat::C => 2,
+    }
+}
+
+fn src_byte(src: LoadSrc) -> u8 {
+    match src {
+        LoadSrc::Master => 0,
+        LoadSrc::Zero => 1,
     }
 }
 
@@ -185,6 +229,42 @@ pub fn encode_into(plan: &Plan, out: &mut Vec<u8>) {
                     }
                 }
             }
+            Step::Load {
+                k,
+                worker,
+                mat,
+                block,
+                src,
+            } => {
+                out.push(4);
+                put_u32(out, *k);
+                put_u32(out, *worker);
+                out.push(mat_byte(*mat));
+                put_pair(out, *block);
+                out.push(src_byte(*src));
+            }
+            Step::Compute { k, worker, c, a, b } => {
+                out.push(5);
+                put_u32(out, *k);
+                put_u32(out, *worker);
+                put_pair(out, *c);
+                put_pair(out, *a);
+                put_pair(out, *b);
+            }
+            Step::Evict {
+                k,
+                worker,
+                mat,
+                block,
+                send_back,
+            } => {
+                out.push(6);
+                put_u32(out, *k);
+                put_u32(out, *worker);
+                out.push(mat_byte(*mat));
+                put_pair(out, *block);
+                out.push(u8::from(*send_back));
+            }
         }
     }
 }
@@ -200,9 +280,14 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, what: &'static str) -> DecodeError {
+        self.err_kind(what, DecodeErrorKind::Truncated)
+    }
+
+    fn err_kind(&self, what: &'static str, kind: DecodeErrorKind) -> DecodeError {
         DecodeError {
             offset: self.pos,
             what,
+            kind,
         }
     }
 
@@ -265,6 +350,31 @@ impl<'a> Cursor<'a> {
             .collect()
     }
 
+    fn mat(&mut self, what: &'static str) -> Result<Mat, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(Mat::A),
+            1 => Ok(Mat::B),
+            2 => Ok(Mat::C),
+            _ => Err(self.err_kind(what, DecodeErrorKind::InvalidField)),
+        }
+    }
+
+    fn src(&mut self, what: &'static str) -> Result<LoadSrc, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(LoadSrc::Master),
+            1 => Ok(LoadSrc::Zero),
+            _ => Err(self.err_kind(what, DecodeErrorKind::InvalidField)),
+        }
+    }
+
+    fn boolean(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.err_kind(what, DecodeErrorKind::InvalidField)),
+        }
+    }
+
     fn table(&mut self, what: &'static str) -> Result<Vec<Vec<usize>>, DecodeError> {
         let rows = self.count(4, what)?;
         (0..rows)
@@ -286,6 +396,7 @@ pub fn decode(buf: &[u8]) -> Result<Plan, DecodeError> {
         return Err(DecodeError {
             offset: 0,
             what: "unsupported plan codec version",
+            kind: DecodeErrorKind::UnsupportedVersion(version),
         });
     }
     let grid = c.pair("grid shape")?;
@@ -346,12 +457,33 @@ pub fn decode(buf: &[u8]) -> Result<Plan, DecodeError> {
                     columns,
                 }
             }
-            _ => return Err(c.err("unknown step tag")),
+            4 => Step::Load {
+                k: c.u32("load step")?,
+                worker: c.u32("load worker")?,
+                mat: c.mat("load mat")?,
+                block: c.pair("load block")?,
+                src: c.src("load src")?,
+            },
+            5 => Step::Compute {
+                k: c.u32("compute step")?,
+                worker: c.u32("compute worker")?,
+                c: c.pair("compute c")?,
+                a: c.pair("compute a")?,
+                b: c.pair("compute b")?,
+            },
+            6 => Step::Evict {
+                k: c.u32("evict step")?,
+                worker: c.u32("evict worker")?,
+                mat: c.mat("evict mat")?,
+                block: c.pair("evict block")?,
+                send_back: c.boolean("evict send_back")?,
+            },
+            t => return Err(c.err_kind("unknown step tag", DecodeErrorKind::UnknownStepTag(t))),
         };
         steps.push(step);
     }
     if c.pos != buf.len() {
-        return Err(c.err("trailing bytes after plan"));
+        return Err(c.err_kind("trailing bytes after plan", DecodeErrorKind::TrailingBytes));
     }
     Ok(Plan { grid, owned, steps })
 }
@@ -359,8 +491,17 @@ pub fn decode(buf: &[u8]) -> Result<Plan, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{cholesky_plan, factor_plan, mm_plan, mm_rect_plan, qr_plan};
+    use crate::{cholesky_plan, factor_plan, mm_plan, mm_rect_plan, qr_plan, star_mm_plan};
+    use hetgrid_core::Topology;
     use hetgrid_dist::BlockCyclic;
+
+    fn star(workers: usize, worker_mem: usize) -> Topology {
+        Topology::Star {
+            workers,
+            worker_mem,
+            master_bw: 1.0,
+        }
+    }
 
     fn all_plans() -> Vec<Plan> {
         let dist = BlockCyclic::new(2, 3);
@@ -370,6 +511,8 @@ mod tests {
             factor_plan(&dist, 6),
             cholesky_plan(&dist, 6),
             qr_plan(&dist, 5),
+            star_mm_plan(&star(2, 7), (4, 3, 3)),
+            star_mm_plan(&star(1, 3), (2, 2, 2)),
             Plan {
                 grid: (1, 1),
                 owned: vec![],
@@ -407,38 +550,116 @@ mod tests {
 
     #[test]
     fn truncation_at_every_length_errors_not_panics() {
-        let bytes = encode(&qr_plan(&BlockCyclic::new(2, 2), 4));
-        for len in 0..bytes.len() {
-            assert!(
-                decode(&bytes[..len]).is_err(),
-                "truncated prefix of {len} bytes decoded successfully"
-            );
+        for bytes in [
+            encode(&qr_plan(&BlockCyclic::new(2, 2), 4)),
+            encode(&star_mm_plan(&star(2, 7), (3, 3, 2))),
+        ] {
+            for len in 0..bytes.len() {
+                assert!(
+                    decode(&bytes[..len]).is_err(),
+                    "truncated prefix of {len} bytes decoded successfully"
+                );
+            }
         }
     }
 
     #[test]
     fn corrupt_counts_and_tags_error_not_panic() {
-        let bytes = encode(&factor_plan(&BlockCyclic::new(2, 2), 4));
-        // Flip each byte in turn to an extreme value; decode must
-        // return (any) result without panicking or allocating wildly.
-        for i in 0..bytes.len() {
-            let mut evil = bytes.clone();
-            evil[i] = 0xFF;
-            let _ = decode(&evil);
+        for bytes in [
+            encode(&factor_plan(&BlockCyclic::new(2, 2), 4)),
+            encode(&star_mm_plan(&star(2, 7), (3, 3, 2))),
+        ] {
+            // Flip each byte in turn to an extreme value; decode must
+            // return (any) result without panicking or allocating wildly.
+            for i in 0..bytes.len() {
+                let mut evil = bytes.clone();
+                evil[i] = 0xFF;
+                let _ = decode(&evil);
+            }
         }
+        let err = decode(&[9]).unwrap_err();
+        assert_eq!(err.what, "unsupported plan codec version");
+        assert_eq!(err.kind, DecodeErrorKind::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn unknown_step_tag_is_a_typed_error() {
+        // A hypothetical future step kind: tag 7 after a valid header.
+        let mut bytes = encode(&Plan {
+            grid: (1, 2),
+            owned: vec![],
+            steps: vec![],
+        });
+        // Rewrite the step count from 0 to 1 and append the alien tag.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[7; 24]);
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::UnknownStepTag(7));
+        assert_eq!(err.what, "unknown step tag");
+    }
+
+    #[test]
+    fn invalid_enum_bytes_are_typed_errors() {
+        let plan = star_mm_plan(&star(1, 3), (1, 1, 1));
+        let bytes = encode(&plan);
+        // The first star step is `Load { k: 0, worker: 1, mat, .. }`;
+        // its mat byte sits right after the tag and two u32s.
+        let header = 1 + 8 + (4 + 4 + 4 * 2) + 4;
+        let mat_at = header + 1 + 4 + 4;
+        assert_eq!(bytes[mat_at], 2, "expected the C-accumulator load");
+        let mut evil = bytes.clone();
+        evil[mat_at] = 3;
         assert_eq!(
-            decode(&[9]).unwrap_err().what,
-            "unsupported plan codec version"
+            decode(&evil).unwrap_err().kind,
+            DecodeErrorKind::InvalidField
         );
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).unwrap_err();
+            assert_eq!(err.kind, DecodeErrorKind::Truncated, "at {len}");
+        }
+    }
+
+    #[test]
+    fn star_byte_layout_is_pinned() {
+        // Cross-version pin: this spells the v1 byte layout of every
+        // star step kind out longhand. If encode() changes, bump
+        // WIRE_VERSION — old caches and remote peers hold these bytes.
+        let plan = star_mm_plan(&star(1, 3), (1, 1, 1));
+        let le = |v: u32| v.to_le_bytes();
+        let mut want: Vec<u8> = Vec::new();
+        want.push(1); // version
+        want.extend(le(1));
+        want.extend(le(2)); // grid 1 x 2
+        want.extend(le(1));
+        want.extend(le(2));
+        want.extend(le(0));
+        want.extend(le(1)); // owned [[0, 1]]
+        want.extend(le(7)); // 7 steps
+        for (tag, k, tail) in [
+            (4u8, 0u32, vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1]), // Load C (0,0) Zero
+            (4, 1, vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0]),      // Load B (0,0) Master
+            (4, 2, vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),      // Load A (0,0) Master
+            (5, 3, vec![0; 24]),                             // Compute c a b = (0,0)
+            (6, 4, vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),      // Evict A, drop
+            (6, 5, vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0]),      // Evict B, drop
+            (6, 6, vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1]),      // Evict C, send back
+        ] {
+            want.push(tag);
+            want.extend(le(k));
+            want.extend(le(1)); // worker 1
+            want.extend(tail);
+        }
+        assert_eq!(encode(&plan), want);
+        assert_eq!(decode(&want).unwrap(), plan);
     }
 
     #[test]
     fn trailing_garbage_is_rejected() {
         let mut bytes = encode(&mm_plan(&BlockCyclic::new(2, 2), 3));
         bytes.push(0);
-        assert_eq!(
-            decode(&bytes).unwrap_err().what,
-            "trailing bytes after plan"
-        );
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.what, "trailing bytes after plan");
+        assert_eq!(err.kind, DecodeErrorKind::TrailingBytes);
     }
 }

@@ -18,8 +18,9 @@
 //! communication pattern directly, independent of the plan) are kept in
 //! this module's tests as a cross-check, not as the source of truth.
 
+use hetgrid_core::Topology;
 use hetgrid_dist::BlockDist;
-use hetgrid_plan::{Plan, Step};
+use hetgrid_plan::{LoadSrc, Plan, Step};
 
 /// Predicted per-processor totals for one kernel run, laid out `[i][j]`
 /// over the `p x q` grid like the executor's report tables.
@@ -311,6 +312,100 @@ pub fn qr_counts_from(plan: &Plan, from: usize, weights: &[Vec<u64>]) -> KernelC
     c
 }
 
+/// Predicted counts for the maximum-reuse star MM schedule
+/// (`hetgrid_exec::run_star_mm`): a fold over
+/// [`hetgrid_plan::star_mm_plan`]. Tables are laid out over the
+/// executor's `1 x (workers + 1)` row — column 0 is the master, column
+/// `w` is worker `w`.
+///
+/// Every master-sourced [`Step::Load`] is one master send
+/// (`messages[0][0]`), every send-back [`Step::Evict`] one worker
+/// return (`messages[0][w]`), every [`Step::Compute`] one weighted
+/// block update for its worker. The master performs no block work, and
+/// zero-sourced loads / dropped evictions move no messages — residency
+/// transitions are free, only the one-port link pays.
+pub fn star_mm_counts(
+    topo: &Topology,
+    dims: (usize, usize, usize),
+    weights: &[Vec<u64>],
+) -> KernelCounts {
+    star_mm_counts_from_plan(&hetgrid_plan::star_mm_plan(topo, dims), weights)
+}
+
+/// [`star_mm_counts`] over an already-built star plan.
+///
+/// # Panics
+/// Panics if the plan contains non-star steps.
+pub fn star_mm_counts_from_plan(plan: &Plan, weights: &[Vec<u64>]) -> KernelCounts {
+    star_mm_counts_from(plan, 0, weights)
+}
+
+/// [`star_mm_counts`] over the suffix `plan.steps[from..]` — the
+/// predicted counts for a star epoch resumed at step `from` (see
+/// [`mm_counts_from`]).
+///
+/// # Panics
+/// Panics if the plan contains non-star steps.
+pub fn star_mm_counts_from(plan: &Plan, from: usize, weights: &[Vec<u64>]) -> KernelCounts {
+    let (p, q) = plan.grid;
+    let mut c = KernelCounts::zeros(p, q);
+    for step in &plan.steps[from.min(plan.steps.len())..] {
+        match step {
+            Step::Load { src, .. } => {
+                if *src == LoadSrc::Master {
+                    c.messages[0][0] += 1;
+                }
+            }
+            Step::Compute { worker, .. } => c.work_units[0][*worker] += weights[0][*worker],
+            Step::Evict {
+                worker, send_back, ..
+            } => {
+                if *send_back {
+                    c.messages[0][*worker] += 1;
+                }
+            }
+            _ => panic!("star_mm_counts_from_plan: non-star step in plan"),
+        }
+    }
+    c
+}
+
+/// Per-processor resident-block high-water marks of a star plan: entry
+/// `w` is the most blocks worker `w` ever holds at once when the steps
+/// run in program order (entry 0, the master, is always 0 — its store
+/// is not bounded by `worker_mem`). Because every legal schedule keeps
+/// each worker's residency transitions in program order (they conflict
+/// pairwise on the worker's memory resource), this fold is exact for
+/// the executor too, not just for sequential replay — the memory-bound
+/// oracle asserts `peak <= worker_mem` against precisely this number.
+///
+/// # Panics
+/// Panics if the plan contains non-star steps or evicts a worker's
+/// block below zero residency.
+pub fn star_residency_peaks(plan: &Plan) -> Vec<u64> {
+    let n = plan.grid.0 * plan.grid.1;
+    let mut resident = vec![0u64; n];
+    let mut peak = vec![0u64; n];
+    for step in &plan.steps {
+        match step {
+            Step::Load { worker, .. } => {
+                resident[*worker] += 1;
+                peak[*worker] = peak[*worker].max(resident[*worker]);
+            }
+            Step::Evict { worker, .. } => {
+                assert!(
+                    resident[*worker] > 0,
+                    "star_residency_peaks: eviction below zero on worker {worker}"
+                );
+                resident[*worker] -= 1;
+            }
+            Step::Compute { .. } => {}
+            _ => panic!("star_residency_peaks: non-star step in plan"),
+        }
+    }
+    peak
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +447,12 @@ mod tests {
         };
         let dist = BlockCyclic::new(2, 3);
         let w = vec![vec![1, 2, 1], vec![3, 1, 2]];
+        let sw = vec![vec![1, 2, 3]]; // master + 2 workers
+        let star = Topology::Star {
+            workers: 2,
+            worker_mem: 7,
+            master_bw: 1.0,
+        };
         let nb = 5;
         let cases: Vec<(Plan, Box<dyn Fn(&Plan, usize) -> KernelCounts>)> = vec![
             (
@@ -369,6 +470,10 @@ mod tests {
             (
                 hetgrid_plan::qr_plan(&dist, nb),
                 Box::new(|p: &Plan, f| qr_counts_from(p, f, &w)),
+            ),
+            (
+                hetgrid_plan::star_mm_plan(&star, (nb, nb - 1, nb)),
+                Box::new(|p: &Plan, f| star_mm_counts_from(p, f, &sw)),
             ),
         ];
         for (plan, counts_from) in &cases {
@@ -638,6 +743,70 @@ mod closed_form_equivalence {
         (0..p)
             .map(|_| (0..q).map(|_| rng.gen_range(1..5)).collect())
             .collect()
+    }
+
+    /// Closed forms for the maximum-reuse star schedule, straight from
+    /// the tiling arithmetic (no plan involved): per `mu x mu` tile
+    /// `I x J`, the master sends `kb (|I| + |J|)` blocks, the tile's
+    /// worker returns `|I| |J|` and performs `kb |I| |J|` weighted
+    /// updates; a worker's memory high-water mark is `|I| |J| + |J| + 1`
+    /// maximized over its tiles (accumulators + one `B` row + one `A`).
+    fn closed_form_star_mm(
+        workers: usize,
+        worker_mem: usize,
+        (mb, nb, kb): (usize, usize, usize),
+        weights: &[Vec<u64>],
+    ) -> (KernelCounts, Vec<u64>) {
+        let mu = hetgrid_plan::star_tile_side(worker_mem);
+        let mut c = KernelCounts::zeros(1, workers + 1);
+        let mut peaks = vec![0u64; workers + 1];
+        let t_cols = nb.div_ceil(mu);
+        for t in 0..mb.div_ceil(mu) * t_cols {
+            let (ti, tj) = (t / t_cols, t % t_cols);
+            let w = 1 + t % workers;
+            let rows = (((ti + 1) * mu).min(mb) - ti * mu) as u64;
+            let cols = (((tj + 1) * mu).min(nb) - tj * mu) as u64;
+            c.messages[0][0] += kb as u64 * (rows + cols);
+            c.messages[0][w] += rows * cols;
+            c.work_units[0][w] += kb as u64 * rows * cols * weights[0][w];
+            peaks[w] = peaks[w].max(rows * cols + cols + 1);
+        }
+        (c, peaks)
+    }
+
+    #[test]
+    fn star_fold_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(0x57A2);
+        for case in 0..60 {
+            let workers = rng.gen_range(1..=4);
+            let worker_mem = rng.gen_range(3..=15);
+            let dims = (
+                rng.gen_range(1..=6),
+                rng.gen_range(1..=6),
+                rng.gen_range(1..=6),
+            );
+            let weights = random_weights(&mut rng, 1, workers + 1);
+            let topo = Topology::Star {
+                workers,
+                worker_mem,
+                master_bw: 1.0,
+            };
+            let plan = hetgrid_plan::star_mm_plan(&topo, dims);
+            let (want, want_peaks) = closed_form_star_mm(workers, worker_mem, dims, &weights);
+            assert_eq!(
+                star_mm_counts(&topo, dims, &weights),
+                want,
+                "star case {case}: {workers}w mem {worker_mem} dims {dims:?}"
+            );
+            let peaks = star_residency_peaks(&plan);
+            assert_eq!(peaks, want_peaks, "star peaks case {case}");
+            // The memory bound the schedule was derived under.
+            assert!(
+                peaks.iter().all(|&pk| pk <= worker_mem as u64),
+                "case {case}: peak over worker_mem"
+            );
+            assert_eq!(peaks[0], 0, "master residency is unbounded/untracked");
+        }
     }
 
     #[test]
